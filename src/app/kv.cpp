@@ -1,0 +1,224 @@
+#include "app/kv.hpp"
+
+#include <cstdio>
+
+namespace flextoe::app {
+
+using tcp::ConnId;
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+  v.push_back(static_cast<std::uint8_t>(x >> 16));
+  v.push_back(static_cast<std::uint8_t>(x >> 24));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ KvServer
+
+KvServer::KvServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+                   sim::CpuPool* cpu)
+    : ev_(ev), stack_(stack), p_(p), cpu_(cpu) {
+  tcp::StackCallbacks cbs;
+  cbs.on_accept = [this](ConnId c) { conns_[c]; };
+  cbs.on_data = [this](ConnId c) { on_data(c); };
+  cbs.on_sendable = [this](ConnId c) { flush(c); };
+  cbs.on_close = [this](ConnId c) {
+    stack_.close(c);
+    conns_.erase(c);
+  };
+  stack_.set_callbacks(std::move(cbs));
+  stack_.listen(p_.port);
+}
+
+void KvServer::on_data(ConnId c) {
+  auto it = conns_.find(c);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  std::uint8_t buf[16 * 1024];
+  std::size_t n;
+  while ((n = stack_.recv(c, buf)) > 0) {
+    conn.reader.feed(std::span(buf, n));
+  }
+  std::vector<std::uint8_t> frame;
+  while (conn.reader.next(frame)) {
+    if (cpu_ != nullptr && p_.app_cycles > 0) {
+      conn.chain = cpu_->run(p_.app_cycles, sim::CpuCat::App, conn.chain,
+                             [this, c, f = std::move(frame)]() mutable {
+                               handle(c, std::move(f));
+                             });
+      frame = {};
+    } else {
+      handle(c, std::move(frame));
+      frame = {};
+    }
+  }
+}
+
+void KvServer::handle(ConnId c, std::vector<std::uint8_t> req) {
+  auto it = conns_.find(c);
+  if (it == conns_.end()) return;
+  if (req.size() < 7) return;  // malformed
+
+  const std::uint8_t op = req[0];
+  const std::uint16_t keylen =
+      static_cast<std::uint16_t>(req[1] | (req[2] << 8));
+  const std::uint32_t vallen = static_cast<std::uint32_t>(
+      req[3] | (req[4] << 8) | (req[5] << 16) |
+      (static_cast<std::uint32_t>(req[6]) << 24));
+  if (req.size() < 7u + keylen + (op == 1 ? vallen : 0)) return;
+
+  std::string key(reinterpret_cast<const char*>(req.data() + 7), keylen);
+
+  std::vector<std::uint8_t> resp;
+  if (op == 1) {  // SET
+    ++sets_;
+    store_.set(key, std::vector<std::uint8_t>(
+                        req.begin() + 7 + keylen,
+                        req.begin() + 7 + keylen + vallen));
+    resp.reserve(4 + 5);
+    put_u32(resp, 5);
+    resp.push_back(0);  // OK
+    put_u32(resp, 0);
+  } else {  // GET
+    ++gets_;
+    const auto* val = store_.get(key);
+    if (val == nullptr) {
+      ++misses_;
+      put_u32(resp, 5);
+      resp.push_back(1);  // MISS
+      put_u32(resp, 0);
+    } else {
+      put_u32(resp, static_cast<std::uint32_t>(5 + val->size()));
+      resp.push_back(0);
+      put_u32(resp, static_cast<std::uint32_t>(val->size()));
+      resp.insert(resp.end(), val->begin(), val->end());
+    }
+  }
+  it->second.out.push_back(std::move(resp));
+  flush(c);
+}
+
+void KvServer::flush(ConnId c) {
+  auto it = conns_.find(c);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (!conn.out.empty()) {
+    auto& front = conn.out.front();
+    const std::size_t n = stack_.send(
+        c, std::span(front.data() + conn.out_off,
+                     front.size() - conn.out_off));
+    conn.out_off += n;
+    if (conn.out_off < front.size()) return;
+    conn.out.pop_front();
+    conn.out_off = 0;
+  }
+}
+
+// ------------------------------------------------------------ KvClient
+
+KvClient::KvClient(sim::EventQueue& ev, tcp::StackIface& stack,
+                   net::Ipv4Addr server_ip, Params p)
+    : ev_(ev), stack_(stack), server_ip_(server_ip), p_(p), rng_(p.seed) {
+  conns_.resize(p_.connections);
+}
+
+std::vector<std::uint8_t> KvClient::make_request() {
+  const bool is_get = rng_.next_double() < p_.get_ratio;
+  char keybuf[64];
+  const auto keyn = static_cast<std::uint32_t>(
+      rng_.next_below(p_.key_space));
+  std::snprintf(keybuf, sizeof keybuf, "key-%010u", keyn);
+  std::string key(keybuf);
+  key.resize(p_.key_size, 'k');
+
+  std::vector<std::uint8_t> req;
+  const std::uint32_t vallen = is_get ? 0 : p_.value_size;
+  const auto payload_len =
+      static_cast<std::uint32_t>(7 + key.size() + vallen);
+  req.reserve(4 + payload_len);
+  put_u32(req, payload_len);
+  req.push_back(is_get ? 0 : 1);
+  put_u16(req, static_cast<std::uint16_t>(key.size()));
+  put_u32(req, vallen);
+  req.insert(req.end(), key.begin(), key.end());
+  for (std::uint32_t i = 0; i < vallen; ++i) {
+    req.push_back(static_cast<std::uint8_t>('v' + (i & 7)));
+  }
+  return req;
+}
+
+void KvClient::start() {
+  tcp::StackCallbacks cbs;
+  cbs.on_connected = [this](ConnId c, bool ok) {
+    auto it = by_id_.find(c);
+    if (it == by_id_.end()) return;
+    conns_[it->second].up = ok;
+    if (!ok) return;
+    for (unsigned i = 0; i < p_.pipeline; ++i) issue(it->second);
+  };
+  cbs.on_data = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) on_data(it->second);
+  };
+  cbs.on_sendable = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) flush(it->second);
+  };
+  stack_.set_callbacks(std::move(cbs));
+
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    ev_.schedule_in(sim::us(3) * i, [this, i] {
+      conns_[i].id = stack_.connect(server_ip_, p_.port);
+      by_id_[conns_[i].id] = i;
+    });
+  }
+}
+
+void KvClient::issue(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  const auto req = make_request();
+  conn.pending_tx.insert(conn.pending_tx.end(), req.begin(), req.end());
+  conn.sent_at.push_back(ev_.now());
+  flush(idx);
+}
+
+void KvClient::flush(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  if (!conn.up || conn.pending_tx.empty()) return;
+  const std::size_t n = stack_.send(
+      conn.id, std::span(conn.pending_tx.data() + conn.pending_off,
+                         conn.pending_tx.size() - conn.pending_off));
+  conn.pending_off += n;
+  if (conn.pending_off == conn.pending_tx.size()) {
+    conn.pending_tx.clear();
+    conn.pending_off = 0;
+  }
+}
+
+void KvClient::on_data(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  std::uint8_t buf[16 * 1024];
+  std::size_t n;
+  while ((n = stack_.recv(conn.id, buf)) > 0) {
+    conn.reader.feed(std::span(buf, n));
+  }
+  std::uint32_t len = 0;
+  while (conn.reader.skip_frame(len)) {
+    ++completed_;
+    if (!conn.sent_at.empty()) {
+      latency_.add(sim::to_us(ev_.now() - conn.sent_at.front()));
+      conn.sent_at.pop_front();
+    }
+    issue(idx);
+  }
+}
+
+}  // namespace flextoe::app

@@ -1,0 +1,130 @@
+// Memcached-like key-value store and a memtier_benchmark-like load
+// generator (paper §2.1/§5.1): closed-loop GET/SET transactions over
+// persistent connections, configurable key/value sizes and ratio.
+//
+// Wire format (inside length-prefixed frames, see framer.hpp):
+//   request:  [u8 op (0=GET,1=SET)] [u16 keylen] [u32 vallen] [key] [val]
+//   response: [u8 status (0=OK,1=MISS)] [u32 vallen] [val]
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "app/framer.hpp"
+#include "sim/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "tcp/stack_iface.hpp"
+
+namespace flextoe::app {
+
+// The store itself: a flat hash table, as memcached would be.
+class KvStore {
+ public:
+  void set(const std::string& key, std::vector<std::uint8_t> value) {
+    map_[key] = std::move(value);
+  }
+  const std::vector<std::uint8_t>* get(const std::string& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::uint8_t>> map_;
+};
+
+class KvServer {
+ public:
+  struct Params {
+    std::uint16_t port = 11211;
+    // Application cycles per request (hash + item handling), charged on
+    // the host CPU pool — Table 1's "Application" row.
+    std::uint32_t app_cycles = 890;
+  };
+
+  KvServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+           sim::CpuPool* cpu = nullptr);
+
+  std::uint64_t gets() const { return gets_; }
+  std::uint64_t sets() const { return sets_; }
+  std::uint64_t misses() const { return misses_; }
+  const KvStore& store() const { return store_; }
+
+ private:
+  struct Conn {
+    FrameReader reader;
+    std::deque<std::vector<std::uint8_t>> out;
+    std::size_t out_off = 0;
+    sim::TimePs chain = 0;
+  };
+
+  void on_data(tcp::ConnId c);
+  void handle(tcp::ConnId c, std::vector<std::uint8_t> req);
+  void flush(tcp::ConnId c);
+
+  sim::EventQueue& ev_;
+  tcp::StackIface& stack_;
+  Params p_;
+  sim::CpuPool* cpu_;
+  KvStore store_;
+  std::unordered_map<tcp::ConnId, Conn> conns_;
+  std::uint64_t gets_ = 0, sets_ = 0, misses_ = 0;
+};
+
+// memtier-like closed-loop client pool.
+class KvClient {
+ public:
+  struct Params {
+    unsigned connections = 8;
+    unsigned pipeline = 1;
+    std::uint32_t key_size = 32;
+    std::uint32_t value_size = 32;
+    std::uint32_t key_space = 10'000;
+    double get_ratio = 0.9;  // memtier default-ish mix
+    std::uint16_t port = 11211;
+    std::uint64_t seed = 42;
+  };
+
+  KvClient(sim::EventQueue& ev, tcp::StackIface& stack,
+           net::Ipv4Addr server_ip, Params p);
+
+  void start();
+  std::uint64_t completed() const { return completed_; }
+  sim::Percentiles& latency() { return latency_; }
+  void clear_stats() {
+    completed_ = 0;
+    latency_.clear();
+  }
+
+ private:
+  struct Conn {
+    tcp::ConnId id = tcp::kInvalidConn;
+    FrameReader reader;
+    std::deque<sim::TimePs> sent_at;
+    std::vector<std::uint8_t> pending_tx;
+    std::size_t pending_off = 0;
+    bool up = false;
+  };
+
+  std::vector<std::uint8_t> make_request();
+  void issue(std::size_t idx);
+  void flush(std::size_t idx);
+  void on_data(std::size_t idx);
+
+  sim::EventQueue& ev_;
+  tcp::StackIface& stack_;
+  net::Ipv4Addr server_ip_;
+  Params p_;
+  sim::Rng rng_;
+  std::vector<Conn> conns_;
+  std::unordered_map<tcp::ConnId, std::size_t> by_id_;
+  std::uint64_t completed_ = 0;
+  sim::Percentiles latency_{1 << 18};
+};
+
+}  // namespace flextoe::app

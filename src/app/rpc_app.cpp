@@ -1,0 +1,266 @@
+#include "app/rpc_app.hpp"
+
+#include <algorithm>
+
+namespace flextoe::app {
+
+using tcp::ConnId;
+
+// ---------------------------------------------------------- EchoServer
+
+EchoServer::EchoServer(sim::EventQueue& ev, tcp::StackIface& stack,
+                       Params p, sim::CpuPool* cpu)
+    : ev_(ev), stack_(stack), p_(p), cpu_(cpu) {
+  tcp::StackCallbacks cbs;
+  cbs.on_accept = [this](ConnId c) { conns_[c]; };
+  cbs.on_data = [this](ConnId c) { on_data(c); };
+  cbs.on_sendable = [this](ConnId c) { flush(c); };
+  cbs.on_close = [this](ConnId c) {
+    if (p_.close_on_peer_close) stack_.close(c);
+    conns_.erase(c);
+  };
+  stack_.set_callbacks(std::move(cbs));
+  stack_.listen(p_.port);
+}
+
+void EchoServer::on_data(ConnId c) {
+  Conn& conn = conns_[c];
+  std::uint8_t buf[16 * 1024];
+  std::size_t n;
+  while ((n = stack_.recv(c, buf)) > 0) {
+    bytes_rx_ += n;
+    conn.reader.feed(std::span(buf, n));
+  }
+  if (p_.response_size == 0) {
+    // Echo mode: responses carry the request payload back.
+    std::vector<std::uint8_t> frame;
+    while (conn.reader.next(frame)) {
+      ++requests_;
+      respond(c, static_cast<std::uint32_t>(frame.size()));
+    }
+  } else {
+    std::uint32_t len = 0;
+    while (conn.reader.skip_frame(len)) {
+      ++requests_;
+      respond(c, len);
+    }
+  }
+}
+
+void EchoServer::respond(ConnId c, std::uint32_t request_len) {
+  const std::uint32_t resp =
+      p_.response_size == 0 ? request_len : p_.response_size;
+  auto do_send = [this, c, resp] {
+    auto it = conns_.find(c);
+    if (it == conns_.end()) return;
+    it->second.out.push_back(make_frame(resp));
+    flush(c);
+  };
+  if (cpu_ != nullptr && p_.app_cycles > 0) {
+    Conn& conn = conns_[c];
+    conn.chain =
+        cpu_->run(p_.app_cycles, sim::CpuCat::App, conn.chain, do_send);
+  } else {
+    do_send();
+  }
+}
+
+void EchoServer::flush(ConnId c) {
+  auto it = conns_.find(c);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (!conn.out.empty()) {
+    auto& front = conn.out.front();
+    const std::size_t n = stack_.send(
+        c, std::span(front.data() + conn.out_off,
+                     front.size() - conn.out_off));
+    conn.out_off += n;
+    if (conn.out_off < front.size()) return;  // tx buffer full
+    conn.out.pop_front();
+    conn.out_off = 0;
+  }
+}
+
+// ------------------------------------------------------ ProducerServer
+
+ProducerServer::ProducerServer(sim::EventQueue& ev, tcp::StackIface& stack,
+                               Params p, sim::CpuPool* cpu)
+    : ev_(ev), stack_(stack), p_(p), cpu_(cpu) {
+  tcp::StackCallbacks cbs;
+  cbs.on_accept = [this](ConnId c) {
+    conns_[c].frame = make_frame(p_.frame_size);
+    pump(c);
+  };
+  cbs.on_data = [this](ConnId c) {  // drain the kick request
+    std::uint8_t buf[4096];
+    while (stack_.recv(c, buf) > 0) {
+    }
+    pump(c);
+  };
+  cbs.on_sendable = [this](ConnId c) { pump(c); };
+  cbs.on_close = [this](ConnId c) {
+    stack_.close(c);
+    conns_.erase(c);
+  };
+  stack_.set_callbacks(std::move(cbs));
+  stack_.listen(p_.port);
+}
+
+void ProducerServer::pump(ConnId c) {
+  auto it = conns_.find(c);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (true) {
+    const std::size_t n =
+        stack_.send(c, std::span(conn.frame.data() + conn.off,
+                                 conn.frame.size() - conn.off));
+    conn.off += n;
+    if (conn.off < conn.frame.size()) return;  // blocked
+    conn.off = 0;
+    ++frames_;
+    if (cpu_ != nullptr && p_.app_cycles > 0) {
+      conn.chain = cpu_->run(p_.app_cycles, sim::CpuCat::App, conn.chain,
+                             nullptr);
+    }
+  }
+}
+
+// --------------------------------------------------- ClosedLoopClient
+
+ClosedLoopClient::ClosedLoopClient(sim::EventQueue& ev,
+                                   tcp::StackIface& stack,
+                                   net::Ipv4Addr server_ip, Params p)
+    : ev_(ev), stack_(stack), server_ip_(server_ip), p_(p) {
+  conns_.resize(p_.connections);
+}
+
+void ClosedLoopClient::start() {
+  tcp::StackCallbacks cbs;
+  cbs.on_connected = [this](ConnId c, bool ok) {
+    auto it = by_id_.find(c);
+    if (it == by_id_.end()) return;
+    Conn& conn = conns_[it->second];
+    conn.up = ok;
+    if (!ok) return;
+    ++connected_;
+    for (unsigned i = 0; i < p_.pipeline; ++i) issue(it->second);
+  };
+  cbs.on_data = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) on_data(it->second);
+  };
+  cbs.on_sendable = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) flush(it->second);
+  };
+  cbs.on_close = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) conns_[it->second].up = false;
+  };
+  stack_.set_callbacks(std::move(cbs));
+
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    ev_.schedule_in(p_.connect_stagger * i, [this, i] {
+      conns_[i].id = stack_.connect(server_ip_, p_.port);
+      by_id_[conns_[i].id] = i;
+    });
+  }
+}
+
+void ClosedLoopClient::issue(std::size_t idx) {
+  if (stopped_) return;
+  Conn& conn = conns_[idx];
+  const auto frame = make_frame(p_.request_size);
+  conn.pending_tx.insert(conn.pending_tx.end(), frame.begin(), frame.end());
+  conn.sent_at.push_back(ev_.now());
+  flush(idx);
+}
+
+void ClosedLoopClient::flush(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  if (!conn.up || conn.pending_tx.empty()) return;
+  const std::size_t n = stack_.send(
+      conn.id, std::span(conn.pending_tx.data() + conn.pending_off,
+                         conn.pending_tx.size() - conn.pending_off));
+  conn.pending_off += n;
+  if (conn.pending_off == conn.pending_tx.size()) {
+    conn.pending_tx.clear();
+    conn.pending_off = 0;
+  }
+}
+
+void ClosedLoopClient::on_data(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  std::uint8_t buf[16 * 1024];
+  std::size_t n;
+  while ((n = stack_.recv(conn.id, buf)) > 0) {
+    bytes_rx_ += n;
+    conn.reader.feed(std::span(buf, n));
+  }
+  std::uint32_t len = 0;
+  while (conn.reader.skip_frame(len)) {
+    ++completed_;
+    ++conn.completed;
+    if (!conn.sent_at.empty()) {
+      latency_.add(sim::to_us(ev_.now() - conn.sent_at.front()));
+      conn.sent_at.pop_front();
+    }
+    issue(idx);  // closed loop: next request
+  }
+}
+
+std::vector<double> ClosedLoopClient::per_conn_completed() const {
+  std::vector<double> v;
+  v.reserve(conns_.size());
+  for (const auto& c : conns_) v.push_back(static_cast<double>(c.completed));
+  return v;
+}
+
+void ClosedLoopClient::clear_stats() {
+  completed_ = 0;
+  bytes_rx_ = 0;
+  latency_.clear();
+  for (auto& c : conns_) c.completed = 0;
+}
+
+// -------------------------------------------------------- DrainClient
+
+DrainClient::DrainClient(sim::EventQueue& ev, tcp::StackIface& stack,
+                         net::Ipv4Addr server_ip, Params p)
+    : ev_(ev), stack_(stack), server_ip_(server_ip), p_(p) {
+  per_conn_.resize(p_.connections, 0);
+}
+
+void DrainClient::start() {
+  tcp::StackCallbacks cbs;
+  cbs.on_connected = [this](ConnId c, bool ok) {
+    if (!ok) return;
+    // Kick the producer.
+    const auto kick = make_frame(p_.kick_size);
+    stack_.send(c, kick);
+  };
+  cbs.on_data = [this](ConnId c) {
+    std::uint8_t buf[16 * 1024];
+    std::size_t n;
+    while ((n = stack_.recv(c, buf)) > 0) {
+      bytes_rx_ += n;
+      auto it = by_id_.find(c);
+      if (it != by_id_.end()) per_conn_[it->second] += n;
+    }
+  };
+  stack_.set_callbacks(std::move(cbs));
+
+  for (std::size_t i = 0; i < p_.connections; ++i) {
+    ev_.schedule_in(sim::us(5) * i, [this, i] {
+      const ConnId c = stack_.connect(server_ip_, p_.port);
+      by_id_[c] = i;
+    });
+  }
+}
+
+void DrainClient::clear_stats() {
+  bytes_rx_ = 0;
+  std::fill(per_conn_.begin(), per_conn_.end(), 0);
+}
+
+}  // namespace flextoe::app

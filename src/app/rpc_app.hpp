@@ -1,0 +1,176 @@
+// RPC applications used throughout the evaluation (paper §5.2):
+//  - EchoServer: replies to each request frame (echo or fixed-size
+//    response), charging configurable per-request application cycles.
+//  - ProducerServer: streams frames to every accepted connection (TX
+//    throughput tests).
+//  - ClosedLoopClient: N connections × P pipelined requests, measures
+//    per-request latency and throughput.
+//  - DrainClient: consumes a server's stream (TX tests).
+// All are written against tcp::StackIface, so the same application code
+// runs over FlexTOE/libTOE and every baseline stack.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "app/framer.hpp"
+#include "sim/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "tcp/stack_iface.hpp"
+
+namespace flextoe::app {
+
+class EchoServer {
+ public:
+  struct Params {
+    std::uint16_t port = 7;
+    std::uint32_t app_cycles = 0;     // artificial per-RPC app processing
+    std::uint32_t response_size = 0;  // 0: echo the request payload
+    bool close_on_peer_close = true;
+  };
+
+  EchoServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+             sim::CpuPool* cpu = nullptr);
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t bytes_rx() const { return bytes_rx_; }
+
+ private:
+  struct Conn {
+    FrameReader reader;
+    std::deque<std::vector<std::uint8_t>> out;
+    std::size_t out_off = 0;
+    sim::TimePs chain = 0;  // per-conn app-work serialization
+  };
+
+  void on_data(tcp::ConnId c);
+  void respond(tcp::ConnId c, std::uint32_t request_len);
+  void flush(tcp::ConnId c);
+
+  sim::EventQueue& ev_;
+  tcp::StackIface& stack_;
+  Params p_;
+  sim::CpuPool* cpu_;
+  std::unordered_map<tcp::ConnId, Conn> conns_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_rx_ = 0;
+};
+
+class ProducerServer {
+ public:
+  struct Params {
+    std::uint16_t port = 7;
+    std::uint32_t frame_size = 2048;  // payload bytes per frame
+    std::uint32_t app_cycles = 0;     // per produced frame
+  };
+
+  ProducerServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+                 sim::CpuPool* cpu = nullptr);
+
+  std::uint64_t frames_sent() const { return frames_; }
+
+ private:
+  struct Conn {
+    std::vector<std::uint8_t> frame;
+    std::size_t off = 0;
+    sim::TimePs chain = 0;
+  };
+  void pump(tcp::ConnId c);
+
+  sim::EventQueue& ev_;
+  tcp::StackIface& stack_;
+  Params p_;
+  sim::CpuPool* cpu_;
+  std::unordered_map<tcp::ConnId, Conn> conns_;
+  std::uint64_t frames_ = 0;
+};
+
+class ClosedLoopClient {
+ public:
+  struct Params {
+    unsigned connections = 1;
+    unsigned pipeline = 1;            // outstanding requests per conn
+    std::uint32_t request_size = 64;  // frame payload bytes
+    std::uint32_t response_size = 0;  // 0: echo (response == request)
+    std::uint16_t port = 7;
+    sim::TimePs connect_stagger = sim::us(5);
+  };
+
+  ClosedLoopClient(sim::EventQueue& ev, tcp::StackIface& stack,
+                   net::Ipv4Addr server_ip, Params p);
+
+  void start();
+  // Stops issuing new requests (outstanding ones may still complete).
+  void stop() { stopped_ = true; }
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t bytes_rx() const { return bytes_rx_; }
+  unsigned connected() const { return connected_; }
+  sim::Percentiles& latency() { return latency_; }
+  // Per-connection completion counts (fairness analysis).
+  std::vector<double> per_conn_completed() const;
+  void clear_stats();
+
+ private:
+  struct Conn {
+    tcp::ConnId id = tcp::kInvalidConn;
+    FrameReader reader;
+    std::deque<sim::TimePs> sent_at;
+    std::vector<std::uint8_t> pending_tx;
+    std::size_t pending_off = 0;
+    std::uint64_t completed = 0;
+    bool up = false;
+  };
+
+  void issue(std::size_t idx);
+  void flush(std::size_t idx);
+  void on_data(std::size_t idx);
+  std::uint32_t expected_response() const {
+    return p_.response_size == 0 ? p_.request_size : p_.response_size;
+  }
+
+  sim::EventQueue& ev_;
+  tcp::StackIface& stack_;
+  net::Ipv4Addr server_ip_;
+  Params p_;
+  std::vector<Conn> conns_;
+  std::unordered_map<tcp::ConnId, std::size_t> by_id_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t bytes_rx_ = 0;
+  unsigned connected_ = 0;
+  bool stopped_ = false;
+  sim::Percentiles latency_{1 << 18};
+};
+
+class DrainClient {
+ public:
+  struct Params {
+    unsigned connections = 1;
+    std::uint16_t port = 7;
+    std::uint32_t kick_size = 1;  // first request to start the producer
+  };
+
+  DrainClient(sim::EventQueue& ev, tcp::StackIface& stack,
+              net::Ipv4Addr server_ip, Params p);
+
+  void start();
+  std::uint64_t bytes_rx() const { return bytes_rx_; }
+  std::vector<double> per_conn_bytes() const {
+    return std::vector<double>(per_conn_.begin(), per_conn_.end());
+  }
+  void clear_stats();
+
+ private:
+  sim::EventQueue& ev_;
+  tcp::StackIface& stack_;
+  net::Ipv4Addr server_ip_;
+  Params p_;
+  std::unordered_map<tcp::ConnId, std::size_t> by_id_;
+  std::vector<std::uint64_t> per_conn_;
+  std::uint64_t bytes_rx_ = 0;
+};
+
+}  // namespace flextoe::app

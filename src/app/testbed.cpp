@@ -1,0 +1,77 @@
+#include "app/testbed.hpp"
+
+namespace flextoe::app {
+
+Testbed::Node& Testbed::finish_node(std::unique_ptr<Node> n,
+                                    double nic_gbps) {
+  const int port = next_port_++;
+  n->uplink = std::make_unique<net::Link>(
+      ev_, rng_.fork(), net::LinkParams{nic_gbps, sim::ns(500), 0.0});
+  n->uplink->set_sink(sw_.ingress_sink(port));
+  // Egress serialization toward this node happens at its NIC's rate.
+  sw_.port_params(port).gbps = nic_gbps;
+
+  if (n->toe) {
+    n->toe->set_mac_tx(n->uplink.get());
+    sw_.attach(port, &n->toe->mac_rx());
+  } else {
+    n->sw->set_tx_sink(n->uplink.get());
+    sw_.attach(port, n->sw.get());
+  }
+  nodes_.push_back(std::move(n));
+  return *nodes_.back();
+}
+
+Testbed::Node& Testbed::add_flextoe_node(NodeParams np,
+                                         host::FlexToeNicConfig cfg) {
+  auto n = std::make_unique<Node>();
+  n->ip = next_ip();
+  n->kind = "FlexTOE";
+  n->cpu = std::make_unique<sim::CpuPool>(ev_, np.cores, np.cpu_clock);
+  cfg.datapath.mac_gbps = np.nic_gbps;
+  cfg.libtoe.sockbuf_bytes = np.sockbuf_bytes;
+  cfg.control.sockbuf_bytes = np.sockbuf_bytes;
+  n->toe = std::make_unique<host::FlexToeNic>(ev_, rng_.fork(),
+                                              mac_for(n->ip), n->ip, cfg,
+                                              n->cpu.get());
+  n->stack = &n->toe->stack();
+  return finish_node(std::move(n), np.nic_gbps);
+}
+
+Testbed::Node& Testbed::add_sw_node(NodeParams np,
+                                    const baseline::Personality& pers,
+                                    baseline::SwTcpConfig overrides) {
+  auto n = std::make_unique<Node>();
+  n->ip = next_ip();
+  n->kind = pers.name;
+  n->cpu = std::make_unique<sim::CpuPool>(ev_, np.cores, np.cpu_clock);
+  n->cpu->set_serial_fraction(pers.serial_fraction);
+
+  baseline::SwTcpConfig cfg = overrides;
+  cfg.mac = mac_for(n->ip);
+  cfg.ip = n->ip;
+  cfg.sockbuf_bytes = np.sockbuf_bytes;
+  cfg.ooo = pers.ooo;
+  cfg.go_back_n = pers.go_back_n;
+  cfg.costs = pers.costs;
+  n->sw = std::make_unique<baseline::SwTcpStack>(ev_, rng_.fork(), cfg);
+  n->sw->set_cpu(n->cpu.get());
+  n->stack = n->sw.get();
+  return finish_node(std::move(n), np.nic_gbps);
+}
+
+Testbed::Node& Testbed::add_client_node(double nic_gbps,
+                                        std::size_t sockbuf_bytes) {
+  auto n = std::make_unique<Node>();
+  n->ip = next_ip();
+  n->kind = "client";
+  baseline::SwTcpConfig cfg;
+  cfg.mac = mac_for(n->ip);
+  cfg.ip = n->ip;
+  cfg.sockbuf_bytes = sockbuf_bytes;
+  n->sw = std::make_unique<baseline::SwTcpStack>(ev_, rng_.fork(), cfg);
+  n->stack = n->sw.get();
+  return finish_node(std::move(n), nic_gbps);
+}
+
+}  // namespace flextoe::app

@@ -1,0 +1,86 @@
+// Testbed assembly (paper §5 "Testbed cluster"): machines with host CPU
+// pools and either a FlexTOE SmartNIC or a software stack (Linux / TAS /
+// Chelsio personality), connected through a switch. MACs are derived
+// from IPs (static ARP); the switch learns locations dynamically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/personality.hpp"
+#include "baseline/sw_tcp.hpp"
+#include "host/flextoe_nic.hpp"
+#include "net/switch.hpp"
+#include "sim/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace flextoe::app {
+
+struct NodeParams {
+  unsigned cores = 1;
+  double nic_gbps = 40.0;
+  sim::ClockDomain cpu_clock = sim::kHostClock;
+  double serial_fraction = 0.0;  // host-stack lock contention
+  // Per-socket buffer size; many-connection experiments shrink this to
+  // bound memory, as a tuned deployment would.
+  std::size_t sockbuf_bytes = 512 * 1024;
+};
+
+class Testbed {
+ public:
+  struct Node {
+    net::Ipv4Addr ip = 0;
+    std::unique_ptr<sim::CpuPool> cpu;
+    std::unique_ptr<net::Link> uplink;  // node NIC -> switch
+    std::unique_ptr<host::FlexToeNic> toe;
+    std::unique_ptr<baseline::SwTcpStack> sw;
+    tcp::StackIface* stack = nullptr;
+    std::string kind;
+
+    core::Datapath* datapath() { return toe ? &toe->datapath() : nullptr; }
+  };
+
+  explicit Testbed(std::uint64_t seed = 1, int max_ports = 16,
+                   net::SwitchPortParams port_defaults = {})
+      : rng_(seed), sw_(ev_, sim::Rng(seed ^ 0x5a5a), max_ports,
+                        port_defaults) {}
+
+  // Adds a machine with a FlexTOE SmartNIC.
+  Node& add_flextoe_node(NodeParams np, host::FlexToeNicConfig cfg = {});
+
+  // Adds a machine running a software stack personality.
+  Node& add_sw_node(NodeParams np, const baseline::Personality& pers,
+                    baseline::SwTcpConfig overrides = {});
+
+  // Adds an "ideal client" machine (zero-cost stack, many cores).
+  Node& add_client_node(double nic_gbps = 100.0,
+                        std::size_t sockbuf_bytes = 512 * 1024);
+
+  sim::EventQueue& ev() { return ev_; }
+  net::Switch& the_switch() { return sw_; }
+  Node& node(std::size_t i) { return *nodes_[i]; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  void run_for(sim::TimePs t) { ev_.run_until(ev_.now() + t); }
+
+  static net::MacAddr mac_for(net::Ipv4Addr ip) {
+    return net::MacAddr::from_u64(0x020000000000ull + ip);
+  }
+
+ private:
+  Node& finish_node(std::unique_ptr<Node> n, double nic_gbps);
+  net::Ipv4Addr next_ip() {
+    return net::make_ip(10, 0, 0, static_cast<std::uint8_t>(++last_host_));
+  }
+
+  sim::EventQueue ev_;
+  sim::Rng rng_;
+  net::Switch sw_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int last_host_ = 0;
+  int next_port_ = 0;
+};
+
+}  // namespace flextoe::app

@@ -1,0 +1,1073 @@
+#include "core/datapath.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flextoe::core {
+
+using tcp::ConnId;
+using tcp::SeqNum;
+using tcp::seq_diff;
+using tcp::seq_ge;
+using tcp::seq_gt;
+using tcp::seq_le;
+using tcp::seq_lt;
+namespace flag = net::tcpflag;
+
+namespace {
+
+std::uint32_t now_us_of(sim::EventQueue& ev) {
+  return static_cast<std::uint32_t>(ev.now() / sim::kPsPerUs);
+}
+
+}  // namespace
+
+Datapath::Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host)
+    : ev_(ev),
+      cfg_(cfg),
+      host_(std::move(host)),
+      dma_(ev, cfg.dma),
+      carousel_(ev) {
+  // Build flow-group islands.
+  const unsigned ngroups = std::max(1u, cfg_.flow_groups);
+  nfp::FpcParams fp;
+  fp.clock = cfg_.clock;
+  fp.threads = std::max(1u, cfg_.threads_per_fpc);
+  fp.queue_capacity = cfg_.fpc_queue_depth;
+
+  // Run-to-completion mode: every module shares one FPC, so all work —
+  // including PCIe waits — serializes on a single core (Table 3 baseline).
+  std::shared_ptr<nfp::Fpc> rtc_fpc;
+  if (!cfg_.pipelined) {
+    rtc_fpc = std::make_shared<nfp::Fpc>(ev_, fp, "rtc");
+  }
+
+  for (unsigned g = 0; g < ngroups; ++g) {
+    auto grp = std::make_unique<Group>();
+    grp->island_mem = std::make_unique<nfp::IslandMemory>(512);
+    auto make_fpcs = [&](std::vector<std::shared_ptr<nfp::Fpc>>& v,
+                         unsigned n, const char* tag) {
+      for (unsigned i = 0; i < n; ++i) {
+        if (rtc_fpc) {
+          v.push_back(rtc_fpc);
+          continue;
+        }
+        v.push_back(std::make_shared<nfp::Fpc>(
+            ev_, fp, tag + std::to_string(g) + "." + std::to_string(i)));
+      }
+    };
+    make_fpcs(grp->pre, std::max(1u, cfg_.pre_replicas), "pre");
+    make_fpcs(grp->proto, std::max(1u, cfg_.proto_fpcs_per_group), "proto");
+    make_fpcs(grp->post, std::max(1u, cfg_.post_replicas), "post");
+    for (std::size_t i = 0; i < grp->proto.size(); ++i) {
+      grp->proto_mem.push_back(std::make_unique<nfp::StateAccessModel>(
+          cfg_.mem, grp->island_mem.get(), &nic_mem_, 16));
+    }
+    for (std::size_t i = 0; i < grp->post.size(); ++i) {
+      grp->post_mem.push_back(std::make_unique<nfp::StateAccessModel>(
+          cfg_.mem, grp->island_mem.get(), &nic_mem_, 16));
+    }
+    for (std::size_t i = 0; i < grp->pre.size(); ++i) {
+      grp->pre_lookup_cache.push_back(
+          std::make_unique<nfp::DirectMappedCache>(128));
+    }
+    grp->proto_rob = std::make_unique<ReorderBuffer<SegCtxPtr>>(
+        [this](SegCtxPtr ctx) { stage_proto(ctx); });
+    grp->nbi_rob = std::make_unique<ReorderBuffer<SegCtxPtr>>(
+        [this](SegCtxPtr ctx) {
+          if (ctx->pkt) nbi_transmit(ctx->pkt);
+        });
+    groups_.push_back(std::move(grp));
+  }
+
+  // Service island: DMA managers + context-queue FPCs.
+  for (unsigned i = 0; i < std::max(1u, cfg_.dma_fpcs); ++i) {
+    dma_fpcs_.push_back(
+        rtc_fpc ? rtc_fpc
+                : std::make_shared<nfp::Fpc>(ev_, fp,
+                                             "dma." + std::to_string(i)));
+  }
+  for (unsigned i = 0; i < std::max(1u, cfg_.ctx_fpcs); ++i) {
+    ctx_fpcs_.push_back(
+        rtc_fpc ? rtc_fpc
+                : std::make_shared<nfp::Fpc>(ev_, fp,
+                                             "ctx." + std::to_string(i)));
+  }
+
+  carousel_.set_trigger([this](std::uint32_t conn) {
+    return tx_trigger(conn);
+  });
+
+  // The paper's 48 tracepoints (§5.1): transport events, inter-module
+  // queue occupancies, critical-section lengths.
+  static const char* kEvents[] = {"drop", "ooo", "retx", "fretx", "ack",
+                                  "rx", "tx", "hc", "notify", "dma",
+                                  "winupd", "fin"};
+  for (const char* e : kEvents) {
+    trace_.register_point(std::string("event/") + e);
+  }
+  for (const char* s : {"pre", "proto", "post", "dma", "ctx", "sch"}) {
+    trace_.register_point(std::string("queue/") + s);
+    trace_.register_point(std::string("crit/") + s);
+  }
+  for (const char* s : {"rx", "tx", "hc", "ack", "win", "pos"}) {
+    trace_.register_point(std::string("proto/") + s);
+    trace_.register_point(std::string("lat/") + s);
+    trace_.register_point(std::string("cnt/") + s);
+    trace_.register_point(std::string("err/") + s);
+  }
+  tp_rx_ = trace_.register_point("event/rx");
+  tp_tx_ = trace_.register_point("event/tx");
+  tp_ooo_ = trace_.register_point("event/ooo");
+  tp_drop_ = trace_.register_point("event/drop");
+  tp_fretx_ = trace_.register_point("event/fretx");
+  tp_ack_ = trace_.register_point("event/ack");
+}
+
+Datapath::~Datapath() { *alive_ = false; }
+
+unsigned Datapath::total_fpcs() const {
+  unsigned n = static_cast<unsigned>(dma_fpcs_.size() + ctx_fpcs_.size());
+  for (const auto& g : groups_) {
+    n += static_cast<unsigned>(g->pre.size() + g->proto.size() +
+                               g->post.size());
+  }
+  return n;
+}
+
+double Datapath::fpc_utilization() const {
+  sim::TimePs busy = 0;
+  for (const auto& g : groups_) {
+    for (const auto& f : g->pre) busy += f->busy_time();
+    for (const auto& f : g->proto) busy += f->busy_time();
+    for (const auto& f : g->post) busy += f->busy_time();
+  }
+  for (const auto& f : dma_fpcs_) busy += f->busy_time();
+  for (const auto& f : ctx_fpcs_) busy += f->busy_time();
+  const double elapsed = static_cast<double>(ev_.now()) * total_fpcs();
+  return elapsed > 0 ? static_cast<double>(busy) / elapsed : 0.0;
+}
+
+nfp::Fpc& Datapath::pick(std::vector<std::shared_ptr<nfp::Fpc>>& v,
+                         std::uint64_t key) {
+  return *v[key % v.size()];
+}
+
+// ------------------------------------------------------------- RTC gate
+
+// Run-to-completion token: when the last reference to the segment
+// context (and thus every callback in its chain) dies, the pipeline is
+// free to admit the next segment.
+std::shared_ptr<void> Datapath::make_rtc_token() {
+  if (cfg_.pipelined) return nullptr;
+  return std::shared_ptr<void>(nullptr,
+                               [this, alive = alive_](void*) {
+                                 if (*alive) rtc_done();
+                               });
+}
+
+bool Datapath::rtc_admit(std::function<void()> fn, bool droppable) {
+  if (cfg_.pipelined) {
+    fn();
+    return true;
+  }
+  if (rtc_busy_) {
+    if (droppable && rtc_pending_.size() >= cfg_.fpc_queue_depth) {
+      ++drops_;
+      trace_.hit(tp_drop_);
+      return false;  // no NIC-side buffering: shed the segment
+    }
+    rtc_pending_.push_back(std::move(fn));
+    return true;
+  }
+  rtc_busy_ = true;
+  fn();
+  return true;
+}
+
+void Datapath::rtc_done() {
+  rtc_busy_ = false;
+  if (!rtc_pending_.empty()) {
+    auto fn = std::move(rtc_pending_.front());
+    rtc_pending_.pop_front();
+    rtc_busy_ = true;
+    // Defer to avoid unbounded recursion through completion chains.
+    ev_.schedule_in(0, std::move(fn));
+  }
+}
+
+// --------------------------------------------------------- flow install
+
+ConnId Datapath::install_flow(const FlowInstall& ins) {
+  const ConnId conn =
+      ins.conn_id != tcp::kInvalidConn ? ins.conn_id : next_conn_++;
+  if (ins.conn_id != tcp::kInvalidConn && next_conn_ <= ins.conn_id) {
+    next_conn_ = ins.conn_id + 1;
+  }
+  if (flows_.size() <= conn) {
+    flows_.resize(conn + 1);
+    rx_bufs_.resize(conn + 1, nullptr);
+    tx_bufs_.resize(conn + 1, nullptr);
+    snd_max_.resize(conn + 1, 0);
+    high_rtx_.resize(conn + 1, 0);
+    pending_planned_.resize(conn + 1, 0);
+    cc_accum_.resize(conn + 1);
+  }
+  FlowState& fs = flows_[conn];
+  fs.valid = true;
+  fs.tuple = ins.tuple;
+  fs.pre.peer_mac = ins.peer_mac;
+  fs.pre.peer_ip = ins.tuple.remote_ip;
+  fs.pre.local_port = ins.tuple.local_port;
+  fs.pre.remote_port = ins.tuple.remote_port;
+  fs.pre.flow_group = static_cast<std::uint8_t>(
+      ins.tuple.flow_group(static_cast<std::uint32_t>(groups_.size())));
+  fs.proto = ProtoState{};
+  fs.proto.seq = ins.iss + 1;
+  fs.proto.ack = ins.irs + 1;
+  fs.proto.remote_win = ins.remote_win;
+  fs.proto.rx_avail =
+      static_cast<std::uint32_t>(ins.rx_buf ? ins.rx_buf->size() : 0);
+  fs.post = PostState{};
+  fs.post.context_id = ins.context_id;
+  fs.post.opaque = ins.opaque;
+  fs.post.rx_size =
+      static_cast<std::uint32_t>(ins.rx_buf ? ins.rx_buf->size() : 0);
+  fs.post.tx_size =
+      static_cast<std::uint32_t>(ins.tx_buf ? ins.tx_buf->size() : 0);
+  rx_bufs_[conn] = ins.rx_buf;
+  tx_bufs_[conn] = ins.tx_buf;
+  snd_max_[conn] = fs.proto.seq;
+  high_rtx_[conn] = fs.proto.seq;
+  conn_db_[ins.tuple] = conn;
+  if (local_mac_.to_u64() == 0) local_mac_ = ins.local_mac;
+  carousel_.set_rate(conn, 0);  // uncongested until the CC loop speaks
+  return conn;
+}
+
+void Datapath::remove_flow(ConnId conn) {
+  if (conn >= flows_.size() || !flows_[conn].valid) return;
+  conn_db_.erase(flows_[conn].tuple);
+  flows_[conn].valid = false;
+  carousel_.remove_flow(conn);
+}
+
+bool Datapath::flow_valid(ConnId conn) const {
+  return conn < flows_.size() && flows_[conn].valid;
+}
+
+const ProtoState* Datapath::proto_state(ConnId conn) const {
+  if (conn >= flows_.size() || !flows_[conn].valid) return nullptr;
+  return &flows_[conn].proto;
+}
+
+Datapath::CcSnapshot Datapath::read_cc_stats(ConnId conn, bool clear) {
+  CcSnapshot s;
+  if (conn >= flows_.size() || !flows_[conn].valid) return s;
+  CcAccum& a = cc_accum_[conn];
+  s.acked_bytes = a.acked;
+  s.ecn_bytes = a.ecn;
+  s.fast_retx = a.fretx;
+  s.rtt_us = flows_[conn].post.rtt_est;
+  s.tx_sent = flows_[conn].proto.tx_sent;
+  s.snd_una = flows_[conn].proto.seq - flows_[conn].proto.tx_sent;
+  if (clear) a = CcAccum{};
+  return s;
+}
+
+void Datapath::set_rate(ConnId conn, std::uint64_t bytes_per_sec) {
+  if (conn < flows_.size() && flows_[conn].valid) {
+    flows_[conn].post.rate = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(bytes_per_sec, 0xFFFFFFFF));
+  }
+  carousel_.set_rate(conn, bytes_per_sec);
+}
+
+host::CtxQueue& Datapath::hc_queue(std::uint16_t ctx_id) {
+  while (hc_queues_.size() <= ctx_id) {
+    hc_queues_.push_back(std::make_unique<host::CtxQueue>());
+  }
+  return *hc_queues_[ctx_id];
+}
+
+void Datapath::add_xdp_program(xdp::XdpProgramPtr prog) {
+  xdp_programs_.push_back(std::move(prog));
+}
+
+void Datapath::clear_xdp_programs() { xdp_programs_.clear(); }
+
+void Datapath::set_profiling(bool on) {
+  cfg_.profiling = on;
+  trace_.set_enabled(on);
+}
+
+// ------------------------------------------------------------- submit
+
+void Datapath::submit(nfp::Fpc& fpc, std::uint32_t compute,
+                      std::uint32_t mem, std::function<void()> fn,
+                      std::uint64_t skip_seq, std::uint8_t group,
+                      bool sequenced) {
+  nfp::Work w;
+  w.compute_cycles = compute + profile_overhead();
+  w.mem_cycles = mem;
+  w.done = std::move(fn);
+  if (!fpc.submit(std::move(w))) {
+    ++drops_;
+    trace_.hit(tp_drop_);
+    if (sequenced) groups_[group]->proto_rob->skip(skip_seq);
+  }
+}
+
+// --------------------------------------------------------------- MAC RX
+
+void Datapath::deliver(const net::PacketPtr& pkt) {
+  if (pkt->ip.proto != net::kProtoTcp) return;  // non-TCP -> kernel path
+  if (local_ip_ != 0 && pkt->ip.dst != local_ip_) return;  // not for us
+  ++rx_segments_;
+  trace_.hit(tp_rx_);
+
+  auto ctx = std::make_shared<SegCtx>();
+  ctx->kind = SegCtx::Kind::Rx;
+  ctx->pkt = pkt;
+
+  rtc_admit(
+      [this, ctx] {
+    ctx->rtc_token = make_rtc_token();
+    // Sequencer: compute the flow group (CRC on the 4-tuple, hardware
+    // accelerated) and assign the pipeline sequence number.
+    tcp::FlowTuple t{ctx->pkt->ip.dst, ctx->pkt->ip.src,
+                     ctx->pkt->tcp.dport, ctx->pkt->tcp.sport};
+    const std::uint8_t g = static_cast<std::uint8_t>(
+        t.flow_group(static_cast<std::uint32_t>(groups_.size())));
+    ctx->flow_group = g;
+    ctx->pipe_seq = groups_[g]->sequencer.assign();
+    Group& grp = *groups_[g];
+    nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
+    // XDP programs execute in the pre-processing stage; their per-packet
+    // instruction cost is charged to the hosting FPC (Table 2).
+    std::uint32_t xdp_cost = 0;
+    for (const auto& prog : xdp_programs_) {
+      xdp_cost += prog->cycles_per_packet();
+    }
+    // Flow lookup: IMEM lookup engine, front-cached per pre-processor.
+    const std::size_t pre_idx = (grp.rr_pre - 1) % grp.pre.size();
+    tcp::FlowTuple lt{ctx->pkt->ip.dst, ctx->pkt->ip.src,
+                      ctx->pkt->tcp.dport, ctx->pkt->tcp.sport};
+    std::uint32_t lookup_mem = cfg_.flat_mem_cycles;
+    if (cfg_.nfp_memory) {
+      lookup_mem = grp.pre_lookup_cache[pre_idx]->access(lt.hash())
+                       ? cfg_.mem.local
+                       : cfg_.mem.imem;
+    }
+    submit(fpc, cfg_.costs.seq + cfg_.costs.pre_rx + xdp_cost, lookup_mem,
+           [this, ctx] { stage_pre_rx(ctx); }, ctx->pipe_seq, g, true);
+      },
+      /*droppable=*/true);
+}
+
+void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
+  Group& grp = *groups_[ctx->flow_group];
+  net::Packet& pkt = *ctx->pkt;
+
+  // --- XDP ingress hooks (paper §3.3) ---
+  for (const auto& prog : xdp_programs_) {
+    xdp::XdpMd md{pkt, ev_.now()};
+    switch (prog->run(md)) {
+      case xdp::XdpAction::Pass:
+        continue;
+      case xdp::XdpAction::Drop:
+        ++drops_;
+        trace_.hit(tp_drop_);
+        grp.proto_rob->skip(ctx->pipe_seq);
+        return;
+      case xdp::XdpAction::Tx:
+        nbi_transmit(ctx->pkt);
+        grp.proto_rob->skip(ctx->pipe_seq);
+        return;
+      case xdp::XdpAction::Redirect:
+        ++to_control_count_;
+        host_.to_control(ctx->pkt);
+        grp.proto_rob->skip(ctx->pipe_seq);
+        return;
+    }
+  }
+
+  // --- Val: filter non-data-path segments to the control plane ---
+  if (!pkt.tcp.is_datapath_segment()) {
+    ++to_control_count_;
+    host_.to_control(ctx->pkt);
+    grp.proto_rob->skip(ctx->pipe_seq);
+    return;
+  }
+
+  // --- Id: active-connection DB lookup (IMEM lookup engine + cache) ---
+  tcp::FlowTuple t{pkt.ip.dst, pkt.ip.src, pkt.tcp.dport, pkt.tcp.sport};
+  auto it = conn_db_.find(t);
+  if (it == conn_db_.end() || !flows_[it->second].valid) {
+    // Not an established data-path flow (e.g. final handshake ACK).
+    ++to_control_count_;
+    host_.to_control(ctx->pkt);
+    grp.proto_rob->skip(ctx->pipe_seq);
+    return;
+  }
+  ctx->conn_idx = it->second;
+  ctx->conn_known = true;
+
+  // --- Sum: header summary for later stages ---
+  HeaderSummary& s = ctx->sum;
+  s.seq = pkt.tcp.seq;
+  s.ack = pkt.tcp.ack;
+  s.flags = pkt.tcp.flags;
+  s.window = static_cast<std::uint32_t>(pkt.tcp.window) << tcp::kWindowShift;
+  s.payload_len = pkt.payload_len();
+  if (pkt.tcp.ts) {
+    s.ts_val = pkt.tcp.ts->val;
+    s.ts_ecr = pkt.tcp.ts->ecr;
+  }
+  s.ecn_ce = pkt.ip.ecn == net::Ecn::Ce;
+
+  // --- Steer: in-order admission to the flow-group's protocol stage ---
+  grp.proto_rob->push(ctx->pipe_seq, ctx);
+}
+
+// ----------------------------------------------------------- TX trigger
+
+std::uint32_t Datapath::tx_trigger(std::uint32_t conn) {
+  if (conn >= flows_.size() || !flows_[conn].valid) return 0;
+  FlowState& fs = flows_[conn];
+  // Admission estimate (authoritative check happens in the protocol
+  // stage; the scheduler tracks appended-but-untriggered bytes itself).
+  const std::uint32_t outstanding =
+      fs.proto.tx_sent + pending_planned_[conn];
+  if (fs.proto.remote_win <= outstanding) return 0;  // window closed
+  const std::uint32_t room = fs.proto.remote_win - outstanding;
+  const std::uint32_t planned = std::min(cfg_.mss, room);
+
+  auto ctx = std::make_shared<SegCtx>();
+  ctx->kind = SegCtx::Kind::Tx;
+  ctx->conn_idx = conn;
+  ctx->conn_known = true;
+  ctx->flow_group = fs.pre.flow_group;
+  ctx->hc_len = planned;
+
+  Group& grp = *groups_[ctx->flow_group];
+  nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
+  if (fpc.queue_len() >= cfg_.fpc_queue_depth) return 0;  // back-pressure
+
+  pending_planned_[conn] += planned;
+  rtc_admit([this, ctx, &grp, &fpc] {
+    ctx->rtc_token = make_rtc_token();
+    ctx->pipe_seq = grp.sequencer.assign();
+    submit(fpc, cfg_.costs.seq + cfg_.costs.pre_tx, 0,
+           [this, ctx] { stage_pre_tx(ctx); }, ctx->pipe_seq,
+           ctx->flow_group, true);
+  });
+  return planned;
+}
+
+void Datapath::stage_pre_tx(const SegCtxPtr& ctx) {
+  // Alloc + Head happen here in the real pipeline; the packet itself is
+  // materialized in post-processing once the protocol stage has assigned
+  // the sequence number. Steer:
+  groups_[ctx->flow_group]->proto_rob->push(ctx->pipe_seq, ctx);
+}
+
+// ------------------------------------------------------------- HC path
+
+void Datapath::doorbell(std::uint16_t ctx_id) {
+  // MMIO doorbell -> context-queue FPC polls and fetches descriptors.
+  dma_.mmio([this, ctx_id] {
+    {
+      host::CtxQueue& q = hc_queue(ctx_id);
+      host::CtxDesc d;
+      while (q.pop(d)) {
+        auto ctx = std::make_shared<SegCtx>();
+        ctx->kind = SegCtx::Kind::Hc;
+        ctx->conn_idx = d.conn;
+        ctx->conn_known = true;
+        ctx->hc_len = d.a;
+        switch (d.type) {
+          case host::CtxDescType::TxDoorbell:
+            ctx->hc_op = HcOp::TxDoorbell;
+            break;
+          case host::CtxDescType::RxFreed:
+            ctx->hc_op = HcOp::RxFreed;
+            break;
+          case host::CtxDescType::Fin:
+            ctx->hc_op = HcOp::Fin;
+            break;
+          case host::CtxDescType::Retransmit:
+            ctx->hc_op = HcOp::Retransmit;
+            break;
+          default:
+            continue;
+        }
+        if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
+          continue;
+        }
+        ctx->flow_group = flows_[ctx->conn_idx].pre.flow_group;
+        rtc_admit([this, ctx] {
+          ctx->rtc_token = make_rtc_token();
+          // Fetch descriptor via DMA, then steer through the pipeline.
+          nfp::Fpc& cfpc = pick(ctx_fpcs_, rr_ctx_++);
+          submit(cfpc, cfg_.costs.ctx_op, 0,
+                 [this, ctx] {
+                   dma_.issue(32, [this, ctx] {
+                     Group& grp = *groups_[ctx->flow_group];
+                     ctx->pipe_seq = grp.sequencer.assign();
+                     nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
+                     submit(fpc, cfg_.costs.pre_hc, 0,
+                            [this, ctx] {
+                              groups_[ctx->flow_group]->proto_rob->push(
+                                  ctx->pipe_seq, ctx);
+                            },
+                            ctx->pipe_seq, ctx->flow_group, true);
+                   });
+                 },
+                 0, 0, false);
+        });
+      }
+    }
+  });
+}
+
+// Re-synchronizes the flow scheduler with the protocol stage's
+// authoritative view: untriggered bytes = appended-but-unsent minus
+// segments already in flight through the pipeline.
+void Datapath::sched_resync(ConnId conn, const ProtoState& p) {
+  const std::uint64_t pend = pending_planned_[conn];
+  const std::uint64_t untrig = p.tx_avail > pend ? p.tx_avail - pend : 0;
+  carousel_.update_avail(conn, untrig);
+}
+
+// --------------------------------------------------------- protocol stage
+
+std::uint32_t Datapath::state_mem_cycles(Group& g,
+                                         nfp::StateAccessModel& model,
+                                         std::uint32_t conn) {
+  (void)g;
+  if (!cfg_.nfp_memory) return cfg_.flat_mem_cycles;
+  // Protocol state is read-modify-write: fetch + write-back both pay the
+  // hierarchy (this is what strains the EMEM SRAM cache at high
+  // connection counts, Fig 13).
+  return 2 * model.access_cycles(conn);
+}
+
+void Datapath::stage_proto(const SegCtxPtr& ctx) {
+  if (!ctx->conn_known || ctx->conn_idx >= flows_.size() ||
+      !flows_[ctx->conn_idx].valid) {
+    return;
+  }
+  Group& grp = *groups_[ctx->flow_group];
+  // Connections are sharded across the group's protocol FPCs; atomicity
+  // per connection is preserved because a connection always maps to the
+  // same FPC (FIFO work queue).
+  const std::size_t shard = ctx->conn_idx % grp.proto.size();
+  nfp::Fpc& fpc = *grp.proto[shard];
+  nfp::StateAccessModel& mem = *grp.proto_mem[shard];
+
+  std::uint32_t compute = 0;
+  switch (ctx->kind) {
+    case SegCtx::Kind::Rx:
+      compute = cfg_.costs.proto_rx;
+      break;
+    case SegCtx::Kind::Tx:
+      compute = cfg_.costs.proto_tx;
+      break;
+    case SegCtx::Kind::Hc:
+      compute = cfg_.costs.proto_hc;
+      break;
+  }
+  const std::uint32_t memc = state_mem_cycles(grp, mem, ctx->conn_idx);
+
+  submit(fpc, compute, memc,
+         [this, ctx] {
+           if (ctx->conn_idx >= flows_.size() ||
+               !flows_[ctx->conn_idx].valid) {
+             return;
+           }
+           FlowState& fs = flows_[ctx->conn_idx];
+           switch (ctx->kind) {
+             case SegCtx::Kind::Rx:
+               proto_rx(fs, ctx);
+               break;
+             case SegCtx::Kind::Tx:
+               proto_tx(fs, ctx);
+               break;
+             case SegCtx::Kind::Hc:
+               proto_hc(fs, ctx);
+               break;
+           }
+         },
+         0, 0, false);
+}
+
+void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
+  ProtoState& p = fs.proto;
+  const HeaderSummary& s = ctx->sum;
+  ProtoSnapshot& snap = ctx->snap;
+  const ConnId conn = ctx->conn_idx;
+
+  p.remote_win = s.window;
+
+  // ---- ACK processing (Win) ----
+  if (s.flags & flag::kAck) {
+    const SeqNum snd_una = p.seq - p.tx_sent;
+    if (seq_gt(s.ack, snd_una) && seq_le(s.ack, snd_max_[conn])) {
+      const std::uint32_t acked = seq_diff(s.ack, snd_una);
+      const std::uint32_t from_sent =
+          std::min<std::uint32_t>(acked, p.tx_sent);
+      p.tx_sent -= from_sent;
+      const std::uint32_t leap = acked - from_sent;
+      if (leap > 0) {
+        // Receiver merged its OOO interval past our rewound position:
+        // those bytes are delivered; skip ahead.
+        p.seq += leap;
+        p.tx_pos += leap;
+        p.tx_avail -= std::min(p.tx_avail, leap);
+      }
+      p.dupack_cnt = 0;
+      snap.tx_freed = acked;
+      snap.window_opened = true;
+      // CC statistics (collected by post-processing, paper §3.1.3).
+      snap.ecn_bytes = (s.flags & flag::kEce) ? acked : 0;
+      if (s.ts_ecr != 0) {
+        const std::uint32_t now_us32 = now_us_of(ev_);
+        const std::uint32_t sample = now_us32 - s.ts_ecr;
+        if (sample < 10'000'000) {
+          snap.rtt_sample_us = sample == 0 ? 1 : sample;
+        }
+      }
+    } else if (s.ack == snd_una && p.tx_sent > 0 && s.payload_len == 0 &&
+               !(s.flags & flag::kFin)) {
+      // Duplicate ACK tracking; fast retransmit via go-back-N reset.
+      if (++p.dupack_cnt == 3 && seq_ge(snd_una, high_rtx_[conn])) {
+        p.dupack_cnt = 0;
+        high_rtx_[conn] = snd_max_[conn];
+        snap.fast_retransmit = true;
+        ++fast_retransmits_;
+        trace_.hit(tp_fretx_);
+        // Reset transmission state to the last ACKed position.
+        p.seq = snd_una;
+        p.tx_pos -= p.tx_sent;
+        p.tx_avail += p.tx_sent;
+        p.tx_sent = 0;
+      }
+    }
+  }
+
+  // ---- Payload reassembly (Win/Pos) ----
+  bool ack_needed = false;
+  if (s.payload_len > 0) {
+    const auto r = p.ooo.on_segment(p.ack, s.seq, s.payload_len, p.rx_avail);
+    if (r.buf_offset > 0) {
+      ++ooo_segments_;
+      trace_.hit(tp_ooo_);
+    }
+    if (r.accept && r.accept_len > 0) {
+      snap.accept_payload = true;
+      snap.payload_trim =
+          seq_lt(s.seq, p.ack) ? seq_diff(p.ack, s.seq) : 0;
+      snap.rx_write_pos = p.rx_pos + r.buf_offset;
+      snap.rx_write_len = r.accept_len;
+    }
+    if (r.advance > 0) {
+      p.ack += r.advance;
+      p.rx_pos += r.advance;
+      p.rx_avail -= std::min(p.rx_avail, r.advance);
+      snap.rx_advance = r.advance;
+      ctx->notify_host = true;
+    }
+    ack_needed = true;  // FlexTOE acknowledges every data segment (§5.2)
+  }
+
+  // ---- FIN ----
+  if (s.flags & flag::kFin) {
+    const SeqNum fin_seq = s.seq + s.payload_len;
+    if (fin_seq == p.ack && !p.peer_fin) {
+      p.ack += 1;
+      p.peer_fin = true;
+      snap.fin_consumed = true;
+    }
+    ack_needed = true;
+  }
+
+  if (ack_needed) {
+    snap.send_ack = true;
+    snap.ack_seq = p.ack;
+    snap.self_seq = p.seq;
+    snap.rx_window = p.rx_avail;
+    snap.echo_ecn = s.ecn_ce;  // precise per-segment DCTCP ECN echo
+    snap.ts_echo = s.ts_val;
+    p.next_ts = s.ts_val;
+    snap.egress_seq = groups_[ctx->flow_group]->egress_next++;
+  }
+
+  // ACKs can open the send window or re-expose bytes (go-back-N reset):
+  // re-sync the flow scheduler with the authoritative protocol view.
+  if (s.flags & flag::kAck) {
+    const std::uint32_t room =
+        p.remote_win > p.tx_sent ? p.remote_win - p.tx_sent : 0;
+    if (p.tx_avail > 0 && room > 0) sched_resync(conn, p);
+  }
+
+  // Forward snapshot to post-processing.
+  Group& grp = *groups_[ctx->flow_group];
+  const std::size_t pidx = grp.rr_post++ % grp.post.size();
+  submit(*grp.post[pidx], cfg_.costs.post_rx,
+         cfg_.nfp_memory ? grp.post_mem[pidx]->access_cycles(conn)
+                         : cfg_.flat_mem_cycles,
+         [this, ctx] { stage_post(ctx); }, 0, 0, false);
+}
+
+void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
+  ProtoState& p = fs.proto;
+  ProtoSnapshot& snap = ctx->snap;
+  const ConnId conn = ctx->conn_idx;
+  const std::uint32_t planned = ctx->hc_len;
+  pending_planned_[conn] -= std::min(pending_planned_[conn], planned);
+
+  // Authoritative admission: window and available data.
+  const std::uint32_t room =
+      p.remote_win > p.tx_sent ? p.remote_win - p.tx_sent : 0;
+  std::uint32_t len = std::min({planned, p.tx_avail, room});
+
+  if (len == 0 && !(p.fin_pending && !p.fin_sent && p.tx_avail == 0)) {
+    // Abort: window closed or no data. The flow parks in the scheduler;
+    // an ACK (window open) or doorbell (new data) re-syncs and unparks.
+    sched_resync(conn, p);
+    return;
+  }
+
+  snap.tx_valid = len > 0;
+  snap.tx_seq = p.seq;
+  snap.tx_read_pos = p.tx_pos;
+  snap.tx_len = len;
+  snap.ack_seq = p.ack;
+  snap.rx_window = p.rx_avail;
+  snap.ts_echo = p.next_ts;
+  p.seq += len;
+  p.tx_pos += len;
+  p.tx_avail -= len;
+  p.tx_sent += len;
+
+  // Piggyback / emit FIN once the transmit buffer is fully drained.
+  if (p.fin_pending && !p.fin_sent && p.tx_avail == 0) {
+    snap.tx_fin = true;
+    p.fin_seq = p.seq;
+    p.seq += 1;
+    p.tx_sent += 1;
+    p.fin_sent = true;
+  }
+  if (!snap.tx_valid && !snap.tx_fin) return;
+
+  snd_max_[conn] = seq_ge(p.seq, snd_max_[conn]) ? p.seq : snd_max_[conn];
+  if (planned != len) sched_resync(conn, p);
+  snap.egress_seq = groups_[ctx->flow_group]->egress_next++;
+  trace_.hit(tp_tx_);
+
+  Group& grp = *groups_[ctx->flow_group];
+  const std::size_t pidx = grp.rr_post++ % grp.post.size();
+  submit(*grp.post[pidx], cfg_.costs.post_tx,
+         cfg_.nfp_memory ? grp.post_mem[pidx]->access_cycles(conn)
+                         : cfg_.flat_mem_cycles,
+         [this, ctx] { stage_post(ctx); }, 0, 0, false);
+}
+
+void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
+  ProtoState& p = fs.proto;
+  ProtoSnapshot& snap = ctx->snap;
+  const ConnId conn = ctx->conn_idx;
+
+  switch (ctx->hc_op) {
+    case HcOp::TxDoorbell:
+      p.tx_avail += ctx->hc_len;
+      sched_resync(conn, p);
+      break;
+    case HcOp::RxFreed: {
+      const bool was_closed = p.rx_avail < cfg_.mss;
+      p.rx_avail += ctx->hc_len;
+      if (was_closed && p.rx_avail >= cfg_.mss) {
+        // Window-update ACK so the peer resumes.
+        snap.send_ack = true;
+        snap.ack_seq = p.ack;
+        snap.self_seq = p.seq;
+        snap.rx_window = p.rx_avail;
+        snap.ts_echo = p.next_ts;
+        snap.egress_seq = groups_[ctx->flow_group]->egress_next++;
+      }
+      break;
+    }
+    case HcOp::Fin:
+      p.fin_pending = true;
+      break;
+    case HcOp::Retransmit: {
+      // Control-plane timeout: go-back-N reset (paper §3.1.1).
+      const SeqNum snd_una = p.seq - p.tx_sent;
+      if (p.tx_sent > 0 || (p.fin_sent && seq_lt(snd_una, snd_max_[conn]))) {
+        p.seq = snd_una;
+        p.tx_pos -= p.tx_sent;
+        p.tx_avail += p.tx_sent;
+        p.tx_sent = 0;
+        if (p.fin_sent) {
+          p.fin_sent = false;  // FIN will be re-emitted after data
+        }
+        p.dupack_cnt = 0;
+        high_rtx_[conn] = snd_max_[conn];
+        sched_resync(conn, p);
+      }
+      break;
+    }
+  }
+
+  // FIN with an already-empty transmit buffer: emit it now.
+  const bool want_fin_now =
+      p.fin_pending && !p.fin_sent && p.tx_avail == 0;
+
+  Group& grp = *groups_[ctx->flow_group];
+  const std::size_t pidx = grp.rr_post++ % grp.post.size();
+  submit(*grp.post[pidx], cfg_.costs.post_hc,
+         cfg_.nfp_memory ? grp.post_mem[pidx]->access_cycles(conn)
+                         : cfg_.flat_mem_cycles,
+         [this, ctx] { stage_post(ctx); }, 0, 0, false);
+
+  if (want_fin_now) spawn_fin_segment(conn);
+}
+
+void Datapath::spawn_fin_segment(ConnId conn) {
+  auto ctx = std::make_shared<SegCtx>();
+  ctx->kind = SegCtx::Kind::Tx;
+  ctx->conn_idx = conn;
+  ctx->conn_known = true;
+  ctx->flow_group = flows_[conn].pre.flow_group;
+  ctx->hc_len = 0;  // pure FIN
+  Group& grp = *groups_[ctx->flow_group];
+  ctx->pipe_seq = grp.sequencer.assign();
+  submit(pick(grp.pre, grp.rr_pre++), cfg_.costs.pre_tx, 0,
+         [this, ctx] { stage_pre_tx(ctx); }, ctx->pipe_seq, ctx->flow_group,
+         true);
+}
+
+// ------------------------------------------------------------ post stage
+
+void Datapath::stage_post(const SegCtxPtr& ctx) {
+  if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) return;
+  FlowState& fs = flows_[ctx->conn_idx];
+  ProtoSnapshot& snap = ctx->snap;
+
+  // ---- Stats: CC counters (commutative, out-of-order safe) ----
+  CcAccum& acc = cc_accum_[ctx->conn_idx];
+  acc.acked += snap.tx_freed;
+  acc.ecn += snap.ecn_bytes;
+  if (snap.fast_retransmit) {
+    ++acc.fretx;
+    fs.post.cnt_fretx++;
+  }
+  fs.post.cnt_ackb += snap.tx_freed;
+  fs.post.cnt_ecnb += snap.ecn_bytes;
+  if (snap.rtt_sample_us > 0) {
+    // EWMA in integer arithmetic (FPCs lack floating point).
+    fs.post.rtt_est = fs.post.rtt_est == 0
+                          ? snap.rtt_sample_us
+                          : (7 * fs.post.rtt_est + snap.rtt_sample_us) / 8;
+  }
+
+  // ---- Ack preparation (+ ECN feedback, timestamps) ----
+  if (snap.send_ack) emit_ack_packet(ctx);
+
+  // ---- TX packet materialization ----
+  if (snap.tx_valid || snap.tx_fin) {
+    ctx->pkt = build_tx_packet(fs, snap);
+  }
+
+  // ---- Route onward ----
+  const bool needs_payload_dma =
+      (snap.accept_payload && snap.rx_write_len > 0) || snap.tx_valid;
+  if (needs_payload_dma || ctx->ack_pkt || (snap.tx_fin && ctx->pkt)) {
+    submit(pick(dma_fpcs_, rr_dma_++), cfg_.costs.dma_issue, 0,
+           [this, ctx] { stage_dma(ctx); }, 0, 0, false);
+  } else if (ctx->notify_host || snap.tx_freed > 0 || snap.fin_consumed) {
+    submit(pick(ctx_fpcs_, rr_ctx_++), cfg_.costs.ctx_op, 0,
+           [this, ctx] { stage_ctx_notify(ctx); }, 0, 0, false);
+  }
+}
+
+void Datapath::emit_ack_packet(const SegCtxPtr& ctx) {
+  FlowState& fs = flows_[ctx->conn_idx];
+  const ProtoSnapshot& snap = ctx->snap;
+  auto ack = std::make_shared<net::Packet>();
+  ack->eth.src = local_mac_;
+  ack->eth.dst = fs.pre.peer_mac;
+  ack->ip.src = fs.tuple.local_ip;
+  ack->ip.dst = fs.tuple.remote_ip;
+  ack->tcp.sport = fs.pre.local_port;
+  ack->tcp.dport = fs.pre.remote_port;
+  ack->tcp.seq = snap.self_seq;
+  ack->tcp.ack = snap.ack_seq;
+  ack->tcp.flags = static_cast<std::uint8_t>(
+      flag::kAck | (snap.echo_ecn ? flag::kEce : 0));
+  ack->tcp.window = static_cast<std::uint16_t>(std::min<std::uint32_t>(
+      snap.rx_window >> tcp::kWindowShift, 0xFFFF));
+  ack->tcp.ts = net::TcpTsOpt{now_us_of(ev_), snap.ts_echo};
+  ctx->ack_pkt = std::move(ack);
+}
+
+net::PacketPtr Datapath::build_tx_packet(const FlowState& fs,
+                                         const ProtoSnapshot& snap) {
+  auto pkt = std::make_shared<net::Packet>();
+  pkt->eth.src = local_mac_;
+  pkt->eth.dst = fs.pre.peer_mac;
+  pkt->ip.src = fs.tuple.local_ip;
+  pkt->ip.dst = fs.tuple.remote_ip;
+  pkt->ip.ecn = net::Ecn::Ect0;  // DCTCP ECT marking
+  pkt->tcp.sport = fs.pre.local_port;
+  pkt->tcp.dport = fs.pre.remote_port;
+  pkt->tcp.seq = snap.tx_seq;
+  pkt->tcp.ack = snap.ack_seq;
+  pkt->tcp.flags = static_cast<std::uint8_t>(
+      flag::kAck | (snap.tx_len > 0 ? flag::kPsh : 0) |
+      (snap.tx_fin ? flag::kFin : 0));
+  pkt->tcp.window = static_cast<std::uint16_t>(std::min<std::uint32_t>(
+      snap.rx_window >> tcp::kWindowShift, 0xFFFF));
+  pkt->tcp.ts = net::TcpTsOpt{now_us_of(ev_), snap.ts_echo};
+  return pkt;
+}
+
+// ------------------------------------------------------------- DMA stage
+
+void Datapath::stage_dma(const SegCtxPtr& ctx) {
+  const ProtoSnapshot& snap = ctx->snap;
+
+  if (ctx->kind == SegCtx::Kind::Rx) {
+    // RX: payload DMA to the host socket buffer, then (a) ACK to NBI and
+    // (b) notification to the context-queue stage. Ordering matters: the
+    // host and the peer must not learn of data before it has landed
+    // (paper §3.1.3, DMA stage).
+    const std::uint32_t len = snap.accept_payload ? snap.rx_write_len : 0;
+    auto finish = [this, ctx] {
+      if (ctx->ack_pkt) {
+        ++acks_sent_;
+        trace_.hit(tp_ack_);
+        auto ack_ctx = std::make_shared<SegCtx>();
+        ack_ctx->kind = SegCtx::Kind::Rx;
+        ack_ctx->pkt = ctx->ack_pkt;
+        ack_ctx->rtc_token = ctx->rtc_token;
+        groups_[ctx->flow_group]->nbi_rob->push(ctx->snap.egress_seq,
+                                                std::move(ack_ctx));
+      }
+      if (ctx->notify_host || ctx->snap.tx_freed > 0 ||
+          ctx->snap.fin_consumed) {
+        submit(pick(ctx_fpcs_, rr_ctx_++), cfg_.costs.ctx_op, 0,
+               [this, ctx] { stage_ctx_notify(ctx); }, 0, 0, false);
+      }
+    };
+    if (len > 0) {
+      host::PayloadBuf* buf = rx_bufs_[ctx->conn_idx];
+      const std::uint64_t pos = snap.rx_write_pos;
+      const std::uint32_t trim = snap.payload_trim;
+      auto pkt = ctx->pkt;
+      const std::uint32_t copy_cost =
+          cfg_.shared_memory_ctx
+              ? cfg_.copy_cycles_per_kb * (len / 1024 + 1)
+              : 0;
+      if (copy_cost > 0) {
+        // Software copy on the DMA-module core (x86/BlueField ports).
+        nfp::Fpc& f = pick(dma_fpcs_, rr_dma_++);
+        submit(f, copy_cost, 0, [] {}, 0, 0, false);
+      }
+      dma_.issue(len + 64, [buf, pos, trim, len, pkt, finish] {
+        if (buf != nullptr) {
+          buf->write(pos, std::span<const std::uint8_t>(
+                              pkt->payload.data() + trim, len));
+        }
+        finish();
+      });
+    } else {
+      finish();
+    }
+    return;
+  }
+
+  // TX: fetch payload from the host socket buffer into the segment, then
+  // hand to the NBI (in egress order).
+  if (ctx->kind == SegCtx::Kind::Tx && ctx->pkt) {
+    const std::uint32_t len = snap.tx_len;
+    host::PayloadBuf* buf = tx_bufs_[ctx->conn_idx];
+    auto pkt = ctx->pkt;
+    const std::uint64_t pos = snap.tx_read_pos;
+    const std::uint32_t copy_cost =
+        cfg_.shared_memory_ctx ? cfg_.copy_cycles_per_kb * (len / 1024 + 1)
+                               : 0;
+    if (copy_cost > 0) {
+      nfp::Fpc& f = pick(dma_fpcs_, rr_dma_++);
+      submit(f, copy_cost, 0, [] {}, 0, 0, false);
+    }
+    dma_.issue(len + 64, [this, ctx, buf, pkt, pos, len] {
+      if (len > 0 && buf != nullptr) {
+        pkt->payload.resize(len);
+        buf->read(pos, pkt->payload);
+      }
+      ++tx_segments_;
+      groups_[ctx->flow_group]->nbi_rob->push(ctx->snap.egress_seq, ctx);
+    });
+    return;
+  }
+
+  // HC with a window-update ACK.
+  if (ctx->ack_pkt) {
+    ++acks_sent_;
+    auto ack_ctx = std::make_shared<SegCtx>();
+    ack_ctx->kind = SegCtx::Kind::Hc;
+    ack_ctx->pkt = ctx->ack_pkt;
+    ack_ctx->rtc_token = ctx->rtc_token;
+    groups_[ctx->flow_group]->nbi_rob->push(ctx->snap.egress_seq,
+                                            std::move(ack_ctx));
+  }
+}
+
+// ----------------------------------------------------- context-queue stage
+
+void Datapath::stage_ctx_notify(const SegCtxPtr& ctx) {
+  const FlowState& fs = flows_[ctx->conn_idx];
+  const ProtoSnapshot& snap = ctx->snap;
+  const ConnId conn = ctx->conn_idx;
+
+  // Notification descriptors DMA'd to the host context queue.
+  auto send = [this, conn](host::CtxDescType type, std::uint32_t a) {
+    host::CtxDesc d;
+    d.type = type;
+    d.conn = conn;
+    d.a = a;
+    host_notify(d);
+  };
+  if (snap.rx_advance > 0) send(host::CtxDescType::RxNotify, snap.rx_advance);
+  if (snap.tx_freed > 0) send(host::CtxDescType::TxFreed, snap.tx_freed);
+  if (snap.fin_consumed) {
+    send(host::CtxDescType::RxEof, 0);
+    if (host_.peer_fin) host_.peer_fin(conn);
+  }
+  (void)fs;
+}
+
+void Datapath::host_notify(const host::CtxDesc& desc) {
+  // 32-byte descriptor DMA + interrupt/eventfd (or polling) delay.
+  dma_.issue(32, [this, desc] {
+    ev_.schedule_in(cfg_.notify_latency, [this, desc] {
+      if (host_.notify) host_.notify(desc);
+    });
+  });
+}
+
+// ------------------------------------------------------------------ NBI
+
+void Datapath::nbi_transmit(const net::PacketPtr& pkt) {
+  if (mac_sink_ != nullptr) mac_sink_->deliver(pkt);
+}
+
+void Datapath::control_tx(const net::PacketPtr& pkt) {
+  // Control-plane segments bypass the data pipeline (separate queue into
+  // the NBI).
+  nbi_transmit(pkt);
+}
+
+}  // namespace flextoe::core

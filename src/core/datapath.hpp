@@ -1,0 +1,248 @@
+// The FlexTOE data-path (paper §3): a fine-grained, data-parallel
+// pipeline of processing modules running on SmartNIC FPCs.
+//
+//   MAC -> sequencer -> pre-processing -> [reorder] -> protocol (atomic
+//   per flow-group) -> post-processing -> DMA -> { NBI [reorder] -> MAC,
+//   context-queue -> host }
+//
+// Host control (HC) descriptors enter via MMIO doorbells and flow through
+// the same pipeline (Fig 4); transmissions are triggered by the Carousel
+// flow scheduler (Fig 5); receives follow Fig 6. Segments are one-shot:
+// never buffered on the NIC — payload moves directly between the wire and
+// host per-socket payload buffers via DMA.
+//
+// The pipeline topology (replication, flow-groups, threads/FPC, memory
+// model) is fully configurable; Table 3's ablation and the x86/BlueField
+// ports are configurations of this one implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/flow_state.hpp"
+#include "core/reorder.hpp"
+#include "core/seg_ctx.hpp"
+#include "host/ctx_queue.hpp"
+#include "host/payload_buf.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "nfp/dma.hpp"
+#include "nfp/fpc.hpp"
+#include "nfp/memory.hpp"
+#include "sched/carousel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "xdp/xdp.hpp"
+
+namespace flextoe::core {
+
+// Parameters for installing an established connection's data-path state
+// (done by the control plane after the handshake, paper Appendix D).
+struct FlowInstall {
+  // Pre-assigned connection index (control plane owns the id space);
+  // kInvalidConn lets the data-path pick the next free slot.
+  tcp::ConnId conn_id = tcp::kInvalidConn;
+  tcp::FlowTuple tuple;
+  net::MacAddr local_mac;
+  net::MacAddr peer_mac;
+  tcp::SeqNum iss = 0;  // our first data byte - 1 (SYN consumed)
+  tcp::SeqNum irs = 0;  // peer's first data byte - 1
+  std::uint32_t remote_win = 64 * 1024;
+  std::uint32_t mss = 1448;
+  host::PayloadBuf* rx_buf = nullptr;
+  host::PayloadBuf* tx_buf = nullptr;
+  std::uint16_t context_id = 0;
+  std::uint64_t opaque = 0;
+};
+
+class Datapath : public net::PacketSink {
+ public:
+  struct HostIface {
+    // NIC -> host application notification (after DMA + interrupt cost).
+    std::function<void(const host::CtxDesc&)> notify;
+    // Non-data-path segments forwarded to the control plane.
+    std::function<void(const net::PacketPtr&)> to_control;
+    // Data-path events the control plane must see (peer FIN consumed).
+    std::function<void(tcp::ConnId)> peer_fin;
+  };
+
+  Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host);
+  ~Datapath() override;
+
+  // NIC identity (MAC filter + source addressing for generated segments).
+  void set_local(net::MacAddr mac, net::Ipv4Addr ip) {
+    local_mac_ = mac;
+    local_ip_ = ip;
+  }
+  const net::MacAddr& local_mac() const { return local_mac_; }
+
+  // ---- Wire side ----
+  void deliver(const net::PacketPtr& pkt) override;  // MAC RX
+  void set_mac_sink(net::PacketSink* sink) { mac_sink_ = sink; }
+
+  // ---- Control-plane interface ----
+  tcp::ConnId install_flow(const FlowInstall& ins);
+  void remove_flow(tcp::ConnId conn);
+  bool flow_valid(tcp::ConnId conn) const;
+  // Raw segment injection (handshake segments built by the control plane).
+  void control_tx(const net::PacketPtr& pkt);
+  // Congestion-control statistics snapshot (cleared on read).
+  struct CcSnapshot {
+    std::uint64_t acked_bytes = 0;
+    std::uint64_t ecn_bytes = 0;
+    std::uint32_t fast_retx = 0;
+    std::uint32_t rtt_us = 0;
+    std::uint32_t tx_sent = 0;  // outstanding bytes (RTO detection)
+    tcp::SeqNum snd_una = 0;
+  };
+  CcSnapshot read_cc_stats(tcp::ConnId conn, bool clear = true);
+  // Programs the flow scheduler (control plane does the rate division).
+  void set_rate(tcp::ConnId conn, std::uint64_t bytes_per_sec);
+
+  // ---- Host (libTOE) interface ----
+  host::CtxQueue& hc_queue(std::uint16_t ctx_id);
+  void doorbell(std::uint16_t ctx_id);  // MMIO: HC descriptors pending
+
+  // ---- Extensions ----
+  void add_xdp_program(xdp::XdpProgramPtr prog);
+  void clear_xdp_programs();
+  sim::TraceRegistry& trace() { return trace_; }
+  void set_profiling(bool on);
+
+  // ---- Introspection ----
+  const DatapathConfig& config() const { return cfg_; }
+  std::uint64_t rx_segments() const { return rx_segments_; }
+  std::uint64_t tx_segments() const { return tx_segments_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t to_control_count() const { return to_control_count_; }
+  std::uint64_t fast_retransmits() const { return fast_retransmits_; }
+  std::uint64_t ooo_segments() const { return ooo_segments_; }
+  const ProtoState* proto_state(tcp::ConnId conn) const;
+  sched::Carousel& scheduler() { return carousel_; }
+  // Total FPCs configured (utilization reporting).
+  unsigned total_fpcs() const;
+  double fpc_utilization() const;
+
+ private:
+  struct Group;  // flow-group island
+
+  // Pipeline stages (each runs as FPC work).
+  void stage_pre_rx(const SegCtxPtr& ctx);
+  void stage_pre_tx(const SegCtxPtr& ctx);
+  void stage_pre_hc(const SegCtxPtr& ctx);
+  void stage_proto(const SegCtxPtr& ctx);
+  void proto_rx(FlowState& fs, const SegCtxPtr& ctx);
+  void proto_tx(FlowState& fs, const SegCtxPtr& ctx);
+  void proto_hc(FlowState& fs, const SegCtxPtr& ctx);
+  void stage_post(const SegCtxPtr& ctx);
+  void stage_dma(const SegCtxPtr& ctx);
+  void stage_ctx_notify(const SegCtxPtr& ctx);
+
+  // Helpers.
+  std::uint32_t tx_trigger(std::uint32_t conn);  // Carousel callback
+  void sched_resync(tcp::ConnId conn, const ProtoState& p);
+  void spawn_fin_segment(tcp::ConnId conn);
+  void submit(nfp::Fpc& fpc, std::uint32_t compute, std::uint32_t mem,
+              std::function<void()> fn, std::uint64_t skip_seq,
+              std::uint8_t group, bool sequenced);
+  std::shared_ptr<void> make_rtc_token();
+  void nbi_transmit(const net::PacketPtr& pkt);
+  void host_notify(const host::CtxDesc& desc);
+  void emit_ack_packet(const SegCtxPtr& ctx);
+  net::PacketPtr build_tx_packet(const FlowState& fs,
+                                 const ProtoSnapshot& snap);
+  std::uint32_t state_mem_cycles(Group& g, nfp::StateAccessModel& model,
+                                 std::uint32_t conn);
+  std::uint32_t profile_overhead() const {
+    return cfg_.profiling ? cfg_.profile_cycles : 0;
+  }
+  nfp::Fpc& pick(std::vector<std::shared_ptr<nfp::Fpc>>& v,
+                 std::uint64_t key);
+
+  sim::EventQueue& ev_;
+  DatapathConfig cfg_;
+  HostIface host_;
+  net::PacketSink* mac_sink_ = nullptr;
+
+  // Flow-group islands: pre/proto/post FPCs + reorder points.
+  struct Group {
+    std::vector<std::shared_ptr<nfp::Fpc>> pre;
+    std::vector<std::shared_ptr<nfp::Fpc>> proto;
+    std::vector<std::shared_ptr<nfp::Fpc>> post;
+    std::unique_ptr<nfp::IslandMemory> island_mem;
+    // One state-access model per FPC (local CAM caches are per-FPC).
+    std::vector<std::unique_ptr<nfp::StateAccessModel>> proto_mem;
+    std::vector<std::unique_ptr<nfp::StateAccessModel>> post_mem;
+    std::vector<std::unique_ptr<nfp::DirectMappedCache>> pre_lookup_cache;
+    Sequencer sequencer;
+    std::unique_ptr<ReorderBuffer<SegCtxPtr>> proto_rob;
+    std::unique_ptr<ReorderBuffer<SegCtxPtr>> nbi_rob;
+    std::uint64_t egress_next = 0;
+    std::uint64_t rr_pre = 0;   // round-robin replica choice
+    std::uint64_t rr_post = 0;
+  };
+
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::vector<std::shared_ptr<nfp::Fpc>> dma_fpcs_;
+  std::vector<std::shared_ptr<nfp::Fpc>> ctx_fpcs_;
+  std::uint64_t rr_dma_ = 0;
+  std::uint64_t rr_ctx_ = 0;
+  nfp::NicMemory nic_mem_;
+  nfp::DmaEngine dma_;
+  sched::Carousel carousel_;
+
+  // Flow state tables (EMEM) + active-connection DB (IMEM lookup engine).
+  std::vector<FlowState> flows_;
+  std::vector<host::PayloadBuf*> rx_bufs_;
+  std::vector<host::PayloadBuf*> tx_bufs_;
+  std::vector<tcp::SeqNum> snd_max_;   // GBN recovery bookkeeping
+  std::vector<tcp::SeqNum> high_rtx_;  // fast-rtx dedup
+  std::vector<std::uint32_t> pending_planned_;  // triggered, pre-protocol
+  std::unordered_map<tcp::FlowTuple, tcp::ConnId, tcp::FlowTupleHash>
+      conn_db_;
+  std::uint32_t next_conn_ = 0;
+
+  // Host-control queues, one per application context.
+  std::vector<std::unique_ptr<host::CtxQueue>> hc_queues_;
+
+  // CC statistic accumulators (cleared by control-plane reads).
+  struct CcAccum {
+    std::uint64_t acked = 0;
+    std::uint64_t ecn = 0;
+    std::uint32_t fretx = 0;
+  };
+  std::vector<CcAccum> cc_accum_;
+
+  // Run-to-completion mode: one segment at a time through the pipeline.
+  bool rtc_busy_ = false;
+  std::deque<std::function<void()>> rtc_pending_;
+  // Destruction sentinel: event-queue callbacks (and RTC-token deleters)
+  // may outlive this object inside a draining EventQueue.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  // droppable: RX segments may be shed under overload (one-shot datapath);
+  // HC/TX work is never lost. Returns false if dropped.
+  bool rtc_admit(std::function<void()> fn, bool droppable = false);
+  void rtc_done();
+  net::MacAddr local_mac_{};
+  net::Ipv4Addr local_ip_ = 0;
+
+  std::vector<xdp::XdpProgramPtr> xdp_programs_;
+  sim::TraceRegistry trace_;
+  std::uint32_t tp_rx_ = 0, tp_tx_ = 0, tp_ooo_ = 0, tp_drop_ = 0,
+                tp_fretx_ = 0, tp_ack_ = 0;
+
+  std::uint64_t rx_segments_ = 0;
+  std::uint64_t tx_segments_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t to_control_count_ = 0;
+  std::uint64_t fast_retransmits_ = 0;
+  std::uint64_t ooo_segments_ = 0;
+};
+
+}  // namespace flextoe::core

@@ -1,0 +1,88 @@
+// Per-connection data-path state, partitioned across pipeline stages
+// exactly as in the paper's Table 5 (Appendix A). Each stage owns its
+// partition; state needed by later stages travels as segment meta-data.
+//
+//   Pre-processor  (connection identification) — 15 B
+//   Protocol       (TCP state machine)         — 43 B
+//   Post-processor (ctx queue, cong. control)  — 51 B
+//   Total: ~108 B per connection -> millions of connections fit in EMEM.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/ooo.hpp"
+#include "tcp/seq.hpp"
+
+namespace flextoe::core {
+
+// --- Pre-processor partition (Table 5: 15 B) -----------------------------
+struct PreState {
+  net::MacAddr peer_mac;          // 48 bits
+  net::Ipv4Addr peer_ip = 0;      // 32 bits
+  std::uint16_t local_port = 0;   // 16 bits
+  std::uint16_t remote_port = 0;  // 16 bits
+  std::uint8_t flow_group = 0;    // 2 bits: hash(4-tuple) % 4
+};
+inline constexpr std::uint32_t kPreStateBits = 48 + 32 + 16 + 16 + 2;
+
+// --- Protocol partition (Table 5: 43 B) ----------------------------------
+struct ProtoState {
+  // Payload buffer head positions (absolute, monotonically increasing;
+  // modulo buffer size gives the physical offset — 1G hugepage backing).
+  std::uint64_t rx_pos = 0;   // where rcv_nxt lands in the RX buffer
+  std::uint64_t tx_pos = 0;   // where snd_nxt reads from the TX buffer
+  std::uint32_t tx_avail = 0;  // bytes appended by libTOE, not yet sent
+  std::uint32_t rx_avail = 0;  // free RX buffer space from rcv_nxt
+  std::uint32_t remote_win = 0;  // peer receive window (bytes)
+  std::uint32_t tx_sent = 0;     // sent but unacknowledged bytes
+  tcp::SeqNum seq = 0;           // next TX sequence number (snd_nxt)
+  tcp::SeqNum ack = 0;           // next expected RX sequence (rcv_nxt)
+  tcp::SingleIntervalTracker ooo;  // ooo_start|len (64 bits)
+  std::uint8_t dupack_cnt = 0;     // 4 bits
+  std::uint32_t next_ts = 0;       // peer timestamp to echo
+
+  // Data-path connection flags (fin handling; fits Table 5 slack).
+  bool fin_pending = false;  // host requested close
+  bool fin_sent = false;
+  bool peer_fin = false;
+  tcp::SeqNum fin_seq = 0;
+};
+// Wire packing per Table 5: rx|tx_pos share a 64-bit field (32b each,
+// buffer-relative); our in-memory struct widens them for simulation
+// convenience but the architectural footprint is the paper's.
+inline constexpr std::uint32_t kProtoStateBits =
+    64 + 32 + 32 + 16 + 32 + 32 + 32 + 64 + 4 + 32;
+
+// --- Post-processor partition (Table 5: 51 B) -----------------------------
+struct PostState {
+  std::uint64_t opaque = 0;        // app connection id
+  std::uint16_t context_id = 0;    // context-queue id (per app thread)
+  std::uint64_t rx_base = 0;       // RX buffer base (host phys addr)
+  std::uint64_t tx_base = 0;
+  std::uint32_t rx_size = 0;
+  std::uint32_t tx_size = 0;
+  std::uint64_t cnt_ackb = 0;      // ACKed bytes (CC stats)
+  std::uint64_t cnt_ecnb = 0;      // ECN-marked bytes
+  std::uint8_t cnt_fretx = 0;      // fast retransmits
+  std::uint32_t rtt_est = 0;       // us
+  std::uint32_t rate = 0;          // programmed TX rate
+};
+inline constexpr std::uint32_t kPostStateBits =
+    64 + 16 + 64 + 64 + 32 + 32 + 64 + 8 + 32 + 32;
+
+// Paper: "each TCP connection has 108 bytes of state".
+static_assert((kPreStateBits + kProtoStateBits + kPostStateBits + 7) / 8 ==
+              108);
+
+// A connection slot in the NIC flow-state table.
+struct FlowState {
+  bool valid = false;
+  tcp::FlowTuple tuple;
+  PreState pre;
+  ProtoState proto;
+  PostState post;
+};
+
+}  // namespace flextoe::core

@@ -1,0 +1,86 @@
+// Sequencing and reordering (paper §3.2).
+//
+// Parallel pipeline stages (replicated pre/post processors, multi-thread
+// FPCs, DMA) can reorder segments. FlexTOE assigns a sequence number to
+// every segment entering the pipeline and restores order at the two
+// points that require it: admission to the (atomic) protocol stage and
+// admission to the NBI for transmission. Segments that leave the pipeline
+// early (dropped, filtered to the control plane, XDP_DROP/TX/REDIRECT)
+// must signal a skip so the reorder point does not stall.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace flextoe::core {
+
+template <typename T>
+class ReorderBuffer {
+ public:
+  using Release = std::function<void(T)>;
+
+  explicit ReorderBuffer(Release release) : release_(std::move(release)) {}
+
+  // Inserts item with ordering number `seq`; releases any in-order run.
+  void push(std::uint64_t seq, T item) {
+    if (seq == next_) {
+      release_(std::move(item));
+      ++next_;
+      drain();
+      return;
+    }
+    pending_.emplace(seq, std::move(item));
+  }
+
+  // Marks `seq` as skipped (segment left the pipeline before this point).
+  void skip(std::uint64_t seq) {
+    if (seq == next_) {
+      ++next_;
+      drain();
+      return;
+    }
+    skipped_.emplace(seq, true);
+  }
+
+  std::uint64_t next_expected() const { return next_; }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  void drain() {
+    while (true) {
+      auto it = pending_.find(next_);
+      if (it != pending_.end()) {
+        T item = std::move(it->second);
+        pending_.erase(it);
+        release_(std::move(item));
+        ++next_;
+        continue;
+      }
+      auto sk = skipped_.find(next_);
+      if (sk != skipped_.end()) {
+        skipped_.erase(sk);
+        ++next_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  Release release_;
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, T> pending_;
+  std::map<std::uint64_t, bool> skipped_;
+};
+
+// Per-flow-group ingress sequencer.
+class Sequencer {
+ public:
+  std::uint64_t assign() { return next_++; }
+  std::uint64_t issued() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace flextoe::core

@@ -1,0 +1,95 @@
+// Segment context: the unit of work flowing through the data-path
+// pipeline. Modules communicate explicitly by forwarding meta-data in
+// this context (paper §3: "state that may be accessed by further pipeline
+// stages is forwarded as meta-data").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/seq.hpp"
+
+namespace flextoe::core {
+
+// Header summary produced by the pre-processor (paper §3.1.3: "including
+// only relevant header fields required by later pipeline stages").
+struct HeaderSummary {
+  tcp::SeqNum seq = 0;
+  tcp::SeqNum ack = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t window = 0;  // descaled to bytes
+  std::uint32_t payload_len = 0;
+  std::uint32_t ts_val = 0;
+  std::uint32_t ts_ecr = 0;
+  bool ecn_ce = false;
+};
+
+// Snapshot of protocol-stage results forwarded to post-processing.
+struct ProtoSnapshot {
+  // RX side.
+  bool accept_payload = false;
+  std::uint64_t rx_write_pos = 0;    // absolute host RX buffer position
+  std::uint32_t rx_write_len = 0;
+  std::uint32_t rx_advance = 0;      // in-order bytes made available
+  std::uint32_t payload_trim = 0;    // bytes trimmed from payload front
+  bool send_ack = false;
+  tcp::SeqNum ack_seq = 0;           // rcv_nxt to advertise
+  std::uint32_t rx_window = 0;       // receive window to advertise
+  bool echo_ecn = false;
+  std::uint32_t ts_echo = 0;
+  bool fin_consumed = false;
+  tcp::SeqNum self_seq = 0;          // our snd_nxt (seq field of ACKs)
+  // TX-buffer frees from ACK processing.
+  std::uint32_t tx_freed = 0;
+  bool window_opened = false;        // peer window / inflight drained
+  bool fast_retransmit = false;
+  std::uint32_t rtt_sample_us = 0;
+  std::uint32_t ecn_bytes = 0;       // ECE-covered ACKed bytes
+  // TX side.
+  bool tx_valid = false;
+  tcp::SeqNum tx_seq = 0;
+  std::uint64_t tx_read_pos = 0;     // absolute host TX buffer position
+  std::uint32_t tx_len = 0;
+  bool tx_fin = false;
+  std::uint64_t egress_seq = 0;      // per-flow-group NBI ordering
+};
+
+// Host-control descriptor operations (paper §3.1.1).
+enum class HcOp : std::uint8_t {
+  TxDoorbell,   // app appended `len` bytes for transmission
+  RxFreed,      // app consumed `len` bytes of RX buffer
+  Fin,          // app closed the connection
+  Retransmit,   // control plane: reset to last ACKed (go-back-N)
+};
+
+struct SegCtx {
+  enum class Kind : std::uint8_t { Rx, Tx, Hc };
+  Kind kind = Kind::Rx;
+
+  std::uint64_t pipe_seq = 0;   // sequencer-assigned ordering number
+  std::uint8_t flow_group = 0;
+  std::uint32_t conn_idx = 0;
+  bool conn_known = false;
+
+  net::PacketPtr pkt;           // RX: received; TX: under construction
+  HeaderSummary sum;            // RX meta-data
+  ProtoSnapshot snap;           // protocol -> post meta-data
+
+  // HC descriptor contents.
+  HcOp hc_op = HcOp::TxDoorbell;
+  std::uint32_t hc_len = 0;
+
+  // Prepared ACK (RX post-processing output, sent after payload DMA).
+  net::PacketPtr ack_pkt;
+  bool notify_host = false;     // allocate a context-queue notification
+
+  // Run-to-completion mode: releases the single-FPC gate when the
+  // context's processing chain fully completes.
+  std::shared_ptr<void> rtc_token;
+};
+
+using SegCtxPtr = std::shared_ptr<SegCtx>;
+
+}  // namespace flextoe::core

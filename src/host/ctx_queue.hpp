@@ -1,0 +1,72 @@
+// Context queues (CTX-Qs, paper Fig 2): descriptor rings connecting
+// libTOE, the data-path, and the control plane. Host<->NIC crossings use
+// PCIe DMA + MMIO doorbells; intra-host queues use shared memory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "tcp/stack_iface.hpp"
+
+namespace flextoe::host {
+
+enum class CtxDescType : std::uint8_t {
+  // Host -> NIC (host control, paper §3.1.1).
+  TxDoorbell,  // `a` = bytes appended to the TX payload buffer
+  RxFreed,     // `a` = bytes consumed from the RX payload buffer
+  Fin,         // application closed the connection
+  Retransmit,  // control plane: go-back-N reset
+
+  // NIC -> host (application notifications).
+  RxNotify,  // `a` = bytes appended to the RX payload buffer
+  TxFreed,   // `a` = TX bytes acknowledged (buffer space reclaimed)
+  RxEof,     // peer FIN consumed
+
+  // Control plane -> libTOE events (shared memory).
+  AcceptEv,   // new connection on a listening port
+  ConnectEv,  // `a` = 1 ok / 0 failed
+  CloseEv,    // connection torn down
+};
+
+struct CtxDesc {
+  CtxDescType type;
+  tcp::ConnId conn = 0;
+  std::uint32_t a = 0;
+  std::uint64_t opaque = 0;
+};
+
+// A bounded descriptor ring with an on-demand drain callback. The
+// transport delay (DMA/MMIO vs shared memory) is applied by the producer
+// before push(); the queue itself is just the ring.
+class CtxQueue {
+ public:
+  explicit CtxQueue(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  bool push(const CtxDesc& d) {
+    if (ring_.size() >= capacity_) {
+      ++overflows_;
+      return false;
+    }
+    ring_.push_back(d);
+    return true;
+  }
+
+  bool pop(CtxDesc& out) {
+    if (ring_.empty()) return false;
+    out = ring_.front();
+    ring_.pop_front();
+    return true;
+  }
+
+  std::size_t depth() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+  std::uint64_t overflows() const { return overflows_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<CtxDesc> ring_;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace flextoe::host

@@ -1,0 +1,58 @@
+// FlexToeNic: a fully assembled FlexTOE endpoint — SmartNIC data-path,
+// control plane, and libTOE, wired together with identity and the MAC.
+// This is the object a "machine" in the testbed instantiates; its
+// StackIface (libTOE) is what applications program against.
+#pragma once
+
+#include <memory>
+
+#include "core/datapath.hpp"
+#include "host/control_plane.hpp"
+#include "host/libtoe.hpp"
+
+namespace flextoe::host {
+
+struct FlexToeNicConfig {
+  core::DatapathConfig datapath;
+  ControlPlaneConfig control;
+  LibToeConfig libtoe;
+};
+
+class FlexToeNic {
+ public:
+  FlexToeNic(sim::EventQueue& ev, sim::Rng rng, net::MacAddr mac,
+             net::Ipv4Addr ip, FlexToeNicConfig cfg = {},
+             sim::CpuPool* host_cpu = nullptr)
+      : dp_(ev, cfg.datapath,
+            core::Datapath::HostIface{
+                [this](const CtxDesc& d) { lib_->on_notify(d); },
+                [this](const net::PacketPtr& p) {
+                  cp_->on_control_segment(p);
+                },
+                [this](tcp::ConnId c) { cp_->on_peer_fin(c); }}),
+        cp_(std::make_unique<ControlPlane>(ev, dp_, rng.fork(),
+                                           cfg.control)),
+        lib_(std::make_unique<LibToe>(ev, dp_, *cp_, cfg.libtoe,
+                                      host_cpu)) {
+    dp_.set_local(mac, ip);
+    cp_->set_identity(mac, ip);
+    cp_->set_libtoe(lib_.get());
+  }
+
+  // Wire side: give this to the switch; give the switch's ingress to us.
+  net::PacketSink& mac_rx() { return dp_; }
+  void set_mac_tx(net::PacketSink* sink) { dp_.set_mac_sink(sink); }
+
+  // Application side.
+  tcp::StackIface& stack() { return *lib_; }
+  LibToe& libtoe() { return *lib_; }
+  ControlPlane& control_plane() { return *cp_; }
+  core::Datapath& datapath() { return dp_; }
+
+ private:
+  core::Datapath dp_;
+  std::unique_ptr<ControlPlane> cp_;
+  std::unique_ptr<LibToe> lib_;
+};
+
+}  // namespace flextoe::host

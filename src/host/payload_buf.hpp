@@ -1,0 +1,45 @@
+// Per-socket payload buffer (PAYLOAD-BUF, paper §3 / Fig 2).
+//
+// Lives in host memory (1G hugepages in the real system); the NIC DMA
+// stage reads TX payload from and writes RX payload into it directly at
+// absolute positions. Positions are monotonically increasing 64-bit
+// counters; modulo the buffer size gives the physical offset, so the
+// protocol stage needs no head/tail coordination with the host.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace flextoe::host {
+
+class PayloadBuf {
+ public:
+  explicit PayloadBuf(std::size_t size) : buf_(size) {}
+
+  std::size_t size() const { return buf_.size(); }
+
+  void write(std::uint64_t pos, std::span<const std::uint8_t> data) {
+    std::size_t off = pos % buf_.size();
+    const std::size_t first = std::min(data.size(), buf_.size() - off);
+    std::memcpy(buf_.data() + off, data.data(), first);
+    if (first < data.size()) {
+      std::memcpy(buf_.data(), data.data() + first, data.size() - first);
+    }
+  }
+
+  void read(std::uint64_t pos, std::span<std::uint8_t> out) const {
+    std::size_t off = pos % buf_.size();
+    const std::size_t first = std::min(out.size(), buf_.size() - off);
+    std::memcpy(out.data(), buf_.data() + off, first);
+    if (first < out.size()) {
+      std::memcpy(out.data() + first, buf_.data(), out.size() - first);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace flextoe::host

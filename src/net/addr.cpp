@@ -1,0 +1,21 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+
+namespace flextoe::net {
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::string ip_str(Ipv4Addr ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+}  // namespace flextoe::net

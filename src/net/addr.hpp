@@ -1,0 +1,41 @@
+// Link- and network-layer addresses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace flextoe::net {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  static MacAddr from_u64(std::uint64_t v) {
+    MacAddr m;
+    for (int i = 5; i >= 0; --i) {
+      m.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+    return m;
+  }
+  std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes) v = (v << 8) | b;
+    return v;
+  }
+  bool operator==(const MacAddr&) const = default;
+  std::string str() const;
+};
+
+// IPv4 address in host byte order.
+using Ipv4Addr = std::uint32_t;
+
+constexpr Ipv4Addr make_ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                           std::uint8_t d) {
+  return (static_cast<Ipv4Addr>(a) << 24) | (static_cast<Ipv4Addr>(b) << 16) |
+         (static_cast<Ipv4Addr>(c) << 8) | d;
+}
+
+std::string ip_str(Ipv4Addr ip);
+
+}  // namespace flextoe::net

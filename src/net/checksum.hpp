@@ -1,0 +1,23 @@
+// Internet checksum (RFC 1071) and CRC-32 (used by the NFP lookup engine
+// for flow hashing; FPCs have CRC acceleration, paper §2.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace flextoe::net {
+
+// One's-complement sum; returns the checksum field value (already inverted).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial = 0);
+
+// Partial sum for composing pseudo-header + payload checksums.
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t sum = 0);
+std::uint16_t checksum_finish(std::uint32_t sum);
+
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0xFFFFFFFFu);
+
+}  // namespace flextoe::net

@@ -1,0 +1,98 @@
+// Wire header definitions: Ethernet II, 802.1Q VLAN, IPv4, TCP.
+//
+// Headers are kept as typed structs for processing and serialized
+// byte-exactly (network byte order, real checksums) when crossing links,
+// so captures are valid pcap and parsing is an honest code path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+
+namespace flextoe::net {
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+
+struct EthHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ethertype = kEtherTypeIpv4;
+};
+
+struct VlanTag {
+  std::uint16_t tci = 0;  // PCP(3) | DEI(1) | VID(12)
+  std::uint16_t vid() const { return tci & 0x0FFF; }
+};
+
+// ECN codepoints (RFC 3168).
+enum class Ecn : std::uint8_t {
+  NotEct = 0b00,
+  Ect1 = 0b01,
+  Ect0 = 0b10,
+  Ce = 0b11,
+};
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  Ecn ecn = Ecn::NotEct;
+  std::uint16_t id = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t proto = kProtoTcp;
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+  // total_length and header checksum are computed during serialization.
+};
+
+// TCP flag bits (matching the wire encoding of the flags byte).
+namespace tcpflag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+inline constexpr std::uint8_t kUrg = 0x20;
+inline constexpr std::uint8_t kEce = 0x40;
+inline constexpr std::uint8_t kCwr = 0x80;
+}  // namespace tcpflag
+
+// TCP timestamp option (RFC 7323), used for RTT estimation (paper §3.1.3).
+struct TcpTsOpt {
+  std::uint32_t val = 0;
+  std::uint32_t ecr = 0;
+};
+
+struct TcpHeader {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t urgent = 0;
+  std::optional<std::uint16_t> mss;  // SYN-only option
+  std::optional<TcpTsOpt> ts;
+
+  bool has(std::uint8_t f) const { return (flags & f) != 0; }
+
+  // Header length including options, padded to 4-byte multiple.
+  std::uint8_t header_len() const {
+    std::uint8_t len = 20;
+    if (mss) len += 4;
+    if (ts) len += 12;  // NOP NOP + 10-byte option
+    return len;
+  }
+
+  // Data-path segments have any of ACK, FIN, PSH, ECE, CWR and no SYN/RST
+  // (paper §3.1.3, footnote 2). Everything else goes to the control plane.
+  bool is_datapath_segment() const {
+    if (has(tcpflag::kSyn) || has(tcpflag::kRst)) return false;
+    return (flags & (tcpflag::kAck | tcpflag::kFin | tcpflag::kPsh |
+                     tcpflag::kEce | tcpflag::kCwr)) != 0;
+  }
+};
+
+}  // namespace flextoe::net

@@ -1,0 +1,22 @@
+#include "net/link.hpp"
+
+namespace flextoe::net {
+
+void Link::send(const PacketPtr& pkt) {
+  const sim::TimePs start = std::max(ev_.now(), next_free_);
+  const sim::TimePs ser = tx_time(pkt->wire_size());
+  next_free_ = start + ser;
+  ++tx_packets_;
+  tx_bytes_ += pkt->wire_size();
+
+  if (params_.loss_rate > 0.0 && rng_.chance(params_.loss_rate)) {
+    ++dropped_;
+    return;  // serialization time is still consumed
+  }
+  PacketSink* sink = sink_;
+  if (sink == nullptr) return;
+  ev_.schedule_at(next_free_ + params_.prop_delay,
+                  [sink, pkt] { sink->deliver(pkt); });
+}
+
+}  // namespace flextoe::net

@@ -1,0 +1,65 @@
+// Point-to-point unidirectional link: serialization at a configured
+// bandwidth, propagation delay, and optional seeded random loss.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace flextoe::net {
+
+// Anything that can accept a packet (a NIC, a switch port, a stack).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(const PacketPtr& pkt) = 0;
+};
+
+struct LinkParams {
+  double gbps = 40.0;
+  sim::TimePs prop_delay = sim::ns(500);
+  double loss_rate = 0.0;  // per-packet drop probability
+};
+
+class Link : public PacketSink {
+ public:
+  Link(sim::EventQueue& ev, sim::Rng rng, LinkParams params)
+      : ev_(ev), rng_(rng), params_(params) {}
+
+  // PacketSink: sending into the link == transmitting over it.
+  void deliver(const PacketPtr& pkt) override { send(pkt); }
+
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+  void set_loss_rate(double p) { params_.loss_rate = p; }
+  void set_gbps(double g) { params_.gbps = g; }
+  const LinkParams& params() const { return params_; }
+
+  // Serializes the packet onto the link; delivery is scheduled after
+  // serialization + propagation. FIFO order is preserved.
+  void send(const PacketPtr& pkt);
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  // Time to serialize `bytes` at the link rate.
+  sim::TimePs tx_time(std::uint32_t bytes) const {
+    const double bits = static_cast<double>(bytes) * 8.0;
+    return static_cast<sim::TimePs>(bits * 1000.0 / params_.gbps);
+  }
+
+ private:
+  sim::EventQueue& ev_;
+  sim::Rng rng_;
+  LinkParams params_;
+  PacketSink* sink_ = nullptr;
+  sim::TimePs next_free_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace flextoe::net

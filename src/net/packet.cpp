@@ -1,0 +1,224 @@
+#include "net/packet.hpp"
+
+#include <cstring>
+
+#include "net/checksum.hpp"
+
+namespace flextoe::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) | b[off + 3];
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame_size());
+
+  // Ethernet.
+  out.insert(out.end(), eth.dst.bytes.begin(), eth.dst.bytes.end());
+  out.insert(out.end(), eth.src.bytes.begin(), eth.src.bytes.end());
+  if (vlan) {
+    put_u16(out, kEtherTypeVlan);
+    put_u16(out, vlan->tci);
+  }
+  put_u16(out, eth.ethertype);
+
+  // IPv4.
+  const std::size_t ip_off = out.size();
+  const std::uint16_t ip_total =
+      static_cast<std::uint16_t>(20 + tcp.header_len() + payload.size());
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(static_cast<std::uint8_t>((ip.dscp << 2) |
+                                          static_cast<std::uint8_t>(ip.ecn)));
+  put_u16(out, ip_total);
+  put_u16(out, ip.id);
+  put_u16(out, 0x4000);  // flags: DF, fragment offset 0
+  out.push_back(ip.ttl);
+  out.push_back(ip.proto);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, ip.src);
+  put_u32(out, ip.dst);
+  const std::uint16_t ip_csum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + ip_off, 20));
+  out[ip_off + 10] = static_cast<std::uint8_t>(ip_csum >> 8);
+  out[ip_off + 11] = static_cast<std::uint8_t>(ip_csum);
+
+  // TCP.
+  const std::size_t tcp_off = out.size();
+  put_u16(out, tcp.sport);
+  put_u16(out, tcp.dport);
+  put_u32(out, tcp.seq);
+  put_u32(out, tcp.ack);
+  out.push_back(static_cast<std::uint8_t>((tcp.header_len() / 4) << 4));
+  out.push_back(tcp.flags);
+  put_u16(out, tcp.window);
+  put_u16(out, 0);  // checksum placeholder
+  put_u16(out, tcp.urgent);
+  if (tcp.mss) {
+    out.push_back(2);  // kind: MSS
+    out.push_back(4);  // length
+    put_u16(out, *tcp.mss);
+  }
+  if (tcp.ts) {
+    out.push_back(1);   // NOP
+    out.push_back(1);   // NOP
+    out.push_back(8);   // kind: timestamps
+    out.push_back(10);  // length
+    put_u32(out, tcp.ts->val);
+    put_u32(out, tcp.ts->ecr);
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  // TCP checksum over pseudo-header + TCP header + payload.
+  const std::uint16_t tcp_len =
+      static_cast<std::uint16_t>(tcp.header_len() + payload.size());
+  std::vector<std::uint8_t> pseudo;
+  pseudo.reserve(12);
+  put_u32(pseudo, ip.src);
+  put_u32(pseudo, ip.dst);
+  pseudo.push_back(0);
+  pseudo.push_back(ip.proto);
+  put_u16(pseudo, tcp_len);
+  std::uint32_t sum = checksum_partial(pseudo);
+  sum = checksum_partial(
+      std::span<const std::uint8_t>(out.data() + tcp_off, tcp_len), sum);
+  const std::uint16_t tcp_csum = checksum_finish(sum);
+  out[tcp_off + 16] = static_cast<std::uint8_t>(tcp_csum >> 8);
+  out[tcp_off + 17] = static_cast<std::uint8_t>(tcp_csum);
+
+  return out;
+}
+
+std::optional<Packet> Packet::parse(std::span<const std::uint8_t> frame,
+                                    bool verify_checksums) {
+  Packet p;
+  std::size_t off = 0;
+  if (frame.size() < 14) return std::nullopt;
+  std::memcpy(p.eth.dst.bytes.data(), frame.data(), 6);
+  std::memcpy(p.eth.src.bytes.data(), frame.data() + 6, 6);
+  std::uint16_t ethertype = get_u16(frame, 12);
+  off = 14;
+  if (ethertype == kEtherTypeVlan) {
+    if (frame.size() < 18) return std::nullopt;
+    p.vlan = VlanTag{get_u16(frame, 14)};
+    ethertype = get_u16(frame, 16);
+    off = 18;
+  }
+  p.eth.ethertype = ethertype;
+  if (ethertype != kEtherTypeIpv4) return std::nullopt;
+
+  if (frame.size() < off + 20) return std::nullopt;
+  const std::size_t ip_off = off;
+  if ((frame[ip_off] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(frame[ip_off] & 0x0F) * 4;
+  if (ihl < 20 || frame.size() < ip_off + ihl) return std::nullopt;
+  p.ip.dscp = frame[ip_off + 1] >> 2;
+  p.ip.ecn = static_cast<Ecn>(frame[ip_off + 1] & 0x03);
+  const std::uint16_t ip_total = get_u16(frame, ip_off + 2);
+  p.ip.id = get_u16(frame, ip_off + 4);
+  p.ip.ttl = frame[ip_off + 8];
+  p.ip.proto = frame[ip_off + 9];
+  p.ip.src = get_u32(frame, ip_off + 12);
+  p.ip.dst = get_u32(frame, ip_off + 16);
+  if (p.ip.proto != kProtoTcp) return std::nullopt;
+  if (ip_total < ihl || frame.size() < ip_off + ip_total) return std::nullopt;
+  if (verify_checksums &&
+      internet_checksum(frame.subspan(ip_off, ihl)) != 0) {
+    return std::nullopt;
+  }
+
+  const std::size_t tcp_off = ip_off + ihl;
+  const std::size_t tcp_total = ip_total - ihl;
+  if (tcp_total < 20) return std::nullopt;
+  p.tcp.sport = get_u16(frame, tcp_off);
+  p.tcp.dport = get_u16(frame, tcp_off + 2);
+  p.tcp.seq = get_u32(frame, tcp_off + 4);
+  p.tcp.ack = get_u32(frame, tcp_off + 8);
+  const std::size_t doff = static_cast<std::size_t>(frame[tcp_off + 12] >> 4) * 4;
+  if (doff < 20 || doff > tcp_total) return std::nullopt;
+  p.tcp.flags = frame[tcp_off + 13];
+  p.tcp.window = get_u16(frame, tcp_off + 14);
+  p.tcp.urgent = get_u16(frame, tcp_off + 18);
+
+  // Options.
+  std::size_t opt = tcp_off + 20;
+  const std::size_t opt_end = tcp_off + doff;
+  while (opt < opt_end) {
+    const std::uint8_t kind = frame[opt];
+    if (kind == 0) break;  // end of options
+    if (kind == 1) {       // NOP
+      ++opt;
+      continue;
+    }
+    if (opt + 1 >= opt_end) return std::nullopt;
+    const std::uint8_t len = frame[opt + 1];
+    if (len < 2 || opt + len > opt_end) return std::nullopt;
+    if (kind == 2 && len == 4) {
+      p.tcp.mss = get_u16(frame, opt + 2);
+    } else if (kind == 8 && len == 10) {
+      p.tcp.ts = TcpTsOpt{get_u32(frame, opt + 2), get_u32(frame, opt + 6)};
+    }
+    opt += len;
+  }
+
+  if (verify_checksums) {
+    std::vector<std::uint8_t> pseudo;
+    pseudo.reserve(12);
+    put_u32(pseudo, p.ip.src);
+    put_u32(pseudo, p.ip.dst);
+    pseudo.push_back(0);
+    pseudo.push_back(p.ip.proto);
+    put_u16(pseudo, static_cast<std::uint16_t>(tcp_total));
+    std::uint32_t sum = checksum_partial(pseudo);
+    sum = checksum_partial(frame.subspan(tcp_off, tcp_total), sum);
+    if (checksum_finish(sum) != 0) return std::nullopt;
+  }
+
+  p.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(tcp_off + doff),
+                   frame.begin() + static_cast<std::ptrdiff_t>(ip_off + ip_total));
+  return p;
+}
+
+PacketPtr make_tcp_packet(const MacAddr& src_mac, const MacAddr& dst_mac,
+                          Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                          std::uint16_t sport, std::uint16_t dport,
+                          std::uint32_t seq, std::uint32_t ack,
+                          std::uint8_t flags,
+                          std::vector<std::uint8_t> payload) {
+  auto p = std::make_shared<Packet>();
+  p->eth.src = src_mac;
+  p->eth.dst = dst_mac;
+  p->ip.src = src_ip;
+  p->ip.dst = dst_ip;
+  p->tcp.sport = sport;
+  p->tcp.dport = dport;
+  p->tcp.seq = seq;
+  p->tcp.ack = ack;
+  p->tcp.flags = flags;
+  p->payload = std::move(payload);
+  return p;
+}
+
+}  // namespace flextoe::net

@@ -1,0 +1,61 @@
+// A TCP/IPv4 packet with byte-exact serialization and parsing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.hpp"
+
+namespace flextoe::net {
+
+struct Packet {
+  EthHeader eth;
+  std::optional<VlanTag> vlan;
+  Ipv4Header ip;
+  TcpHeader tcp;
+  std::vector<std::uint8_t> payload;
+
+  // Bytes on the wire (L2 frame without preamble/FCS/IFG).
+  std::uint32_t frame_size() const {
+    return 14u + (vlan ? 4u : 0u) + 20u + tcp.header_len() +
+           static_cast<std::uint32_t>(payload.size());
+  }
+
+  // Bytes occupied on the link including preamble, SFD, FCS and IFG —
+  // used for bandwidth/serialization math. Frames below the 60-byte
+  // minimum are padded.
+  std::uint32_t wire_size() const {
+    std::uint32_t f = frame_size();
+    if (f < 60) f = 60;
+    return f + 24;  // 7 preamble + 1 SFD + 4 FCS + 12 IFG
+  }
+
+  std::uint32_t payload_len() const {
+    return static_cast<std::uint32_t>(payload.size());
+  }
+
+  // Serializes to an L2 frame with valid IPv4 and TCP checksums.
+  std::vector<std::uint8_t> serialize() const;
+
+  // Parses an L2 frame. Returns nullopt on malformed input. If
+  // `verify_checksums` is set, bad IPv4/TCP checksums also fail the parse.
+  static std::optional<Packet> parse(std::span<const std::uint8_t> frame,
+                                     bool verify_checksums = true);
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+inline PacketPtr clone(const Packet& p) { return std::make_shared<Packet>(p); }
+
+// Convenience constructor for a TCP segment.
+PacketPtr make_tcp_packet(const MacAddr& src_mac, const MacAddr& dst_mac,
+                          Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                          std::uint16_t sport, std::uint16_t dport,
+                          std::uint32_t seq, std::uint32_t ack,
+                          std::uint8_t flags,
+                          std::vector<std::uint8_t> payload = {});
+
+}  // namespace flextoe::net

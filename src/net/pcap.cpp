@@ -1,0 +1,59 @@
+#include "net/pcap.hpp"
+
+#include <array>
+
+namespace flextoe::net {
+
+namespace {
+
+void put_u32le(std::FILE* f, std::uint32_t v) {
+  std::array<std::uint8_t, 4> b{
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  std::fwrite(b.data(), 1, 4, f);
+}
+
+void put_u16le(std::FILE* f, std::uint16_t v) {
+  std::array<std::uint8_t, 2> b{static_cast<std::uint8_t>(v),
+                                static_cast<std::uint8_t>(v >> 8)};
+  std::fwrite(b.data(), 1, 2, f);
+}
+
+}  // namespace
+
+PcapWriter::~PcapWriter() { close(); }
+
+bool PcapWriter::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return false;
+  put_u32le(file_, 0xA1B2C3D4);  // magic (microsecond resolution)
+  put_u16le(file_, 2);           // version major
+  put_u16le(file_, 4);           // version minor
+  put_u32le(file_, 0);           // thiszone
+  put_u32le(file_, 0);           // sigfigs
+  put_u32le(file_, 65535);       // snaplen
+  put_u32le(file_, 1);           // LINKTYPE_ETHERNET
+  return true;
+}
+
+void PcapWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void PcapWriter::write(const Packet& pkt, sim::TimePs ts) {
+  if (file_ == nullptr) return;
+  const auto frame = pkt.serialize();
+  const std::uint64_t usecs = ts / sim::kPsPerUs;
+  put_u32le(file_, static_cast<std::uint32_t>(usecs / 1'000'000));
+  put_u32le(file_, static_cast<std::uint32_t>(usecs % 1'000'000));
+  put_u32le(file_, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(file_, static_cast<std::uint32_t>(frame.size()));
+  std::fwrite(frame.data(), 1, frame.size(), file_);
+  ++packets_;
+}
+
+}  // namespace flextoe::net

@@ -1,0 +1,37 @@
+// Minimal pcap (libpcap classic format) file writer, used by the
+// tcpdump-style capture module (paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::net {
+
+class PcapWriter {
+ public:
+  PcapWriter() = default;
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  // Opens `path` and writes the global header. Returns false on failure.
+  bool open(const std::string& path);
+  void close();
+  bool is_open() const { return file_ != nullptr; }
+
+  // Writes one packet with the given simulated timestamp.
+  void write(const Packet& pkt, sim::TimePs ts);
+
+  std::uint64_t packets_written() const { return packets_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace flextoe::net

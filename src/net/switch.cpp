@@ -1,0 +1,103 @@
+#include "net/switch.hpp"
+
+#include <cassert>
+
+namespace flextoe::net {
+
+Switch::Switch(sim::EventQueue& ev, sim::Rng rng, int num_ports,
+               SwitchPortParams defaults)
+    : ev_(ev), rng_(rng) {
+  ports_.resize(static_cast<std::size_t>(num_ports));
+  for (auto& p : ports_) p.params = defaults;
+  ingress_sinks_.reserve(static_cast<std::size_t>(num_ports));
+  for (int i = 0; i < num_ports; ++i) {
+    ingress_sinks_.push_back(std::make_unique<IngressSink>(*this, i));
+  }
+}
+
+void Switch::attach(int port, PacketSink* device) {
+  ports_.at(static_cast<std::size_t>(port)).device = device;
+}
+
+PacketSink* Switch::ingress_sink(int port) {
+  return ingress_sinks_.at(static_cast<std::size_t>(port)).get();
+}
+
+SwitchPortParams& Switch::port_params(int port) {
+  return ports_.at(static_cast<std::size_t>(port)).params;
+}
+
+std::uint32_t Switch::queue_depth(int port) const {
+  return ports_.at(static_cast<std::size_t>(port)).queued_bytes;
+}
+
+void Switch::ingress(int port, const PacketPtr& pkt) {
+  // Learn the source MAC.
+  mac_table_[pkt->eth.src.to_u64()] = port;
+
+  if (drop_prob_ > 0.0 && rng_.chance(drop_prob_)) {
+    ++dropped_random_;
+    return;
+  }
+
+  auto it = mac_table_.find(pkt->eth.dst.to_u64());
+  if (it != mac_table_.end()) {
+    if (it->second != port) enqueue(it->second, pkt);
+    return;
+  }
+  // Unknown destination: flood all other ports.
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (static_cast<int>(i) != port && ports_[i].device != nullptr) {
+      enqueue(static_cast<int>(i), pkt);
+    }
+  }
+}
+
+void Switch::enqueue(int port_idx, PacketPtr pkt) {
+  Port& port = ports_.at(static_cast<std::size_t>(port_idx));
+  const std::uint32_t sz = pkt->wire_size();
+
+  if (port.queued_bytes + sz > port.params.queue_bytes) {
+    ++dropped_queue_;
+    return;  // tail drop
+  }
+  // WRED/DCTCP-style ECN marking: mark CE once the queue exceeds the
+  // threshold, if the packet is ECN-capable.
+  if (port.params.ecn_marking && port.queued_bytes >= port.params.ecn_threshold &&
+      pkt->ip.ecn != Ecn::NotEct && pkt->ip.ecn != Ecn::Ce) {
+    pkt = clone(*pkt);  // copy-on-write: other recipients see the original
+    pkt->ip.ecn = Ecn::Ce;
+    ++ecn_marked_;
+  }
+
+  port.queued_bytes += sz;
+  port.queue.push_back(std::move(pkt));
+  if (!port.busy) start_tx(port_idx);
+}
+
+void Switch::start_tx(int port_idx) {
+  Port& port = ports_.at(static_cast<std::size_t>(port_idx));
+  if (port.queue.empty()) {
+    port.busy = false;
+    return;
+  }
+  port.busy = true;
+  PacketPtr pkt = std::move(port.queue.front());
+  port.queue.pop_front();
+  port.queued_bytes -= pkt->wire_size();
+
+  const double bits = static_cast<double>(pkt->wire_size()) * 8.0;
+  const auto ser = static_cast<sim::TimePs>(bits * 1000.0 / port.params.gbps);
+  PacketSink* device = port.device;
+  const sim::TimePs prop = port.params.prop_delay;
+
+  ev_.schedule_in(ser, [this, port_idx, device, prop, pkt] {
+    ++forwarded_;
+    if (device != nullptr) {
+      ev_.schedule_in(prop, [device, pkt] { device->deliver(pkt); });
+    }
+    start_tx(port_idx);
+  });
+}
+
+}  // namespace flextoe::net

@@ -1,0 +1,87 @@
+// Output-queued Ethernet switch with MAC learning, per-port rate
+// shaping, tail-drop queues, WRED-style ECN marking, and a switch-wide
+// random drop knob (used for the loss experiments, Fig 15, and incast,
+// Table 4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace flextoe::net {
+
+struct SwitchPortParams {
+  double gbps = 100.0;                       // egress serialization rate
+  sim::TimePs prop_delay = sim::ns(500);     // cable to the attached device
+  std::uint32_t queue_bytes = 512 * 1024;    // tail-drop capacity
+  std::uint32_t ecn_threshold = 80 * 1024;   // mark CE above this depth
+  bool ecn_marking = true;
+};
+
+class Switch {
+ public:
+  Switch(sim::EventQueue& ev, sim::Rng rng, int num_ports,
+         SwitchPortParams defaults = {});
+
+  // Attaches a device sink to `port` (egress side).
+  void attach(int port, PacketSink* device);
+
+  // Returns a sink that feeds this port's ingress (give it to the device).
+  PacketSink* ingress_sink(int port);
+
+  // Devices may also call ingress directly.
+  void ingress(int port, const PacketPtr& pkt);
+
+  SwitchPortParams& port_params(int port);
+
+  // Switch-wide uniform random drop probability (loss experiments).
+  void set_drop_prob(double p) { drop_prob_ = p; }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t dropped_queue() const { return dropped_queue_; }
+  std::uint64_t dropped_random() const { return dropped_random_; }
+  std::uint64_t ecn_marked() const { return ecn_marked_; }
+  std::uint32_t queue_depth(int port) const;
+
+ private:
+  struct Port {
+    SwitchPortParams params;
+    PacketSink* device = nullptr;
+    std::deque<PacketPtr> queue;
+    std::uint32_t queued_bytes = 0;
+    bool busy = false;
+  };
+
+  class IngressSink : public PacketSink {
+   public:
+    IngressSink(Switch& sw, int port) : sw_(sw), port_(port) {}
+    void deliver(const PacketPtr& pkt) override { sw_.ingress(port_, pkt); }
+
+   private:
+    Switch& sw_;
+    int port_;
+  };
+
+  void enqueue(int port, PacketPtr pkt);
+  void start_tx(int port);
+
+  sim::EventQueue& ev_;
+  sim::Rng rng_;
+  std::vector<Port> ports_;
+  std::vector<std::unique_ptr<IngressSink>> ingress_sinks_;
+  std::unordered_map<std::uint64_t, int> mac_table_;
+  double drop_prob_ = 0.0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_queue_ = 0;
+  std::uint64_t dropped_random_ = 0;
+  std::uint64_t ecn_marked_ = 0;
+};
+
+}  // namespace flextoe::net

@@ -1,0 +1,91 @@
+// Software-managed caches built on NFP near-memory primitives
+// (paper §4.1): per-FPC 16-entry fully-associative CAM caches with LRU
+// eviction, a 512-entry direct-mapped second-level cache in CLS, and the
+// EMEM SRAM front cache.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace flextoe::nfp {
+
+// Fully-associative cache keyed by a 32-bit id, LRU eviction.
+// Models the FPC-local CAM (16 entries on the NFP-4000).
+class CamCache {
+ public:
+  explicit CamCache(std::size_t entries = 16) : capacity_(entries) {}
+
+  // Returns true on hit. On miss the key is inserted (LRU evicted).
+  bool access(std::uint32_t key) {
+    auto it = std::find(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end()) {
+      // Move to MRU position.
+      keys_.erase(it);
+      keys_.push_back(key);
+      ++hits_;
+      return true;
+    }
+    if (keys_.size() >= capacity_) keys_.erase(keys_.begin());
+    keys_.push_back(key);
+    ++misses_;
+    return false;
+  }
+
+  bool contains(std::uint32_t key) const {
+    return std::find(keys_.begin(), keys_.end(), key) != keys_.end();
+  }
+  void invalidate(std::uint32_t key) {
+    auto it = std::find(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end()) keys_.erase(it);
+  }
+  void clear() { keys_.clear(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return keys_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint32_t> keys_;  // LRU order: front = oldest
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Direct-mapped cache indexed by key % size (connection identifiers are
+// allocated to minimize collisions, paper §4.1).
+class DirectMappedCache {
+ public:
+  explicit DirectMappedCache(std::size_t entries)
+      : slots_(entries, std::nullopt) {}
+
+  bool access(std::uint32_t key) {
+    auto& slot = slots_[key % slots_.size()];
+    if (slot && *slot == key) {
+      ++hits_;
+      return true;
+    }
+    slot = key;
+    ++misses_;
+    return false;
+  }
+
+  void invalidate(std::uint32_t key) {
+    auto& slot = slots_[key % slots_.size()];
+    if (slot && *slot == key) slot.reset();
+  }
+  void clear() { std::fill(slots_.begin(), slots_.end(), std::nullopt); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<std::optional<std::uint32_t>> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace flextoe::nfp

@@ -1,0 +1,39 @@
+#include "nfp/dma.hpp"
+
+#include <utility>
+
+namespace flextoe::nfp {
+
+void DmaEngine::issue(std::uint32_t bytes, std::function<void()> done) {
+  if (outstanding_ >= params_.max_outstanding) {
+    waiting_.push_back(Pending{bytes, std::move(done)});
+    return;
+  }
+  start(Pending{bytes, std::move(done)});
+}
+
+void DmaEngine::start(Pending p) {
+  ++outstanding_;
+  ++transactions_;
+  bytes_moved_ += p.bytes;
+
+  const sim::TimePs begin = std::max(ev_.now(), bus_free_);
+  bus_free_ = begin + xfer_time(p.bytes);
+  const sim::TimePs completion = bus_free_ + params_.latency;
+
+  ev_.schedule_at(completion, [this, done = std::move(p.done)]() mutable {
+    --outstanding_;
+    if (done) done();
+    if (!waiting_.empty() && outstanding_ < params_.max_outstanding) {
+      Pending next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start(std::move(next));
+    }
+  });
+}
+
+void DmaEngine::mmio(std::function<void()> done) {
+  ev_.schedule_in(params_.mmio_latency, std::move(done));
+}
+
+}  // namespace flextoe::nfp

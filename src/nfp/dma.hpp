@@ -1,0 +1,61 @@
+// PCIe DMA engine model: FPCs can issue up to 256 asynchronous DMA
+// transactions (paper §2.3). Transactions share PCIe Gen3 x8 bandwidth
+// and each pays the round-trip PCIe latency. MMIO doorbells are small
+// posted writes that pay latency but negligible bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::nfp {
+
+struct DmaParams {
+  double gbps = 52.0;                       // usable PCIe Gen3 x8 bandwidth
+  sim::TimePs latency = sim::ns(900);       // per-transaction round trip
+  unsigned max_outstanding = 256;
+  sim::TimePs mmio_latency = sim::ns(400);  // posted MMIO write
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(sim::EventQueue& ev, DmaParams params = {})
+      : ev_(ev), params_(params) {}
+
+  // Issues an asynchronous DMA of `bytes`; `done` fires on completion.
+  // If all transaction slots are busy, the request waits in a queue.
+  void issue(std::uint32_t bytes, std::function<void()> done);
+
+  // Posted MMIO write (doorbell): fire-and-forget with latency.
+  void mmio(std::function<void()> done);
+
+  unsigned outstanding() const { return outstanding_; }
+  std::uint64_t transactions() const { return transactions_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  const DmaParams& params() const { return params_; }
+
+ private:
+  struct Pending {
+    std::uint32_t bytes;
+    std::function<void()> done;
+  };
+
+  void start(Pending p);
+  sim::TimePs xfer_time(std::uint32_t bytes) const {
+    const double bits = static_cast<double>(bytes) * 8.0;
+    return static_cast<sim::TimePs>(bits * 1000.0 / params_.gbps);
+  }
+
+  sim::EventQueue& ev_;
+  DmaParams params_;
+  std::deque<Pending> waiting_;
+  unsigned outstanding_ = 0;
+  sim::TimePs bus_free_ = 0;
+  std::uint64_t transactions_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace flextoe::nfp

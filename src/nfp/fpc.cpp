@@ -1,0 +1,41 @@
+#include "nfp/fpc.hpp"
+
+#include <utility>
+
+namespace flextoe::nfp {
+
+bool Fpc::submit(Work w) {
+  if (queue_.size() >= params_.queue_capacity) {
+    ++items_dropped_;
+    return false;
+  }
+  queue_.push_back(std::move(w));
+  try_dispatch();
+  return true;
+}
+
+void Fpc::try_dispatch() {
+  while (inflight_ < params_.threads && !queue_.empty()) {
+    Work w = std::move(queue_.front());
+    queue_.pop_front();
+    ++inflight_;
+
+    const sim::TimePs compute = params_.clock.cycles(w.compute_cycles);
+    const sim::TimePs mem = params_.clock.cycles(w.mem_cycles);
+
+    // Compute serializes on the core; memory waits overlap across threads.
+    const sim::TimePs start = std::max(ev_.now(), core_free_);
+    core_free_ = start + compute;
+    busy_time_ += compute;
+    const sim::TimePs completion = core_free_ + mem;
+
+    ev_.schedule_at(completion, [this, done = std::move(w.done)]() mutable {
+      --inflight_;
+      ++items_done_;
+      if (done) done();
+      try_dispatch();
+    });
+  }
+}
+
+}  // namespace flextoe::nfp

@@ -1,0 +1,67 @@
+// Flow Processing Core (FPC) model.
+//
+// An NFP-4000 FPC is a wimpy 32-bit core at 800 MHz with 8 hardware
+// threads (paper §2.3). Threads hide memory latency: while one thread
+// waits on CLS/IMEM/EMEM, another executes. We model each work item as
+// `compute_cycles` that serialize on the core plus `mem_cycles` that
+// overlap with other threads' compute. In-flight items are limited to the
+// number of hardware threads; beyond that, items wait in the work queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::nfp {
+
+struct FpcParams {
+  sim::ClockDomain clock = sim::kFpcClock;
+  unsigned threads = 8;
+  std::size_t queue_capacity = 128;  // inter-stage ring buffer depth
+};
+
+struct Work {
+  std::uint32_t compute_cycles = 0;
+  std::uint32_t mem_cycles = 0;
+  std::function<void()> done;
+};
+
+class Fpc {
+ public:
+  Fpc(sim::EventQueue& ev, FpcParams params, std::string name)
+      : ev_(ev), params_(params), name_(std::move(name)) {}
+
+  // Enqueues a work item. Returns false (and drops it) if the work queue
+  // is full — FlexTOE's one-shot data-path never buffers segments, so
+  // back-pressure manifests as drops that TCP recovers from.
+  bool submit(Work w);
+
+  std::size_t queue_len() const { return queue_.size(); }
+  unsigned inflight() const { return inflight_; }
+  const std::string& name() const { return name_; }
+  const FpcParams& params() const { return params_; }
+
+  std::uint64_t items_done() const { return items_done_; }
+  std::uint64_t items_dropped() const { return items_dropped_; }
+  // Total core-occupied time (for utilization accounting).
+  sim::TimePs busy_time() const { return busy_time_; }
+
+ private:
+  void try_dispatch();
+
+  sim::EventQueue& ev_;
+  FpcParams params_;
+  std::string name_;
+  std::deque<Work> queue_;
+  unsigned inflight_ = 0;
+  sim::TimePs core_free_ = 0;
+  std::uint64_t items_done_ = 0;
+  std::uint64_t items_dropped_ = 0;
+  sim::TimePs busy_time_ = 0;
+};
+
+}  // namespace flextoe::nfp

@@ -1,0 +1,77 @@
+// NFP-4000 memory hierarchy cost model (paper §2.3 / §4.1):
+//   FPC local memory     — a few cycles
+//   CLS (island, 64 KB)  — up to 100 cycles
+//   CTM (island, 256 KB) — up to 100 cycles
+//   IMEM (4 MB SRAM)     — up to 250 cycles
+//   EMEM (2 GB DRAM, 3 MB SRAM front cache) — up to 500 cycles
+//
+// `StateAccessModel` combines the per-FPC CAM cache, the island CLS
+// direct-mapped cache, and the EMEM SRAM cache to answer "how many memory
+// cycles does it cost this FPC to touch connection state X?" — exactly
+// the mechanism that produces the paper's connection-scalability behaviour
+// (Fig 13: fast up to ~2K flows cached in CLS, strained beyond 8K).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nfp/caches.hpp"
+
+namespace flextoe::nfp {
+
+struct MemLatencies {
+  std::uint32_t local = 4;
+  std::uint32_t cls = 100;
+  std::uint32_t ctm = 100;
+  std::uint32_t imem = 250;
+  std::uint32_t emem_sram = 500;
+  std::uint32_t emem_dram = 900;
+};
+
+// Shared per-island / per-NIC cache levels.
+struct IslandMemory {
+  explicit IslandMemory(std::size_t cls_entries = 512)
+      : cls_cache(cls_entries) {}
+  DirectMappedCache cls_cache;
+};
+
+struct NicMemory {
+  explicit NicMemory(std::size_t emem_sram_entries = 8192)
+      : emem_cache(emem_sram_entries) {}
+  DirectMappedCache emem_cache;
+};
+
+// Per-FPC view of the hierarchy for connection-state accesses.
+class StateAccessModel {
+ public:
+  StateAccessModel(MemLatencies lat, IslandMemory* island, NicMemory* nic,
+                   std::size_t local_entries = 16)
+      : lat_(lat), island_(island), nic_(nic), local_(local_entries) {}
+
+  // Cycles to fetch connection state `conn_id` into local memory,
+  // updating all cache levels along the way.
+  std::uint32_t access_cycles(std::uint32_t conn_id) {
+    if (local_.access(conn_id)) return lat_.local;
+    if (island_ != nullptr && island_->cls_cache.access(conn_id)) {
+      return lat_.cls;
+    }
+    if (nic_ != nullptr && nic_->emem_cache.access(conn_id)) {
+      return lat_.emem_sram;
+    }
+    return lat_.emem_dram;
+  }
+
+  // Removes a connection from this FPC's local cache (teardown).
+  void invalidate(std::uint32_t conn_id) { local_.invalidate(conn_id); }
+
+  const CamCache& local_cache() const { return local_; }
+  const MemLatencies& latencies() const { return lat_; }
+
+ private:
+  MemLatencies lat_;
+  IslandMemory* island_;
+  NicMemory* nic_;
+  CamCache local_;
+};
+
+}  // namespace flextoe::nfp

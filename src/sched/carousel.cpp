@@ -1,0 +1,150 @@
+#include "sched/carousel.hpp"
+
+#include <algorithm>
+
+namespace flextoe::sched {
+
+Carousel::Carousel(sim::EventQueue& ev, CarouselParams params)
+    : ev_(ev), params_(params), wheel_(params.num_slots) {}
+
+void Carousel::set_rate(FlowId flow, std::uint64_t bytes_per_sec) {
+  auto& st = flows_[flow];
+  st.dead = false;
+  if (bytes_per_sec == 0 || bytes_per_sec >= params_.uncongested_rate) {
+    st.ps_per_byte = 0;
+  } else {
+    st.ps_per_byte = sim::kPsPerSec / bytes_per_sec;
+    if (st.ps_per_byte == 0) st.ps_per_byte = 1;
+  }
+}
+
+void Carousel::update_avail(FlowId flow, std::uint64_t avail) {
+  auto& st = flows_[flow];
+  st.dead = false;
+  st.avail = avail;
+  st.parked = false;
+  if (st.avail > 0 && !st.queued) enqueue_ready(flow);
+}
+
+void Carousel::add_avail(FlowId flow, std::uint64_t delta) {
+  auto& st = flows_[flow];
+  st.dead = false;
+  st.avail += delta;
+  st.parked = false;
+  if (st.avail > 0 && !st.queued) enqueue_ready(flow);
+}
+
+void Carousel::kick(FlowId flow) {
+  auto& st = flows_[flow];
+  if (st.dead) return;
+  st.parked = false;
+  if (st.avail > 0 && !st.queued) enqueue_ready(flow);
+}
+
+void Carousel::remove_flow(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  // Mark dead; lazily skipped when dequeued from ready/wheel.
+  it->second.dead = true;
+  it->second.avail = 0;
+}
+
+void Carousel::enqueue_ready(FlowId flow) {
+  auto& st = flows_[flow];
+  st.queued = true;
+  ready_.push_back(flow);
+  pump();
+}
+
+void Carousel::enqueue_wheel(FlowId flow, sim::TimePs deadline) {
+  auto& st = flows_[flow];
+  st.queued = true;
+
+  if (wheel_count_ == 0) {
+    // (Re)anchor the wheel at the current time.
+    wheel_time_ = ev_.now();
+    wheel_pos_ = 0;
+  }
+  const sim::TimePs horizon =
+      params_.slot_granularity * static_cast<sim::TimePs>(wheel_.size() - 1);
+  sim::TimePs delta = deadline > ev_.now() ? deadline - ev_.now() : 0;
+  delta = std::min(delta, horizon);
+  // Slot offset relative to current wheel position. A deadline inside the
+  // current slot is due now: it goes straight to the ready queue (the
+  // current slot is only serviced again after a full rotation).
+  const std::size_t off =
+      static_cast<std::size_t>(delta / params_.slot_granularity);
+  if (off == 0) {
+    st.queued = false;  // enqueue_ready re-marks it
+    enqueue_ready(flow);
+    return;
+  }
+  const std::size_t slot = (wheel_pos_ + off) % wheel_.size();
+  wheel_[slot].push_back(flow);
+  ++wheel_count_;
+
+  if (!wheel_tick_scheduled_) {
+    wheel_tick_scheduled_ = true;
+    ev_.schedule_in(params_.slot_granularity, [this] { wheel_tick(); });
+  }
+}
+
+void Carousel::wheel_tick() {
+  wheel_tick_scheduled_ = false;
+  // Advance one slot; expire its flows into the ready queue.
+  wheel_pos_ = (wheel_pos_ + 1) % wheel_.size();
+  wheel_time_ += params_.slot_granularity;
+  auto& slot = wheel_[wheel_pos_];
+  for (FlowId f : slot) {
+    ready_.push_back(f);
+    --wheel_count_;
+  }
+  slot.clear();
+  pump();
+  if (wheel_count_ > 0 && !wheel_tick_scheduled_) {
+    wheel_tick_scheduled_ = true;
+    ev_.schedule_in(params_.slot_granularity, [this] { wheel_tick(); });
+  }
+}
+
+void Carousel::pump() {
+  if (service_scheduled_ || ready_.empty()) return;
+  service_scheduled_ = true;
+  const sim::TimePs at = std::max(ev_.now(), next_service_);
+  next_service_ = at + params_.service_interval;
+  ev_.schedule_at(at, [this] {
+    service_scheduled_ = false;
+    service_one();
+    pump();
+  });
+}
+
+void Carousel::service_one() {
+  while (!ready_.empty()) {
+    const FlowId flow = ready_.front();
+    ready_.pop_front();
+    auto& st = flows_[flow];
+    st.queued = false;
+    if (st.dead || st.avail == 0) continue;
+
+    ++trigger_count_;
+    const std::uint32_t sent = trigger_ ? trigger_(flow) : 0;
+    if (sent == 0) {
+      // Blocked (window closed / pipeline full): park until the data-path
+      // kicks us (window opened, data appended, reset).
+      st.parked = true;
+      return;
+    }
+    st.avail -= std::min<std::uint64_t>(st.avail, sent);
+    if (st.avail > 0) {
+      if (st.ps_per_byte == 0) {
+        enqueue_ready(flow);  // uncongested: round-robin
+      } else {
+        enqueue_wheel(flow, ev_.now() + st.ps_per_byte * sent);
+      }
+    }
+    return;  // one trigger per service interval
+  }
+}
+
+}  // namespace flextoe::sched

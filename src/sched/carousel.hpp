@@ -1,0 +1,91 @@
+// Carousel-based flow scheduler (paper §3.4).
+//
+// Flows with data available are scheduled for transmission. Rate-limited
+// flows are enqueued into a time wheel slot computed from their next
+// transmission deadline; uncongested flows bypass the rate limiter and are
+// served round-robin (work conserving). Rates are programmed by the
+// control plane as picoseconds-per-byte *intervals* — the NFP-4000 has no
+// division, so the control plane performs the rate→interval division and
+// the scheduler only multiplies (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::sched {
+
+struct CarouselParams {
+  sim::TimePs slot_granularity = sim::us(1);
+  std::size_t num_slots = 4096;  // horizon = granularity * slots
+  // Service interval of the SCH module (one TX trigger per interval),
+  // modeling the scheduler FPC's processing rate.
+  sim::TimePs service_interval = sim::ns(45);
+  // Rates at or above this (bytes/s) bypass the rate limiter.
+  std::uint64_t uncongested_rate = 100'000'000'000ull / 8;
+};
+
+class Carousel {
+ public:
+  using FlowId = std::uint32_t;
+  // Asks the data-path to transmit one segment for `flow`; returns the
+  // number of payload bytes queued for transmission (0 = blocked).
+  using TxTrigger = std::function<std::uint32_t(FlowId)>;
+
+  Carousel(sim::EventQueue& ev, CarouselParams params = {});
+
+  void set_trigger(TxTrigger t) { trigger_ = std::move(t); }
+
+  // Programs the pacing interval for a flow. `bytes_per_sec` is converted
+  // once here (control-plane division); 0 or >= uncongested_rate selects
+  // the round-robin bypass.
+  void set_rate(FlowId flow, std::uint64_t bytes_per_sec);
+
+  // Data-path FS updates: flow has (at least) `avail` bytes ready to send.
+  void update_avail(FlowId flow, std::uint64_t avail);
+  void add_avail(FlowId flow, std::uint64_t delta);
+
+  // Re-arms a flow that previously reported blocked (e.g. window opened).
+  void kick(FlowId flow);
+
+  void remove_flow(FlowId flow);
+
+  std::uint64_t triggers() const { return trigger_count_; }
+  std::size_t flows_tracked() const { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    std::uint64_t avail = 0;
+    sim::TimePs ps_per_byte = 0;  // 0 = uncongested (round-robin)
+    bool queued = false;          // in ready queue or wheel
+    bool parked = false;          // blocked (window closed); needs a kick
+    bool dead = false;
+  };
+
+  void enqueue_ready(FlowId flow);
+  void enqueue_wheel(FlowId flow, sim::TimePs deadline);
+  void pump();
+  void service_one();
+  void wheel_tick();
+
+  sim::EventQueue& ev_;
+  CarouselParams params_;
+  TxTrigger trigger_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::deque<FlowId> ready_;
+  std::vector<std::vector<FlowId>> wheel_;
+  std::size_t wheel_pos_ = 0;
+  sim::TimePs wheel_time_ = 0;  // time corresponding to wheel_pos_
+  std::size_t wheel_count_ = 0;
+  bool wheel_tick_scheduled_ = false;
+  bool service_scheduled_ = false;
+  sim::TimePs next_service_ = 0;
+  std::uint64_t trigger_count_ = 0;
+};
+
+}  // namespace flextoe::sched

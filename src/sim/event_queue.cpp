@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace flextoe::sim {
+
+void EventQueue::schedule_at(TimePs t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  heap_.push(Ev{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() returns const&; move via const_cast is safe here
+  // because we pop immediately after.
+  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run_until(TimePs t) {
+  while (!heap_.empty() && heap_.top().t <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace flextoe::sim

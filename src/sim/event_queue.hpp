@@ -1,0 +1,60 @@
+// Deterministic discrete-event queue.
+//
+// Events scheduled for the same timestamp run in schedule order (FIFO),
+// which keeps every simulation bit-reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace flextoe::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` to run at absolute time `t` (>= now()).
+  void schedule_at(TimePs t, Callback cb);
+
+  // Schedules `cb` to run `delay` after now().
+  void schedule_in(TimePs delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // Runs the earliest pending event. Returns false if the queue is empty.
+  bool step();
+
+  // Runs all events with timestamp <= t, then advances now() to t.
+  void run_until(TimePs t);
+
+  // Drains the queue completely (use only for bounded simulations).
+  void run_all();
+
+  TimePs now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    TimePs t;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace flextoe::sim

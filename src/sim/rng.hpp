@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// SplitMix64 is tiny, fast, and statistically solid for simulation use.
+// Every stochastic component takes its own seeded Rng so results are
+// reproducible and independent of event interleaving elsewhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace flextoe::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  // Exponential with mean `mean` (for Poisson arrival processes).
+  double next_exp(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  // Derives an independent stream (for seeding sub-components).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace flextoe::sim

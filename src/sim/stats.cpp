@@ -1,0 +1,80 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flextoe::sim {
+
+Percentiles::Percentiles(std::size_t max_samples, std::uint64_t seed)
+    : max_samples_(max_samples), rng_state_(seed) {
+  samples_.reserve(std::min<std::size_t>(max_samples_, 4096));
+}
+
+std::uint64_t Percentiles::next_u64() {
+  std::uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void Percentiles::add(double v) {
+  ++n_;
+  sum_ += v;
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(v);
+    sorted_ = false;
+    return;
+  }
+  // Reservoir sampling: replace a random slot with probability k/n.
+  std::uint64_t idx = next_u64() % n_;
+  if (idx < samples_.size()) {
+    samples_[idx] = v;
+    sorted_ = false;
+  }
+}
+
+double Percentiles::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Percentiles::min() const { return percentile(0.0); }
+double Percentiles::max() const { return percentile(100.0); }
+
+double Percentiles::mean() const {
+  return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+
+void Percentiles::clear() {
+  samples_.clear();
+  sorted_ = true;
+  n_ = 0;
+  sum_ = 0;
+}
+
+double jains_fairness_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double s = 0, s2 = 0;
+  for (double x : xs) {
+    s += x;
+    s2 += x * x;
+  }
+  if (s2 == 0) return 1.0;
+  return (s * s) / (static_cast<double>(xs.size()) * s2);
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace flextoe::sim

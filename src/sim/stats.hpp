@@ -1,0 +1,70 @@
+// Statistics helpers used by tests and the benchmark harness:
+// exact percentile accumulators, counters, throughput meters, and
+// Jain's fairness index.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace flextoe::sim {
+
+// Collects samples and answers percentile queries exactly.
+// Memory is bounded by `max_samples`; beyond that, uniform reservoir
+// sampling keeps the distribution representative.
+class Percentiles {
+ public:
+  explicit Percentiles(std::size_t max_samples = 1 << 20,
+                       std::uint64_t seed = 0x5eed);
+
+  void add(double v);
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // p in [0, 100]. Returns 0 for an empty accumulator.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  void clear();
+
+ private:
+  std::size_t max_samples_;
+  std::uint64_t rng_state_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  std::size_t n_ = 0;
+  double sum_ = 0;
+
+  std::uint64_t next_u64();
+};
+
+// Simple event/byte counter with rate queries over a time window.
+class Meter {
+ public:
+  void add(std::uint64_t v = 1) { total_ += v; }
+  std::uint64_t total() const { return total_; }
+
+  double rate_per_sec(TimePs elapsed) const {
+    if (elapsed == 0) return 0;
+    return static_cast<double>(total_) / to_sec(elapsed);
+  }
+  void clear() { total_ = 0; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+// Jain's fairness index over per-flow throughput values.
+// JFI = (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+double jains_fairness_index(const std::vector<double>& xs);
+
+// Formats `v` with `prec` decimals (helper for table printers).
+std::string fmt(double v, int prec = 2);
+
+}  // namespace flextoe::sim

@@ -1,0 +1,47 @@
+// Simulated time: 64-bit picoseconds since simulation start.
+//
+// Picosecond resolution lets us convert cycle counts of arbitrary clock
+// rates (800 MHz FPCs = 1250 ps/cycle, 2 GHz Xeon = 500 ps/cycle) to time
+// without rounding drift, while still covering ~213 days of simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace flextoe::sim {
+
+using TimePs = std::uint64_t;
+
+inline constexpr TimePs kPsPerNs = 1'000;
+inline constexpr TimePs kPsPerUs = 1'000'000;
+inline constexpr TimePs kPsPerMs = 1'000'000'000;
+inline constexpr TimePs kPsPerSec = 1'000'000'000'000;
+
+constexpr TimePs ns(std::uint64_t v) { return v * kPsPerNs; }
+constexpr TimePs us(std::uint64_t v) { return v * kPsPerUs; }
+constexpr TimePs ms(std::uint64_t v) { return v * kPsPerMs; }
+constexpr TimePs sec(std::uint64_t v) { return v * kPsPerSec; }
+
+constexpr double to_us(TimePs t) { return static_cast<double>(t) / kPsPerUs; }
+constexpr double to_ms(TimePs t) { return static_cast<double>(t) / kPsPerMs; }
+constexpr double to_sec(TimePs t) { return static_cast<double>(t) / kPsPerSec; }
+
+// A clock domain converts cycle counts to simulated time.
+struct ClockDomain {
+  TimePs ps_per_cycle;
+
+  constexpr TimePs cycles(std::uint64_t n) const { return n * ps_per_cycle; }
+  constexpr std::uint64_t to_cycles(TimePs t) const {
+    return t / ps_per_cycle;
+  }
+  constexpr double mhz() const {
+    return 1e12 / static_cast<double>(ps_per_cycle) / 1e6;
+  }
+};
+
+// Clock domains used throughout the reproduction (paper §2.3, §5).
+inline constexpr ClockDomain kFpcClock{1250};        // NFP-4000 FPC, 800 MHz
+inline constexpr ClockDomain kHostClock{500};        // Xeon Gold 6138, 2 GHz
+inline constexpr ClockDomain kX86Clock{425};         // AMD 7452, ~2.35 GHz
+inline constexpr ClockDomain kBlueFieldClock{1250};  // BlueField A72, 800 MHz
+
+}  // namespace flextoe::sim

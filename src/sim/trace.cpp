@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+namespace flextoe::sim {
+
+std::uint32_t TraceRegistry::register_point(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(points_.size());
+  points_.push_back(Point{std::string(name), 0, 0});
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+void TraceRegistry::hit(std::uint32_t id, std::uint64_t value) {
+  if (!enabled_) return;
+  if (id >= points_.size()) return;
+  points_[id].hits++;
+  points_[id].accum += value;
+}
+
+std::uint64_t TraceRegistry::hits(std::uint32_t id) const {
+  return id < points_.size() ? points_[id].hits : 0;
+}
+
+std::uint64_t TraceRegistry::hits(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? 0 : hits(it->second);
+}
+
+std::uint64_t TraceRegistry::accumulated(std::uint32_t id) const {
+  return id < points_.size() ? points_[id].accum : 0;
+}
+
+std::vector<std::string> TraceRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.name);
+  return out;
+}
+
+void TraceRegistry::clear_counts() {
+  for (auto& p : points_) {
+    p.hits = 0;
+    p.accum = 0;
+  }
+}
+
+}  // namespace flextoe::sim

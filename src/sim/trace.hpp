@@ -1,0 +1,55 @@
+// Tracepoint registry (paper §5.1: "48 different tracepoints ... tracking
+// transport events such as per-connection drops, out-of-order packets and
+// retransmissions, inter-module queue occupancies, and critical section
+// lengths").
+//
+// Tracepoints are named counters that modules hit on the data path. When
+// profiling is enabled, each hit additionally charges the owning stage a
+// configurable cycle cost — this is how Table 2's "Statistics and
+// profiling" row is regenerated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace flextoe::sim {
+
+class TraceRegistry {
+ public:
+  // Registers (or finds) a tracepoint and returns its id.
+  std::uint32_t register_point(std::string_view name);
+
+  // Hit a tracepoint; `value` accumulates (e.g. queue occupancy).
+  void hit(std::uint32_t id, std::uint64_t value = 1);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Extra per-hit cycles charged to the hitting stage when enabled.
+  std::uint32_t per_hit_cycles() const { return enabled_ ? per_hit_cycles_ : 0; }
+  void set_per_hit_cycles(std::uint32_t c) { per_hit_cycles_ = c; }
+
+  std::uint64_t hits(std::uint32_t id) const;
+  std::uint64_t hits(std::string_view name) const;
+  std::uint64_t accumulated(std::uint32_t id) const;
+  std::size_t num_points() const { return points_.size(); }
+  std::vector<std::string> names() const;
+
+  void clear_counts();
+
+ private:
+  struct Point {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t accum = 0;
+  };
+  std::vector<Point> points_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  bool enabled_ = false;
+  std::uint32_t per_hit_cycles_ = 30;
+};
+
+}  // namespace flextoe::sim

@@ -1,0 +1,113 @@
+#include "tcp/cc.hpp"
+
+#include <cassert>
+
+namespace flextoe::tcp {
+
+namespace {
+
+std::uint64_t clamp_rate(double r, std::uint64_t lo, std::uint64_t hi) {
+  if (r < static_cast<double>(lo)) return lo;
+  if (r > static_cast<double>(hi)) return hi;
+  return static_cast<std::uint64_t>(r);
+}
+
+}  // namespace
+
+Dctcp::Dctcp(DctcpParams p)
+    : p_(p),
+      cwnd_(p.init_cwnd_bytes),
+      ssthresh_(p.max_cwnd_bytes),
+      rate_(p.max_rate_bps) {}
+
+std::uint64_t Dctcp::update(const CcInput& in) {
+  if (in.timeouts > 0) {
+    // Loss with timeout: collapse to one segment (go-back-N recovery).
+    ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2 * p_.mss);
+    cwnd_ = p_.mss;
+    alpha_ = 1.0;
+  } else if (in.fast_retx > 0) {
+    ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2 * p_.mss);
+    cwnd_ = ssthresh_;
+  } else if (in.acked_bytes > 0) {
+    // Update the ECN fraction estimate.
+    const double frac = static_cast<double>(in.ecn_bytes) /
+                        static_cast<double>(in.acked_bytes);
+    alpha_ = (1.0 - p_.gain) * alpha_ + p_.gain * frac;
+    if (in.ecn_bytes > 0) {
+      // DCTCP window reduction, proportional to congestion extent.
+      const double reduced =
+          static_cast<double>(cwnd_) * (1.0 - alpha_ / 2.0);
+      cwnd_ = std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(reduced), 2 * p_.mss);
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ = std::min(cwnd_ + in.acked_bytes, p_.max_cwnd_bytes);
+    } else {
+      // Congestion avoidance: +MSS per cwnd of ACKed data.
+      const double incr = static_cast<double>(p_.mss) *
+                          static_cast<double>(in.acked_bytes) /
+                          static_cast<double>(std::max<std::uint64_t>(cwnd_, 1));
+      cwnd_ = std::min(cwnd_ + static_cast<std::uint64_t>(incr + 1),
+                       p_.max_cwnd_bytes);
+    }
+  }
+
+  // Convert window to pacing rate over the measured RTT.
+  const sim::TimePs rtt = in.rtt > 0 ? in.rtt : sim::us(50);
+  const double r = static_cast<double>(cwnd_) *
+                   static_cast<double>(sim::kPsPerSec) /
+                   static_cast<double>(rtt);
+  rate_ = clamp_rate(r, p_.min_rate_bps, p_.max_rate_bps);
+  return rate_;
+}
+
+Timely::Timely(TimelyParams p) : p_(p), rate_(p.max_rate_bps / 10) {}
+
+std::uint64_t Timely::update(const CcInput& in) {
+  if (in.timeouts > 0) {
+    rate_ = std::max<std::uint64_t>(rate_ / 2, p_.min_rate_bps);
+    return rate_;
+  }
+  if (in.rtt == 0) return rate_;
+
+  const auto rtt = in.rtt;
+  double r = static_cast<double>(rate_);
+
+  if (prev_rtt_ == 0) {
+    prev_rtt_ = rtt;
+    return rate_;
+  }
+  const double new_diff = static_cast<double>(rtt) -
+                          static_cast<double>(prev_rtt_);
+  prev_rtt_ = rtt;
+  rtt_diff_ = (1.0 - 1.0 / 8.0) * rtt_diff_ + (1.0 / 8.0) * new_diff;
+  const double gradient = rtt_diff_ / static_cast<double>(p_.min_rtt);
+
+  if (rtt < p_.t_low) {
+    r += p_.add_step;
+    neg_gradient_rounds_ = 0;
+  } else if (rtt > p_.t_high) {
+    r *= 1.0 - p_.beta * (1.0 - static_cast<double>(p_.t_high) /
+                                    static_cast<double>(rtt));
+    neg_gradient_rounds_ = 0;
+  } else if (gradient <= 0) {
+    // Hyperactive increase after several decreasing-RTT rounds.
+    ++neg_gradient_rounds_;
+    const double n = neg_gradient_rounds_ >= p_.hai_threshold ? 5.0 : 1.0;
+    r += n * p_.add_step;
+  } else {
+    neg_gradient_rounds_ = 0;
+    r *= 1.0 - p_.beta * std::min(gradient, 1.0);
+  }
+
+  rate_ = std::clamp<std::uint64_t>(static_cast<std::uint64_t>(r),
+                                    p_.min_rate_bps, p_.max_rate_bps);
+  return rate_;
+}
+
+std::unique_ptr<CongestionControl> make_cc(const std::string& name) {
+  if (name == "timely") return std::make_unique<Timely>();
+  return std::make_unique<Dctcp>();
+}
+
+}  // namespace flextoe::tcp

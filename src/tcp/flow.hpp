@@ -1,0 +1,59 @@
+// Flow identification: 4-tuple, CRC-32 hashing (as the NFP lookup engine
+// does), and flow-group assignment (paper §3.1: "each pipeline handles a
+// fixed flow-group, determined by a hash on the flow's 4-tuple").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "net/addr.hpp"
+#include "net/checksum.hpp"
+
+namespace flextoe::tcp {
+
+struct FlowTuple {
+  net::Ipv4Addr local_ip = 0;
+  net::Ipv4Addr remote_ip = 0;
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;
+
+  bool operator==(const FlowTuple&) const = default;
+
+  FlowTuple reversed() const {
+    return FlowTuple{remote_ip, local_ip, remote_port, local_port};
+  }
+
+  std::array<std::uint8_t, 12> bytes() const {
+    std::array<std::uint8_t, 12> b{};
+    auto put32 = [&b](std::size_t off, std::uint32_t v) {
+      b[off] = static_cast<std::uint8_t>(v >> 24);
+      b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+      b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+      b[off + 3] = static_cast<std::uint8_t>(v);
+    };
+    put32(0, local_ip);
+    put32(4, remote_ip);
+    b[8] = static_cast<std::uint8_t>(local_port >> 8);
+    b[9] = static_cast<std::uint8_t>(local_port);
+    b[10] = static_cast<std::uint8_t>(remote_port >> 8);
+    b[11] = static_cast<std::uint8_t>(remote_port);
+    return b;
+  }
+
+  std::uint32_t hash() const {
+    const auto b = bytes();
+    return net::crc32(std::span<const std::uint8_t>(b.data(), b.size()));
+  }
+
+  // Flow-group index in [0, num_groups).
+  std::uint32_t flow_group(std::uint32_t num_groups) const {
+    return num_groups == 0 ? 0 : hash() % num_groups;
+  }
+};
+
+struct FlowTupleHash {
+  std::size_t operator()(const FlowTuple& t) const { return t.hash(); }
+};
+
+}  // namespace flextoe::tcp

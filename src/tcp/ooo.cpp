@@ -1,0 +1,145 @@
+#include "tcp/ooo.hpp"
+
+namespace flextoe::tcp {
+
+namespace {
+
+// Common front/tail trimming against [rcv_nxt, rcv_nxt + window).
+// Returns false if nothing of the segment fits in the window.
+bool trim_to_window(SeqNum rcv_nxt, std::uint32_t window, SeqNum& seq,
+                    std::uint32_t& len, RxResult& r) {
+  if (len == 0) return false;
+  SeqNum seg_end = seq + len;
+  if (seq_le(seg_end, rcv_nxt)) {
+    r.duplicate = true;
+    return false;  // entirely stale
+  }
+  if (seq_lt(seq, rcv_nxt)) {
+    const std::uint32_t trim = seq_diff(rcv_nxt, seq);
+    seq = rcv_nxt;
+    len -= trim;
+  }
+  const SeqNum win_end = rcv_nxt + window;
+  if (seq_ge(seq, win_end)) {
+    r.duplicate = true;
+    return false;  // beyond the receive window
+  }
+  if (seq_gt(seq + len, win_end)) {
+    len = seq_diff(win_end, seq);
+  }
+  return len > 0;
+}
+
+}  // namespace
+
+RxResult SingleIntervalTracker::on_segment(SeqNum rcv_nxt, SeqNum seq,
+                                           std::uint32_t len,
+                                           std::uint32_t window) {
+  RxResult r;
+  if (!trim_to_window(rcv_nxt, window, seq, len, r)) return r;
+
+  if (seq == rcv_nxt) {
+    // In-order: accept and possibly merge the tracked interval.
+    r.accept = true;
+    r.buf_offset = 0;
+    r.accept_len = len;
+    r.advance = len;
+    if (ooo_len_ > 0) {
+      const SeqNum new_nxt = rcv_nxt + r.advance;
+      const SeqNum ooo_end = ooo_start_ + ooo_len_;
+      if (seq_le(ooo_start_, new_nxt)) {
+        if (seq_gt(ooo_end, new_nxt)) {
+          r.advance += seq_diff(ooo_end, new_nxt);
+        }
+        ooo_len_ = 0;  // interval consumed (or fully below new_nxt)
+      }
+    }
+    return r;
+  }
+
+  // Hole ahead of us: out-of-order arrival.
+  if (ooo_len_ == 0) {
+    ooo_start_ = seq;
+    ooo_len_ = len;
+    r.accept = true;
+    r.buf_offset = seq_diff(seq, rcv_nxt);
+    r.accept_len = len;
+    r.duplicate = true;  // triggers an ACK carrying the expected seq
+    return r;
+  }
+
+  const SeqNum ooo_end = ooo_start_ + ooo_len_;
+  const SeqNum seg_end = seq + len;
+  // Mergeable iff overlapping or adjacent to the tracked interval.
+  if (seq_le(seq, ooo_end) && seq_le(ooo_start_, seg_end)) {
+    const SeqNum new_start = seq_min(ooo_start_, seq);
+    const SeqNum new_end = seq_max(ooo_end, seg_end);
+    ooo_start_ = new_start;
+    ooo_len_ = seq_diff(new_end, new_start);
+    r.accept = true;
+    r.buf_offset = seq_diff(seq, rcv_nxt);
+    r.accept_len = len;
+    r.duplicate = true;
+    return r;
+  }
+
+  // Outside the tracked interval: drop, re-ACK expected (paper §3.1.3).
+  r.duplicate = true;
+  return r;
+}
+
+RxResult MultiIntervalTracker::on_segment(SeqNum rcv_nxt, SeqNum seq,
+                                          std::uint32_t len,
+                                          std::uint32_t window) {
+  RxResult r;
+  if (!trim_to_window(rcv_nxt, window, seq, len, r)) return r;
+
+  r.accept = true;
+  r.buf_offset = seq_diff(seq, rcv_nxt);
+  r.accept_len = len;
+  r.duplicate = seq != rcv_nxt;
+
+  // Insert [seq, seq+len) merging any overlapping/adjacent intervals.
+  SeqNum start = seq;
+  SeqNum end = seq + len;
+  auto it = intervals_.begin();
+  while (it != intervals_.end()) {
+    const SeqNum a = it->first;
+    const SeqNum b = it->second;
+    if (seq_le(a, end) && seq_le(start, b)) {
+      start = seq_min(start, a);
+      end = seq_max(end, b);
+      it = intervals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  intervals_[start] = end;
+
+  // Advance rcv_nxt through any contiguous prefix.
+  auto first = intervals_.begin();
+  if (first != intervals_.end() && seq_le(first->first, rcv_nxt) &&
+      seq_gt(first->second, rcv_nxt)) {
+    r.advance = seq_diff(first->second, rcv_nxt);
+    intervals_.erase(first);
+  } else {
+    r.advance = 0;
+  }
+  return r;
+}
+
+RxResult NoOooTracker::on_segment(SeqNum rcv_nxt, SeqNum seq,
+                                  std::uint32_t len, std::uint32_t window) {
+  RxResult r;
+  if (!trim_to_window(rcv_nxt, window, seq, len, r)) return r;
+  if (seq != rcv_nxt) {
+    r.duplicate = true;  // hole: drop everything out of order
+    return r;
+  }
+  r.accept = true;
+  r.accept_len = len;
+  r.advance = len;
+  return r;
+}
+
+}  // namespace flextoe::tcp

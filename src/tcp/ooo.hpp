@@ -1,0 +1,103 @@
+// Receiver-side reassembly trackers.
+//
+// FlexTOE and TAS track a *single* out-of-order interval and merge
+// segments directly in the host receive buffer (paper §3.1.3). Linux is
+// modeled with full multi-interval reassembly (≈ SACK behaviour). Chelsio
+// is modeled with no OOO buffering at all (every hole forces go-back-N).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "tcp/seq.hpp"
+
+namespace flextoe::tcp {
+
+// Outcome of processing a received segment against the receive window.
+struct RxResult {
+  bool accept = false;        // payload (possibly trimmed) enters the buffer
+  std::uint32_t buf_offset = 0;  // offset from rcv_nxt where payload lands
+  std::uint32_t accept_len = 0;  // bytes accepted after trimming
+  std::uint32_t advance = 0;     // how far rcv_nxt advances (in-order bytes)
+  bool duplicate = false;        // stale/dup segment (triggers dup ACK)
+};
+
+// Single out-of-order interval tracker (TAS/FlexTOE semantics).
+class SingleIntervalTracker {
+ public:
+  // Processes a segment [seq, seq+len) given the current rcv_nxt and the
+  // available receive-buffer space (beyond rcv_nxt). Updates internal
+  // interval state and returns placement/advance decisions.
+  RxResult on_segment(SeqNum rcv_nxt, SeqNum seq, std::uint32_t len,
+                      std::uint32_t window);
+
+  bool has_interval() const { return ooo_len_ > 0; }
+  SeqNum ooo_start() const { return ooo_start_; }
+  std::uint32_t ooo_len() const { return ooo_len_; }
+  void clear() { ooo_len_ = 0; }
+
+ private:
+  SeqNum ooo_start_ = 0;
+  std::uint32_t ooo_len_ = 0;
+};
+
+// Multi-interval reassembly (Linux-like, models SACK-quality recovery).
+class MultiIntervalTracker {
+ public:
+  RxResult on_segment(SeqNum rcv_nxt, SeqNum seq, std::uint32_t len,
+                      std::uint32_t window);
+
+  std::size_t num_intervals() const { return intervals_.size(); }
+  void clear() { intervals_.clear(); }
+
+ private:
+  // start -> end (absolute sequence numbers), non-overlapping, sorted.
+  std::map<SeqNum, SeqNum, bool (*)(SeqNum, SeqNum)> intervals_{seq_lt};
+};
+
+// No OOO buffering (Chelsio model): only exactly-in-order data accepted.
+class NoOooTracker {
+ public:
+  RxResult on_segment(SeqNum rcv_nxt, SeqNum seq, std::uint32_t len,
+                      std::uint32_t window);
+};
+
+enum class OooMode : std::uint8_t {
+  None,    // drop all out-of-order data (Chelsio model)
+  Single,  // one tracked interval (FlexTOE / TAS)
+  Multi,   // full reassembly (Linux / SACK-quality)
+};
+
+// Runtime-selected tracker.
+class OooTracker {
+ public:
+  explicit OooTracker(OooMode mode = OooMode::Single) : mode_(mode) {}
+
+  RxResult on_segment(SeqNum rcv_nxt, SeqNum seq, std::uint32_t len,
+                      std::uint32_t window) {
+    switch (mode_) {
+      case OooMode::None:
+        return none_.on_segment(rcv_nxt, seq, len, window);
+      case OooMode::Multi:
+        return multi_.on_segment(rcv_nxt, seq, len, window);
+      case OooMode::Single:
+      default:
+        return single_.on_segment(rcv_nxt, seq, len, window);
+    }
+  }
+
+  void clear() {
+    single_.clear();
+    multi_.clear();
+  }
+  OooMode mode() const { return mode_; }
+
+ private:
+  OooMode mode_;
+  SingleIntervalTracker single_;
+  MultiIntervalTracker multi_;
+  NoOooTracker none_;
+};
+
+}  // namespace flextoe::tcp

@@ -1,0 +1,55 @@
+// RTT estimation and retransmission timeout per RFC 6298.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace flextoe::tcp {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(sim::TimePs min_rto = sim::ms(1),
+                        sim::TimePs max_rto = sim::sec(1))
+      : min_rto_(min_rto), max_rto_(max_rto) {}
+
+  void on_sample(sim::TimePs rtt) {
+    if (!has_sample_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      has_sample_ = true;
+      return;
+    }
+    const auto abs_diff = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    rttvar_ = (3 * rttvar_ + abs_diff) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+
+  sim::TimePs srtt() const { return srtt_; }
+  sim::TimePs rttvar() const { return rttvar_; }
+  bool has_sample() const { return has_sample_; }
+
+  sim::TimePs rto() const {
+    if (!has_sample_) return sim::ms(200);  // conservative initial RTO
+    const sim::TimePs raw = srtt_ + std::max<sim::TimePs>(4 * rttvar_,
+                                                          sim::us(10));
+    return std::clamp(raw, min_rto_, max_rto_);
+  }
+
+  void backoff() { backoff_ = std::min(backoff_ * 2, std::uint32_t{64}); }
+  void reset_backoff() { backoff_ = 1; }
+  sim::TimePs rto_backed_off() const {
+    return std::min(rto() * backoff_, max_rto_);
+  }
+
+ private:
+  sim::TimePs min_rto_;
+  sim::TimePs max_rto_;
+  sim::TimePs srtt_ = 0;
+  sim::TimePs rttvar_ = 0;
+  std::uint32_t backoff_ = 1;
+  bool has_sample_ = false;
+};
+
+}  // namespace flextoe::tcp

@@ -1,0 +1,34 @@
+// TCP sequence number arithmetic (mod 2^32, RFC 793 style).
+#pragma once
+
+#include <cstdint>
+
+namespace flextoe::tcp {
+
+using SeqNum = std::uint32_t;
+
+// Comparisons are valid when |a - b| < 2^31.
+constexpr bool seq_lt(SeqNum a, SeqNum b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_le(SeqNum a, SeqNum b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(SeqNum a, SeqNum b) { return seq_lt(b, a); }
+constexpr bool seq_ge(SeqNum a, SeqNum b) { return seq_le(b, a); }
+
+// a - b, valid when a is "ahead of or equal to" b.
+constexpr std::uint32_t seq_diff(SeqNum a, SeqNum b) { return a - b; }
+
+constexpr SeqNum seq_max(SeqNum a, SeqNum b) { return seq_ge(a, b) ? a : b; }
+constexpr SeqNum seq_min(SeqNum a, SeqNum b) { return seq_le(a, b) ? a : b; }
+
+// Default maximum segment size: 1500 MTU - 20 IPv4 - 32 TCP (w/ timestamps).
+inline constexpr std::uint32_t kDefaultMss = 1448;
+
+// All stacks in this ecosystem use a fixed window scale: the 16-bit TCP
+// window field advertises 256-byte units (negotiated WScale elided; both
+// endpoints are ours — documented in DESIGN.md).
+inline constexpr unsigned kWindowShift = 8;
+
+}  // namespace flextoe::tcp

@@ -1,0 +1,56 @@
+// Stack-neutral application interface.
+//
+// Applications (KV store, RPC echo, workload generators) are written
+// against this interface so the same binary logic runs unmodified over
+// libTOE (FlexTOE offload) and the software baseline stacks — mirroring
+// the paper's "identical application binaries across all baselines" (§5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "net/addr.hpp"
+
+namespace flextoe::tcp {
+
+using ConnId = std::uint32_t;
+inline constexpr ConnId kInvalidConn = 0xFFFFFFFF;
+
+struct StackCallbacks {
+  // New inbound connection accepted on a listening port.
+  std::function<void(ConnId)> on_accept;
+  // Outbound connect completed (ok=false: refused / failed).
+  std::function<void(ConnId, bool ok)> on_connected;
+  // New in-order payload is readable.
+  std::function<void(ConnId)> on_data;
+  // Transmit buffer space freed (previously blocked send may proceed).
+  std::function<void(ConnId)> on_sendable;
+  // Peer closed or connection aborted.
+  std::function<void(ConnId)> on_close;
+};
+
+class StackIface {
+ public:
+  virtual ~StackIface() = default;
+
+  virtual void set_callbacks(StackCallbacks cbs) = 0;
+
+  virtual void listen(std::uint16_t port) = 0;
+  virtual ConnId connect(net::Ipv4Addr remote_ip, std::uint16_t remote_port) = 0;
+
+  // Non-blocking: returns bytes queued/copied (0 = would block).
+  virtual std::size_t send(ConnId c, std::span<const std::uint8_t> data) = 0;
+  virtual std::size_t recv(ConnId c, std::span<std::uint8_t> out) = 0;
+
+  // Readable bytes currently buffered for this connection.
+  virtual std::size_t rx_available(ConnId c) const = 0;
+  // Free transmit-buffer space.
+  virtual std::size_t tx_space(ConnId c) const = 0;
+
+  virtual void close(ConnId c) = 0;
+
+  virtual net::Ipv4Addr local_ip() const = 0;
+};
+
+}  // namespace flextoe::tcp

@@ -1,0 +1,65 @@
+// BPF map equivalents (paper §3.3): hash and array maps with atomic
+// update semantics, shared between XDP modules and the control plane.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace flextoe::xdp {
+
+// BPF_MAP_TYPE_HASH with a bounded capacity.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class BpfHashMap {
+ public:
+  explicit BpfHashMap(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  // Returns false if the map is full (matches bpf_map_update_elem E2BIG).
+  bool update(const K& key, const V& value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second = value;
+      return true;
+    }
+    if (map_.size() >= max_entries_) return false;
+    map_.emplace(key, value);
+    return true;
+  }
+
+  std::optional<V> lookup(const K& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool erase(const K& key) { return map_.erase(key) > 0; }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_map<K, V, Hash> map_;
+};
+
+// BPF_MAP_TYPE_ARRAY: fixed-size, zero-initialized.
+template <typename V>
+class BpfArrayMap {
+ public:
+  explicit BpfArrayMap(std::size_t entries) : values_(entries, V{}) {}
+
+  V* lookup(std::size_t idx) {
+    return idx < values_.size() ? &values_[idx] : nullptr;
+  }
+  const V* lookup(std::size_t idx) const {
+    return idx < values_.size() ? &values_[idx] : nullptr;
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<V> values_;
+};
+
+}  // namespace flextoe::xdp

@@ -1,0 +1,43 @@
+#include "xdp/modules.hpp"
+
+namespace flextoe::xdp {
+
+// Line-by-line port of the paper's Listing 1 (bpf_xdp_prog +
+// patch_headers), with BPF map calls replaced by the map classes.
+XdpAction SpliceProgram::run(XdpMd& md) {
+  net::Packet& hdr = md.pkt;
+
+  // Filter non-IPv4/TCP segments to control-plane.
+  if (hdr.ip.proto != net::kProtoTcp) return XdpAction::Redirect;
+
+  const tcp::FlowTuple key{hdr.ip.dst, hdr.ip.src, hdr.tcp.dport,
+                           hdr.tcp.sport};
+
+  // Connection Control: Segments with SYN, FIN, RST —
+  // atomically remove map entry and forward to control-plane.
+  if (hdr.tcp.has(net::tcpflag::kSyn) || hdr.tcp.has(net::tcpflag::kFin) ||
+      hdr.tcp.has(net::tcpflag::kRst)) {
+    splice_tbl_.erase(key);
+    return XdpAction::Redirect;
+  }
+
+  const auto state = splice_tbl_.lookup(key);
+  if (!state.has_value()) return XdpAction::Pass;  // send to data-plane
+
+  // patch_headers()
+  hdr.eth.src = local_mac_.to_u64() != 0 ? local_mac_ : hdr.eth.dst;
+  hdr.eth.dst = state->remote_mac;
+  hdr.ip.src = hdr.ip.dst;
+  hdr.ip.dst = state->remote_ip;
+  hdr.tcp.sport = state->local_port;
+  hdr.tcp.dport = state->remote_port;
+  hdr.tcp.seq += state->seq_delta;
+  hdr.tcp.ack += state->ack_delta;
+  // FlexTOE handles sequencing and updating the checksum of the segment
+  // (checksums are recomputed at serialization in this substrate).
+
+  ++spliced_;
+  return XdpAction::Tx;  // send out the MAC
+}
+
+}  // namespace flextoe::xdp

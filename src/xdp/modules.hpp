@@ -1,0 +1,175 @@
+// Stock XDP modules (paper §2.1/§3.3/§5.1): null, VLAN stripping,
+// firewalling, tcpdump-style capture with header filters, TCP tracing,
+// and AccelTCP-style connection splicing (Listing 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/pcap.hpp"
+#include "sim/time.hpp"
+#include "tcp/flow.hpp"
+#include "xdp/maps.hpp"
+#include "xdp/xdp.hpp"
+
+namespace flextoe::xdp {
+
+// Passes every packet unmodified (Table 2: "XDP (null)").
+class NullProgram final : public XdpProgram {
+ public:
+  XdpAction run(XdpMd&) override { return XdpAction::Pass; }
+  std::string name() const override { return "null"; }
+  std::uint32_t cycles_per_packet() const override { return 18; }
+};
+
+// Strips 802.1Q tags on ingress (Table 2: "XDP (vlan-strip)").
+class VlanStripProgram final : public XdpProgram {
+ public:
+  XdpAction run(XdpMd& md) override {
+    if (md.pkt.vlan) {
+      md.pkt.vlan.reset();
+      ++stripped_;
+    }
+    return XdpAction::Pass;
+  }
+  std::string name() const override { return "vlan-strip"; }
+  std::uint32_t cycles_per_packet() const override { return 22; }
+  std::uint64_t stripped() const { return stripped_; }
+
+ private:
+  std::uint64_t stripped_ = 0;
+};
+
+// Drops packets from blacklisted source IPs; the control plane updates
+// the BPF hash map dynamically (paper §3.3 firewall example).
+class FirewallProgram final : public XdpProgram {
+ public:
+  explicit FirewallProgram(std::size_t max_entries = 4096)
+      : blacklist_(max_entries) {}
+
+  XdpAction run(XdpMd& md) override {
+    if (blacklist_.lookup(md.pkt.ip.src).has_value()) {
+      ++dropped_;
+      return XdpAction::Drop;
+    }
+    return XdpAction::Pass;
+  }
+  std::string name() const override { return "firewall"; }
+  std::uint32_t cycles_per_packet() const override { return 45; }
+
+  // Control-plane API.
+  bool block(net::Ipv4Addr ip) { return blacklist_.update(ip, 1); }
+  void unblock(net::Ipv4Addr ip) { blacklist_.erase(ip); }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  BpfHashMap<net::Ipv4Addr, int> blacklist_;
+  std::uint64_t dropped_ = 0;
+};
+
+// Header-field packet filter for capture (tcpdump-style expressions are
+// composed from these predicates).
+struct CaptureFilter {
+  std::optional<net::Ipv4Addr> src_ip;
+  std::optional<net::Ipv4Addr> dst_ip;
+  std::optional<std::uint16_t> port;       // matches either direction
+  std::optional<std::uint8_t> flags_mask;  // any of these TCP flags set
+
+  bool matches(const net::Packet& p) const {
+    if (src_ip && p.ip.src != *src_ip) return false;
+    if (dst_ip && p.ip.dst != *dst_ip) return false;
+    if (port && p.tcp.sport != *port && p.tcp.dport != *port) return false;
+    if (flags_mask && (p.tcp.flags & *flags_mask) == 0) return false;
+    return true;
+  }
+};
+
+// tcpdump-style traffic logging with optional PCAP output (Table 2 rows
+// "tcpdump"). Logging all packets is expensive — that is the point.
+class CaptureProgram final : public XdpProgram {
+ public:
+  explicit CaptureProgram(CaptureFilter filter = {}) : filter_(filter) {}
+
+  // Optional: write matched packets to a pcap file.
+  bool open_pcap(const std::string& path) { return pcap_.open(path); }
+
+  XdpAction run(XdpMd& md) override {
+    if (filter_.matches(md.pkt)) {
+      ++captured_;
+      if (pcap_.is_open()) pcap_.write(md.pkt, md.rx_timestamp_ps);
+    }
+    return XdpAction::Pass;
+  }
+  std::string name() const override { return "tcpdump"; }
+  // Logging copies every packet through an EMEM journal: expensive by
+  // design (Table 2: "logging naturally has high overhead").
+  std::uint32_t cycles_per_packet() const override { return 1100; }
+  std::uint64_t captured() const { return captured_; }
+
+ private:
+  CaptureFilter filter_;
+  net::PcapWriter pcap_;
+  std::uint64_t captured_ = 0;
+};
+
+// Per-event transport tracing (bpftrace-style, paper §5.1): counts
+// SYN/FIN/RST and payload segments per source.
+class TraceProgram final : public XdpProgram {
+ public:
+  XdpAction run(XdpMd& md) override {
+    ++events_;
+    if (md.pkt.tcp.has(net::tcpflag::kSyn)) ++syns_;
+    if (md.pkt.tcp.has(net::tcpflag::kFin)) ++fins_;
+    if (md.pkt.tcp.has(net::tcpflag::kRst)) ++rsts_;
+    return XdpAction::Pass;
+  }
+  std::string name() const override { return "trace"; }
+  std::uint32_t cycles_per_packet() const override { return 60; }
+  std::uint64_t events() const { return events_; }
+  std::uint64_t syns() const { return syns_; }
+  std::uint64_t fins() const { return fins_; }
+  std::uint64_t rsts() const { return rsts_; }
+
+ private:
+  std::uint64_t events_ = 0, syns_ = 0, fins_ = 0, rsts_ = 0;
+};
+
+// AccelTCP-style connection splicing (paper Listing 1): a proxy NIC
+// rewrites headers and forwards segments entirely on the NIC, never
+// touching the host. The control plane installs splice state per flow.
+struct TcpSplice {
+  net::MacAddr remote_mac;
+  net::Ipv4Addr remote_ip = 0;
+  std::uint16_t local_port = 0;   // rewritten source port
+  std::uint16_t remote_port = 0;  // rewritten destination port
+  std::uint32_t seq_delta = 0;
+  std::uint32_t ack_delta = 0;
+};
+
+class SpliceProgram final : public XdpProgram {
+ public:
+  explicit SpliceProgram(std::size_t max_flows = 8192)
+      : splice_tbl_(max_flows) {}
+
+  XdpAction run(XdpMd& md) override;
+  std::string name() const override { return "splice"; }
+  std::uint32_t cycles_per_packet() const override { return 55; }
+
+  // Control-plane API (paper: offsets configured from the connections'
+  // initial sequence numbers).
+  bool add(const tcp::FlowTuple& key, const TcpSplice& state) {
+    return splice_tbl_.update(key, state);
+  }
+  void remove(const tcp::FlowTuple& key) { splice_tbl_.erase(key); }
+  std::uint64_t spliced() const { return spliced_; }
+  std::size_t flows() const { return splice_tbl_.size(); }
+  void set_local_mac(net::MacAddr m) { local_mac_ = m; }
+
+ private:
+  BpfHashMap<tcp::FlowTuple, TcpSplice, tcp::FlowTupleHash> splice_tbl_;
+  net::MacAddr local_mac_{};
+  std::uint64_t spliced_ = 0;
+};
+
+}  // namespace flextoe::xdp

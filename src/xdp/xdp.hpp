@@ -1,0 +1,45 @@
+// XDP module API (paper §3.3).
+//
+// FlexTOE supports eXpress Data Path modules that operate on raw packets
+// in the pre-processing stage and return one of four action codes. In the
+// real system these are eBPF programs compiled to NFP assembly; here they
+// are C++ callables with the same semantics and a per-packet cycle cost
+// charged to the hosting FPC (Table 2 measures exactly this overhead).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace flextoe::xdp {
+
+enum class XdpAction : std::uint8_t {
+  Pass,      // XDP_PASS: forward to the next pipeline stage
+  Drop,      // XDP_DROP: drop the packet
+  Tx,        // XDP_TX: send the packet out the MAC immediately
+  Redirect,  // XDP_REDIRECT: redirect to the control plane
+};
+
+// Mutable packet view handed to XDP programs (typed accessors replace the
+// raw byte view; all header fields the paper's examples touch are here).
+struct XdpMd {
+  net::Packet& pkt;
+  std::uint64_t rx_timestamp_ps = 0;
+};
+
+class XdpProgram {
+ public:
+  virtual ~XdpProgram() = default;
+
+  virtual XdpAction run(XdpMd& md) = 0;
+  virtual std::string name() const = 0;
+
+  // FPC cycles charged per invocation (models eBPF instruction count).
+  virtual std::uint32_t cycles_per_packet() const { return 30; }
+};
+
+using XdpProgramPtr = std::shared_ptr<XdpProgram>;
+
+}  // namespace flextoe::xdp

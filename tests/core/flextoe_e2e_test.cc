@@ -1,0 +1,438 @@
+// End-to-end FlexTOE tests: handshake through the control plane, data
+// transfer through the offloaded pipeline, interop with the software
+// stack, loss recovery, OOO handling, FIN teardown, XDP hooks.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/sw_tcp.hpp"
+#include "host/flextoe_nic.hpp"
+#include "net/switch.hpp"
+#include "sim/event_queue.hpp"
+#include "xdp/modules.hpp"
+
+namespace flextoe {
+namespace {
+
+using tcp::ConnId;
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 9) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 37 + seed);
+  }
+  return v;
+}
+
+// FlexTOE server + SwTcp client over a 2-port switch.
+struct Rig {
+  sim::EventQueue ev;
+  net::Switch sw;
+  net::Link toe_link, cli_link;
+  host::FlexToeNic toe;
+  baseline::SwTcpStack cli;
+
+  explicit Rig(host::FlexToeNicConfig cfg = {}, double loss = 0.0,
+               baseline::SwTcpConfig cli_cfg_in = {})
+      : sw(ev, sim::Rng(11), 2),
+        toe_link(ev, sim::Rng(12), {40.0, sim::ns(500), loss}),
+        cli_link(ev, sim::Rng(13), {40.0, sim::ns(500), loss}),
+        toe(ev, sim::Rng(14), net::MacAddr::from_u64(0x020000000000ull +
+                                                     net::make_ip(10, 0, 0, 1)),
+            net::make_ip(10, 0, 0, 1), cfg),
+        cli(ev, sim::Rng(15), cli_cfg(cli_cfg_in)) {
+    toe_link.set_sink(sw.ingress_sink(0));
+    cli_link.set_sink(sw.ingress_sink(1));
+    toe.set_mac_tx(&toe_link);
+    cli.set_tx_sink(&cli_link);
+    sw.attach(0, &toe.mac_rx());
+    sw.attach(1, &cli);
+    cli.set_gateway_mac(net::MacAddr::from_u64(0x020000000000ull +
+                                               net::make_ip(10, 0, 0, 1)));
+  }
+
+  static baseline::SwTcpConfig cli_cfg(baseline::SwTcpConfig c) {
+    c.mac = net::MacAddr::from_u64(0x020000000000ull +
+                                   net::make_ip(10, 0, 0, 2));
+    c.ip = net::make_ip(10, 0, 0, 2);
+    return c;
+  }
+
+  void run_for(sim::TimePs t) { ev.run_until(ev.now() + t); }
+};
+
+TEST(FlexToeE2E, HandshakeInstallsFlow) {
+  Rig r;
+  bool accepted = false, connected = false;
+  ConnId server_conn = tcp::kInvalidConn;
+
+  tcp::StackCallbacks scb;
+  scb.on_accept = [&](ConnId c) {
+    accepted = true;
+    server_conn = c;
+  };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  tcp::StackCallbacks ccb;
+  ccb.on_connected = [&](ConnId, bool ok) { connected = ok; };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  r.run_for(sim::ms(20));
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(accepted);
+  ASSERT_NE(server_conn, tcp::kInvalidConn);
+  EXPECT_TRUE(r.toe.datapath().flow_valid(server_conn));
+  EXPECT_EQ(r.toe.control_plane().established(), 1u);
+}
+
+TEST(FlexToeE2E, ClientToServerTransfer) {
+  Rig r;
+  const auto data = pattern(50 * 1024);
+  std::vector<std::uint8_t> rxed;
+
+  tcp::StackCallbacks scb;
+  scb.on_data = [&](ConnId c) {
+    std::uint8_t buf[16384];
+    std::size_t n;
+    while ((n = r.toe.stack().recv(c, buf)) > 0) {
+      rxed.insert(rxed.end(), buf, buf + n);
+    }
+  };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  ConnId cc = tcp::kInvalidConn;
+  std::size_t sent = 0;
+  tcp::StackCallbacks ccb;
+  auto push = [&] {
+    if (sent < data.size()) {
+      sent += r.cli.send(cc, std::span(data.data() + sent,
+                                       data.size() - sent));
+    }
+  };
+  ccb.on_connected = [&](ConnId c, bool) {
+    cc = c;
+    push();
+  };
+  ccb.on_sendable = [&](ConnId) { push(); };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  for (int i = 0; i < 100 && rxed.size() < data.size(); ++i) {
+    r.run_for(sim::ms(5));
+  }
+  ASSERT_EQ(rxed.size(), data.size());
+  EXPECT_EQ(rxed, data);
+  EXPECT_GT(r.toe.datapath().rx_segments(), 30u);
+  EXPECT_GT(r.toe.datapath().acks_sent(), 30u);
+}
+
+TEST(FlexToeE2E, ServerToClientTransfer) {
+  Rig r;
+  const auto data = pattern(50 * 1024, 3);
+  std::vector<std::uint8_t> rxed;
+
+  ConnId server_conn = tcp::kInvalidConn;
+  std::size_t sent = 0;
+  tcp::StackCallbacks scb;
+  auto push = [&] {
+    if (server_conn != tcp::kInvalidConn && sent < data.size()) {
+      sent += r.toe.stack().send(
+          server_conn, std::span(data.data() + sent, data.size() - sent));
+    }
+  };
+  scb.on_accept = [&](ConnId c) {
+    server_conn = c;
+    push();
+  };
+  scb.on_sendable = [&](ConnId) { push(); };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  tcp::StackCallbacks ccb;
+  ccb.on_data = [&](ConnId c) {
+    std::uint8_t buf[16384];
+    std::size_t n;
+    while ((n = r.cli.recv(c, buf)) > 0) {
+      rxed.insert(rxed.end(), buf, buf + n);
+    }
+  };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  for (int i = 0; i < 200 && rxed.size() < data.size(); ++i) {
+    r.run_for(sim::ms(5));
+  }
+  ASSERT_EQ(rxed.size(), data.size());
+  EXPECT_EQ(rxed, data);
+  EXPECT_GT(r.toe.datapath().tx_segments(), 30u);
+}
+
+TEST(FlexToeE2E, EchoRpcRoundTrips) {
+  Rig r;
+  // Server echoes; client sends 20 sequential 2 KB RPCs.
+  tcp::StackCallbacks scb;
+  scb.on_data = [&](ConnId c) {
+    std::uint8_t buf[8192];
+    std::size_t n;
+    while ((n = r.toe.stack().recv(c, buf)) > 0) {
+      r.toe.stack().send(c, std::span(buf, n));
+    }
+  };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(7);
+
+  const auto rpc = pattern(2048, 5);
+  int completed = 0;
+  std::size_t got = 0;
+  ConnId cc = tcp::kInvalidConn;
+  tcp::StackCallbacks ccb;
+  ccb.on_connected = [&](ConnId c, bool ok) {
+    ASSERT_TRUE(ok);
+    cc = c;
+    r.cli.send(cc, rpc);
+  };
+  ccb.on_data = [&](ConnId c) {
+    std::uint8_t buf[8192];
+    std::size_t n;
+    while ((n = r.cli.recv(c, buf)) > 0) got += n;
+    while (got >= rpc.size()) {
+      got -= rpc.size();
+      ++completed;
+      r.cli.send(cc, rpc);  // next RPC
+    }
+  };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 7);
+
+  for (int i = 0; i < 300 && completed < 20; ++i) r.run_for(sim::ms(2));
+  EXPECT_GE(completed, 20);
+}
+
+TEST(FlexToeE2E, SurvivesPacketLoss) {
+  Rig r({}, /*loss=*/0.02);
+  const auto data = pattern(80 * 1024, 7);
+  std::vector<std::uint8_t> rxed;
+
+  tcp::StackCallbacks scb;
+  scb.on_data = [&](ConnId c) {
+    std::uint8_t buf[16384];
+    std::size_t n;
+    while ((n = r.toe.stack().recv(c, buf)) > 0) {
+      rxed.insert(rxed.end(), buf, buf + n);
+    }
+  };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  ConnId cc = tcp::kInvalidConn;
+  std::size_t sent = 0;
+  tcp::StackCallbacks ccb;
+  auto push = [&] {
+    if (sent < data.size()) {
+      sent += r.cli.send(cc, std::span(data.data() + sent,
+                                       data.size() - sent));
+    }
+  };
+  ccb.on_connected = [&](ConnId c, bool) {
+    cc = c;
+    push();
+  };
+  ccb.on_sendable = [&](ConnId) { push(); };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  for (int i = 0; i < 1000 && rxed.size() < data.size(); ++i) {
+    r.run_for(sim::ms(5));
+  }
+  ASSERT_EQ(rxed.size(), data.size());
+  EXPECT_EQ(rxed, data);
+}
+
+TEST(FlexToeE2E, ServerSendSurvivesLossViaControlPlaneRto) {
+  Rig r({}, /*loss=*/0.02);
+  const auto data = pattern(80 * 1024, 8);
+  std::vector<std::uint8_t> rxed;
+
+  ConnId server_conn = tcp::kInvalidConn;
+  std::size_t sent = 0;
+  tcp::StackCallbacks scb;
+  auto push = [&] {
+    if (server_conn != tcp::kInvalidConn && sent < data.size()) {
+      sent += r.toe.stack().send(
+          server_conn, std::span(data.data() + sent, data.size() - sent));
+    }
+  };
+  scb.on_accept = [&](ConnId c) {
+    server_conn = c;
+    push();
+  };
+  scb.on_sendable = [&](ConnId) { push(); };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  tcp::StackCallbacks ccb;
+  ccb.on_data = [&](ConnId c) {
+    std::uint8_t buf[16384];
+    std::size_t n;
+    while ((n = r.cli.recv(c, buf)) > 0) {
+      rxed.insert(rxed.end(), buf, buf + n);
+    }
+  };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  for (int i = 0; i < 1000 && rxed.size() < data.size(); ++i) {
+    r.run_for(sim::ms(5));
+  }
+  ASSERT_EQ(rxed.size(), data.size());
+  EXPECT_EQ(rxed, data);
+}
+
+TEST(FlexToeE2E, FinTeardownNotifiesBothSides) {
+  Rig r;
+  bool server_saw_close = false, client_saw_close = false;
+  ConnId server_conn = tcp::kInvalidConn;
+
+  tcp::StackCallbacks scb;
+  scb.on_accept = [&](ConnId c) { server_conn = c; };
+  scb.on_close = [&](ConnId c) {
+    server_saw_close = true;
+    r.toe.stack().close(c);  // passive close
+  };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  tcp::StackCallbacks ccb;
+  ccb.on_connected = [&](ConnId c, bool) { r.cli.close(c); };
+  ccb.on_close = [&](ConnId) { client_saw_close = true; };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  r.run_for(sim::ms(100));
+  EXPECT_TRUE(server_saw_close);
+  // Data-path flow eventually uninstalled.
+  EXPECT_FALSE(r.toe.datapath().flow_valid(server_conn));
+}
+
+TEST(FlexToeE2E, XdpFirewallDropsBlacklistedTraffic) {
+  Rig r;
+  auto fw = std::make_shared<xdp::FirewallProgram>();
+  fw->block(net::make_ip(10, 0, 0, 2));  // blacklist the client
+  r.toe.datapath().add_xdp_program(fw);
+
+  bool connected = false, failed = false;
+  tcp::StackCallbacks ccb;
+  ccb.on_connected = [&](ConnId, bool ok) {
+    connected = ok;
+    failed = !ok;
+  };
+  r.cli.set_callbacks(ccb);
+  r.toe.stack().listen(80);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  r.run_for(sim::ms(50));
+  EXPECT_FALSE(connected);
+  EXPECT_GT(fw->dropped(), 0u);
+}
+
+TEST(FlexToeE2E, XdpVlanStripRemovesTags) {
+  // VLAN strip is exercised via direct program invocation plus a pipeline
+  // pass-through check (clients here don't tag, so craft a packet).
+  xdp::VlanStripProgram strip;
+  net::Packet p;
+  p.vlan = net::VlanTag{42};
+  xdp::XdpMd md{p, 0};
+  EXPECT_EQ(strip.run(md), xdp::XdpAction::Pass);
+  EXPECT_FALSE(p.vlan.has_value());
+  EXPECT_EQ(strip.stripped(), 1u);
+}
+
+TEST(FlexToeE2E, RunToCompletionConfigStillCorrect) {
+  host::FlexToeNicConfig cfg;
+  cfg.datapath = core::ablation_baseline();
+  Rig r(cfg);
+  const auto data = pattern(20 * 1024, 2);
+  std::vector<std::uint8_t> rxed;
+
+  tcp::StackCallbacks scb;
+  scb.on_data = [&](ConnId c) {
+    std::uint8_t buf[16384];
+    std::size_t n;
+    while ((n = r.toe.stack().recv(c, buf)) > 0) {
+      rxed.insert(rxed.end(), buf, buf + n);
+    }
+  };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  ConnId cc = tcp::kInvalidConn;
+  std::size_t sent = 0;
+  tcp::StackCallbacks ccb;
+  auto push = [&] {
+    if (sent < data.size()) {
+      sent += r.cli.send(cc, std::span(data.data() + sent,
+                                       data.size() - sent));
+    }
+  };
+  ccb.on_connected = [&](ConnId c, bool) {
+    cc = c;
+    push();
+  };
+  ccb.on_sendable = [&](ConnId) { push(); };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  for (int i = 0; i < 400 && rxed.size() < data.size(); ++i) {
+    r.run_for(sim::ms(5));
+  }
+  ASSERT_EQ(rxed.size(), data.size());
+  EXPECT_EQ(rxed, data);
+}
+
+TEST(FlexToeE2E, X86PortConfigTransfers) {
+  host::FlexToeNicConfig cfg;
+  cfg.datapath = core::x86_config();
+  Rig r(cfg);
+  const auto data = pattern(40 * 1024, 4);
+  std::vector<std::uint8_t> rxed;
+
+  tcp::StackCallbacks scb;
+  scb.on_data = [&](ConnId c) {
+    std::uint8_t buf[16384];
+    std::size_t n;
+    while ((n = r.toe.stack().recv(c, buf)) > 0) {
+      rxed.insert(rxed.end(), buf, buf + n);
+    }
+  };
+  r.toe.stack().set_callbacks(scb);
+  r.toe.stack().listen(80);
+
+  ConnId cc = tcp::kInvalidConn;
+  std::size_t sent = 0;
+  tcp::StackCallbacks ccb;
+  auto push = [&] {
+    if (sent < data.size()) {
+      sent += r.cli.send(cc, std::span(data.data() + sent,
+                                       data.size() - sent));
+    }
+  };
+  ccb.on_connected = [&](ConnId c, bool) {
+    cc = c;
+    push();
+  };
+  ccb.on_sendable = [&](ConnId) { push(); };
+  r.cli.set_callbacks(ccb);
+  r.cli.connect(net::make_ip(10, 0, 0, 1), 80);
+
+  for (int i = 0; i < 200 && rxed.size() < data.size(); ++i) {
+    r.run_for(sim::ms(5));
+  }
+  ASSERT_EQ(rxed.size(), data.size());
+  EXPECT_EQ(rxed, data);
+}
+
+}  // namespace
+}  // namespace flextoe

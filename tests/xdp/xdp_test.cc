@@ -1,0 +1,160 @@
+// Unit tests for the XDP/eBPF framework: BPF maps, the stock modules,
+// and the Listing-1 splice program semantics.
+#include <gtest/gtest.h>
+
+#include "xdp/maps.hpp"
+#include "xdp/modules.hpp"
+
+namespace flextoe::xdp {
+namespace {
+
+net::Packet tcp_pkt(net::Ipv4Addr src, net::Ipv4Addr dst,
+                    std::uint16_t sport, std::uint16_t dport,
+                    std::uint8_t flags) {
+  net::Packet p;
+  p.eth.src = net::MacAddr::from_u64(0x11);
+  p.eth.dst = net::MacAddr::from_u64(0x22);
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.tcp.sport = sport;
+  p.tcp.dport = dport;
+  p.tcp.flags = flags;
+  return p;
+}
+
+TEST(BpfHashMap, UpdateLookupErase) {
+  BpfHashMap<int, int> m(4);
+  EXPECT_TRUE(m.update(1, 100));
+  EXPECT_TRUE(m.update(1, 200));  // overwrite always allowed
+  ASSERT_TRUE(m.lookup(1).has_value());
+  EXPECT_EQ(*m.lookup(1), 200);
+  EXPECT_FALSE(m.lookup(9).has_value());
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+}
+
+TEST(BpfHashMap, CapacityEnforced) {
+  BpfHashMap<int, int> m(2);
+  EXPECT_TRUE(m.update(1, 1));
+  EXPECT_TRUE(m.update(2, 2));
+  EXPECT_FALSE(m.update(3, 3));  // E2BIG
+  EXPECT_TRUE(m.update(2, 22));  // existing key still updatable
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(BpfArrayMap, ZeroInitializedAndBounded) {
+  BpfArrayMap<std::uint64_t> m(4);
+  ASSERT_NE(m.lookup(0), nullptr);
+  EXPECT_EQ(*m.lookup(0), 0u);
+  *m.lookup(3) = 42;
+  EXPECT_EQ(*m.lookup(3), 42u);
+  EXPECT_EQ(m.lookup(4), nullptr);
+}
+
+TEST(Firewall, DropsOnlyBlacklisted) {
+  FirewallProgram fw;
+  fw.block(net::make_ip(1, 2, 3, 4));
+  auto bad = tcp_pkt(net::make_ip(1, 2, 3, 4), net::make_ip(10, 0, 0, 1),
+                     1, 2, net::tcpflag::kAck);
+  auto good = tcp_pkt(net::make_ip(5, 6, 7, 8), net::make_ip(10, 0, 0, 1),
+                      1, 2, net::tcpflag::kAck);
+  XdpMd mb{bad, 0}, mg{good, 0};
+  EXPECT_EQ(fw.run(mb), XdpAction::Drop);
+  EXPECT_EQ(fw.run(mg), XdpAction::Pass);
+  fw.unblock(net::make_ip(1, 2, 3, 4));
+  EXPECT_EQ(fw.run(mb), XdpAction::Pass);
+  EXPECT_EQ(fw.dropped(), 1u);
+}
+
+TEST(CaptureFilter, FieldMatching) {
+  CaptureFilter f;
+  f.port = 80;
+  f.flags_mask = net::tcpflag::kSyn;
+  auto hit = tcp_pkt(1, 2, 1234, 80, net::tcpflag::kSyn);
+  auto wrong_port = tcp_pkt(1, 2, 1234, 81, net::tcpflag::kSyn);
+  auto wrong_flags = tcp_pkt(1, 2, 80, 999, net::tcpflag::kAck);
+  EXPECT_TRUE(f.matches(hit));
+  EXPECT_FALSE(f.matches(wrong_port));
+  // sport==80 matches the port predicate but flags fail:
+  EXPECT_FALSE(f.matches(wrong_flags));
+}
+
+TEST(Capture, CountsMatchesOnly) {
+  CaptureFilter f;
+  f.src_ip = net::make_ip(9, 9, 9, 9);
+  CaptureProgram cap(f);
+  auto a = tcp_pkt(net::make_ip(9, 9, 9, 9), 2, 1, 2, net::tcpflag::kAck);
+  auto b = tcp_pkt(net::make_ip(8, 8, 8, 8), 2, 1, 2, net::tcpflag::kAck);
+  XdpMd ma{a, 0}, mb{b, 0};
+  EXPECT_EQ(cap.run(ma), XdpAction::Pass);  // capture never drops
+  EXPECT_EQ(cap.run(mb), XdpAction::Pass);
+  EXPECT_EQ(cap.captured(), 1u);
+}
+
+TEST(Splice, RewritesHeadersAndTx) {
+  SpliceProgram sp;
+  sp.set_local_mac(net::MacAddr::from_u64(0xAA));
+  const auto cli_ip = net::make_ip(10, 0, 0, 1);
+  const auto proxy_ip = net::make_ip(10, 0, 0, 100);
+  const auto backend_ip = net::make_ip(10, 0, 0, 2);
+  tcp::FlowTuple key{proxy_ip, cli_ip, 80, 5555};
+  TcpSplice st;
+  st.remote_mac = net::MacAddr::from_u64(0xBB);
+  st.remote_ip = backend_ip;
+  st.local_port = 1111;
+  st.remote_port = 8080;
+  st.seq_delta = 10;
+  st.ack_delta = 20;
+  ASSERT_TRUE(sp.add(key, st));
+
+  auto p = tcp_pkt(cli_ip, proxy_ip, 5555, 80,
+                   net::tcpflag::kAck | net::tcpflag::kPsh);
+  p.tcp.seq = 100;
+  p.tcp.ack = 200;
+  XdpMd md{p, 0};
+  EXPECT_EQ(sp.run(md), XdpAction::Tx);
+  EXPECT_EQ(p.ip.src, proxy_ip);       // source rewritten to proxy
+  EXPECT_EQ(p.ip.dst, backend_ip);
+  EXPECT_EQ(p.tcp.sport, 1111);
+  EXPECT_EQ(p.tcp.dport, 8080);
+  EXPECT_EQ(p.tcp.seq, 110u);          // seq_delta applied
+  EXPECT_EQ(p.tcp.ack, 220u);
+  EXPECT_EQ(p.eth.dst.to_u64(), 0xBBu);
+  EXPECT_EQ(sp.spliced(), 1u);
+}
+
+TEST(Splice, UnknownFlowPassesToDataPlane) {
+  SpliceProgram sp;
+  auto p = tcp_pkt(1, 2, 3, 4, net::tcpflag::kAck);
+  XdpMd md{p, 0};
+  EXPECT_EQ(sp.run(md), XdpAction::Pass);
+}
+
+TEST(Splice, ControlFlagsRemoveEntryAndRedirect) {
+  SpliceProgram sp;
+  tcp::FlowTuple key{net::make_ip(2, 2, 2, 2), net::make_ip(1, 1, 1, 1),
+                     80, 5555};
+  sp.add(key, TcpSplice{});
+  ASSERT_EQ(sp.flows(), 1u);
+  auto fin = tcp_pkt(net::make_ip(1, 1, 1, 1), net::make_ip(2, 2, 2, 2),
+                     5555, 80, net::tcpflag::kFin | net::tcpflag::kAck);
+  XdpMd md{fin, 0};
+  EXPECT_EQ(sp.run(md), XdpAction::Redirect);
+  EXPECT_EQ(sp.flows(), 0u);  // atomically removed (Listing 1)
+}
+
+TEST(Trace, CountsTransportEvents) {
+  TraceProgram tr;
+  auto syn = tcp_pkt(1, 2, 3, 4, net::tcpflag::kSyn);
+  auto rst = tcp_pkt(1, 2, 3, 4, net::tcpflag::kRst);
+  XdpMd m1{syn, 0}, m2{rst, 0};
+  tr.run(m1);
+  tr.run(m2);
+  EXPECT_EQ(tr.events(), 2u);
+  EXPECT_EQ(tr.syns(), 1u);
+  EXPECT_EQ(tr.rsts(), 1u);
+  EXPECT_EQ(tr.fins(), 0u);
+}
+
+}  // namespace
+}  // namespace flextoe::xdp
