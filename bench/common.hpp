@@ -1,11 +1,11 @@
-// Shared scaffolding for the paper-reproduction benches: stack selection,
-// server construction, and table formatting. Each bench binary
-// regenerates one table or figure from the paper's evaluation (§5) and
-// prints the same rows/series. Absolute numbers are simulator-scale;
-// EXPERIMENTS.md compares shapes against the paper.
+// Shared scaffolding for the paper-reproduction benches: stack selection
+// and server construction. Each bench binary regenerates one table or
+// figure from the paper's evaluation (§5) through the harness driver
+// (harness.hpp); absolute numbers are simulator-scale, EXPERIMENTS.md
+// compares shapes against the paper.
 #pragma once
 
-#include <cstdio>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,6 +13,7 @@
 #include "app/rpc_app.hpp"
 #include "app/testbed.hpp"
 #include "baseline/personality.hpp"
+#include "harness.hpp"
 
 namespace flextoe::benchx {
 
@@ -80,21 +81,5 @@ inline std::uint32_t app_cycles(Stack s) {
   if (s == Stack::FlexToe) return 890;
   return personality(s).app_cycles_per_req;
 }
-
-// Simple fixed-width table printer.
-inline void print_header(const std::string& title,
-                         const std::vector<std::string>& cols) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  for (const auto& c : cols) std::printf("%14s", c.c_str());
-  std::printf("\n");
-  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%14s", "------");
-  std::printf("\n");
-}
-
-inline void print_cell(const std::string& v) { std::printf("%14s", v.c_str()); }
-inline void print_cell(double v, int prec = 2) {
-  std::printf("%14.*f", prec, v);
-}
-inline void end_row() { std::printf("\n"); }
 
 }  // namespace flextoe::benchx

@@ -1,52 +1,62 @@
 // Figure 8: Memcached throughput scalability — MOps vs server cores for
-// Linux, Chelsio, TAS, FlexTOE.
+// Linux, Chelsio, TAS, FlexTOE. One series per stack; rows are core
+// counts.
 #include "common.hpp"
 
 using namespace flextoe;
 using namespace flextoe::benchx;
 
-int main() {
-  const std::vector<unsigned> cores = {1, 2, 4, 6, 8, 10, 12, 14, 16};
-  print_header("Figure 8: memcached throughput (MOps) vs server cores",
-               {"Cores", "Linux", "Chelsio", "TAS", "FlexTOE"});
+namespace {
 
-  for (unsigned nc : cores) {
-    print_cell(static_cast<double>(nc), 0);
-    for (Stack s : all_stacks()) {
-      Testbed tb(17);
-      auto& server = add_server(tb, s, nc);
-      // Several client machines, as in the paper's testbed.
-      std::vector<std::unique_ptr<app::KvClient>> clients;
-      const unsigned nclients = 3;
-      for (unsigned i = 0; i < nclients; ++i) {
-        auto& cn = tb.add_client_node();
-        app::KvClient::Params cp;
-        cp.connections = 8 + 4 * nc;  // enough load to saturate
-        cp.pipeline = 4;
-        cp.seed = 100 + i;
-        clients.push_back(std::make_unique<app::KvClient>(
-            tb.ev(), *cn.stack, server.ip, cp));
-      }
-      app::KvServer srv(tb.ev(), *server.stack,
-                        {.port = 11211, .app_cycles = app_cycles(s)},
-                        server.cpu.get());
-      for (auto& c : clients) c->start();
-
-      tb.run_for(sim::ms(15));  // warmup
-      std::uint64_t base = 0;
-      for (auto& c : clients) base += c->completed();
-      const sim::TimePs span = sim::ms(30);
-      tb.run_for(span);
-      std::uint64_t done = 0;
-      for (auto& c : clients) done += c->completed();
-      done -= base;
-      print_cell(static_cast<double>(done) / sim::to_sec(span) / 1e6, 3);
-    }
-    end_row();
+double run_point(Stack s, unsigned nc, unsigned seed, sim::TimePs warm,
+                 sim::TimePs span) {
+  Testbed tb(seed);
+  auto& server = add_server(tb, s, nc);
+  // Several client machines, as in the paper's testbed.
+  std::vector<std::unique_ptr<app::KvClient>> clients;
+  const unsigned nclients = 3;
+  for (unsigned i = 0; i < nclients; ++i) {
+    auto& cn = tb.add_client_node();
+    app::KvClient::Params cp;
+    cp.connections = 8 + 4 * nc;  // enough load to saturate
+    cp.pipeline = 4;
+    cp.seed = 100 + i;
+    clients.push_back(std::make_unique<app::KvClient>(
+        tb.ev(), *cn.stack, server.ip, cp));
   }
-  std::printf(
-      "\nPaper shape: FlexTOE ~1.6x TAS, ~4.9x Chelsio, ~5.5x Linux at "
+  app::KvServer srv(tb.ev(), *server.stack,
+                    {.port = 11211, .app_cycles = app_cycles(s)},
+                    server.cpu.get());
+  for (auto& c : clients) c->start();
+
+  tb.run_for(warm);
+  std::uint64_t base = 0;
+  for (auto& c : clients) base += c->completed();
+  tb.run_for(span);
+  std::uint64_t done = 0;
+  for (auto& c : clients) done += c->completed();
+  done -= base;
+  return static_cast<double>(done) / sim::to_sec(span) / 1e6;
+}
+
+}  // namespace
+
+BENCH_SCENARIO(fig08, "memcached throughput (MOps) vs server cores") {
+  const auto cores = ctx.pick<std::vector<unsigned>>(
+      {1, 2, 4, 6, 8, 10, 12, 14, 16}, {1, 4});
+  const auto warm = ctx.pick(sim::ms(15), sim::ms(3));
+  const auto span = ctx.pick(sim::ms(30), sim::ms(5));
+  for (unsigned nc : cores) {
+    for (Stack s : all_stacks()) {
+      const double mops = ctx.measure([&](int rep) {
+        return run_point(s, nc, 17 + static_cast<unsigned>(rep), warm, span);
+      });
+      ctx.report().series(stack_name(s)).set(std::to_string(nc), "mops",
+                                             mops);
+    }
+  }
+  ctx.report().note(
+      "Paper shape: FlexTOE ~1.6x TAS, ~4.9x Chelsio, ~5.5x Linux at "
       "saturation; FlexTOE NIC compute-bound around 12 cores;\n"
-      "Linux/Chelsio plateau early (in-kernel locking).\n");
-  return 0;
+      "Linux/Chelsio plateau early (in-kernel locking).");
 }

@@ -1,17 +1,24 @@
 // Figure 9: Memcached operation latency distributions for every
 // server-stack x client-stack combination (single-threaded server).
-// Prints CDF summary points (p25/p50/p75/p90/p99).
+// One series per server stack; rows are client stacks with CDF summary
+// points (p25/p50/p75/p90/p99) in us.
 #include "common.hpp"
 
 using namespace flextoe;
 using namespace flextoe::benchx;
 
-int main() {
-  print_header("Figure 9: latency us by server/client stack combination",
-               {"Server", "Client", "p25", "p50", "p75", "p90", "p99"});
+BENCH_SCENARIO(fig09, "latency us by server/client stack combination") {
+  const auto& servers =
+      ctx.pick<std::vector<Stack>>(all_stacks(), {Stack::Linux,
+                                                  Stack::FlexToe});
+  const auto& clients = servers;
+  const auto warm = ctx.pick(sim::ms(10), sim::ms(3));
+  const auto span = ctx.pick(sim::ms(40), sim::ms(6));
 
-  for (Stack server_s : all_stacks()) {
-    for (Stack client_s : all_stacks()) {
+  for (Stack server_s : servers) {
+    auto& series =
+        ctx.report().series(std::string("server/") + stack_name(server_s));
+    for (Stack client_s : clients) {
       Testbed tb(19);
       auto& server = add_server(tb, server_s, 1);
       // Client machine runs the client-side stack personality.
@@ -36,21 +43,20 @@ int main() {
       app::KvClient cli(tb.ev(), *client->stack, server.ip, cp);
       cli.start();
 
-      tb.run_for(sim::ms(10));
+      tb.run_for(warm);
       cli.clear_stats();
-      tb.run_for(sim::ms(40));
+      tb.run_for(span);
 
-      print_cell(stack_name(server_s));
-      print_cell(stack_name(client_s));
+      auto& row = series.row(stack_name(client_s));
       auto& lat = cli.latency();
-      for (double p : {25.0, 50.0, 75.0, 90.0, 99.0}) {
-        print_cell(lat.percentile(p), 1);
-      }
-      end_row();
+      row.set("p25", lat.percentile(25));
+      row.set("p50", lat.percentile(50));
+      row.set("p75", lat.percentile(75));
+      row.set("p90", lat.percentile(90));
+      row.set("p99", lat.percentile(99));
     }
   }
-  std::printf(
-      "\nPaper shape: FlexTOE server gives the lowest median and tail "
-      "latency across all client stacks; Linux is ~5x worse.\n");
-  return 0;
+  ctx.report().note(
+      "Paper shape: FlexTOE server gives the lowest median and tail "
+      "latency across all client stacks; Linux is ~5x worse.");
 }

@@ -1,6 +1,10 @@
 // Figure 10: RPC throughput for a saturated single-threaded server,
 // RX and TX separately, 250 and 1000 cycles of per-message application
-// processing, across message sizes.
+// processing, across message sizes. One series per stack; rows are
+// labeled "<rx|tx>/<app-cycles>/<msg-size>" (harness_test pins this
+// contract: quick mode emits 4 rows in each of the 4 stack series).
+#include <cstdio>
+
 #include "common.hpp"
 
 using namespace flextoe;
@@ -8,8 +12,13 @@ using namespace flextoe::benchx;
 
 namespace {
 
-double run_rx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles) {
-  Testbed tb(23);
+struct Spans {
+  sim::TimePs warm, span;
+};
+
+double run_rx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles,
+              unsigned seed, Spans t) {
+  Testbed tb(seed);
   auto& server = add_server(tb, s, with_stack_cores(s, 1));
   // Clients produce RPCs of `msg` bytes; server consumes each after an
   // artificial delay and replies 32 B.
@@ -30,16 +39,16 @@ double run_rx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles) {
     clients.back()->start();
   }
 
-  tb.run_for(sim::ms(10));
+  tb.run_for(t.warm);
   std::uint64_t base = srv.bytes_rx();
-  const sim::TimePs span = sim::ms(25);
-  tb.run_for(span);
+  tb.run_for(t.span);
   const double bytes = static_cast<double>(srv.bytes_rx() - base);
-  return bytes * 8.0 / sim::to_sec(span) / 1e9;  // Gbps
+  return bytes * 8.0 / sim::to_sec(t.span) / 1e9;  // Gbps
 }
 
-double run_tx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles) {
-  Testbed tb(29);
+double run_tx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles,
+              unsigned seed, Spans t) {
+  Testbed tb(seed);
   auto& server = add_server(tb, s, with_stack_cores(s, 1));
   // Server produces messages; clients consume.
   app::ProducerServer srv(tb.ev(), *server.stack,
@@ -57,41 +66,45 @@ double run_tx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles) {
     clients.back()->start();
   }
 
-  tb.run_for(sim::ms(10));
+  tb.run_for(t.warm);
   std::uint64_t base = 0;
   for (auto& c : clients) base += c->bytes_rx();
-  const sim::TimePs span = sim::ms(25);
-  tb.run_for(span);
+  tb.run_for(t.span);
   std::uint64_t bytes = 0;
   for (auto& c : clients) bytes += c->bytes_rx();
   bytes -= base;
-  return static_cast<double>(bytes) * 8.0 / sim::to_sec(span) / 1e9;
+  return static_cast<double>(bytes) * 8.0 / sim::to_sec(t.span) / 1e9;
 }
 
 }  // namespace
 
-int main() {
-  const std::vector<std::uint32_t> sizes = {32, 128, 512, 2048};
-  for (std::uint32_t delay : {250u, 1000u}) {
+BENCH_SCENARIO(fig10, "RPC goodput Gbps, RX and TX, vs message size") {
+  const auto sizes = ctx.pick<std::vector<std::uint32_t>>(
+      {32, 128, 512, 2048}, {32, 2048});
+  const auto delays =
+      ctx.pick<std::vector<std::uint32_t>>({250, 1000}, {250});
+  const Spans t{ctx.pick(sim::ms(10), sim::ms(2)),
+                ctx.pick(sim::ms(25), sim::ms(4))};
+
+  for (std::uint32_t delay : delays) {
     for (const bool rx : {true, false}) {
-      char title[128];
-      std::snprintf(title, sizeof title,
-                    "Figure 10 (%s, %u cycles/message): goodput Gbps",
-                    rx ? "RX" : "TX", delay);
-      print_header(title,
-                   {"MsgSize", "Linux", "Chelsio", "TAS", "FlexTOE"});
       for (std::uint32_t msg : sizes) {
-        print_cell(static_cast<double>(msg), 0);
+        char label[48];
+        std::snprintf(label, sizeof label, "%s/%u/%u", rx ? "rx" : "tx",
+                      delay, msg);
         for (Stack s : all_stacks()) {
-          print_cell(rx ? run_rx(s, msg, delay) : run_tx(s, msg, delay), 3);
+          const double gbps = ctx.measure([&](int rep) {
+            const unsigned seed = (rx ? 23u : 29u) + static_cast<unsigned>(rep);
+            return rx ? run_rx(s, msg, delay, seed, t)
+                      : run_tx(s, msg, delay, seed, t);
+          });
+          ctx.report().series(stack_name(s)).set(label, "gbps", gbps);
         }
-        end_row();
       }
     }
   }
-  std::printf(
-      "\nPaper shape: FlexTOE/TAS track closely (app core saturated) and "
+  ctx.report().note(
+      "Paper shape: FlexTOE/TAS track closely (app core saturated) and "
       "reach line rate at 2KB; Linux/Chelsio are several x lower,\n"
-      "gap larger on TX; gains shrink at 1000 cycles/message.\n");
-  return 0;
+      "gap larger on TX; gains shrink at 1000 cycles/message.");
 }

@@ -1,15 +1,16 @@
 // Figure 11: single-connection RPC RTT — median, 99p and 99.99p across
-// message sizes for every stack.
+// message sizes for every stack. One series per stack; rows are message
+// sizes.
 #include "common.hpp"
 
 using namespace flextoe;
 using namespace flextoe::benchx;
 
-int main() {
-  const std::vector<std::uint32_t> sizes = {32, 64, 128, 256, 512, 1024,
-                                            2048};
-  print_header("Figure 11: RPC RTT us (p50 / p99 / p99.99)",
-               {"MsgSize", "Stack", "p50", "p99", "p99.99"});
+BENCH_SCENARIO(fig11, "RPC RTT us (p50 / p99 / p99.99) vs message size") {
+  const auto sizes = ctx.pick<std::vector<std::uint32_t>>(
+      {32, 64, 128, 256, 512, 1024, 2048}, {32, 1024});
+  const auto warm = ctx.pick(sim::ms(5), sim::ms(2));
+  const auto span = ctx.pick(sim::ms(60), sim::ms(8));
 
   for (std::uint32_t msg : sizes) {
     for (Stack s : all_stacks()) {
@@ -26,21 +27,19 @@ int main() {
       app::ClosedLoopClient cli(tb.ev(), *client.stack, server.ip, cp);
       cli.start();
 
-      tb.run_for(sim::ms(5));
+      tb.run_for(warm);
       cli.clear_stats();
-      tb.run_for(sim::ms(60));
+      tb.run_for(span);
 
-      print_cell(static_cast<double>(msg), 0);
-      print_cell(stack_name(s));
-      print_cell(cli.latency().percentile(50), 1);
-      print_cell(cli.latency().percentile(99), 1);
-      print_cell(cli.latency().percentile(99.99), 1);
-      end_row();
+      auto& row = ctx.report().series(stack_name(s)).row(
+          std::to_string(msg));
+      row.set("p50", cli.latency().percentile(50));
+      row.set("p99", cli.latency().percentile(99));
+      row.set("p99.99", cli.latency().percentile(99.99));
     }
   }
-  std::printf(
-      "\nPaper shape: Linux median >=5x the others; FlexTOE median ~1.3x "
+  ctx.report().note(
+      "Paper shape: Linux median >=5x the others; FlexTOE median ~1.3x "
       "Chelsio/TAS (pipeline depth) but tail up to 3.2x smaller than\n"
-      "Chelsio; FlexTOE nearly flat as size grows past one MSS.\n");
-  return 0;
+      "Chelsio; FlexTOE nearly flat as size grows past one MSS.");
 }

@@ -1,5 +1,8 @@
 // Figure 12: large-RPC goodput vs message size; (a) unidirectional
-// (32 B response), (b) bidirectional (echo).
+// (32 B response), (b) bidirectional (echo). One series per stack; rows
+// are "<uni|bidir>/<msg-size>".
+#include <cstdio>
+
 #include "common.hpp"
 
 using namespace flextoe;
@@ -7,8 +10,9 @@ using namespace flextoe::benchx;
 
 namespace {
 
-double run_case(Stack s, std::uint32_t msg, bool echo) {
-  Testbed tb(37);
+double run_case(Stack s, std::uint32_t msg, bool echo, unsigned seed,
+                sim::TimePs warm, sim::TimePs span) {
+  Testbed tb(seed);
   auto& server = add_server(tb, s, with_stack_cores(s, 2));
   auto& client = tb.add_client_node();
 
@@ -24,9 +28,8 @@ double run_case(Stack s, std::uint32_t msg, bool echo) {
   cli.start();
 
   // Warm up at least one full RPC, then measure several.
-  tb.run_for(sim::ms(30));
+  tb.run_for(warm);
   const std::uint64_t base = cli.completed();
-  const sim::TimePs span = sim::ms(120);
   tb.run_for(span);
   const double rpcs = static_cast<double>(cli.completed() - base);
   const double dir_bytes = echo ? 2.0 * msg : 1.0 * msg;
@@ -35,24 +38,30 @@ double run_case(Stack s, std::uint32_t msg, bool echo) {
 
 }  // namespace
 
-int main() {
-  const std::vector<std::uint32_t> sizes = {128 * 1024, 512 * 1024,
-                                            2 * 1024 * 1024,
-                                            8 * 1024 * 1024,
-                                            32 * 1024 * 1024};
+BENCH_SCENARIO(fig12, "large-RPC goodput (Gbps), uni- and bidirectional") {
+  const auto sizes = ctx.pick<std::vector<std::uint32_t>>(
+      {128 * 1024, 512 * 1024, 2 * 1024 * 1024, 8 * 1024 * 1024,
+       32 * 1024 * 1024},
+      {128 * 1024, 2 * 1024 * 1024});
+  const auto warm = ctx.pick(sim::ms(30), sim::ms(8));
+  const auto span = ctx.pick(sim::ms(120), sim::ms(20));
+
   for (bool echo : {false, true}) {
-    print_header(echo ? "Figure 12b: bidirectional goodput (Gbps)"
-                      : "Figure 12a: unidirectional goodput (Gbps)",
-                 {"MsgSize", "Linux", "Chelsio", "TAS", "FlexTOE"});
     for (std::uint32_t msg : sizes) {
-      print_cell(static_cast<double>(msg), 0);
-      for (Stack s : all_stacks()) print_cell(run_case(s, msg, echo), 2);
-      end_row();
+      char label[48];
+      std::snprintf(label, sizeof label, "%s/%u", echo ? "bidir" : "uni",
+                    msg);
+      for (Stack s : all_stacks()) {
+        const double gbps = ctx.measure([&](int rep) {
+          return run_case(s, msg, echo, 37 + static_cast<unsigned>(rep),
+                          warm, span);
+        });
+        ctx.report().series(stack_name(s)).set(label, "gbps", gbps);
+      }
     }
   }
-  std::printf(
-      "\nPaper shape: (a) all within ~20%%, Chelsio slightly ahead "
-      "(streaming ASIC); (b) FlexTOE ~27%% above Chelsio — per-connection\n"
-      "pipeline parallelism pays off for bidirectional flows.\n");
-  return 0;
+  ctx.report().note(
+      "Paper shape: (a) all within ~20%, Chelsio slightly ahead "
+      "(streaming ASIC); (b) FlexTOE ~27% above Chelsio — per-connection\n"
+      "pipeline parallelism pays off for bidirectional flows.");
 }

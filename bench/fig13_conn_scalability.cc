@@ -1,73 +1,85 @@
 // Figure 13: connection scalability — throughput vs number of
 // connections (64 B echo, one RPC in flight per connection). Stresses the
 // NIC memory hierarchy: per-connection batching vanishes, so every
-// pipeline stage misses its caches.
+// pipeline stage misses its caches. One series per stack; rows are
+// connection counts.
 #include "common.hpp"
 
 using namespace flextoe;
 using namespace flextoe::benchx;
 
-int main() {
-  const std::vector<unsigned> conn_counts = {1024, 2048, 8192, 16384};
-  print_header("Figure 13: throughput (MOps) vs connections (64B echo)",
-               {"Conns", "Linux", "Chelsio", "TAS", "FlexTOE"});
+namespace {
+
+double run_point(Stack s, unsigned conns, unsigned seed, sim::TimePs warm,
+                 sim::TimePs span) {
+  Testbed tb(seed);
+  // 64 B RPCs need tiny buffers; shrink to bound testbed memory.
+  host::FlexToeNicConfig toe_cfg;
+  app::NodeParams np;
+  np.cores = 8;
+  // 100G MAC isolates NIC compute/memory scaling from line rate
+  // (64 B echo wire overhead saturates 40G before the caches bind).
+  np.nic_gbps = 100.0;
+  np.sockbuf_bytes = 8 * 1024;
+  Testbed::Node* server_ptr = nullptr;
+  if (s == Stack::FlexToe) {
+    server_ptr = &tb.add_flextoe_node(np, toe_cfg);
+  } else {
+    auto pers = personality(s);
+    np.serial_fraction = pers.serial_fraction;
+    server_ptr = &tb.add_sw_node(np, pers);
+  }
+  auto& server = *server_ptr;
+  app::EchoServer srv(tb.ev(), *server.stack, {.port = 7},
+                      server.cpu.get());
+
+  // Five client machines, as in the paper.
+  std::vector<std::unique_ptr<app::ClosedLoopClient>> clients;
+  const unsigned nclients = 5;
+  for (unsigned i = 0; i < nclients; ++i) {
+    auto& cn = tb.add_client_node(100.0, /*sockbuf=*/8 * 1024);
+    app::ClosedLoopClient::Params cp;
+    cp.connections = conns / nclients;
+    cp.pipeline = 1;  // a single 64 B RPC in flight per connection
+    cp.request_size = 64;
+    cp.connect_stagger = sim::us(2);
+    clients.push_back(std::make_unique<app::ClosedLoopClient>(
+        tb.ev(), *cn.stack, server.ip, cp));
+    clients.back()->start();
+  }
+
+  // Allow all handshakes to complete.
+  tb.run_for(warm);
+  std::uint64_t base = 0;
+  for (auto& c : clients) base += c->completed();
+  tb.run_for(span);
+  std::uint64_t done = 0;
+  for (auto& c : clients) done += c->completed();
+  done -= base;
+  return static_cast<double>(done) / sim::to_sec(span) / 1e6;
+}
+
+}  // namespace
+
+BENCH_SCENARIO(fig13, "throughput (MOps) vs connections (64B echo)") {
+  const auto conn_counts = ctx.pick<std::vector<unsigned>>(
+      {1024, 2048, 8192, 16384}, {256});
+  const auto warm = ctx.pick(sim::ms(40), sim::ms(10));
+  const auto span = ctx.pick(sim::ms(20), sim::ms(4));
 
   for (unsigned conns : conn_counts) {
-    print_cell(static_cast<double>(conns), 0);
     for (Stack s : all_stacks()) {
-      Testbed tb(41);
-      // 64 B RPCs need tiny buffers; shrink to bound testbed memory.
-      host::FlexToeNicConfig toe_cfg;
-      app::NodeParams np;
-      np.cores = 8;
-      // 100G MAC isolates NIC compute/memory scaling from line rate
-      // (64 B echo wire overhead saturates 40G before the caches bind).
-      np.nic_gbps = 100.0;
-      np.sockbuf_bytes = 8 * 1024;
-      Testbed::Node* server_ptr = nullptr;
-      if (s == Stack::FlexToe) {
-        server_ptr = &tb.add_flextoe_node(np, toe_cfg);
-      } else {
-        auto pers = personality(s);
-        np.serial_fraction = pers.serial_fraction;
-        server_ptr = &tb.add_sw_node(np, pers);
-      }
-      auto& server = *server_ptr;
-      app::EchoServer srv(tb.ev(), *server.stack, {.port = 7},
-                          server.cpu.get());
-
-      // Five client machines, as in the paper.
-      std::vector<std::unique_ptr<app::ClosedLoopClient>> clients;
-      const unsigned nclients = 5;
-      for (unsigned i = 0; i < nclients; ++i) {
-        auto& cn = tb.add_client_node(100.0, /*sockbuf=*/8 * 1024);
-        app::ClosedLoopClient::Params cp;
-        cp.connections = conns / nclients;
-        cp.pipeline = 1;  // a single 64 B RPC in flight per connection
-        cp.request_size = 64;
-        cp.connect_stagger = sim::us(2);
-        clients.push_back(std::make_unique<app::ClosedLoopClient>(
-            tb.ev(), *cn.stack, server.ip, cp));
-        clients.back()->start();
-      }
-
-      // Allow all handshakes to complete.
-      tb.run_for(sim::ms(40));
-      std::uint64_t base = 0;
-      for (auto& c : clients) base += c->completed();
-      const sim::TimePs span = sim::ms(20);
-      tb.run_for(span);
-      std::uint64_t done = 0;
-      for (auto& c : clients) done += c->completed();
-      done -= base;
-      print_cell(static_cast<double>(done) / sim::to_sec(span) / 1e6, 3);
+      const double mops = ctx.measure([&](int rep) {
+        return run_point(s, conns, 41 + static_cast<unsigned>(rep), warm,
+                         span);
+      });
+      ctx.report().series(stack_name(s)).set(std::to_string(conns), "mops",
+                                             mops);
     }
-    end_row();
   }
-  std::printf(
-      "\nPaper shape: FlexTOE ~3.3x Linux up to 2K conns (CLS-cached), "
-      "declines ~24%% by 8K (EMEM cache strained) then plateaus;\n"
+  ctx.report().note(
+      "Paper shape: FlexTOE ~3.3x Linux up to 2K conns (CLS-cached), "
+      "declines ~24% by 8K (EMEM cache strained) then plateaus;\n"
       "TAS ~1.5x FlexTOE at scale (big host LLC); Linux declines sharply; "
-      "Chelsio worst (epoll overhead).\n");
-  return 0;
+      "Chelsio worst (epoll overhead).");
 }

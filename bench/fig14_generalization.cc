@@ -1,7 +1,8 @@
 // Figure 14: does FlexTOE's data-path parallelism generalize? Single
 // connection throughput of pipelined RPCs vs MSS on the BlueField and x86
 // ports: TAS (core-per-connection), TAS-nocopy, FlexTOE (2x replicated
-// pre/post, 9 cores), FlexTOE-scalar (no replication, 7 cores).
+// pre/post, 9 cores), FlexTOE-scalar (no replication, 7 cores). One
+// series per platform/design; rows are MSS values.
 #include "common.hpp"
 
 using namespace flextoe;
@@ -9,7 +10,12 @@ using namespace flextoe::benchx;
 
 namespace {
 
-double run_flextoe(const core::DatapathConfig& dp_cfg, std::uint32_t mss) {
+struct Spans {
+  sim::TimePs warm, span;
+};
+
+double run_flextoe(const core::DatapathConfig& dp_cfg, std::uint32_t mss,
+                   Spans t) {
   Testbed tb(43);
   host::FlexToeNicConfig cfg;
   cfg.datapath = dp_cfg;
@@ -31,15 +37,15 @@ double run_flextoe(const core::DatapathConfig& dp_cfg, std::uint32_t mss) {
   app::ClosedLoopClient cli(tb.ev(), *client.stack, server.ip, cp);
   cli.start();
 
-  tb.run_for(sim::ms(10));
+  tb.run_for(t.warm);
   const std::uint64_t base = srv.bytes_rx();
-  const sim::TimePs span = sim::ms(30);
-  tb.run_for(span);
+  tb.run_for(t.span);
   return static_cast<double>(srv.bytes_rx() - base) * 8.0 /
-         sim::to_sec(span) / 1e9;
+         sim::to_sec(t.span) / 1e9;
 }
 
-double run_tas(sim::ClockDomain clock, std::uint32_t mss, bool nocopy) {
+double run_tas(sim::ClockDomain clock, std::uint32_t mss, bool nocopy,
+               Spans t) {
   Testbed tb(47);
   auto pers = baseline::tas_personality();
   if (nocopy) pers.costs.copy_per_kb = 0;
@@ -61,43 +67,51 @@ double run_tas(sim::ClockDomain clock, std::uint32_t mss, bool nocopy) {
   app::ClosedLoopClient cli(tb.ev(), *client.stack, server.ip, cp);
   cli.start();
 
-  tb.run_for(sim::ms(10));
+  tb.run_for(t.warm);
   const std::uint64_t base = srv.bytes_rx();
-  const sim::TimePs span = sim::ms(30);
-  tb.run_for(span);
+  tb.run_for(t.span);
   return static_cast<double>(srv.bytes_rx() - base) * 8.0 /
-         sim::to_sec(span) / 1e9;
+         sim::to_sec(t.span) / 1e9;
 }
 
-void platform(const char* name, sim::ClockDomain clock,
-              core::DatapathConfig repl, core::DatapathConfig scalar) {
-  char title[96];
-  std::snprintf(title, sizeof title,
-                "Figure 14 (%s): single-conn throughput (Gbps) vs MSS",
-                name);
-  print_header(title, {"MSS", "TAS", "TAS-nocopy", "FlexTOE-scalar",
-                       "FlexTOE"});
-  for (std::uint32_t mss : {1448u, 1024u, 512u, 256u, 128u, 64u}) {
-    print_cell(static_cast<double>(mss), 0);
-    print_cell(run_tas(clock, mss, false), 3);
-    print_cell(run_tas(clock, mss, true), 3);
-    print_cell(run_flextoe(scalar, mss), 3);
-    print_cell(run_flextoe(repl, mss), 3);
-    end_row();
+void platform(ScenarioCtx& ctx, const char* name, sim::ClockDomain clock,
+              const core::DatapathConfig& repl,
+              const core::DatapathConfig& scalar) {
+  const auto mss_list = ctx.pick<std::vector<std::uint32_t>>(
+      {1448, 1024, 512, 256, 128, 64}, {1448, 256});
+  const Spans t{ctx.pick(sim::ms(10), sim::ms(3)),
+                ctx.pick(sim::ms(30), sim::ms(5))};
+  const std::string prefix = std::string(name) + "/";
+  for (std::uint32_t mss : mss_list) {
+    const std::string label = std::to_string(mss);
+    ctx.report().series(prefix + "TAS").set(
+        label, "gbps", run_tas(clock, mss, false, t));
+    ctx.report().series(prefix + "TAS-nocopy")
+        .set(label, "gbps", run_tas(clock, mss, true, t));
+    ctx.report().series(prefix + "FlexTOE-scalar")
+        .set(label, "gbps", run_flextoe(scalar, mss, t));
+    ctx.report().series(prefix + "FlexTOE").set(
+        label, "gbps", run_flextoe(repl, mss, t));
   }
+  // Attached per platform so each scenario carries it under --filter;
+  // Report::note dedups when both run.
+  ctx.report().note(
+      "Paper shape: FlexTOE up to 4x TAS on BlueField (2.4x on x86); "
+      "TAS-nocopy closes much of the gap at large MSS (copy-bound),\n"
+      "less at small MSS (packet-rate-bound); FlexTOE-scalar captures only "
+      "part of the win (pipelining without replication).");
 }
 
 }  // namespace
 
-int main() {
-  platform("BlueField", sim::kBlueFieldClock, core::bluefield_config(true),
-           core::bluefield_config(false));
-  platform("x86", sim::kX86Clock, core::x86_config(true),
+BENCH_SCENARIO(fig14_bluefield,
+               "single-conn throughput (Gbps) vs MSS, BlueField port") {
+  platform(ctx, "BlueField", sim::kBlueFieldClock,
+           core::bluefield_config(true), core::bluefield_config(false));
+}
+
+BENCH_SCENARIO(fig14_x86,
+               "single-conn throughput (Gbps) vs MSS, x86 port") {
+  platform(ctx, "x86", sim::kX86Clock, core::x86_config(true),
            core::x86_config(false));
-  std::printf(
-      "\nPaper shape: FlexTOE up to 4x TAS on BlueField (2.4x on x86); "
-      "TAS-nocopy closes much of the gap at large MSS (copy-bound),\n"
-      "less at small MSS (packet-rate-bound); FlexTOE-scalar captures only "
-      "part of the win (pipelining without replication).\n");
-  return 0;
 }

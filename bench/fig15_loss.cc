@@ -1,6 +1,7 @@
 // Figure 15: robustness under packet loss — (a) 100 connections of 64 B
 // echo with 8 pipelined requests each; (b) 8 unidirectional large flows.
-// The switch drops packets uniformly at random.
+// The switch drops packets uniformly at random. One series per stack;
+// rows are "<small|large>/<loss-label>".
 #include "common.hpp"
 
 using namespace flextoe;
@@ -8,8 +9,12 @@ using namespace flextoe::benchx;
 
 namespace {
 
-double run_small(Stack s, double loss) {
-  Testbed tb(53);
+struct Spans {
+  sim::TimePs warm, span;
+};
+
+double run_small(Stack s, double loss, unsigned seed, Spans t) {
+  Testbed tb(seed);
   tb.the_switch().set_drop_prob(loss);
   auto& server = add_server(tb, s, 16);  // multi-threaded echo server
   app::EchoServer srv(tb.ev(), *server.stack, {.port = 7},
@@ -27,21 +32,20 @@ double run_small(Stack s, double loss) {
     clients.back()->start();
   }
 
-  tb.run_for(sim::ms(20));
+  tb.run_for(t.warm);
   std::uint64_t base = 0;
   for (auto& c : clients) base += c->completed();
-  const sim::TimePs span = sim::ms(60);
-  tb.run_for(span);
+  tb.run_for(t.span);
   std::uint64_t done = 0;
   for (auto& c : clients) done += c->completed();
   done -= base;
   // Goodput counts request+response payload bytes.
   return static_cast<double>(done) * (64.0 * 2) * 8.0 /
-         sim::to_sec(span) / 1e9;
+         sim::to_sec(t.span) / 1e9;
 }
 
-double run_large(Stack s, double loss) {
-  Testbed tb(59);
+double run_large(Stack s, double loss, unsigned seed, Spans t) {
+  Testbed tb(seed);
   tb.the_switch().set_drop_prob(loss);
   auto& server = add_server(tb, s, 4);
   // 8 unidirectional bulk flows toward the server.
@@ -57,42 +61,48 @@ double run_large(Stack s, double loss) {
   app::ClosedLoopClient cli(tb.ev(), *cn.stack, server.ip, cp);
   cli.start();
 
-  tb.run_for(sim::ms(30));
+  tb.run_for(t.warm);
   const std::uint64_t base = srv.bytes_rx();
-  const sim::TimePs span = sim::ms(100);
-  tb.run_for(span);
+  tb.run_for(t.span);
   return static_cast<double>(srv.bytes_rx() - base) * 8.0 /
-         sim::to_sec(span) / 1e9;
+         sim::to_sec(t.span) / 1e9;
 }
 
 }  // namespace
 
-int main() {
-  const std::vector<std::pair<const char*, double>> losses = {
-      {"0", 0.0},        {"1e-4%", 1e-6}, {"1e-3%", 1e-5},
-      {"1e-2%", 1e-4},   {"1e-1%", 1e-3}, {"2%", 0.02},
-  };
+BENCH_SCENARIO(fig15, "goodput (Gbps) vs uniform loss rate") {
+  using LossCase = std::pair<const char*, double>;
+  const auto losses = ctx.pick<std::vector<LossCase>>(
+      {{"0", 0.0},
+       {"1e-4%", 1e-6},
+       {"1e-3%", 1e-5},
+       {"1e-2%", 1e-4},
+       {"1e-1%", 1e-3},
+       {"2%", 0.02}},
+      {{"0", 0.0}, {"2%", 0.02}});
+  const Spans small_t{ctx.pick(sim::ms(20), sim::ms(5)),
+                      ctx.pick(sim::ms(60), sim::ms(8))};
+  const Spans large_t{ctx.pick(sim::ms(30), sim::ms(8)),
+                      ctx.pick(sim::ms(100), sim::ms(15))};
 
-  print_header("Figure 15a: small-RPC goodput (Gbps) vs loss",
-               {"Loss", "Linux", "Chelsio", "TAS", "FlexTOE"});
   for (auto [name, p] : losses) {
-    print_cell(name);
-    for (Stack s : all_stacks()) print_cell(run_small(s, p), 4);
-    end_row();
+    for (Stack s : all_stacks()) {
+      auto& series = ctx.report().series(stack_name(s));
+      series.set(std::string("small/") + name, "gbps",
+                 ctx.measure([&, p](int rep) {
+                   return run_small(s, p, 53 + static_cast<unsigned>(rep),
+                                    small_t);
+                 }));
+      series.set(std::string("large/") + name, "gbps",
+                 ctx.measure([&, p](int rep) {
+                   return run_large(s, p, 59 + static_cast<unsigned>(rep),
+                                    large_t);
+                 }));
+    }
   }
-
-  print_header("Figure 15b: large-flow goodput (Gbps) vs loss",
-               {"Loss", "Linux", "Chelsio", "TAS", "FlexTOE"});
-  for (auto [name, p] : losses) {
-    print_cell(name);
-    for (Stack s : all_stacks()) print_cell(run_large(s, p), 3);
-    end_row();
-  }
-
-  std::printf(
-      "\nPaper shape: at 2%% loss FlexTOE >=2x TAS and ~10x the rest on "
-      "small RPCs; Chelsio collapses on large flows even at 1e-4%% loss\n"
+  ctx.report().note(
+      "Paper shape: at 2% loss FlexTOE >=2x TAS and ~10x the rest on "
+      "small RPCs; Chelsio collapses on large flows even at 1e-4% loss\n"
       "(no receiver OOO buffering); Linux most robust per-flow (SACK) but "
-      "lower absolute goodput.\n");
-  return 0;
+      "lower absolute goodput.");
 }

@@ -1,6 +1,7 @@
 // Figure 16: throughput distribution across bulk connections at line
 // rate — median and 1st-percentile of per-connection goodput normalized
-// to fair share, plus Jain's fairness index, FlexTOE vs Linux.
+// to fair share, plus Jain's fairness index, FlexTOE vs Linux. One
+// series per stack; rows are connection counts.
 #include <algorithm>
 
 #include "common.hpp"
@@ -14,7 +15,8 @@ struct FairRes {
   double p50_norm, p1_norm, jfi;
 };
 
-FairRes run_case(Stack s, unsigned conns) {
+FairRes run_case(Stack s, unsigned conns, sim::TimePs warm,
+                 sim::TimePs span) {
   Testbed tb(61);
   app::NodeParams np;
   np.cores = 8;
@@ -48,11 +50,10 @@ FairRes run_case(Stack s, unsigned conns) {
   // Deep-buffered egress with ECN marking (datacenter ToR defaults).
   tb.the_switch().port_params(0).queue_bytes = 2 * 1024 * 1024;
   tb.the_switch().port_params(0).ecn_threshold = 300 * 1024;
-  tb.run_for(sim::ms(80));  // connect + ramp
+  tb.run_for(warm);  // connect + ramp
   for (auto& c : clients) c->clear_stats();
   // Long window: per-flow fairness at thousands of flows needs many
   // pacing rounds to average (the paper measures 60 s).
-  const sim::TimePs span = sim::ms(400);
   tb.run_for(span);
 
   std::vector<double> per_conn;
@@ -74,23 +75,24 @@ FairRes run_case(Stack s, unsigned conns) {
 
 }  // namespace
 
-int main() {
-  print_header("Figure 16: goodput/fair-share at line rate",
-               {"Conns", "Stack", "p50/fair", "p1/fair", "JFI"});
-  for (unsigned conns : {64u, 256u, 1024u, 2048u}) {
+BENCH_SCENARIO(fig16, "goodput/fair-share at line rate") {
+  const auto conn_counts =
+      ctx.pick<std::vector<unsigned>>({64, 256, 1024, 2048}, {64});
+  const auto warm = ctx.pick(sim::ms(80), sim::ms(20));
+  const auto span = ctx.pick(sim::ms(400), sim::ms(40));
+
+  for (unsigned conns : conn_counts) {
     for (Stack s : {Stack::Linux, Stack::FlexToe}) {
-      const auto r = run_case(s, conns);
-      print_cell(static_cast<double>(conns), 0);
-      print_cell(stack_name(s));
-      print_cell(r.p50_norm, 3);
-      print_cell(r.p1_norm, 3);
-      print_cell(r.jfi, 3);
-      end_row();
+      const auto r = run_case(s, conns, warm, span);
+      auto& row = ctx.report().series(stack_name(s)).row(
+          std::to_string(conns));
+      row.set("p50/fair", r.p50_norm);
+      row.set("p1/fair", r.p1_norm);
+      row.set("jfi", r.jfi);
     }
   }
-  std::printf(
-      "\nPaper shape: FlexTOE median tracks fair share with 1p >= 0.67x "
+  ctx.report().note(
+      "Paper shape: FlexTOE median tracks fair share with 1p >= 0.67x "
       "and JFI ~0.98 even at 2K conns (Carousel pacing); Linux fairness\n"
-      "collapses past 256 conns (JFI ~0.36 at 2K).\n");
-  return 0;
+      "collapses past 256 conns (JFI ~0.36 at 2K).");
 }

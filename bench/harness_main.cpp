@@ -1,0 +1,8 @@
+// Entry point shared by all bench binaries. Kept out of harness.cpp so
+// harness_test can link the harness (and scenario files) next to
+// gtest_main without a duplicate main().
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return flextoe::benchx::bench_main(argc, argv);
+}

@@ -1,10 +1,15 @@
-// Google-benchmark microbenchmarks for the hot substrate components:
-// packet serialization/parsing, checksums, flow hashing, reorder buffers,
-// OOO trackers, byte rings, and the Carousel time wheel. These guard
-// simulator performance (host-side) rather than reproducing paper rows.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the hot substrate components: packet
+// serialization/parsing, checksums, flow hashing, reorder buffers, OOO
+// trackers, byte rings, and the Carousel time wheel. These guard
+// simulator performance (host-side, wall-clock) rather than reproducing
+// paper rows. One series; rows are components with ns/op statistics over
+// `--repeats` timed runs (first run is warmup).
+#include <chrono>
+#include <cstdint>
+#include <vector>
 
 #include "core/reorder.hpp"
+#include "harness.hpp"
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
 #include "sched/carousel.hpp"
@@ -13,11 +18,30 @@
 #include "tcp/flow.hpp"
 #include "tcp/ooo.hpp"
 
+using namespace flextoe;
+using namespace flextoe::benchx;
+
 namespace {
 
-using namespace flextoe;
+// Keeps the optimizer from discarding a computed value (stand-in for
+// benchmark::DoNotOptimize).
+template <typename T>
+inline void keep(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
 
-void BM_PacketSerialize(benchmark::State& state) {
+// Times `iters` iterations of `op(i)` and returns ns per operation.
+template <typename Op>
+double time_ns_per_op(std::uint64_t iters, Op&& op) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) op(i);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return static_cast<double>(ns) / static_cast<double>(iters);
+}
+
+net::Packet make_packet(std::size_t payload) {
   net::Packet p;
   p.eth.src = net::MacAddr::from_u64(1);
   p.eth.dst = net::MacAddr::from_u64(2);
@@ -25,112 +49,121 @@ void BM_PacketSerialize(benchmark::State& state) {
   p.ip.dst = net::make_ip(10, 0, 0, 2);
   p.tcp.flags = net::tcpflag::kAck | net::tcpflag::kPsh;
   p.tcp.ts = net::TcpTsOpt{1, 2};
-  p.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(p.serialize());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          p.frame_size());
+  p.payload.assign(payload, 0xAB);
+  return p;
 }
-BENCHMARK(BM_PacketSerialize)->Arg(64)->Arg(1448);
-
-void BM_PacketParse(benchmark::State& state) {
-  net::Packet p;
-  p.tcp.ts = net::TcpTsOpt{1, 2};
-  p.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
-  const auto bytes = p.serialize();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net::Packet::parse(bytes));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(bytes.size()));
-}
-BENCHMARK(BM_PacketParse)->Arg(64)->Arg(1448);
-
-void BM_Crc32FlowHash(benchmark::State& state) {
-  tcp::FlowTuple t{net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2),
-                   12345, 80};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(t.hash());
-    t.local_port++;
-  }
-}
-BENCHMARK(BM_Crc32FlowHash);
-
-void BM_InternetChecksum(benchmark::State& state) {
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
-                                 0x55);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net::internet_checksum(data));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1448);
-
-void BM_SingleIntervalTracker(benchmark::State& state) {
-  tcp::SingleIntervalTracker t;
-  tcp::SeqNum rcv = 0;
-  for (auto _ : state) {
-    auto r = t.on_segment(rcv, rcv, 1448, 1 << 20);
-    rcv += r.advance;
-  }
-}
-BENCHMARK(BM_SingleIntervalTracker);
-
-void BM_ByteRingWriteRead(benchmark::State& state) {
-  tcp::ByteRing ring(1 << 20);
-  std::vector<std::uint8_t> chunk(4096, 0xCD);
-  std::vector<std::uint8_t> out(4096);
-  for (auto _ : state) {
-    ring.write(chunk);
-    ring.read(out);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          4096);
-}
-BENCHMARK(BM_ByteRingWriteRead);
-
-void BM_ReorderBufferInOrder(benchmark::State& state) {
-  std::uint64_t released = 0;
-  core::ReorderBuffer<int> rob([&released](int) { ++released; });
-  std::uint64_t seq = 0;
-  for (auto _ : state) {
-    rob.push(seq++, 1);
-  }
-  benchmark::DoNotOptimize(released);
-}
-BENCHMARK(BM_ReorderBufferInOrder);
-
-void BM_CarouselTrigger(benchmark::State& state) {
-  sim::EventQueue ev;
-  sched::Carousel car(ev);
-  std::uint64_t sent = 0;
-  car.set_trigger([&sent](std::uint32_t) -> std::uint32_t {
-    ++sent;
-    return 1448;
-  });
-  car.set_rate(1, 0);
-  car.update_avail(1, 1ull << 40);
-  for (auto _ : state) {
-    // Each step services pending scheduler events.
-    if (!ev.step()) car.kick(1);
-  }
-  benchmark::DoNotOptimize(sent);
-}
-BENCHMARK(BM_CarouselTrigger);
-
-void BM_EventQueueChurn(benchmark::State& state) {
-  sim::EventQueue ev;
-  int fired = 0;
-  for (auto _ : state) {
-    ev.schedule_in(sim::ns(10), [&fired] { ++fired; });
-    ev.step();
-  }
-  benchmark::DoNotOptimize(fired);
-}
-BENCHMARK(BM_EventQueueChurn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+BENCH_SCENARIO(micro, "host-side component costs (ns/op)") {
+  const std::uint64_t iters = ctx.pick<std::uint64_t>(200000, 5000);
+  // Micro timings are noisy: always repeat at least 3 times (beyond any
+  // --repeats request) and warm up once.
+  const int reps = ctx.opts().repeats > 3 ? ctx.opts().repeats : 3;
+  auto& series = ctx.report().series("micro");
+
+  auto record = [&](const char* name,
+                    const std::function<double(int)>& run) {
+    const RepeatStats st = run_repeated(reps, run, /*warmup=*/1);
+    auto& row = series.row(name);
+    row.set("ns_op", st.mean);
+    row.set("p50", st.p50);
+    row.set("p99", st.p99);
+  };
+
+  for (std::size_t payload : {std::size_t{64}, std::size_t{1448}}) {
+    const std::string tag = "/" + std::to_string(payload);
+    record(("packet_serialize" + tag).c_str(), [&](int) {
+      net::Packet p = make_packet(payload);
+      return time_ns_per_op(iters, [&](std::uint64_t) {
+        keep(p.serialize());
+      });
+    });
+    record(("packet_parse" + tag).c_str(), [&](int) {
+      net::Packet p = make_packet(payload);
+      p.tcp.ts = net::TcpTsOpt{1, 2};
+      const auto bytes = p.serialize();
+      return time_ns_per_op(iters, [&](std::uint64_t) {
+        keep(net::Packet::parse(bytes));
+      });
+    });
+    record(("internet_checksum" + tag).c_str(), [&](int) {
+      std::vector<std::uint8_t> data(payload, 0x55);
+      return time_ns_per_op(iters, [&](std::uint64_t) {
+        keep(net::internet_checksum(data));
+      });
+    });
+  }
+
+  record("crc32_flow_hash", [&](int) {
+    tcp::FlowTuple t{net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2),
+                     12345, 80};
+    return time_ns_per_op(iters, [&](std::uint64_t) {
+      keep(t.hash());
+      t.local_port++;
+    });
+  });
+
+  record("single_interval_tracker", [&](int) {
+    tcp::SingleIntervalTracker t;
+    tcp::SeqNum rcv = 0;
+    return time_ns_per_op(iters, [&](std::uint64_t) {
+      auto r = t.on_segment(rcv, rcv, 1448, 1 << 20);
+      rcv += r.advance;
+    });
+  });
+
+  record("byte_ring_write_read_4k", [&](int) {
+    tcp::ByteRing ring(1 << 20);
+    std::vector<std::uint8_t> chunk(4096, 0xCD);
+    std::vector<std::uint8_t> out(4096);
+    return time_ns_per_op(iters, [&](std::uint64_t) {
+      ring.write(chunk);
+      ring.read(out);
+    });
+  });
+
+  record("reorder_buffer_in_order", [&](int) {
+    std::uint64_t released = 0;
+    core::ReorderBuffer<int> rob([&released](int) { ++released; });
+    std::uint64_t seq = 0;
+    const double ns = time_ns_per_op(iters, [&](std::uint64_t) {
+      rob.push(seq++, 1);
+    });
+    keep(released);
+    return ns;
+  });
+
+  record("carousel_trigger", [&](int) {
+    sim::EventQueue ev;
+    sched::Carousel car(ev);
+    std::uint64_t sent = 0;
+    car.set_trigger([&sent](std::uint32_t) -> std::uint32_t {
+      ++sent;
+      return 1448;
+    });
+    car.set_rate(1, 0);
+    car.update_avail(1, 1ull << 40);
+    const double ns = time_ns_per_op(iters, [&](std::uint64_t) {
+      // Each step services pending scheduler events.
+      if (!ev.step()) car.kick(1);
+    });
+    keep(sent);
+    return ns;
+  });
+
+  record("event_queue_churn", [&](int) {
+    sim::EventQueue ev;
+    int fired = 0;
+    const double ns = time_ns_per_op(iters, [&](std::uint64_t) {
+      ev.schedule_in(sim::ns(10), [&fired] { ++fired; });
+      ev.step();
+    });
+    keep(fired);
+    return ns;
+  });
+
+  ctx.report().note(
+      "Wall-clock microbenchmarks of the simulator substrate; values are "
+      "host-dependent and tracked for trend, not paper comparison.");
+}

@@ -5,7 +5,9 @@
 // accounted by category and divided by completed requests. The
 // micro-architectural rows (instructions, IPC, icache) come from the
 // personality model (they are hardware-counter measurements in the paper
-// and are model inputs here; see EXPERIMENTS.md).
+// and are model inputs here; see EXPERIMENTS.md). One series per stack;
+// rows are table rows, all in one "value" column so the text report
+// pivots into the paper's layout.
 #include "common.hpp"
 
 using namespace flextoe;
@@ -33,15 +35,9 @@ Uarch uarch_model(Stack s) {
 
 }  // namespace
 
-int main() {
-  print_header("Table 1: per-request CPU cycles (kc) by component",
-               {"Module", "Linux", "Chelsio", "TAS", "FlexTOE"});
-
-  struct Row {
-    double driver, stack, sockets, app, other, total;
-    std::uint64_t reqs;
-  };
-  std::vector<Row> rows;
+BENCH_SCENARIO(table1, "per-request CPU cycles (kc) by component") {
+  const auto warm = ctx.pick(sim::ms(20), sim::ms(4));
+  const auto span = ctx.pick(sim::ms(60), sim::ms(8));
 
   for (Stack s : all_stacks()) {
     Testbed tb(7);
@@ -59,10 +55,10 @@ int main() {
     app::KvClient cli(tb.ev(), *client.stack, server.ip, cp);
     cli.start();
 
-    tb.run_for(sim::ms(20));  // warmup (fill store, ramp cwnd)
+    tb.run_for(warm);  // warmup (fill store, ramp cwnd)
     server.cpu->clear_accounting();
     cli.clear_stats();
-    tb.run_for(sim::ms(60));
+    tb.run_for(span);
 
     const auto reqs = cli.completed();
     auto kc = [&](sim::CpuCat c) {
@@ -70,50 +66,29 @@ int main() {
                        : static_cast<double>(server.cpu->cycles(c)) /
                              static_cast<double>(reqs) / 1000.0;
     };
-    Row r;
-    r.driver = kc(sim::CpuCat::Driver);
-    r.stack = kc(sim::CpuCat::Stack);
-    r.sockets = kc(sim::CpuCat::Sockets);
-    r.app = kc(sim::CpuCat::App);
-    r.other = kc(sim::CpuCat::Other);
-    r.total = r.driver + r.stack + r.sockets + r.app + r.other;
-    r.reqs = reqs;
-    rows.push_back(r);
+    auto& series = ctx.report().series(stack_name(s));
+    const double driver = kc(sim::CpuCat::Driver);
+    const double stack = kc(sim::CpuCat::Stack);
+    const double sockets = kc(sim::CpuCat::Sockets);
+    const double app = kc(sim::CpuCat::App);
+    const double other = kc(sim::CpuCat::Other);
+    series.set("NIC driver", "value", driver);
+    series.set("TCP/IP stack", "value", stack);
+    series.set("POSIX sockets", "value", sockets);
+    series.set("Application", "value", app);
+    series.set("Other", "value", other);
+    series.set("Total", "value", driver + stack + sockets + app + other);
+    series.set("requests", "value", static_cast<double>(reqs));
+
+    const Uarch u = uarch_model(s);
+    series.set("Instr (k)", "value", u.instructions_k);
+    series.set("IPC", "value", u.ipc);
+    series.set("Icache (KB)", "value", u.icache_kb);
   }
 
-  auto print_metric = [&](const char* name, double Row::*field, int prec) {
-    print_cell(name);
-    for (const auto& r : rows) print_cell(r.*field, prec);
-    end_row();
-  };
-  print_metric("NIC driver", &Row::driver, 2);
-  print_metric("TCP/IP stack", &Row::stack, 2);
-  print_metric("POSIX sockets", &Row::sockets, 2);
-  print_metric("Application", &Row::app, 2);
-  print_metric("Other", &Row::other, 2);
-  print_metric("Total", &Row::total, 2);
-
-  print_cell("requests");
-  for (const auto& r : rows) {
-    print_cell(static_cast<double>(r.reqs), 0);
-  }
-  end_row();
-
-  std::printf("\n-- micro-architecture rows (personality model inputs) --\n");
-  print_header("Table 1 (cont.)",
-               {"Metric", "Linux", "Chelsio", "TAS", "FlexTOE"});
-  print_cell("Instr (k)");
-  for (Stack s : all_stacks()) print_cell(uarch_model(s).instructions_k, 2);
-  end_row();
-  print_cell("IPC");
-  for (Stack s : all_stacks()) print_cell(uarch_model(s).ipc, 2);
-  end_row();
-  print_cell("Icache (KB)");
-  for (Stack s : all_stacks()) print_cell(uarch_model(s).icache_kb, 2);
-  end_row();
-
-  std::printf(
-      "\nPaper (Table 1 totals, kc/req): Linux 12.13, Chelsio 8.89, "
-      "TAS 3.34, FlexTOE 1.67\n");
-  return 0;
+  ctx.report().note(
+      "Instr/IPC/Icache rows are personality-model inputs, not "
+      "measurements.\n"
+      "Paper (Table 1 totals, kc/req): Linux 12.13, Chelsio 8.89, "
+      "TAS 3.34, FlexTOE 1.67");
 }

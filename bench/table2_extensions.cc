@@ -10,8 +10,9 @@ using namespace flextoe::benchx;
 namespace {
 
 // Saturated small-RPC data path throughput in MOps.
-double run_datapath(const std::function<void(core::Datapath&)>& prep) {
-  Testbed tb(67);
+double run_datapath(const std::function<void(core::Datapath&)>& prep,
+                    unsigned seed, sim::TimePs warm, sim::TimePs span) {
+  Testbed tb(seed);
   auto& server = tb.add_flextoe_node({.cores = 16});
   prep(server.toe->datapath());
   app::EchoServer srv(tb.ev(), *server.stack, {.port = 7});
@@ -28,10 +29,9 @@ double run_datapath(const std::function<void(core::Datapath&)>& prep) {
     clients.back()->start();
   }
 
-  tb.run_for(sim::ms(10));
+  tb.run_for(warm);
   std::uint64_t base = 0;
   for (auto& c : clients) base += c->completed();
-  const sim::TimePs span = sim::ms(25);
   tb.run_for(span);
   std::uint64_t done = 0;
   for (auto& c : clients) done += c->completed();
@@ -41,7 +41,7 @@ double run_datapath(const std::function<void(core::Datapath&)>& prep) {
 
 // Maximum splicing rate: synthetic spliced-flow segments injected at the
 // MAC; every XDP_TX emission counts (paper: 6.4 Mpps on idle FPCs).
-double run_splice_mpps() {
+double run_splice_mpps(sim::TimePs span) {
   sim::EventQueue ev;
   core::DatapathConfig cfg;  // Agilio topology
   core::Datapath::HostIface host;
@@ -77,7 +77,6 @@ double run_splice_mpps() {
   dp.set_mac_sink(&sink);
 
   // Inject back-to-back MTU-sized spliced segments.
-  const auto span = sim::ms(5);
   const auto gap = sim::ns(120);  // ~8 Mpps offered
   for (sim::TimePs t = 0; t < span; t += gap) {
     ev.schedule_at(t, [&dp] {
@@ -95,44 +94,44 @@ double run_splice_mpps() {
 
 }  // namespace
 
-int main() {
-  print_header("Table 2: performance with flexible extensions",
-               {"Build", "MOps"});
+BENCH_SCENARIO(table2, "data-path performance with flexible extensions") {
+  const auto warm = ctx.pick(sim::ms(10), sim::ms(2));
+  const auto span = ctx.pick(sim::ms(25), sim::ms(4));
 
-  print_cell("Baseline");
-  print_cell(run_datapath([](core::Datapath&) {}), 2);
-  end_row();
+  struct Build {
+    const char* name;
+    std::function<void(core::Datapath&)> prep;
+  };
+  const std::vector<Build> builds = {
+      {"Baseline", [](core::Datapath&) {}},
+      {"Stats+profiling",
+       [](core::Datapath& dp) { dp.set_profiling(true); }},
+      {"tcpdump(nofilt)",
+       [](core::Datapath& dp) {
+         dp.add_xdp_program(std::make_shared<xdp::CaptureProgram>());
+       }},
+      {"XDP (null)",
+       [](core::Datapath& dp) {
+         dp.add_xdp_program(std::make_shared<xdp::NullProgram>());
+       }},
+      {"XDP(vlan-strip)",
+       [](core::Datapath& dp) {
+         dp.add_xdp_program(std::make_shared<xdp::VlanStripProgram>());
+       }},
+  };
 
-  print_cell("Stats+profiling");
-  print_cell(run_datapath([](core::Datapath& dp) { dp.set_profiling(true); }),
-             2);
-  end_row();
+  auto& series = ctx.report().series("extensions");
+  for (const auto& b : builds) {
+    series.set(b.name, "mops", ctx.measure([&](int rep) {
+      return run_datapath(b.prep, 67 + static_cast<unsigned>(rep), warm,
+                          span);
+    }));
+  }
 
-  print_cell("tcpdump(nofilt)");
-  print_cell(run_datapath([](core::Datapath& dp) {
-               dp.add_xdp_program(std::make_shared<xdp::CaptureProgram>());
-             }),
-             2);
-  end_row();
+  ctx.report().series("splicing").set(
+      "rate", "mpps", run_splice_mpps(ctx.pick(sim::ms(5), sim::ms(1))));
 
-  print_cell("XDP (null)");
-  print_cell(run_datapath([](core::Datapath& dp) {
-               dp.add_xdp_program(std::make_shared<xdp::NullProgram>());
-             }),
-             2);
-  end_row();
-
-  print_cell("XDP(vlan-strip)");
-  print_cell(run_datapath([](core::Datapath& dp) {
-               dp.add_xdp_program(std::make_shared<xdp::VlanStripProgram>());
-             }),
-             2);
-  end_row();
-
-  std::printf("\nConnection splicing rate: %.2f Mpps (paper: 6.4 Mpps)\n",
-              run_splice_mpps());
-  std::printf(
-      "Paper shape: profiling costs up to ~24%%, tcpdump ~43%%, XDP null "
-      "~4%%, vlan-strip negligible.\n");
-  return 0;
+  ctx.report().note(
+      "Paper shape: profiling costs up to ~24%, tcpdump ~43%, XDP null "
+      "~4%, vlan-strip negligible; splicing rate paper: 6.4 Mpps.");
 }

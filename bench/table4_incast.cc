@@ -2,8 +2,9 @@
 // sends 64 KB RPCs over many connections toward a server behind a shaped
 // switch port (incast degree d -> 40/d Gbps) with WRED tail drops and ECN
 // marking. Control-plane-driven DCTCP paces the offloaded flows through
-// Carousel; the ablation turns that off (scheduler runs unpaced).
-#include <algorithm>
+// Carousel; the ablation turns that off (scheduler runs unpaced). Two
+// series (cc_on / cc_off); rows are "<degree>/<conns>" cases.
+#include <cstdio>
 
 #include "common.hpp"
 
@@ -18,7 +19,8 @@ struct Res {
   double jfi;
 };
 
-Res run_case(unsigned degree, unsigned conns, bool cc_on) {
+Res run_case(unsigned degree, unsigned conns, bool cc_on, sim::TimePs warm,
+             sim::TimePs span) {
   Testbed tb(73);
   // Node 0: FlexTOE sender (the system under test).
   auto& sender = tb.add_flextoe_node({.cores = 8});
@@ -42,10 +44,9 @@ Res run_case(unsigned degree, unsigned conns, bool cc_on) {
   app::ClosedLoopClient cli(tb.ev(), *sender.stack, receiver.ip, cp);
   cli.start();
 
-  tb.run_for(sim::ms(60));
+  tb.run_for(warm);
   cli.clear_stats();
   const std::uint64_t base = srv.bytes_rx();
-  const sim::TimePs span = sim::ms(250);
   tb.run_for(span);
 
   Res r;
@@ -58,32 +59,31 @@ Res run_case(unsigned degree, unsigned conns, bool cc_on) {
 
 }  // namespace
 
-int main() {
-  print_header("Table 4: congestion control under incast",
-               {"deg", "conns", "Tpt on", "Tpt off", "99.99p on(ms)",
-                "99.99p off", "JFI on", "JFI off"});
+BENCH_SCENARIO(table4, "congestion control under incast") {
+  const auto warm = ctx.pick(sim::ms(60), sim::ms(10));
+  const auto span = ctx.pick(sim::ms(250), sim::ms(30));
 
   struct Case {
     unsigned deg, conns;
   };
-  for (Case c : {Case{4, 16}, Case{4, 64}, Case{4, 128}, Case{10, 10},
-                 Case{20, 20}}) {
-    const Res on = run_case(c.deg, c.conns, true);
-    const Res off = run_case(c.deg, c.conns, false);
-    print_cell(static_cast<double>(c.deg), 0);
-    print_cell(static_cast<double>(c.conns), 0);
-    print_cell(on.gbps, 2);
-    print_cell(off.gbps, 2);
-    print_cell(on.p9999_ms, 2);
-    print_cell(off.p9999_ms, 2);
-    print_cell(on.jfi, 2);
-    print_cell(off.jfi, 2);
-    end_row();
+  const auto cases = ctx.pick<std::vector<Case>>(
+      {{4, 16}, {4, 64}, {4, 128}, {10, 10}, {20, 20}}, {{4, 16}});
+
+  for (Case c : cases) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%u/%u", c.deg, c.conns);
+    for (bool cc_on : {true, false}) {
+      const Res res = run_case(c.deg, c.conns, cc_on, warm, span);
+      auto& row =
+          ctx.report().series(cc_on ? "cc_on" : "cc_off").row(label);
+      row.set("gbps", res.gbps);
+      row.set("p99.99_ms", res.p9999_ms);
+      row.set("jfi", res.jfi);
+    }
   }
-  std::printf(
-      "\nPaper shape: CC achieves the shaped line rate with low tail and "
+  ctx.report().note(
+      "Paper shape: CC achieves the shaped line rate with low tail and "
       "high JFI; disabling it causes excessive drops — tail latency\n"
       "inflated up to ~18x and fairness skewed (JFI down to ~0.46), worst "
-      "at higher incast degrees.\n");
-  return 0;
+      "at higher incast degrees.");
 }

@@ -7,7 +7,10 @@
 using namespace flextoe;
 using namespace flextoe::benchx;
 
-int main() {
+BENCH_SCENARIO(table6, "TAS TCP/IP per-packet cycle breakdown") {
+  const auto warm = ctx.pick(sim::ms(20), sim::ms(4));
+  const auto span = ctx.pick(sim::ms(60), sim::ms(8));
+
   // Run the Table-1 memcached workload on TAS and measure per-packet
   // stack cycles.
   Testbed tb(79);
@@ -22,10 +25,10 @@ int main() {
   app::KvClient cli(tb.ev(), *client.stack, server.ip, cp);
   cli.start();
 
-  tb.run_for(sim::ms(20));
+  tb.run_for(warm);
   server.cpu->clear_accounting();
   const std::uint64_t base_segs = server.sw->segs_rx() + server.sw->segs_tx();
-  tb.run_for(sim::ms(60));
+  tb.run_for(span);
   const std::uint64_t segs =
       server.sw->segs_rx() + server.sw->segs_tx() - base_segs;
   const double per_pkt =
@@ -35,35 +38,33 @@ int main() {
 
   // Functional decomposition of TAS fast-path work (model inputs,
   // fractions from the paper's Table 6).
-  struct Row {
+  struct FnRow {
     const char* name;
     double paper_cycles;
   };
-  const Row rows[] = {
+  const FnRow fn_rows[] = {
       {"Segment generation", 130}, {"Loss detection/recovery", 606},
       {"Payload transfer", 10},    {"Application notification", 381},
       {"Flow scheduling", 172},    {"Miscellaneous", 141},
   };
   const double paper_total = 1440;
 
-  print_header("Table 6: TAS TCP/IP per-packet cycle breakdown",
-               {"Function", "cycles", "%"});
-  for (const auto& r : rows) {
-    print_cell(r.name);
-    print_cell(r.paper_cycles * (per_pkt * 2 / paper_total), 0);
-    print_cell(100.0 * r.paper_cycles / paper_total, 0);
-    end_row();
+  auto& series = ctx.report().series("breakdown");
+  for (const auto& r : fn_rows) {
+    auto& row = series.row(r.name);
+    row.set("cycles", r.paper_cycles * (per_pkt * 2 / paper_total));
+    row.set("pct", 100.0 * r.paper_cycles / paper_total);
   }
-  print_cell("Total (per req-resp pair)");
-  print_cell(per_pkt * 2, 0);
-  print_cell(100.0, 0);
-  end_row();
+  auto& total = series.row("Total (per req-resp pair)");
+  total.set("cycles", per_pkt * 2);
+  total.set("pct", 100.0);
 
-  std::printf(
-      "\nMeasured TAS stack cycles per segment: %.0f (model: rx %u / tx "
-      "%u)\nPaper: 1440 cycles per request-response pair of stack "
-      "processing.\n",
-      per_pkt, baseline::tas_personality().costs.stack_rx,
-      baseline::tas_personality().costs.stack_tx);
-  return 0;
+  auto& model = ctx.report().series("model");
+  model.set("stack cycles per segment", "measured", per_pkt);
+  model.set("stack rx cost", "measured",
+            baseline::tas_personality().costs.stack_rx);
+  model.set("stack tx cost", "measured",
+            baseline::tas_personality().costs.stack_tx);
+  ctx.report().note(
+      "Paper: 1440 cycles per request-response pair of stack processing.");
 }

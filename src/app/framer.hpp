@@ -1,6 +1,7 @@
 // Length-prefixed message framing over the byte-stream socket API.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -7,10 +7,12 @@
 //   response: [u8 status (0=OK,1=MISS)] [u32 vallen] [val]
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "app/framer.hpp"

@@ -10,6 +10,7 @@
 // runs over FlexTOE/libTOE and every baseline stack.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>

@@ -4,6 +4,8 @@
 // from IPs (static ARP); the switch learns locations dynamically.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -18,6 +18,7 @@
 // so per-segment costs are the table rows divided accordingly.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "baseline/sw_tcp.hpp"

@@ -15,10 +15,13 @@
 // Host processing costs are charged to a CpuPool per packet/operation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/link.hpp"

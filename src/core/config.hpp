@@ -3,6 +3,7 @@
 // and the x86/BlueField ports (Fig 14, Appendix E).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "nfp/dma.hpp"

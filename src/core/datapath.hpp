@@ -18,8 +18,10 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"

@@ -9,9 +9,11 @@
 // must signal a skip so the reorder point does not stall.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 
 namespace flextoe::core {
 

@@ -8,6 +8,7 @@
 // cores — modeled as a latency difference).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -3,6 +3,7 @@
 // PCIe DMA + MMIO doorbells; intra-host queues use shared memory.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>

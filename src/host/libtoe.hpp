@@ -5,8 +5,10 @@
 // processing for established connections.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/datapath.hpp"

@@ -7,6 +7,7 @@
 // protocol stage needs no head/tail coordination with the host.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>

@@ -8,10 +8,12 @@
 // number of hardware threads; beyond that, items wait in the work queue.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"

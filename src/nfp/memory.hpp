@@ -12,6 +12,7 @@
 // (Fig 13: fast up to ~2K flows cached in CLS, strained beyond 8K).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 

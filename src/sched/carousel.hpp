@@ -9,10 +9,12 @@
 // the scheduler only multiplies (paper §4).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"

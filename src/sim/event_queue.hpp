@@ -4,9 +4,11 @@
 // which keeps every simulation bit-reproducible for a given seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"

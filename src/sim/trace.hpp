@@ -9,6 +9,7 @@
 // profiling" row is regenerated.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>

@@ -4,6 +4,7 @@
 // segments directly in the host receive buffer (paper §3.1.3).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>

@@ -6,6 +6,7 @@
 // is modeled with no OOO buffering at all (every hole forces go-back-N).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>

@@ -6,6 +6,7 @@
 // the paper's "identical application binaries across all baselines" (§5).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>

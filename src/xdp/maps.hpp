@@ -2,6 +2,7 @@
 // update semantics, shared between XDP modules and the control plane.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>

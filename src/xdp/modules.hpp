@@ -3,8 +3,10 @@
 // and AccelTCP-style connection splicing (Listing 1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "net/pcap.hpp"

@@ -108,7 +108,9 @@ TEST_P(ByteRingPropertyTest, FifoIntegrityUnderRandomOps) {
       ASSERT_LE(n, data.size());
       for (std::size_t i = 0; i < n; ++i) model.push_back(data[i]);
       // write() accepts exactly min(len, free).
-      if (n < data.size()) EXPECT_EQ(ring.free_space(), 0u);
+      if (n < data.size()) {
+        EXPECT_EQ(ring.free_space(), 0u);
+      }
     } else {
       std::vector<std::uint8_t> out(rng.next_range(1, 300));
       const std::size_t n = ring.read(out);
