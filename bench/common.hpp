@@ -1,85 +1,31 @@
-// Shared scaffolding for the paper-reproduction benches: stack selection
-// and server construction. Each bench binary regenerates one table or
-// figure from the paper's evaluation (§5) through the harness driver
-// (harness.hpp); absolute numbers are simulator-scale, EXPERIMENTS.md
-// compares shapes against the paper.
+// Shared scaffolding for the paper-reproduction benches. Stack selection
+// and server construction moved into src/workload/stacks.hpp (the
+// scenario engine binds stacks to workloads there); this header re-
+// exports them into benchx so bench files keep reading naturally. Each
+// bench binary regenerates one table or figure from the paper's
+// evaluation (§5) through the harness driver (harness.hpp); absolute
+// numbers are simulator-scale, EXPERIMENTS.md compares shapes against
+// the paper.
 #pragma once
-
-#include <cstdint>
-#include <string>
-#include <vector>
 
 #include "app/kv.hpp"
 #include "app/rpc_app.hpp"
 #include "app/testbed.hpp"
 #include "baseline/personality.hpp"
 #include "harness.hpp"
+#include "workload/scenario.hpp"
+#include "workload/stacks.hpp"
 
 namespace flextoe::benchx {
 
 using app::Testbed;
 
-enum class Stack { Linux, Chelsio, Tas, FlexToe };
-
-inline const char* stack_name(Stack s) {
-  switch (s) {
-    case Stack::Linux:
-      return "Linux";
-    case Stack::Chelsio:
-      return "Chelsio";
-    case Stack::Tas:
-      return "TAS";
-    case Stack::FlexToe:
-      return "FlexTOE";
-  }
-  return "?";
-}
-
-inline const std::vector<Stack>& all_stacks() {
-  static const std::vector<Stack> v{Stack::Linux, Stack::Chelsio,
-                                    Stack::Tas, Stack::FlexToe};
-  return v;
-}
-
-inline baseline::Personality personality(Stack s) {
-  switch (s) {
-    case Stack::Linux:
-      return baseline::linux_personality();
-    case Stack::Chelsio:
-      return baseline::chelsio_personality();
-    case Stack::Tas:
-      return baseline::tas_personality();
-    default:
-      return baseline::ideal_personality();
-  }
-}
-
-// Adds a server node of the given stack kind.
-inline Testbed::Node& add_server(Testbed& tb, Stack s, unsigned cores,
-                                 host::FlexToeNicConfig toe_cfg = {},
-                                 double nic_gbps = 40.0) {
-  app::NodeParams np;
-  np.cores = cores;
-  np.nic_gbps = nic_gbps;
-  if (s == Stack::FlexToe) {
-    return tb.add_flextoe_node(np, toe_cfg);
-  }
-  const auto pers = personality(s);
-  np.serial_fraction = pers.serial_fraction;
-  return tb.add_sw_node(np, pers);
-}
-
-// TAS runs its fast path on dedicated cores separate from application
-// cores (TAS paper / §2.1). Single-app-core scenarios grant it those.
-inline unsigned with_stack_cores(Stack s, unsigned app_cores) {
-  return s == Stack::Tas ? app_cores + 2 : app_cores;
-}
-
-inline std::uint32_t app_cycles(Stack s) {
-  // Table 1 "Application" row: the identical binary costs more cycles
-  // under bulkier stacks (icache/IPC effects).
-  if (s == Stack::FlexToe) return 890;
-  return personality(s).app_cycles_per_req;
-}
+using workload::Stack;
+using workload::add_server;
+using workload::all_stacks;
+using workload::app_cycles;
+using workload::personality;
+using workload::stack_name;
+using workload::with_stack_cores;
 
 }  // namespace flextoe::benchx

@@ -1,6 +1,7 @@
 // Figure 8: Memcached throughput scalability — MOps vs server cores for
 // Linux, Chelsio, TAS, FlexTOE. One series per stack; rows are core
-// counts.
+// counts. Runs on the shared workload engine: the spec binds the KV app
+// to 3 client machines of closed-loop memtier-style generators.
 #include "common.hpp"
 
 using namespace flextoe;
@@ -8,35 +9,22 @@ using namespace flextoe::benchx;
 
 namespace {
 
-double run_point(Stack s, unsigned nc, unsigned seed, sim::TimePs warm,
+double run_point(Stack s, unsigned nc, std::uint64_t seed, sim::TimePs warm,
                  sim::TimePs span) {
-  Testbed tb(seed);
-  auto& server = add_server(tb, s, nc);
-  // Several client machines, as in the paper's testbed.
-  std::vector<std::unique_ptr<app::KvClient>> clients;
-  const unsigned nclients = 3;
-  for (unsigned i = 0; i < nclients; ++i) {
-    auto& cn = tb.add_client_node();
-    app::KvClient::Params cp;
-    cp.connections = 8 + 4 * nc;  // enough load to saturate
-    cp.pipeline = 4;
-    cp.seed = 100 + i;
-    clients.push_back(std::make_unique<app::KvClient>(
-        tb.ev(), *cn.stack, server.ip, cp));
-  }
-  app::KvServer srv(tb.ev(), *server.stack,
-                    {.port = 11211, .app_cycles = app_cycles(s)},
-                    server.cpu.get());
-  for (auto& c : clients) c->start();
-
-  tb.run_for(warm);
-  std::uint64_t base = 0;
-  for (auto& c : clients) base += c->completed();
-  tb.run_for(span);
-  std::uint64_t done = 0;
-  for (auto& c : clients) done += c->completed();
-  done -= base;
-  return static_cast<double>(done) / sim::to_sec(span) / 1e6;
+  workload::ScenarioSpec spec;
+  spec.app = workload::AppKind::Kv;
+  spec.stack = s;
+  spec.server_cores = nc;
+  // Several client machines with enough load to saturate, as in the
+  // paper's testbed.
+  spec.client_nodes = 3;
+  spec.conns_per_node = 8 + 4 * nc;
+  spec.pipeline = 4;
+  spec.seed = seed;
+  workload::RunOptions ro;
+  ro.warm_override = warm;
+  ro.span_override = span;
+  return workload::run_scenario(spec, ro).throughput_rps / 1e6;
 }
 
 }  // namespace
@@ -49,7 +37,8 @@ BENCH_SCENARIO(fig08, "memcached throughput (MOps) vs server cores") {
   for (unsigned nc : cores) {
     for (Stack s : all_stacks()) {
       const double mops = ctx.measure([&](int rep) {
-        return run_point(s, nc, 17 + static_cast<unsigned>(rep), warm, span);
+        return run_point(s, nc, ctx.seed(17 + static_cast<unsigned>(rep)),
+                         warm, span);
       });
       ctx.report().series(stack_name(s)).set(std::to_string(nc), "mops",
                                              mops);

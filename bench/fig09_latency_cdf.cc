@@ -19,7 +19,7 @@ BENCH_SCENARIO(fig09, "latency us by server/client stack combination") {
     auto& series =
         ctx.report().series(std::string("server/") + stack_name(server_s));
     for (Stack client_s : clients) {
-      Testbed tb(19);
+      Testbed tb(ctx.seed(19));
       auto& server = add_server(tb, server_s, 1);
       // Client machine runs the client-side stack personality.
       Testbed::Node* client = nullptr;
@@ -40,6 +40,7 @@ BENCH_SCENARIO(fig09, "latency us by server/client stack combination") {
       app::KvClient::Params cp;
       cp.connections = 4;
       cp.pipeline = 1;
+      cp.seed = ctx.seed(42);
       app::KvClient cli(tb.ev(), *client->stack, server.ip, cp);
       cli.start();
 

@@ -3,6 +3,8 @@
 // processing, across message sizes. One series per stack; rows are
 // labeled "<rx|tx>/<app-cycles>/<msg-size>" (harness_test pins this
 // contract: quick mode emits 4 rows in each of the 4 stack series).
+// Both directions run on the shared workload engine: RX is the RpcEcho
+// app driven by closed-loop generators, TX the Stream app into drains.
 #include <cstdio>
 
 #include "common.hpp"
@@ -16,64 +18,44 @@ struct Spans {
   sim::TimePs warm, span;
 };
 
+workload::ScenarioSpec base_spec(Stack s, std::uint32_t delay_cycles,
+                                 std::uint64_t seed) {
+  workload::ScenarioSpec spec;
+  spec.stack = s;
+  spec.server_cores = 1;
+  spec.grant_stack_cores = true;  // TAS fast path on dedicated cores
+  spec.client_nodes = 4;
+  spec.conns_per_node = 32;  // 128 connections total, as in the paper
+  spec.server_app_cycles = delay_cycles;
+  spec.seed = seed;
+  return spec;
+}
+
 double run_rx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles,
-              unsigned seed, Spans t) {
-  Testbed tb(seed);
-  auto& server = add_server(tb, s, with_stack_cores(s, 1));
+              std::uint64_t seed, Spans t) {
   // Clients produce RPCs of `msg` bytes; server consumes each after an
   // artificial delay and replies 32 B.
-  app::EchoServer srv(tb.ev(), *server.stack,
-                      {.port = 7, .app_cycles = delay_cycles,
-                       .response_size = 32},
-                      server.cpu.get());
-  std::vector<std::unique_ptr<app::ClosedLoopClient>> clients;
-  for (unsigned i = 0; i < 4; ++i) {
-    auto& cn = tb.add_client_node();
-    app::ClosedLoopClient::Params cp;
-    cp.connections = 32;  // 128 connections total, as in the paper
-    cp.pipeline = 4;      // multiple pipelined RPCs per connection
-    cp.request_size = msg;
-    cp.response_size = 32;
-    clients.push_back(std::make_unique<app::ClosedLoopClient>(
-        tb.ev(), *cn.stack, server.ip, cp));
-    clients.back()->start();
-  }
-
-  tb.run_for(t.warm);
-  std::uint64_t base = srv.bytes_rx();
-  tb.run_for(t.span);
-  const double bytes = static_cast<double>(srv.bytes_rx() - base);
-  return bytes * 8.0 / sim::to_sec(t.span) / 1e9;  // Gbps
+  auto spec = base_spec(s, delay_cycles, seed);
+  spec.app = workload::AppKind::RpcEcho;
+  spec.pipeline = 4;  // multiple pipelined RPCs per connection
+  spec.response_size = 32;
+  spec.request_sizes = [msg] { return workload::fixed_size(msg); };
+  workload::RunOptions ro;
+  ro.warm_override = t.warm;
+  ro.span_override = t.span;
+  return workload::run_scenario(spec, ro).server_rx_gbps;
 }
 
 double run_tx(Stack s, std::uint32_t msg, std::uint32_t delay_cycles,
-              unsigned seed, Spans t) {
-  Testbed tb(seed);
-  auto& server = add_server(tb, s, with_stack_cores(s, 1));
+              std::uint64_t seed, Spans t) {
   // Server produces messages; clients consume.
-  app::ProducerServer srv(tb.ev(), *server.stack,
-                          {.port = 9, .frame_size = msg,
-                           .app_cycles = delay_cycles},
-                          server.cpu.get());
-  std::vector<std::unique_ptr<app::DrainClient>> clients;
-  for (unsigned i = 0; i < 4; ++i) {
-    auto& cn = tb.add_client_node();
-    app::DrainClient::Params dp;
-    dp.connections = 32;
-    dp.port = 9;
-    clients.push_back(std::make_unique<app::DrainClient>(
-        tb.ev(), *cn.stack, server.ip, dp));
-    clients.back()->start();
-  }
-
-  tb.run_for(t.warm);
-  std::uint64_t base = 0;
-  for (auto& c : clients) base += c->bytes_rx();
-  tb.run_for(t.span);
-  std::uint64_t bytes = 0;
-  for (auto& c : clients) bytes += c->bytes_rx();
-  bytes -= base;
-  return static_cast<double>(bytes) * 8.0 / sim::to_sec(t.span) / 1e9;
+  auto spec = base_spec(s, delay_cycles, seed);
+  spec.app = workload::AppKind::Stream;
+  spec.stream_frame = msg;
+  workload::RunOptions ro;
+  ro.warm_override = t.warm;
+  ro.span_override = t.span;
+  return workload::run_scenario(spec, ro).client_rx_gbps;
 }
 
 }  // namespace
@@ -94,7 +76,8 @@ BENCH_SCENARIO(fig10, "RPC goodput Gbps, RX and TX, vs message size") {
                       delay, msg);
         for (Stack s : all_stacks()) {
           const double gbps = ctx.measure([&](int rep) {
-            const unsigned seed = (rx ? 23u : 29u) + static_cast<unsigned>(rep);
+            const std::uint64_t seed =
+                ctx.seed((rx ? 23u : 29u) + static_cast<unsigned>(rep));
             return rx ? run_rx(s, msg, delay, seed, t)
                       : run_tx(s, msg, delay, seed, t);
           });

@@ -14,7 +14,7 @@ BENCH_SCENARIO(fig11, "RPC RTT us (p50 / p99 / p99.99) vs message size") {
 
   for (std::uint32_t msg : sizes) {
     for (Stack s : all_stacks()) {
-      Testbed tb(31);
+      Testbed tb(ctx.seed(31));
       auto& server = add_server(tb, s, with_stack_cores(s, 1));
       auto& client = tb.add_client_node();
 

@@ -1,6 +1,7 @@
 // Figure 12: large-RPC goodput vs message size; (a) unidirectional
 // (32 B response), (b) bidirectional (echo). One series per stack; rows
-// are "<uni|bidir>/<msg-size>".
+// are "<uni|bidir>/<msg-size>". A single-connection RpcEcho scenario on
+// the shared workload engine.
 #include <cstdio>
 
 #include "common.hpp"
@@ -10,30 +11,26 @@ using namespace flextoe::benchx;
 
 namespace {
 
-double run_case(Stack s, std::uint32_t msg, bool echo, unsigned seed,
+double run_case(Stack s, std::uint32_t msg, bool echo, std::uint64_t seed,
                 sim::TimePs warm, sim::TimePs span) {
-  Testbed tb(seed);
-  auto& server = add_server(tb, s, with_stack_cores(s, 2));
-  auto& client = tb.add_client_node();
-
-  app::EchoServer srv(
-      tb.ev(), *server.stack,
-      {.port = 7, .response_size = echo ? 0u : 32u}, server.cpu.get());
-  app::ClosedLoopClient::Params cp;
-  cp.connections = 1;
-  cp.pipeline = 1;
-  cp.request_size = msg;
-  cp.response_size = echo ? 0 : 32;
-  app::ClosedLoopClient cli(tb.ev(), *client.stack, server.ip, cp);
-  cli.start();
-
-  // Warm up at least one full RPC, then measure several.
-  tb.run_for(warm);
-  const std::uint64_t base = cli.completed();
-  tb.run_for(span);
-  const double rpcs = static_cast<double>(cli.completed() - base);
+  workload::ScenarioSpec spec;
+  spec.app = workload::AppKind::RpcEcho;
+  spec.stack = s;
+  spec.server_cores = 2;
+  spec.grant_stack_cores = true;
+  spec.client_nodes = 1;
+  spec.conns_per_node = 1;
+  spec.pipeline = 1;
+  spec.response_size = echo ? 0 : 32;
+  spec.request_sizes = [msg] { return workload::fixed_size(msg); };
+  spec.seed = seed;
+  workload::RunOptions ro;
+  ro.warm_override = warm;  // warm up at least one full RPC
+  ro.span_override = span;
+  const auto res = workload::run_scenario(spec, ro);
   const double dir_bytes = echo ? 2.0 * msg : 1.0 * msg;
-  return rpcs * dir_bytes * 8.0 / sim::to_sec(span) / 1e9;
+  return static_cast<double>(res.completed) * dir_bytes * 8.0 /
+         sim::to_sec(span) / 1e9;
 }
 
 }  // namespace
@@ -53,8 +50,9 @@ BENCH_SCENARIO(fig12, "large-RPC goodput (Gbps), uni- and bidirectional") {
                     msg);
       for (Stack s : all_stacks()) {
         const double gbps = ctx.measure([&](int rep) {
-          return run_case(s, msg, echo, 37 + static_cast<unsigned>(rep),
-                          warm, span);
+          return run_case(s, msg, echo,
+                          ctx.seed(37 + static_cast<unsigned>(rep)), warm,
+                          span);
         });
         ctx.report().series(stack_name(s)).set(label, "gbps", gbps);
       }

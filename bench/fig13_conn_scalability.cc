@@ -10,7 +10,7 @@ using namespace flextoe::benchx;
 
 namespace {
 
-double run_point(Stack s, unsigned conns, unsigned seed, sim::TimePs warm,
+double run_point(Stack s, unsigned conns, std::uint64_t seed, sim::TimePs warm,
                  sim::TimePs span) {
   Testbed tb(seed);
   // 64 B RPCs need tiny buffers; shrink to bound testbed memory.
@@ -70,7 +70,7 @@ BENCH_SCENARIO(fig13, "throughput (MOps) vs connections (64B echo)") {
   for (unsigned conns : conn_counts) {
     for (Stack s : all_stacks()) {
       const double mops = ctx.measure([&](int rep) {
-        return run_point(s, conns, 41 + static_cast<unsigned>(rep), warm,
+        return run_point(s, conns, ctx.seed(41 + static_cast<unsigned>(rep)), warm,
                          span);
       });
       ctx.report().series(stack_name(s)).set(std::to_string(conns), "mops",

@@ -15,8 +15,8 @@ struct Spans {
 };
 
 double run_flextoe(const core::DatapathConfig& dp_cfg, std::uint32_t mss,
-                   Spans t) {
-  Testbed tb(43);
+                   std::uint64_t seed, Spans t) {
+  Testbed tb(seed);
   host::FlexToeNicConfig cfg;
   cfg.datapath = dp_cfg;
   cfg.datapath.mss = mss;
@@ -45,8 +45,8 @@ double run_flextoe(const core::DatapathConfig& dp_cfg, std::uint32_t mss,
 }
 
 double run_tas(sim::ClockDomain clock, std::uint32_t mss, bool nocopy,
-               Spans t) {
-  Testbed tb(47);
+               std::uint64_t seed, Spans t) {
+  Testbed tb(seed);
   auto pers = baseline::tas_personality();
   if (nocopy) pers.costs.copy_per_kb = 0;
   app::NodeParams np;
@@ -85,13 +85,13 @@ void platform(ScenarioCtx& ctx, const char* name, sim::ClockDomain clock,
   for (std::uint32_t mss : mss_list) {
     const std::string label = std::to_string(mss);
     ctx.report().series(prefix + "TAS").set(
-        label, "gbps", run_tas(clock, mss, false, t));
+        label, "gbps", run_tas(clock, mss, false, ctx.seed(47), t));
     ctx.report().series(prefix + "TAS-nocopy")
-        .set(label, "gbps", run_tas(clock, mss, true, t));
+        .set(label, "gbps", run_tas(clock, mss, true, ctx.seed(47), t));
     ctx.report().series(prefix + "FlexTOE-scalar")
-        .set(label, "gbps", run_flextoe(scalar, mss, t));
+        .set(label, "gbps", run_flextoe(scalar, mss, ctx.seed(43), t));
     ctx.report().series(prefix + "FlexTOE").set(
-        label, "gbps", run_flextoe(repl, mss, t));
+        label, "gbps", run_flextoe(repl, mss, ctx.seed(43), t));
   }
   // Attached per platform so each scenario carries it under --filter;
   // Report::note dedups when both run.

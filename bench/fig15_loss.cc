@@ -13,7 +13,7 @@ struct Spans {
   sim::TimePs warm, span;
 };
 
-double run_small(Stack s, double loss, unsigned seed, Spans t) {
+double run_small(Stack s, double loss, std::uint64_t seed, Spans t) {
   Testbed tb(seed);
   tb.the_switch().set_drop_prob(loss);
   auto& server = add_server(tb, s, 16);  // multi-threaded echo server
@@ -44,7 +44,7 @@ double run_small(Stack s, double loss, unsigned seed, Spans t) {
          sim::to_sec(t.span) / 1e9;
 }
 
-double run_large(Stack s, double loss, unsigned seed, Spans t) {
+double run_large(Stack s, double loss, std::uint64_t seed, Spans t) {
   Testbed tb(seed);
   tb.the_switch().set_drop_prob(loss);
   auto& server = add_server(tb, s, 4);
@@ -90,12 +90,12 @@ BENCH_SCENARIO(fig15, "goodput (Gbps) vs uniform loss rate") {
       auto& series = ctx.report().series(stack_name(s));
       series.set(std::string("small/") + name, "gbps",
                  ctx.measure([&, p](int rep) {
-                   return run_small(s, p, 53 + static_cast<unsigned>(rep),
+                   return run_small(s, p, ctx.seed(53 + static_cast<unsigned>(rep)),
                                     small_t);
                  }));
       series.set(std::string("large/") + name, "gbps",
                  ctx.measure([&, p](int rep) {
-                   return run_large(s, p, 59 + static_cast<unsigned>(rep),
+                   return run_large(s, p, ctx.seed(59 + static_cast<unsigned>(rep)),
                                     large_t);
                  }));
     }

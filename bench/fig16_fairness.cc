@@ -15,9 +15,9 @@ struct FairRes {
   double p50_norm, p1_norm, jfi;
 };
 
-FairRes run_case(Stack s, unsigned conns, sim::TimePs warm,
-                 sim::TimePs span) {
-  Testbed tb(61);
+FairRes run_case(Stack s, unsigned conns, std::uint64_t seed,
+                 sim::TimePs warm, sim::TimePs span) {
+  Testbed tb(seed);
   app::NodeParams np;
   np.cores = 8;
   np.sockbuf_bytes = 64 * 1024;
@@ -83,7 +83,7 @@ BENCH_SCENARIO(fig16, "goodput/fair-share at line rate") {
 
   for (unsigned conns : conn_counts) {
     for (Stack s : {Stack::Linux, Stack::FlexToe}) {
-      const auto r = run_case(s, conns, warm, span);
+      const auto r = run_case(s, conns, ctx.seed(61), warm, span);
       auto& row = ctx.report().series(stack_name(s)).row(
           std::to_string(conns));
       row.set("p50/fair", r.p50_norm);

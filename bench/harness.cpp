@@ -18,13 +18,15 @@ namespace flextoe::benchx {
 std::string usage(const std::string& prog) {
   return "usage: " + prog +
          " [--list] [--filter <substr>] [--quick] [--repeats N]"
-         " [--json <path>]\n"
+         " [--seed S] [--json <path>]\n"
          "  --list          print scenario ids and exit\n"
          "  --filter S      run only scenarios whose id contains S\n"
          "  --quick         shrink sweeps and simulated spans (smoke mode)\n"
          "  --repeats N     repeat scalar measurements N times, report "
          "means\n"
          "                  (distribution/table scenarios are single-run)\n"
+         "  --seed S        shift every scenario's simulation seeds by S\n"
+         "                  (default 0: the reproducible baseline run)\n"
          "  --json PATH     also write the report as JSON to PATH\n";
 }
 
@@ -62,6 +64,17 @@ bool parse_args(int argc, const char* const* argv, Options* opts,
         return false;
       }
       opts->repeats = static_cast<int>(n);
+    } else if (a == "--seed") {
+      const char* v = value("--seed");
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || *v == '-') {
+        *err = "--seed expects a non-negative integer, got '" +
+               std::string(v) + "'";
+        return false;
+      }
+      opts->seed = static_cast<std::uint64_t>(n);
     } else if (a == "--help" || a == "-h") {
       *err = "";
       return false;
@@ -295,6 +308,7 @@ std::string Report::to_json() const {
   out += ",\n  \"quick\": ";
   out += opts_.quick ? "true" : "false";
   out += ",\n  \"repeats\": " + std::to_string(opts_.repeats);
+  out += ",\n  \"seed\": " + std::to_string(opts_.seed);
   out += ",\n  \"series\": [";
   for (std::size_t si = 0; si < series_.size(); ++si) {
     const auto& s = series_[si];

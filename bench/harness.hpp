@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
@@ -30,6 +31,10 @@ struct Options {
   bool list_only = false;
   std::string filter;     // substring match on scenario id
   std::string json_path;  // empty = no JSON emission
+  // Base seed offset mixed into every scenario's simulation seeds
+  // (--seed); 0 reproduces the default run, other values measure
+  // seed-to-seed variance.
+  std::uint64_t seed = 0;
 };
 
 // Parses argv. Returns false and sets *err on bad usage.
@@ -146,6 +151,11 @@ class ScenarioCtx {
   T pick(T full, T quick_v) const {
     return opts_.quick ? quick_v : full;
   }
+
+  // Simulation seed for a data point: the scenario's base constant
+  // shifted by --seed, so perf runs are reproducible by default and
+  // variance is measurable across harness seeds.
+  std::uint64_t seed(std::uint64_t base) const { return base + opts_.seed; }
 
   // Mean over `--repeats` runs of a scalar measurement; `rep` feeds
   // per-repetition seeds.

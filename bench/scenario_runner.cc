@@ -1,0 +1,78 @@
+// scenario_runner: CLI front-end for the workload engine's scenario
+// registry. Every registered ScenarioSpec becomes a harness scenario, so
+// the standard driver applies:
+//
+//   scenario_runner --list                      # catalog
+//   scenario_runner --filter incast --quick     # one scenario, smoke size
+//   scenario_runner --json BENCH_scenario_runner.json --seed 7
+//
+// Each scenario emits one series named after itself with a single row
+// per stack: rps, both byte-rate directions, latency percentiles, JFI,
+// and churn/overload counters.
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "workload/scenario.hpp"
+
+namespace flextoe::benchx {
+namespace {
+
+void run_one(const std::string& name, ScenarioCtx& ctx) {
+  const workload::ScenarioSpec* spec =
+      workload::ScenarioRegistry::instance().find(name);
+  if (spec == nullptr) return;
+
+  // Every emitted metric is the mean over --repeats seeded runs, not
+  // just the throughput scalar.
+  std::vector<workload::ScenarioResult> runs;
+  ctx.measure([&](int rep) {
+    workload::RunOptions ro;
+    ro.quick = ctx.quick();
+    ro.seed_offset = ctx.seed(static_cast<unsigned>(rep));
+    runs.push_back(workload::run_scenario(*spec, ro));
+    return runs.back().throughput_rps;
+  });
+  const double n = static_cast<double>(runs.size());
+  auto mean = [&](auto field) {
+    double sum = 0;
+    for (const auto& r : runs) sum += static_cast<double>(field(r));
+    return sum / n;
+  };
+  using R = workload::ScenarioResult;
+
+  auto& row = ctx.report().series(name).row(stack_name(spec->stack));
+  row.set("rps", mean([](const R& r) { return r.throughput_rps; }));
+  row.set("client_rx_gbps",
+          mean([](const R& r) { return r.client_rx_gbps; }));
+  if (spec->app == workload::AppKind::RpcEcho) {
+    row.set("server_rx_gbps",
+            mean([](const R& r) { return r.server_rx_gbps; }));
+  }
+  if (spec->app != workload::AppKind::Stream) {
+    row.set("p50_us", mean([](const R& r) { return r.p50_us; }));
+    row.set("p99_us", mean([](const R& r) { return r.p99_us; }));
+  }
+  row.set("jfi", mean([](const R& r) { return r.jfi; }));
+  if (spec->requests_per_conn > 0) {
+    row.set("reconnects", mean([](const R& r) { return r.reconnects; }));
+  }
+  const double drops =
+      mean([](const R& r) { return r.overload_drops; });
+  if (drops > 0) row.set("overload_drops", drops);
+}
+
+// Registers every catalog scenario with the harness before main() runs.
+[[maybe_unused]] const bool kRegistered = [] {
+  workload::register_builtin_scenarios();
+  for (const auto& spec : workload::ScenarioRegistry::instance().all()) {
+    const std::string name = spec.name;
+    Registry::instance().add(
+        {name, spec.description,
+         [name](ScenarioCtx& ctx) { run_one(name, ctx); }});
+  }
+  return true;
+}();
+
+}  // namespace
+}  // namespace flextoe::benchx

@@ -40,7 +40,7 @@ BENCH_SCENARIO(table1, "per-request CPU cycles (kc) by component") {
   const auto span = ctx.pick(sim::ms(60), sim::ms(8));
 
   for (Stack s : all_stacks()) {
-    Testbed tb(7);
+    Testbed tb(ctx.seed(7));
     auto& server = add_server(tb, s, /*cores=*/1);
     auto& client = tb.add_client_node();
 
@@ -50,6 +50,7 @@ BENCH_SCENARIO(table1, "per-request CPU cycles (kc) by component") {
     app::KvClient::Params cp;
     cp.connections = 8;
     cp.pipeline = 4;
+    cp.seed = ctx.seed(42);
     cp.key_size = 32;
     cp.value_size = 32;
     app::KvClient cli(tb.ev(), *client.stack, server.ip, cp);

@@ -11,7 +11,7 @@ namespace {
 
 // Saturated small-RPC data path throughput in MOps.
 double run_datapath(const std::function<void(core::Datapath&)>& prep,
-                    unsigned seed, sim::TimePs warm, sim::TimePs span) {
+                    std::uint64_t seed, sim::TimePs warm, sim::TimePs span) {
   Testbed tb(seed);
   auto& server = tb.add_flextoe_node({.cores = 16});
   prep(server.toe->datapath());
@@ -123,7 +123,7 @@ BENCH_SCENARIO(table2, "data-path performance with flexible extensions") {
   auto& series = ctx.report().series("extensions");
   for (const auto& b : builds) {
     series.set(b.name, "mops", ctx.measure([&](int rep) {
-      return run_datapath(b.prep, 67 + static_cast<unsigned>(rep), warm,
+      return run_datapath(b.prep, ctx.seed(67 + static_cast<unsigned>(rep)), warm,
                           span);
     }));
   }

@@ -16,9 +16,9 @@ struct Res {
   double p50_us, p9999_us;
 };
 
-Res run_config(const core::DatapathConfig& dp_cfg, sim::TimePs warm,
-               sim::TimePs span) {
-  Testbed tb(71);
+Res run_config(const core::DatapathConfig& dp_cfg, std::uint64_t seed,
+               sim::TimePs warm, sim::TimePs span) {
+  Testbed tb(seed);
   host::FlexToeNicConfig cfg;
   cfg.datapath = dp_cfg;
   auto& server = tb.add_flextoe_node({.cores = 8}, cfg);
@@ -81,7 +81,7 @@ BENCH_SCENARIO(table3, "data-path parallelism breakdown") {
   auto& series = ctx.report().series("parallelism");
   double base_mbps = 0;
   for (const auto& st : steps) {
-    const Res r = run_config(st.cfg, warm, span);
+    const Res r = run_config(st.cfg, ctx.seed(71), warm, span);
     if (base_mbps == 0) base_mbps = r.mbps;
     auto& row = series.row(st.name);
     row.set("mbps", r.mbps);

@@ -3,7 +3,9 @@
 // switch port (incast degree d -> 40/d Gbps) with WRED tail drops and ECN
 // marking. Control-plane-driven DCTCP paces the offloaded flows through
 // Carousel; the ablation turns that off (scheduler runs unpaced). Two
-// series (cc_on / cc_off); rows are "<degree>/<conns>" cases.
+// series (cc_on / cc_off); rows are "<degree>/<conns>" cases. The
+// inverted topology (stack under test on the sender side) comes from the
+// workload engine's stack_hosts_clients mode.
 #include <cstdio>
 
 #include "common.hpp"
@@ -13,48 +15,25 @@ using namespace flextoe::benchx;
 
 namespace {
 
-struct Res {
-  double gbps;
-  double p9999_ms;
-  double jfi;
-};
-
-Res run_case(unsigned degree, unsigned conns, bool cc_on, sim::TimePs warm,
-             sim::TimePs span) {
-  Testbed tb(73);
-  // Node 0: FlexTOE sender (the system under test).
-  auto& sender = tb.add_flextoe_node({.cores = 8});
-  sender.toe->control_plane().set_cc_enabled(cc_on);
-  // Node 1: receiver running a 32 B-response echo service.
-  auto& receiver = tb.add_client_node();
-  app::EchoServer srv(tb.ev(), *receiver.stack,
-                      {.port = 7, .response_size = 32});
-
-  // Shaped port toward the receiver: incast degree d -> 40/d Gbps, with
-  // a shallow WRED buffer.
-  tb.the_switch().port_params(1).gbps = 40.0 / degree;
-  tb.the_switch().port_params(1).queue_bytes = 256 * 1024;
-  tb.the_switch().port_params(1).ecn_threshold = 64 * 1024;
-
-  app::ClosedLoopClient::Params cp;
-  cp.connections = conns;
-  cp.pipeline = 1;
-  cp.request_size = 64 * 1024;
-  cp.response_size = 32;
-  app::ClosedLoopClient cli(tb.ev(), *sender.stack, receiver.ip, cp);
-  cli.start();
-
-  tb.run_for(warm);
-  cli.clear_stats();
-  const std::uint64_t base = srv.bytes_rx();
-  tb.run_for(span);
-
-  Res r;
-  r.gbps = static_cast<double>(srv.bytes_rx() - base) * 8.0 /
-           sim::to_sec(span) / 1e9;
-  r.p9999_ms = cli.latency().percentile(99.99) / 1000.0;
-  r.jfi = sim::jains_fairness_index(cli.per_conn_completed());
-  return r;
+workload::ScenarioResult run_case(unsigned degree, unsigned conns,
+                                  bool cc_on, std::uint64_t seed,
+                                  sim::TimePs warm, sim::TimePs span) {
+  workload::ScenarioSpec spec;
+  spec.app = workload::AppKind::RpcEcho;
+  spec.stack = Stack::FlexToe;
+  spec.stack_hosts_clients = true;  // FlexTOE sender is the system under test
+  spec.server_cores = 8;
+  spec.conns_per_node = conns;
+  spec.pipeline = 1;
+  spec.response_size = 32;
+  spec.request_sizes = [] { return workload::fixed_size(64 * 1024); };
+  spec.incast_degree = degree;
+  spec.cc_enabled = cc_on;
+  spec.seed = seed;
+  workload::RunOptions ro;
+  ro.warm_override = warm;
+  ro.span_override = span;
+  return workload::run_scenario(spec, ro);
 }
 
 }  // namespace
@@ -73,11 +52,12 @@ BENCH_SCENARIO(table4, "congestion control under incast") {
     char label[32];
     std::snprintf(label, sizeof label, "%u/%u", c.deg, c.conns);
     for (bool cc_on : {true, false}) {
-      const Res res = run_case(c.deg, c.conns, cc_on, warm, span);
+      const auto res =
+          run_case(c.deg, c.conns, cc_on, ctx.seed(73), warm, span);
       auto& row =
           ctx.report().series(cc_on ? "cc_on" : "cc_off").row(label);
-      row.set("gbps", res.gbps);
-      row.set("p99.99_ms", res.p9999_ms);
+      row.set("gbps", res.server_rx_gbps);
+      row.set("p99.99_ms", res.p9999_us / 1000.0);
       row.set("jfi", res.jfi);
     }
   }

@@ -13,7 +13,7 @@ BENCH_SCENARIO(table6, "TAS TCP/IP per-packet cycle breakdown") {
 
   // Run the Table-1 memcached workload on TAS and measure per-packet
   // stack cycles.
-  Testbed tb(79);
+  Testbed tb(ctx.seed(79));
   auto& server = add_server(tb, Stack::Tas, 1);
   auto& client = tb.add_client_node();
   app::KvServer srv(tb.ev(), *server.stack,
@@ -22,6 +22,7 @@ BENCH_SCENARIO(table6, "TAS TCP/IP per-packet cycle breakdown") {
   app::KvClient::Params cp;
   cp.connections = 8;
   cp.pipeline = 4;
+  cp.seed = ctx.seed(42);
   app::KvClient cli(tb.ev(), *client.stack, server.ip, cp);
   cli.start();
 

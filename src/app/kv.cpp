@@ -8,10 +8,6 @@ using tcp::ConnId;
 
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& v, std::uint16_t x) {
-  v.push_back(static_cast<std::uint8_t>(x));
-  v.push_back(static_cast<std::uint8_t>(x >> 8));
-}
 void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
   v.push_back(static_cast<std::uint8_t>(x));
   v.push_back(static_cast<std::uint8_t>(x >> 8));
@@ -124,101 +120,29 @@ void KvServer::flush(ConnId c) {
 
 // ------------------------------------------------------------ KvClient
 
+namespace {
+
+workload::TrafficGenParams kv_gen_params(const KvClient::Params& p) {
+  workload::TrafficGenParams gp;
+  gp.connections = p.connections;
+  gp.pipeline = p.pipeline;
+  gp.port = p.port;
+  gp.connect_stagger = sim::us(3);
+  gp.seed = p.seed;
+  return gp;
+}
+
+}  // namespace
+
 KvClient::KvClient(sim::EventQueue& ev, tcp::StackIface& stack,
                    net::Ipv4Addr server_ip, Params p)
-    : ev_(ev), stack_(stack), server_ip_(server_ip), p_(p), rng_(p.seed) {
-  conns_.resize(p_.connections);
-}
-
-std::vector<std::uint8_t> KvClient::make_request() {
-  const bool is_get = rng_.next_double() < p_.get_ratio;
-  char keybuf[64];
-  const auto keyn = static_cast<std::uint32_t>(
-      rng_.next_below(p_.key_space));
-  std::snprintf(keybuf, sizeof keybuf, "key-%010u", keyn);
-  std::string key(keybuf);
-  key.resize(p_.key_size, 'k');
-
-  std::vector<std::uint8_t> req;
-  const std::uint32_t vallen = is_get ? 0 : p_.value_size;
-  const auto payload_len =
-      static_cast<std::uint32_t>(7 + key.size() + vallen);
-  req.reserve(4 + payload_len);
-  put_u32(req, payload_len);
-  req.push_back(is_get ? 0 : 1);
-  put_u16(req, static_cast<std::uint16_t>(key.size()));
-  put_u32(req, vallen);
-  req.insert(req.end(), key.begin(), key.end());
-  for (std::uint32_t i = 0; i < vallen; ++i) {
-    req.push_back(static_cast<std::uint8_t>('v' + (i & 7)));
-  }
-  return req;
-}
-
-void KvClient::start() {
-  tcp::StackCallbacks cbs;
-  cbs.on_connected = [this](ConnId c, bool ok) {
-    auto it = by_id_.find(c);
-    if (it == by_id_.end()) return;
-    conns_[it->second].up = ok;
-    if (!ok) return;
-    for (unsigned i = 0; i < p_.pipeline; ++i) issue(it->second);
-  };
-  cbs.on_data = [this](ConnId c) {
-    auto it = by_id_.find(c);
-    if (it != by_id_.end()) on_data(it->second);
-  };
-  cbs.on_sendable = [this](ConnId c) {
-    auto it = by_id_.find(c);
-    if (it != by_id_.end()) flush(it->second);
-  };
-  stack_.set_callbacks(std::move(cbs));
-
-  for (std::size_t i = 0; i < conns_.size(); ++i) {
-    ev_.schedule_in(sim::us(3) * i, [this, i] {
-      conns_[i].id = stack_.connect(server_ip_, p_.port);
-      by_id_[conns_[i].id] = i;
-    });
-  }
-}
-
-void KvClient::issue(std::size_t idx) {
-  Conn& conn = conns_[idx];
-  const auto req = make_request();
-  conn.pending_tx.insert(conn.pending_tx.end(), req.begin(), req.end());
-  conn.sent_at.push_back(ev_.now());
-  flush(idx);
-}
-
-void KvClient::flush(std::size_t idx) {
-  Conn& conn = conns_[idx];
-  if (!conn.up || conn.pending_tx.empty()) return;
-  const std::size_t n = stack_.send(
-      conn.id, std::span(conn.pending_tx.data() + conn.pending_off,
-                         conn.pending_tx.size() - conn.pending_off));
-  conn.pending_off += n;
-  if (conn.pending_off == conn.pending_tx.size()) {
-    conn.pending_tx.clear();
-    conn.pending_off = 0;
-  }
-}
-
-void KvClient::on_data(std::size_t idx) {
-  Conn& conn = conns_[idx];
-  std::uint8_t buf[16 * 1024];
-  std::size_t n;
-  while ((n = stack_.recv(conn.id, buf)) > 0) {
-    conn.reader.feed(std::span(buf, n));
-  }
-  std::uint32_t len = 0;
-  while (conn.reader.skip_frame(len)) {
-    ++completed_;
-    if (!conn.sent_at.empty()) {
-      latency_.add(sim::to_us(ev_.now() - conn.sent_at.front()));
-      conn.sent_at.pop_front();
-    }
-    issue(idx);
-  }
-}
+    : gen_(ev, stack, server_ip, kv_gen_params(p),
+           workload::closed_loop_arrival(),
+           workload::fixed_size(p.value_size),
+           workload::kv_request_factory(workload::KvMix{
+               .key_size = p.key_size,
+               .key_space = p.key_space,
+               .get_ratio = p.get_ratio,
+           })) {}
 
 }  // namespace flextoe::app

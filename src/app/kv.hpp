@@ -21,6 +21,7 @@
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "tcp/stack_iface.hpp"
+#include "workload/generator.hpp"
 
 namespace flextoe::app {
 
@@ -78,7 +79,8 @@ class KvServer {
   std::uint64_t gets_ = 0, sets_ = 0, misses_ = 0;
 };
 
-// memtier-like closed-loop client pool.
+// memtier-like closed-loop client pool; a thin binding of the shared
+// workload::TrafficGen to the KV wire protocol.
 class KvClient {
  public:
   struct Params {
@@ -95,38 +97,13 @@ class KvClient {
   KvClient(sim::EventQueue& ev, tcp::StackIface& stack,
            net::Ipv4Addr server_ip, Params p);
 
-  void start();
-  std::uint64_t completed() const { return completed_; }
-  sim::Percentiles& latency() { return latency_; }
-  void clear_stats() {
-    completed_ = 0;
-    latency_.clear();
-  }
+  void start() { gen_.start(); }
+  std::uint64_t completed() const { return gen_.completed(); }
+  sim::Percentiles& latency() { return gen_.latency(); }
+  void clear_stats() { gen_.clear_stats(); }
 
  private:
-  struct Conn {
-    tcp::ConnId id = tcp::kInvalidConn;
-    FrameReader reader;
-    std::deque<sim::TimePs> sent_at;
-    std::vector<std::uint8_t> pending_tx;
-    std::size_t pending_off = 0;
-    bool up = false;
-  };
-
-  std::vector<std::uint8_t> make_request();
-  void issue(std::size_t idx);
-  void flush(std::size_t idx);
-  void on_data(std::size_t idx);
-
-  sim::EventQueue& ev_;
-  tcp::StackIface& stack_;
-  net::Ipv4Addr server_ip_;
-  Params p_;
-  sim::Rng rng_;
-  std::vector<Conn> conns_;
-  std::unordered_map<tcp::ConnId, std::size_t> by_id_;
-  std::uint64_t completed_ = 0;
-  sim::Percentiles latency_{1 << 18};
+  workload::TrafficGen gen_;
 };
 
 }  // namespace flextoe::app

@@ -127,101 +127,26 @@ void ProducerServer::pump(ConnId c) {
 
 // --------------------------------------------------- ClosedLoopClient
 
+namespace {
+
+workload::TrafficGenParams closed_loop_gen_params(
+    const ClosedLoopClient::Params& p) {
+  workload::TrafficGenParams gp;
+  gp.connections = p.connections;
+  gp.pipeline = p.pipeline;
+  gp.port = p.port;
+  gp.connect_stagger = p.connect_stagger;
+  return gp;
+}
+
+}  // namespace
+
 ClosedLoopClient::ClosedLoopClient(sim::EventQueue& ev,
                                    tcp::StackIface& stack,
                                    net::Ipv4Addr server_ip, Params p)
-    : ev_(ev), stack_(stack), server_ip_(server_ip), p_(p) {
-  conns_.resize(p_.connections);
-}
-
-void ClosedLoopClient::start() {
-  tcp::StackCallbacks cbs;
-  cbs.on_connected = [this](ConnId c, bool ok) {
-    auto it = by_id_.find(c);
-    if (it == by_id_.end()) return;
-    Conn& conn = conns_[it->second];
-    conn.up = ok;
-    if (!ok) return;
-    ++connected_;
-    for (unsigned i = 0; i < p_.pipeline; ++i) issue(it->second);
-  };
-  cbs.on_data = [this](ConnId c) {
-    auto it = by_id_.find(c);
-    if (it != by_id_.end()) on_data(it->second);
-  };
-  cbs.on_sendable = [this](ConnId c) {
-    auto it = by_id_.find(c);
-    if (it != by_id_.end()) flush(it->second);
-  };
-  cbs.on_close = [this](ConnId c) {
-    auto it = by_id_.find(c);
-    if (it != by_id_.end()) conns_[it->second].up = false;
-  };
-  stack_.set_callbacks(std::move(cbs));
-
-  for (std::size_t i = 0; i < conns_.size(); ++i) {
-    ev_.schedule_in(p_.connect_stagger * i, [this, i] {
-      conns_[i].id = stack_.connect(server_ip_, p_.port);
-      by_id_[conns_[i].id] = i;
-    });
-  }
-}
-
-void ClosedLoopClient::issue(std::size_t idx) {
-  if (stopped_) return;
-  Conn& conn = conns_[idx];
-  const auto frame = make_frame(p_.request_size);
-  conn.pending_tx.insert(conn.pending_tx.end(), frame.begin(), frame.end());
-  conn.sent_at.push_back(ev_.now());
-  flush(idx);
-}
-
-void ClosedLoopClient::flush(std::size_t idx) {
-  Conn& conn = conns_[idx];
-  if (!conn.up || conn.pending_tx.empty()) return;
-  const std::size_t n = stack_.send(
-      conn.id, std::span(conn.pending_tx.data() + conn.pending_off,
-                         conn.pending_tx.size() - conn.pending_off));
-  conn.pending_off += n;
-  if (conn.pending_off == conn.pending_tx.size()) {
-    conn.pending_tx.clear();
-    conn.pending_off = 0;
-  }
-}
-
-void ClosedLoopClient::on_data(std::size_t idx) {
-  Conn& conn = conns_[idx];
-  std::uint8_t buf[16 * 1024];
-  std::size_t n;
-  while ((n = stack_.recv(conn.id, buf)) > 0) {
-    bytes_rx_ += n;
-    conn.reader.feed(std::span(buf, n));
-  }
-  std::uint32_t len = 0;
-  while (conn.reader.skip_frame(len)) {
-    ++completed_;
-    ++conn.completed;
-    if (!conn.sent_at.empty()) {
-      latency_.add(sim::to_us(ev_.now() - conn.sent_at.front()));
-      conn.sent_at.pop_front();
-    }
-    issue(idx);  // closed loop: next request
-  }
-}
-
-std::vector<double> ClosedLoopClient::per_conn_completed() const {
-  std::vector<double> v;
-  v.reserve(conns_.size());
-  for (const auto& c : conns_) v.push_back(static_cast<double>(c.completed));
-  return v;
-}
-
-void ClosedLoopClient::clear_stats() {
-  completed_ = 0;
-  bytes_rx_ = 0;
-  latency_.clear();
-  for (auto& c : conns_) c.completed = 0;
-}
+    : gen_(ev, stack, server_ip, closed_loop_gen_params(p),
+           workload::closed_loop_arrival(),
+           workload::fixed_size(p.request_size)) {}
 
 // -------------------------------------------------------- DrainClient
 

@@ -21,6 +21,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "tcp/stack_iface.hpp"
+#include "workload/generator.hpp"
 
 namespace flextoe::app {
 
@@ -89,6 +90,8 @@ class ProducerServer {
   std::uint64_t frames_ = 0;
 };
 
+// Closed-loop request/response client; a thin binding of the shared
+// workload::TrafficGen to fixed-size frames.
 class ClosedLoopClient {
  public:
   struct Params {
@@ -103,47 +106,22 @@ class ClosedLoopClient {
   ClosedLoopClient(sim::EventQueue& ev, tcp::StackIface& stack,
                    net::Ipv4Addr server_ip, Params p);
 
-  void start();
+  void start() { gen_.start(); }
   // Stops issuing new requests (outstanding ones may still complete).
-  void stop() { stopped_ = true; }
+  void stop() { gen_.stop(); }
 
-  std::uint64_t completed() const { return completed_; }
-  std::uint64_t bytes_rx() const { return bytes_rx_; }
-  unsigned connected() const { return connected_; }
-  sim::Percentiles& latency() { return latency_; }
+  std::uint64_t completed() const { return gen_.completed(); }
+  std::uint64_t bytes_rx() const { return gen_.bytes_rx(); }
+  unsigned connected() const { return gen_.connected(); }
+  sim::Percentiles& latency() { return gen_.latency(); }
   // Per-connection completion counts (fairness analysis).
-  std::vector<double> per_conn_completed() const;
-  void clear_stats();
+  std::vector<double> per_conn_completed() const {
+    return gen_.per_conn_completed();
+  }
+  void clear_stats() { gen_.clear_stats(); }
 
  private:
-  struct Conn {
-    tcp::ConnId id = tcp::kInvalidConn;
-    FrameReader reader;
-    std::deque<sim::TimePs> sent_at;
-    std::vector<std::uint8_t> pending_tx;
-    std::size_t pending_off = 0;
-    std::uint64_t completed = 0;
-    bool up = false;
-  };
-
-  void issue(std::size_t idx);
-  void flush(std::size_t idx);
-  void on_data(std::size_t idx);
-  std::uint32_t expected_response() const {
-    return p_.response_size == 0 ? p_.request_size : p_.response_size;
-  }
-
-  sim::EventQueue& ev_;
-  tcp::StackIface& stack_;
-  net::Ipv4Addr server_ip_;
-  Params p_;
-  std::vector<Conn> conns_;
-  std::unordered_map<tcp::ConnId, std::size_t> by_id_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t bytes_rx_ = 0;
-  unsigned connected_ = 0;
-  bool stopped_ = false;
-  sim::Percentiles latency_{1 << 18};
+  workload::TrafficGen gen_;
 };
 
 class DrainClient {

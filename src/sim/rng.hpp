@@ -21,8 +21,24 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  // Uniform in [0, n). n must be > 0.
-  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+  // Uniform in [0, n) without modulo bias (Lemire's multiply-shift with
+  // rejection). n must be > 0. Deterministic per seed: the rejection
+  // loop consumes a seed-determined number of raw draws.
+  std::uint64_t next_below(std::uint64_t n) {
+    std::uint64_t x = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      // 2^64 mod n, computed without 128-bit division.
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<unsigned __int128>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Uniform in [lo, hi] inclusive.
   std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {

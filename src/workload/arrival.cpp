@@ -1,0 +1,95 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+
+namespace flextoe::workload {
+
+namespace {
+
+class ClosedLoop final : public ArrivalModel {
+ public:
+  bool closed_loop() const override { return true; }
+  sim::TimePs next_gap(sim::Rng&) override { return 0; }
+};
+
+class Poisson final : public ArrivalModel {
+ public:
+  explicit Poisson(double rate) : rate_(rate) {}
+  sim::TimePs next_gap(sim::Rng& rng) override {
+    const double mean_ps = double(sim::kPsPerSec) / rate_;
+    return static_cast<sim::TimePs>(std::max(1.0, rng.next_exp(mean_ps)));
+  }
+  double rate_per_sec() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+class Paced final : public ArrivalModel {
+ public:
+  explicit Paced(double rate) : rate_(rate) {}
+  sim::TimePs next_gap(sim::Rng&) override {
+    return static_cast<sim::TimePs>(
+        std::max(1.0, double(sim::kPsPerSec) / rate_));
+  }
+  double rate_per_sec() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+class OnOff final : public ArrivalModel {
+ public:
+  OnOff(double on_rate, sim::TimePs mean_on, sim::TimePs mean_off)
+      : on_rate_(on_rate), mean_on_(mean_on), mean_off_(mean_off) {}
+
+  sim::TimePs next_gap(sim::Rng& rng) override {
+    const double gap_mean_ps = double(sim::kPsPerSec) / on_rate_;
+    auto gap = static_cast<sim::TimePs>(
+        std::max(1.0, rng.next_exp(gap_mean_ps)));
+    if (on_remaining_ <= gap) {
+      // The ON period ends before this arrival: insert an OFF silence
+      // and start a fresh ON burst.
+      gap += static_cast<sim::TimePs>(
+          std::max(1.0, rng.next_exp(double(mean_off_))));
+      on_remaining_ = static_cast<sim::TimePs>(
+          std::max(1.0, rng.next_exp(double(mean_on_))));
+    } else {
+      on_remaining_ -= gap;
+    }
+    return gap;
+  }
+
+  double rate_per_sec() const override {
+    // Long-run average rate: ON fraction times the burst rate.
+    const double on = double(mean_on_), off = double(mean_off_);
+    return on_rate_ * (on / (on + off));
+  }
+
+ private:
+  double on_rate_;
+  sim::TimePs mean_on_, mean_off_;
+  sim::TimePs on_remaining_ = 0;  // first call draws an OFF + ON period
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalModel> closed_loop_arrival() {
+  return std::make_unique<ClosedLoop>();
+}
+
+std::unique_ptr<ArrivalModel> poisson_arrival(double rate_per_sec) {
+  return std::make_unique<Poisson>(rate_per_sec);
+}
+
+std::unique_ptr<ArrivalModel> paced_arrival(double rate_per_sec) {
+  return std::make_unique<Paced>(rate_per_sec);
+}
+
+std::unique_ptr<ArrivalModel> on_off_arrival(double on_rate_per_sec,
+                                             sim::TimePs mean_on,
+                                             sim::TimePs mean_off) {
+  return std::make_unique<OnOff>(on_rate_per_sec, mean_on, mean_off);
+}
+
+}  // namespace flextoe::workload

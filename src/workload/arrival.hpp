@@ -1,0 +1,52 @@
+// Arrival processes for the workload engine: when the traffic generator
+// issues the next request. Closed-loop (issue on completion) matches the
+// paper's memtier/RPC clients; open-loop Poisson and bursty ON-OFF
+// processes let scenarios offer load independent of service rate, the
+// standard split in network-simulator traffic sources.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::workload {
+
+class ArrivalModel {
+ public:
+  virtual ~ArrivalModel() = default;
+
+  // Closed-loop models issue a new request per completed one (windowed
+  // by the generator's pipeline depth); next_gap() is never called.
+  virtual bool closed_loop() const { return false; }
+
+  // Open-loop models: time until the next request arrival.
+  virtual sim::TimePs next_gap(sim::Rng& rng) = 0;
+
+  // Nominal offered request rate (0 when undefined, e.g. closed loop).
+  virtual double rate_per_sec() const { return 0.0; }
+};
+
+using ArrivalFactory = std::function<std::unique_ptr<ArrivalModel>()>;
+
+// Issue on completion; the generator keeps `pipeline` requests in
+// flight per connection.
+std::unique_ptr<ArrivalModel> closed_loop_arrival();
+
+// Open-loop Poisson process: exponential inter-arrival gaps with the
+// given mean rate (requests/sec across the whole generator).
+std::unique_ptr<ArrivalModel> poisson_arrival(double rate_per_sec);
+
+// Open-loop deterministic pacing at a fixed rate (requests/sec).
+std::unique_ptr<ArrivalModel> paced_arrival(double rate_per_sec);
+
+// Bursty ON-OFF source: Poisson arrivals at `on_rate_per_sec` during
+// exponentially distributed ON periods (mean `mean_on`), separated by
+// exponentially distributed silences (mean `mean_off`).
+std::unique_ptr<ArrivalModel> on_off_arrival(double on_rate_per_sec,
+                                             sim::TimePs mean_on,
+                                             sim::TimePs mean_off);
+
+}  // namespace flextoe::workload

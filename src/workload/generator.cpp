@@ -1,0 +1,209 @@
+#include "workload/generator.hpp"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace flextoe::workload {
+
+using tcp::ConnId;
+
+TrafficGen::TrafficGen(sim::EventQueue& ev, tcp::StackIface& stack,
+                       net::Ipv4Addr server_ip, TrafficGenParams p,
+                       std::unique_ptr<ArrivalModel> arrival,
+                       std::unique_ptr<SizeModel> sizes,
+                       RequestFactory make_request)
+    : ev_(ev),
+      stack_(stack),
+      server_ip_(server_ip),
+      p_(p),
+      arrival_(arrival ? std::move(arrival) : closed_loop_arrival()),
+      sizes_(sizes ? std::move(sizes) : fixed_size(64)),
+      make_request_(std::move(make_request)),
+      closed_loop_(arrival_->closed_loop()),
+      rng_(p.seed) {
+  conns_.resize(p_.connections);
+}
+
+void TrafficGen::start() {
+  tcp::StackCallbacks cbs;
+  cbs.on_connected = [this](ConnId c, bool ok) {
+    auto it = by_id_.find(c);
+    if (it == by_id_.end()) return;
+    Conn& conn = conns_[it->second];
+    conn.up = ok;
+    if (!ok) return;
+    ++connected_;
+    if (closed_loop_) {
+      for (unsigned i = 0; i < p_.pipeline; ++i) issue(it->second);
+    } else {
+      // Drain arrivals that queued while the connection was coming up.
+      flush(it->second);
+    }
+  };
+  cbs.on_data = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) on_data(it->second);
+  };
+  cbs.on_sendable = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) flush(it->second);
+  };
+  cbs.on_close = [this](ConnId c) {
+    auto it = by_id_.find(c);
+    if (it != by_id_.end()) conns_[it->second].up = false;
+  };
+  stack_.set_callbacks(std::move(cbs));
+
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    ev_.schedule_in(p_.connect_stagger * i, [this, i] { open_conn(i); });
+  }
+  if (!closed_loop_) schedule_next_arrival();
+}
+
+void TrafficGen::open_conn(std::size_t idx) {
+  if (stopped_) return;
+  Conn& conn = conns_[idx];
+  conn.id = stack_.connect(server_ip_, p_.port);
+  by_id_[conn.id] = idx;
+}
+
+void TrafficGen::recycle(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  if (conn.id != tcp::kInvalidConn) {
+    by_id_.erase(conn.id);
+    stack_.close(conn.id);
+  }
+  conn.id = tcp::kInvalidConn;
+  conn.up = false;
+  conn.reader = {};
+  conn.pending_tx.clear();
+  conn.pending_off = 0;
+  conn.sent_at.clear();
+  conn.life_completed = 0;
+  ++reconnects_;
+  if (stopped_) return;
+  ev_.schedule_in(p_.reconnect_delay, [this, idx] {
+    if (!stopped_) open_conn(idx);
+  });
+}
+
+void TrafficGen::schedule_next_arrival() {
+  if (stopped_) return;
+  ev_.schedule_in(arrival_->next_gap(rng_), [this] {
+    if (stopped_) return;
+    if (!conns_.empty()) {
+      issue(arrival_rr_++ % conns_.size());
+    }
+    schedule_next_arrival();
+  });
+}
+
+void TrafficGen::issue(std::size_t idx) {
+  if (stopped_) return;
+  Conn& conn = conns_[idx];
+  if (!closed_loop_ && conn.sent_at.size() >= p_.max_outstanding) {
+    ++overload_drops_;
+    return;
+  }
+  const std::uint32_t size = sizes_->sample(rng_);
+  const auto req =
+      make_request_ ? make_request_(rng_, size) : app::make_frame(size);
+  conn.pending_tx.insert(conn.pending_tx.end(), req.begin(), req.end());
+  conn.sent_at.push_back(ev_.now());
+  ++issued_;
+  flush(idx);
+}
+
+void TrafficGen::flush(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  if (!conn.up || conn.pending_tx.empty()) return;
+  const std::size_t n = stack_.send(
+      conn.id, std::span(conn.pending_tx.data() + conn.pending_off,
+                         conn.pending_tx.size() - conn.pending_off));
+  conn.pending_off += n;
+  if (conn.pending_off == conn.pending_tx.size()) {
+    conn.pending_tx.clear();
+    conn.pending_off = 0;
+  }
+}
+
+void TrafficGen::on_data(std::size_t idx) {
+  Conn& conn = conns_[idx];
+  std::uint8_t buf[16 * 1024];
+  std::size_t n;
+  while ((n = stack_.recv(conn.id, buf)) > 0) {
+    bytes_rx_ += n;
+    conn.reader.feed(std::span(buf, n));
+  }
+  std::uint32_t len = 0;
+  while (conn.reader.skip_frame(len)) {
+    ++completed_;
+    ++conn.completed;
+    ++conn.life_completed;
+    if (!conn.sent_at.empty()) {
+      latency().add(sim::to_us(ev_.now() - conn.sent_at.front()));
+      conn.sent_at.pop_front();
+    }
+    if (p_.requests_per_conn > 0 &&
+        conn.life_completed >= p_.requests_per_conn) {
+      // Churn: retire this connection; a fresh one replaces it shortly.
+      recycle(idx);
+      return;
+    }
+    if (closed_loop_) issue(idx);
+  }
+}
+
+std::vector<double> TrafficGen::per_conn_completed() const {
+  std::vector<double> v;
+  v.reserve(conns_.size());
+  for (const auto& c : conns_) v.push_back(static_cast<double>(c.completed));
+  return v;
+}
+
+void TrafficGen::clear_stats() {
+  completed_ = 0;
+  issued_ = 0;
+  bytes_rx_ = 0;
+  overload_drops_ = 0;
+  reconnects_ = 0;
+  latency().clear();
+  for (auto& c : conns_) c.completed = 0;
+}
+
+TrafficGen::RequestFactory kv_request_factory(KvMix mix) {
+  return [mix](sim::Rng& rng, std::uint32_t size_hint) {
+    const bool is_get = rng.next_double() < mix.get_ratio;
+    char keybuf[64];
+    const auto keyn =
+        static_cast<std::uint32_t>(rng.next_below(mix.key_space));
+    std::snprintf(keybuf, sizeof keybuf, "key-%010u", keyn);
+    std::string key(keybuf);
+    key.resize(mix.key_size, 'k');
+
+    const std::uint32_t vallen = is_get ? 0 : size_hint;
+    const auto payload_len =
+        static_cast<std::uint32_t>(7 + key.size() + vallen);
+    std::vector<std::uint8_t> req;
+    req.reserve(4 + payload_len);
+    auto put_u32 = [&req](std::uint32_t x) {
+      req.push_back(static_cast<std::uint8_t>(x));
+      req.push_back(static_cast<std::uint8_t>(x >> 8));
+      req.push_back(static_cast<std::uint8_t>(x >> 16));
+      req.push_back(static_cast<std::uint8_t>(x >> 24));
+    };
+    put_u32(payload_len);
+    req.push_back(is_get ? 0 : 1);  // op
+    req.push_back(static_cast<std::uint8_t>(key.size()));
+    req.push_back(static_cast<std::uint8_t>(key.size() >> 8));
+    put_u32(vallen);
+    req.insert(req.end(), key.begin(), key.end());
+    for (std::uint32_t i = 0; i < vallen; ++i) {
+      req.push_back(static_cast<std::uint8_t>('v' + (i & 7)));
+    }
+    return req;
+  };
+}
+
+}  // namespace flextoe::workload

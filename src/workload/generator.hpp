@@ -1,0 +1,134 @@
+// Composable traffic generator: one pool of persistent (or churning)
+// connections against a tcp::StackIface, driven by a pluggable
+// ArrivalModel (closed loop / Poisson / ON-OFF) and SizeModel. This is
+// the single client-pool implementation behind app::KvClient,
+// app::ClosedLoopClient, and every registered scenario — the per-bench
+// hand-rolled loops the paper-repro started with are gone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "app/framer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "tcp/stack_iface.hpp"
+#include "workload/arrival.hpp"
+#include "workload/size_model.hpp"
+
+namespace flextoe::workload {
+
+struct TrafficGenParams {
+  unsigned connections = 1;
+  // Closed loop: requests kept in flight per connection.
+  unsigned pipeline = 1;
+  std::uint16_t port = 7;
+  sim::TimePs connect_stagger = sim::us(5);
+  std::uint64_t seed = 42;
+  // Open loop: arrivals beyond this many outstanding requests on the
+  // chosen connection are dropped (generator back-pressure bound).
+  unsigned max_outstanding = 4096;
+  // Connection churn: recycle (close + reconnect) a connection after
+  // this many completed requests. 0 = persistent connections.
+  std::uint64_t requests_per_conn = 0;
+  sim::TimePs reconnect_delay = sim::us(5);
+  // Optional shared latency sink (merges several generators' samples,
+  // e.g. one per client node in a scenario). Null: private accumulator.
+  sim::Percentiles* latency_sink = nullptr;
+};
+
+class TrafficGen {
+ public:
+  // Builds the full wire bytes of one request (including framing) of
+  // roughly `size_hint` payload bytes. Default: a length-prefixed
+  // frame of exactly size_hint payload bytes.
+  using RequestFactory =
+      std::function<std::vector<std::uint8_t>(sim::Rng&, std::uint32_t)>;
+
+  TrafficGen(sim::EventQueue& ev, tcp::StackIface& stack,
+             net::Ipv4Addr server_ip, TrafficGenParams p,
+             std::unique_ptr<ArrivalModel> arrival = nullptr,  // null: closed
+             std::unique_ptr<SizeModel> sizes = nullptr,  // null: fixed 64 B
+             RequestFactory make_request = nullptr);
+
+  void start();
+  // Stops issuing new requests (outstanding ones may still complete).
+  void stop() { stopped_ = true; }
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t bytes_rx() const { return bytes_rx_; }
+  // Open-loop arrivals dropped because the target connection already
+  // had max_outstanding requests queued.
+  std::uint64_t overload_drops() const { return overload_drops_; }
+  // Connections recycled by churn (since clear_stats()).
+  std::uint64_t reconnects() const { return reconnects_; }
+  // Successful connects (cumulative; grows under churn).
+  unsigned connected() const { return connected_; }
+
+  sim::Percentiles& latency() {
+    return p_.latency_sink != nullptr ? *p_.latency_sink : latency_;
+  }
+  std::vector<double> per_conn_completed() const;
+  void clear_stats();
+
+ private:
+  struct Conn {
+    tcp::ConnId id = tcp::kInvalidConn;
+    app::FrameReader reader;
+    std::deque<sim::TimePs> sent_at;
+    std::vector<std::uint8_t> pending_tx;
+    std::size_t pending_off = 0;
+    std::uint64_t completed = 0;       // since clear_stats()
+    std::uint64_t life_completed = 0;  // since (re)connect, for churn
+    bool up = false;
+  };
+
+  void open_conn(std::size_t idx);
+  void recycle(std::size_t idx);
+  void issue(std::size_t idx);
+  void flush(std::size_t idx);
+  void on_data(std::size_t idx);
+  void schedule_next_arrival();
+
+  sim::EventQueue& ev_;
+  tcp::StackIface& stack_;
+  net::Ipv4Addr server_ip_;
+  TrafficGenParams p_;
+  std::unique_ptr<ArrivalModel> arrival_;
+  std::unique_ptr<SizeModel> sizes_;
+  RequestFactory make_request_;
+  bool closed_loop_ = true;
+
+  sim::Rng rng_;
+  std::vector<Conn> conns_;
+  std::unordered_map<tcp::ConnId, std::size_t> by_id_;
+  std::size_t arrival_rr_ = 0;  // round-robin cursor for open-loop issue
+  std::uint64_t completed_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t bytes_rx_ = 0;
+  std::uint64_t overload_drops_ = 0;
+  std::uint64_t reconnects_ = 0;
+  unsigned connected_ = 0;
+  bool stopped_ = false;
+  sim::Percentiles latency_{1 << 18};
+};
+
+// Request factory for the memcached-style KV protocol (app/kv.hpp):
+// GET/SET mix over a bounded key space. The SizeModel drives the SET
+// value length (size_hint); GETs ignore it.
+struct KvMix {
+  std::uint32_t key_size = 32;
+  std::uint32_t key_space = 10'000;
+  double get_ratio = 0.9;
+};
+TrafficGen::RequestFactory kv_request_factory(KvMix mix);
+
+}  // namespace flextoe::workload

@@ -1,0 +1,360 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "app/kv.hpp"
+#include "app/rpc_app.hpp"
+
+namespace flextoe::workload {
+
+namespace {
+
+std::uint16_t app_port(AppKind app) {
+  switch (app) {
+    case AppKind::Kv:
+      return 11211;
+    case AppKind::Stream:
+      return 9;
+    case AppKind::RpcEcho:
+      break;
+  }
+  return 7;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunOptions& opts) {
+  const std::uint64_t seed = spec.seed + opts.seed_offset;
+  const sim::TimePs warm =
+      opts.warm_override ? opts.warm_override
+                         : (opts.quick ? spec.quick_warm : spec.warm);
+  const sim::TimePs span =
+      opts.span_override ? opts.span_override
+                         : (opts.quick ? spec.quick_span : spec.span);
+
+  app::Testbed tb(seed);
+  const unsigned cores = spec.grant_stack_cores
+                             ? with_stack_cores(spec.stack, spec.server_cores)
+                             : spec.server_cores;
+
+  // The stack under test is created first (switch port 0). Normally it
+  // hosts the app server and ideal client machines drive it; with
+  // stack_hosts_clients the roles invert (the stack under test sends
+  // toward an ideal server node), the incast/table4 shape.
+  app::Testbed::Node* server_node = nullptr;
+  std::vector<app::Testbed::Node*> gen_nodes;
+  int server_port = 0;
+  if (spec.stack_hosts_clients) {
+    auto& gen = add_server(tb, spec.stack, cores, {}, spec.nic_gbps);
+    gen_nodes.push_back(&gen);
+    server_node = &tb.add_client_node();
+    server_port = 1;
+  } else {
+    server_node = &add_server(tb, spec.stack, cores, {}, spec.nic_gbps);
+    for (unsigned i = 0; i < std::max(1u, spec.client_nodes); ++i) {
+      gen_nodes.push_back(&tb.add_client_node());
+    }
+    server_port = 0;
+  }
+
+  // Stack-under-test knobs (FlexTOE control-plane CC ablation).
+  app::Testbed::Node* sut =
+      spec.stack_hosts_clients ? gen_nodes.front() : server_node;
+  if (sut->toe) sut->toe->control_plane().set_cc_enabled(spec.cc_enabled);
+
+  if (spec.loss_rate > 0) tb.the_switch().set_drop_prob(spec.loss_rate);
+  if (spec.incast_degree > 0) {
+    auto& pp = tb.the_switch().port_params(server_port);
+    pp.gbps = spec.nic_gbps / spec.incast_degree;
+    pp.queue_bytes = 256 * 1024;
+    pp.ecn_threshold = 64 * 1024;
+  }
+
+  // --- App server ---------------------------------------------------
+  const std::uint32_t cycles = spec.server_app_cycles.value_or(
+      spec.app == AppKind::Kv ? app_cycles(spec.stack) : 0);
+  const std::uint16_t port = app_port(spec.app);
+  std::optional<app::KvServer> kv_srv;
+  std::optional<app::EchoServer> echo_srv;
+  std::optional<app::ProducerServer> producer_srv;
+  switch (spec.app) {
+    case AppKind::Kv:
+      kv_srv.emplace(tb.ev(), *server_node->stack,
+                     app::KvServer::Params{.port = port, .app_cycles = cycles},
+                     server_node->cpu.get());
+      break;
+    case AppKind::RpcEcho:
+      echo_srv.emplace(tb.ev(), *server_node->stack,
+                       app::EchoServer::Params{.port = port,
+                                               .app_cycles = cycles,
+                                               .response_size =
+                                                   spec.response_size},
+                       server_node->cpu.get());
+      break;
+    case AppKind::Stream:
+      producer_srv.emplace(
+          tb.ev(), *server_node->stack,
+          app::ProducerServer::Params{.port = port,
+                                      .frame_size = spec.stream_frame,
+                                      .app_cycles = cycles},
+          server_node->cpu.get());
+      break;
+  }
+
+  // --- Generators / sinks (one per node; a stack holds one callback
+  // set, so each generator gets its own machine) --------------------
+  sim::Percentiles latency(1 << 18);
+  std::vector<std::unique_ptr<TrafficGen>> gens;
+  std::vector<std::unique_ptr<app::DrainClient>> drains;
+  for (std::size_t i = 0; i < gen_nodes.size(); ++i) {
+    if (spec.app == AppKind::Stream) {
+      app::DrainClient::Params dp;
+      dp.connections = spec.conns_per_node;
+      dp.port = port;
+      drains.push_back(std::make_unique<app::DrainClient>(
+          tb.ev(), *gen_nodes[i]->stack, server_node->ip, dp));
+      drains.back()->start();
+      continue;
+    }
+    TrafficGenParams gp;
+    gp.connections = spec.conns_per_node;
+    gp.pipeline = spec.pipeline;
+    gp.port = port;
+    gp.seed = seed * 7919 + i + 1;
+    gp.requests_per_conn = spec.requests_per_conn;
+    gp.latency_sink = &latency;
+    auto arrival = spec.arrival ? spec.arrival() : nullptr;
+    auto sizes = spec.request_sizes
+                     ? spec.request_sizes()
+                     : (spec.app == AppKind::Kv ? fixed_size(32) : nullptr);
+    TrafficGen::RequestFactory factory;
+    if (spec.app == AppKind::Kv) factory = kv_request_factory(spec.kv);
+    gens.push_back(std::make_unique<TrafficGen>(
+        tb.ev(), *gen_nodes[i]->stack, server_node->ip, gp,
+        std::move(arrival), std::move(sizes), std::move(factory)));
+    gens.back()->start();
+  }
+
+  // --- Warmup, then measure -----------------------------------------
+  tb.run_for(warm);
+  for (auto& g : gens) g->clear_stats();
+  for (auto& d : drains) d->clear_stats();
+  const std::uint64_t server_rx_base =
+      echo_srv ? echo_srv->bytes_rx() : 0;
+
+  tb.run_for(span);
+
+  ScenarioResult r;
+  const double span_sec = sim::to_sec(span);
+  std::uint64_t client_rx = 0;
+  std::vector<double> per_conn;
+  for (auto& g : gens) {
+    r.completed += g->completed();
+    client_rx += g->bytes_rx();
+    r.connected += g->connected();
+    r.reconnects += g->reconnects();
+    r.overload_drops += g->overload_drops();
+    const auto pc = g->per_conn_completed();
+    per_conn.insert(per_conn.end(), pc.begin(), pc.end());
+  }
+  for (auto& d : drains) {
+    client_rx += d->bytes_rx();
+    const auto pc = d->per_conn_bytes();
+    per_conn.insert(per_conn.end(), pc.begin(), pc.end());
+  }
+  r.throughput_rps = span_sec > 0 ? double(r.completed) / span_sec : 0;
+  r.client_rx_gbps = span_sec > 0 ? double(client_rx) * 8.0 / span_sec / 1e9 : 0;
+  if (echo_srv) {
+    r.server_rx_gbps = span_sec > 0
+                           ? double(echo_srv->bytes_rx() - server_rx_base) *
+                                 8.0 / span_sec / 1e9
+                           : 0;
+  }
+  if (!latency.empty()) {
+    r.p50_us = latency.percentile(50);
+    r.p99_us = latency.percentile(99);
+    r.p9999_us = latency.percentile(99.99);
+  }
+  if (!per_conn.empty()) r.jfi = sim::jains_fairness_index(per_conn);
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry r;
+  return r;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  for (auto& s : specs_) {
+    if (s.name == spec.name) {
+      s = std::move(spec);
+      return;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Built-in catalog.
+
+void register_builtin_scenarios() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  auto& reg = ScenarioRegistry::instance();
+
+  {
+    ScenarioSpec s;
+    s.name = "rpc_echo_closed";
+    s.description = "closed-loop 64B echo RPCs, 2x16 conns, FlexTOE";
+    s.seed = 11;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rpc_poisson_open";
+    s.description = "open-loop Poisson 64B RPCs (100k rps/node): latency under offered load";
+    s.arrival = [] { return poisson_arrival(100'000.0); };
+    s.seed = 13;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rpc_onoff_burst";
+    s.description = "bursty ON-OFF source (400k rps bursts, ~1ms on/off), 128B RPCs";
+    s.arrival = [] { return on_off_arrival(400'000.0, sim::ms(1), sim::ms(1)); };
+    s.request_sizes = [] { return fixed_size(128); };
+    s.seed = 17;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rpc_websearch";
+    s.description = "open-loop Poisson with empirical web-search flow sizes (capped 256KB)";
+    s.arrival = [] { return poisson_arrival(20'000.0); };
+    s.request_sizes = [] {
+      return empirical_size(websearch_flow_cdf(), 256 * 1024);
+    };
+    s.conns_per_node = 8;
+    s.seed = 19;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rpc_datamining";
+    s.description = "closed-loop RPCs with empirical data-mining flow sizes (capped 256KB)";
+    s.request_sizes = [] {
+      return empirical_size(datamining_flow_cdf(), 256 * 1024);
+    };
+    s.conns_per_node = 8;
+    s.pipeline = 1;
+    s.seed = 23;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rpc_lognormal";
+    s.description = "closed-loop RPCs, lognormal sizes (median 4KB, sigma 1)";
+    s.request_sizes = [] {
+      return lognormal_size(std::log(4096.0), 1.0, 64, 1024 * 1024);
+    };
+    s.conns_per_node = 8;
+    s.pipeline = 2;
+    s.seed = 29;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "kv_memtier_closed";
+    s.description = "memcached GET/SET 90/10, 3 client nodes x 16 conns (fig08 shape)";
+    s.app = AppKind::Kv;
+    s.client_nodes = 3;
+    s.seed = 31;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "kv_uniform_vals";
+    s.description = "memcached 50/50 GET/SET with uniform 64..1024B values";
+    s.app = AppKind::Kv;
+    s.kv.get_ratio = 0.5;
+    s.request_sizes = [] { return uniform_size(64, 1024); };
+    s.seed = 37;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "kv_pareto_vals";
+    s.description = "memcached 50/50 with bounded-Pareto values (alpha 1.2, 64B..64KB)";
+    s.app = AppKind::Kv;
+    s.kv.get_ratio = 0.5;
+    s.request_sizes = [] {
+      return bounded_pareto_size(1.2, 64, 64 * 1024);
+    };
+    s.seed = 41;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "incast_fanin";
+    s.description = "incast fan-in: FlexTOE sender, 64KB RPCs into a 1/4-rate shaped port";
+    s.stack_hosts_clients = true;
+    s.server_cores = 8;
+    s.conns_per_node = 64;
+    s.pipeline = 1;
+    s.request_sizes = [] { return fixed_size(64 * 1024); };
+    s.incast_degree = 4;
+    s.warm = sim::ms(60);
+    s.span = sim::ms(120);
+    s.quick_warm = sim::ms(5);
+    s.quick_span = sim::ms(10);
+    s.seed = 43;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "stream_tx_drain";
+    s.description = "server streams 4KB frames to 2x8 drain connections (TX path)";
+    s.app = AppKind::Stream;
+    s.stream_frame = 4096;
+    s.conns_per_node = 8;
+    s.seed = 47;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rpc_conn_churn";
+    s.description = "closed-loop echo with connection churn (reconnect every 50 requests)";
+    s.requests_per_conn = 50;
+    s.pipeline = 1;
+    s.seed = 53;
+    reg.add(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "rpc_lossy";
+    s.description = "closed-loop small RPCs under 1% uniform switch loss";
+    s.conns_per_node = 32;
+    s.pipeline = 8;
+    s.loss_rate = 0.01;
+    s.seed = 59;
+    reg.add(std::move(s));
+  }
+}
+
+}  // namespace flextoe::workload

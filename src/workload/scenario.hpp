@@ -1,0 +1,120 @@
+// Scenario engine: a ScenarioSpec binds {stack, node topology, app,
+// arrival process, size model, duration, seed} into a named, runnable
+// experiment. The registry holds the built-in scenario catalog that
+// bench/scenario_runner.cc exposes on the CLI; benches reproduce paper
+// figures by constructing specs inline with their exact parameters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/arrival.hpp"
+#include "workload/generator.hpp"
+#include "workload/size_model.hpp"
+#include "workload/stacks.hpp"
+
+namespace flextoe::workload {
+
+enum class AppKind {
+  Kv,       // KvServer + memtier-style GET/SET generators
+  RpcEcho,  // EchoServer + request/response generators
+  Stream,   // ProducerServer + drain sinks (TX throughput)
+};
+
+struct ScenarioSpec {
+  std::string name;         // registry key, CLI-selectable
+  std::string description;  // one-line summary for --list
+
+  // Topology: one server node (the stack under test) plus ideal client
+  // machines. stack_hosts_clients inverts that — the stack under test
+  // drives traffic toward an ideal server node (incast/table4 shape).
+  Stack stack = Stack::FlexToe;
+  unsigned server_cores = 4;
+  // Grant TAS its dedicated fast-path cores on top of server_cores.
+  bool grant_stack_cores = false;
+  bool stack_hosts_clients = false;
+  unsigned client_nodes = 2;
+  unsigned conns_per_node = 16;
+  double nic_gbps = 40.0;
+
+  AppKind app = AppKind::RpcEcho;
+  unsigned pipeline = 4;           // closed-loop window per connection
+  std::uint32_t response_size = 32;  // RpcEcho: 0 = echo the request
+  std::uint32_t stream_frame = 2048;  // Stream: produced frame payload
+  // Server app cycles per request; unset = per-stack default for Kv
+  // (Table 1 application row), 0 for other apps.
+  std::optional<std::uint32_t> server_app_cycles;
+  KvMix kv;  // Kv app: GET/SET mix and key shape
+
+  // Workload: null arrival = closed loop; null sizes = fixed 64 B.
+  ArrivalFactory arrival;
+  SizeModelFactory request_sizes;
+
+  // Connection churn (per-connection request budget; 0 = persistent).
+  std::uint64_t requests_per_conn = 0;
+
+  // Incast fan-in: shape the switch port toward the app server to
+  // nic_gbps / incast_degree with a shallow WRED/ECN buffer (0 = off).
+  unsigned incast_degree = 0;
+  // FlexTOE control-plane congestion control (incast ablation).
+  bool cc_enabled = true;
+  // Uniform per-packet drop probability at the switch (0 = lossless).
+  double loss_rate = 0.0;
+
+  // Durations: measurement span after warmup, full and quick variants.
+  sim::TimePs warm = sim::ms(10);
+  sim::TimePs span = sim::ms(25);
+  sim::TimePs quick_warm = sim::ms(2);
+  sim::TimePs quick_span = sim::ms(4);
+
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioResult {
+  std::uint64_t completed = 0;    // requests finished in the span
+  double throughput_rps = 0;      // completed / span
+  double server_rx_gbps = 0;      // bytes into the app server
+  double client_rx_gbps = 0;      // bytes into the generators/sinks
+  double p50_us = 0, p99_us = 0, p9999_us = 0;
+  double jfi = 1.0;               // fairness across all connections
+  unsigned connected = 0;
+  std::uint64_t reconnects = 0;   // churn recycles
+  std::uint64_t overload_drops = 0;  // open-loop back-pressure drops
+};
+
+struct RunOptions {
+  bool quick = false;             // use the spec's quick durations
+  std::uint64_t seed_offset = 0;  // added to spec.seed (repeats, --seed)
+  // Non-zero: override the spec's durations (benches pass their exact
+  // paper-figure spans here).
+  sim::TimePs warm_override = 0;
+  sim::TimePs span_override = 0;
+};
+
+// Builds the testbed described by `spec`, runs warmup + measurement,
+// and returns the measured result.
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunOptions& opts = {});
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  // Replaces any existing scenario with the same name.
+  void add(ScenarioSpec spec);
+  const ScenarioSpec* find(const std::string& name) const;
+  const std::deque<ScenarioSpec>& all() const { return specs_; }
+
+ private:
+  std::deque<ScenarioSpec> specs_;
+};
+
+// Registers the built-in scenario catalog (idempotent). Guarantees at
+// least: one open-loop Poisson, one incast fan-in, one empirical-CDF
+// workload, plus KV/RPC/stream/churn/loss variants.
+void register_builtin_scenarios();
+
+}  // namespace flextoe::workload

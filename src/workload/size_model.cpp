@@ -1,0 +1,204 @@
+#include "workload/size_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flextoe::workload {
+
+namespace {
+
+std::uint32_t clamp_u32(double x, std::uint32_t lo, std::uint32_t hi) {
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return static_cast<std::uint32_t>(x);
+}
+
+class FixedSize final : public SizeModel {
+ public:
+  explicit FixedSize(std::uint32_t b) : bytes_(b ? b : 1) {}
+  std::uint32_t sample(sim::Rng&) override { return bytes_; }
+  double mean_bytes() const override { return bytes_; }
+
+ private:
+  std::uint32_t bytes_;
+};
+
+class UniformSize final : public SizeModel {
+ public:
+  UniformSize(std::uint32_t lo, std::uint32_t hi)
+      : lo_(std::min(lo, hi)), hi_(std::max(lo, hi)) {}
+  std::uint32_t sample(sim::Rng& rng) override {
+    return static_cast<std::uint32_t>(rng.next_range(lo_, hi_));
+  }
+  double mean_bytes() const override { return (double(lo_) + hi_) / 2.0; }
+
+ private:
+  std::uint32_t lo_, hi_;
+};
+
+class LognormalSize final : public SizeModel {
+ public:
+  LognormalSize(double mu, double sigma, std::uint32_t lo, std::uint32_t hi)
+      : mu_(mu), sigma_(sigma), lo_(std::max<std::uint32_t>(lo, 1)),
+        hi_(std::max(hi, lo_)) {}
+  std::uint32_t sample(sim::Rng& rng) override {
+    // Box-Muller; two uniforms per sample keeps the model stateless.
+    double u1 = rng.next_double();
+    if (u1 <= 0.0) u1 = 1e-18;
+    const double u2 = rng.next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return clamp_u32(std::exp(mu_ + sigma_ * z), lo_, hi_);
+  }
+  double mean_bytes() const override {
+    return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+  }
+
+ private:
+  double mu_, sigma_;
+  std::uint32_t lo_, hi_;
+};
+
+class BoundedParetoSize final : public SizeModel {
+ public:
+  BoundedParetoSize(double alpha, std::uint32_t lo, std::uint32_t hi)
+      : alpha_(alpha), lo_(std::max<std::uint32_t>(lo, 1)),
+        hi_(std::max(hi, lo_)) {}
+  std::uint32_t sample(sim::Rng& rng) override {
+    const double u = rng.next_double();
+    const double la = std::pow(double(lo_), alpha_);
+    const double ha = std::pow(double(hi_), alpha_);
+    // Inverse CDF of the bounded Pareto.
+    const double x =
+        std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+    return clamp_u32(x, lo_, hi_);
+  }
+  double mean_bytes() const override {
+    const double l = lo_, h = hi_, a = alpha_;
+    if (a == 1.0) {
+      return (std::log(h) - std::log(l)) / (1.0 / l - 1.0 / h);
+    }
+    const double la = std::pow(l, a);
+    return (la / (1.0 - std::pow(l / h, a))) * (a / (a - 1.0)) *
+           (std::pow(l, 1.0 - a) - std::pow(h, 1.0 - a));
+  }
+
+ private:
+  double alpha_;
+  std::uint32_t lo_, hi_;
+};
+
+class EmpiricalSize final : public SizeModel {
+ public:
+  EmpiricalSize(std::vector<CdfPoint> cdf, std::uint32_t cap)
+      : cdf_(std::move(cdf)), cap_(cap) {
+    // Normalize a slightly-off final probability so inversion always
+    // lands inside the table.
+    if (!cdf_.empty() && cdf_.back().cum_prob > 0) {
+      const double scale = 1.0 / cdf_.back().cum_prob;
+      for (auto& p : cdf_) p.cum_prob *= scale;
+    }
+  }
+
+  std::uint32_t sample(sim::Rng& rng) override {
+    if (cdf_.empty()) return 1;
+    const double u = rng.next_double();
+    // First point at or above u; interpolate linearly from the previous.
+    std::size_t i = 0;
+    while (i + 1 < cdf_.size() && cdf_[i].cum_prob < u) ++i;
+    double x;
+    if (i == 0) {
+      const double p = cdf_[0].cum_prob;
+      x = p > 0 ? double(cdf_[0].bytes) * (u / p) : double(cdf_[0].bytes);
+      if (x < 1) x = 1;
+    } else {
+      const auto& a = cdf_[i - 1];
+      const auto& b = cdf_[i];
+      const double dp = b.cum_prob - a.cum_prob;
+      const double t = dp > 0 ? (u - a.cum_prob) / dp : 0.0;
+      x = double(a.bytes) + t * (double(b.bytes) - double(a.bytes));
+    }
+    auto bytes = static_cast<std::uint32_t>(std::max(1.0, x));
+    if (cap_ > 0) bytes = std::min(bytes, cap_);
+    return bytes;
+  }
+
+  double mean_bytes() const override {
+    // Trapezoid over the piecewise-linear inverse CDF, cap-aware.
+    double mean = 0, prev_p = 0, prev_b = 0;
+    for (const auto& pt : cdf_) {
+      double b = pt.bytes;
+      double pb = prev_b;
+      if (cap_ > 0) {
+        b = std::min(b, double(cap_));
+        pb = std::min(pb, double(cap_));
+      }
+      mean += (pt.cum_prob - prev_p) * (pb + b) / 2.0;
+      prev_p = pt.cum_prob;
+      prev_b = pt.bytes;
+    }
+    return mean;
+  }
+
+ private:
+  std::vector<CdfPoint> cdf_;
+  std::uint32_t cap_;
+};
+
+}  // namespace
+
+std::unique_ptr<SizeModel> fixed_size(std::uint32_t bytes) {
+  return std::make_unique<FixedSize>(bytes);
+}
+
+std::unique_ptr<SizeModel> uniform_size(std::uint32_t lo, std::uint32_t hi) {
+  return std::make_unique<UniformSize>(lo, hi);
+}
+
+std::unique_ptr<SizeModel> lognormal_size(double mu, double sigma,
+                                          std::uint32_t min_bytes,
+                                          std::uint32_t max_bytes) {
+  return std::make_unique<LognormalSize>(mu, sigma, min_bytes, max_bytes);
+}
+
+std::unique_ptr<SizeModel> bounded_pareto_size(double alpha,
+                                               std::uint32_t lo,
+                                               std::uint32_t hi) {
+  return std::make_unique<BoundedParetoSize>(alpha, lo, hi);
+}
+
+std::unique_ptr<SizeModel> empirical_size(std::vector<CdfPoint> cdf,
+                                          std::uint32_t cap_bytes) {
+  return std::make_unique<EmpiricalSize>(std::move(cdf), cap_bytes);
+}
+
+// Approximation of the web-search flow-size distribution (DCTCP §2.3 /
+// pFabric evaluations): mostly short queries with a heavy tail of
+// multi-megabyte responses.
+const std::vector<CdfPoint>& websearch_flow_cdf() {
+  static const std::vector<CdfPoint> t{
+      {1 * 1024, 0.15},        {2 * 1024, 0.20},
+      {3 * 1024, 0.30},        {5 * 1024, 0.40},
+      {7 * 1024, 0.53},        {10 * 1024, 0.60},
+      {30 * 1024, 0.70},       {100 * 1024, 0.80},
+      {300 * 1024, 0.90},      {1024 * 1024, 0.97},
+      {3 * 1024 * 1024, 0.99}, {30 * 1024 * 1024, 1.0},
+  };
+  return t;
+}
+
+// Approximation of the data-mining flow-size distribution (VL2 / pFabric
+// evaluations): over half the flows are tiny control messages, but most
+// bytes live in rare giant transfers.
+const std::vector<CdfPoint>& datamining_flow_cdf() {
+  static const std::vector<CdfPoint> t{
+      {100, 0.50},          {1 * 1024, 0.60},
+      {2 * 1024, 0.70},     {10 * 1024, 0.80},
+      {100 * 1024, 0.90},   {1024 * 1024, 0.95},
+      {10240 * 1024, 0.98}, {102400 * 1024, 0.999},
+      {1048576 * 1024u, 1.0},
+  };
+  return t;
+}
+
+}  // namespace flextoe::workload

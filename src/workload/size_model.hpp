@@ -1,0 +1,70 @@
+// Message/flow size models for the workload engine (paper §5 spans
+// fixed-size RPCs, memcached values, and large transfers; datacenter
+// measurement studies add heavy-tailed and empirical distributions).
+// A SizeModel turns a deterministic Rng stream into request sizes;
+// factories produce fresh instances so a ScenarioSpec can be run many
+// times with independent seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace flextoe::workload {
+
+class SizeModel {
+ public:
+  virtual ~SizeModel() = default;
+
+  // Next request size in bytes (>= 1).
+  virtual std::uint32_t sample(sim::Rng& rng) = 0;
+
+  // Analytic mean of the distribution (before any cap/clamp), used for
+  // offered-load calculations.
+  virtual double mean_bytes() const = 0;
+};
+
+using SizeModelFactory = std::function<std::unique_ptr<SizeModel>()>;
+
+// Every request the same size.
+std::unique_ptr<SizeModel> fixed_size(std::uint32_t bytes);
+
+// Uniform in [lo, hi] inclusive.
+std::unique_ptr<SizeModel> uniform_size(std::uint32_t lo, std::uint32_t hi);
+
+// Lognormal with the given log-space parameters, clamped to
+// [min_bytes, max_bytes]. mean_bytes() reports the unclamped analytic
+// mean exp(mu + sigma^2/2).
+std::unique_ptr<SizeModel> lognormal_size(double mu, double sigma,
+                                          std::uint32_t min_bytes,
+                                          std::uint32_t max_bytes);
+
+// Bounded Pareto on [lo, hi] with shape alpha (> 0, != 1): the classic
+// mice-and-elephants heavy tail.
+std::unique_ptr<SizeModel> bounded_pareto_size(double alpha,
+                                               std::uint32_t lo,
+                                               std::uint32_t hi);
+
+// One point of an empirical CDF: P(size <= bytes) = cum_prob.
+struct CdfPoint {
+  std::uint32_t bytes;
+  double cum_prob;
+};
+
+// Inverse-transform sampling over a piecewise-linear empirical CDF.
+// `cdf` must be strictly increasing in both fields with the final
+// cum_prob == 1.0. cap_bytes > 0 clamps samples (keeps heavy-tailed
+// tables usable in short simulations); mean_bytes() is cap-aware.
+std::unique_ptr<SizeModel> empirical_size(std::vector<CdfPoint> cdf,
+                                          std::uint32_t cap_bytes = 0);
+
+// In-tree empirical flow-size tables, approximating the web-search
+// (DCTCP) and data-mining (VL2) datacenter distributions commonly used
+// to evaluate transport designs.
+const std::vector<CdfPoint>& websearch_flow_cdf();
+const std::vector<CdfPoint>& datamining_flow_cdf();
+
+}  // namespace flextoe::workload

@@ -1,0 +1,79 @@
+// Stack selection shared by scenarios and the paper benches: the four
+// evaluated stacks (§5) and helpers to build a server node of each kind.
+// Moved here from bench/common.hpp so the scenario engine in src/ can
+// bind {stack, topology, app, workload} without depending on bench/.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/testbed.hpp"
+#include "baseline/personality.hpp"
+
+namespace flextoe::workload {
+
+enum class Stack { Linux, Chelsio, Tas, FlexToe };
+
+inline const char* stack_name(Stack s) {
+  switch (s) {
+    case Stack::Linux:
+      return "Linux";
+    case Stack::Chelsio:
+      return "Chelsio";
+    case Stack::Tas:
+      return "TAS";
+    case Stack::FlexToe:
+      return "FlexTOE";
+  }
+  return "?";
+}
+
+inline const std::vector<Stack>& all_stacks() {
+  static const std::vector<Stack> v{Stack::Linux, Stack::Chelsio,
+                                    Stack::Tas, Stack::FlexToe};
+  return v;
+}
+
+inline baseline::Personality personality(Stack s) {
+  switch (s) {
+    case Stack::Linux:
+      return baseline::linux_personality();
+    case Stack::Chelsio:
+      return baseline::chelsio_personality();
+    case Stack::Tas:
+      return baseline::tas_personality();
+    default:
+      return baseline::ideal_personality();
+  }
+}
+
+// Adds a server node of the given stack kind.
+inline app::Testbed::Node& add_server(app::Testbed& tb, Stack s,
+                                      unsigned cores,
+                                      host::FlexToeNicConfig toe_cfg = {},
+                                      double nic_gbps = 40.0) {
+  app::NodeParams np;
+  np.cores = cores;
+  np.nic_gbps = nic_gbps;
+  if (s == Stack::FlexToe) {
+    return tb.add_flextoe_node(np, toe_cfg);
+  }
+  const auto pers = personality(s);
+  np.serial_fraction = pers.serial_fraction;
+  return tb.add_sw_node(np, pers);
+}
+
+// TAS runs its fast path on dedicated cores separate from application
+// cores (TAS paper / §2.1). Single-app-core scenarios grant it those.
+inline unsigned with_stack_cores(Stack s, unsigned app_cores) {
+  return s == Stack::Tas ? app_cores + 2 : app_cores;
+}
+
+inline std::uint32_t app_cycles(Stack s) {
+  // Table 1 "Application" row: the identical binary costs more cycles
+  // under bulkier stacks (icache/IPC effects).
+  if (s == Stack::FlexToe) return 890;
+  return personality(s).app_cycles_per_req;
+}
+
+}  // namespace flextoe::workload

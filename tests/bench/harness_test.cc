@@ -233,15 +233,47 @@ TEST(ParseArgs, Defaults) {
 TEST(ParseArgs, AllFlags) {
   const char* argv[] = {"bench",     "--quick", "--repeats", "5",
                         "--filter",  "fig10",   "--json",    "/tmp/x.json",
-                        "--list"};
+                        "--seed",    "99",      "--list"};
   Options o;
   std::string err;
-  ASSERT_TRUE(parse_args(9, argv, &o, &err)) << err;
+  ASSERT_TRUE(parse_args(11, argv, &o, &err)) << err;
   EXPECT_TRUE(o.quick);
   EXPECT_EQ(o.repeats, 5);
   EXPECT_EQ(o.filter, "fig10");
   EXPECT_EQ(o.json_path, "/tmp/x.json");
+  EXPECT_EQ(o.seed, 99u);
   EXPECT_TRUE(o.list_only);
+}
+
+TEST(ParseArgs, SeedDefaultsToZeroAndRejectsGarbage) {
+  {
+    const char* argv[] = {"bench"};
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse_args(1, argv, &o, &err)) << err;
+    EXPECT_EQ(o.seed, 0u);
+  }
+  for (const char* bad : {"abc", "1x", "-4", ""}) {
+    const char* argv[] = {"bench", "--seed", bad};
+    Options o;
+    std::string err;
+    EXPECT_FALSE(parse_args(3, argv, &o, &err)) << bad;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(ScenarioCtxSeed, ShiftsBaseByHarnessSeed) {
+  Options opts;
+  Report rep("seed_bench", opts);
+  {
+    ScenarioCtx ctx(opts, rep);
+    EXPECT_EQ(ctx.seed(17), 17u);  // default --seed 0: reproducible base
+  }
+  opts.seed = 1000;
+  {
+    ScenarioCtx ctx(opts, rep);
+    EXPECT_EQ(ctx.seed(17), 1017u);
+  }
 }
 
 TEST(ParseArgs, RejectsBadRepeats) {

@@ -1,0 +1,90 @@
+// Inter-arrival statistics for the workload arrival processes: Poisson
+// mean and coefficient of variation, deterministic pacing, ON-OFF
+// burstiness, and the closed-loop flag.
+#include "workload/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace flextoe::workload {
+namespace {
+
+struct GapStats {
+  double mean_ps = 0;
+  double cv = 0;  // stddev / mean
+};
+
+GapStats collect(ArrivalModel& m, sim::Rng& rng, int n = 50'000) {
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = static_cast<double>(m.next_gap(rng));
+    gaps.push_back(g);
+    sum += g;
+  }
+  GapStats st;
+  st.mean_ps = sum / n;
+  double var = 0;
+  for (double g : gaps) var += (g - st.mean_ps) * (g - st.mean_ps);
+  st.cv = std::sqrt(var / n) / st.mean_ps;
+  return st;
+}
+
+TEST(Arrival, ClosedLoopFlag) {
+  auto m = closed_loop_arrival();
+  EXPECT_TRUE(m->closed_loop());
+  EXPECT_FALSE(poisson_arrival(1000)->closed_loop());
+  EXPECT_FALSE(paced_arrival(1000)->closed_loop());
+  EXPECT_FALSE(on_off_arrival(1000, sim::ms(1), sim::ms(1))->closed_loop());
+}
+
+TEST(Arrival, PoissonMeanAndCv) {
+  const double rate = 250'000.0;  // per second
+  auto m = poisson_arrival(rate);
+  EXPECT_DOUBLE_EQ(m->rate_per_sec(), rate);
+  sim::Rng rng(11);
+  const GapStats st = collect(*m, rng);
+  const double expect_mean = double(sim::kPsPerSec) / rate;
+  EXPECT_NEAR(st.mean_ps, expect_mean, 0.03 * expect_mean);
+  // Exponential gaps: coefficient of variation 1.
+  EXPECT_NEAR(st.cv, 1.0, 0.05);
+}
+
+TEST(Arrival, PacedIsDeterministic) {
+  auto m = paced_arrival(1'000'000.0);
+  sim::Rng rng(12);
+  const auto g0 = m->next_gap(rng);
+  EXPECT_EQ(g0, sim::us(1));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m->next_gap(rng), g0);
+}
+
+TEST(Arrival, OnOffIsBurstierThanPoissonAndSlowerOnAverage) {
+  const double burst_rate = 400'000.0;
+  auto m = on_off_arrival(burst_rate, sim::ms(1), sim::ms(1));
+  // 50% duty cycle -> half the burst rate on average.
+  EXPECT_NEAR(m->rate_per_sec(), burst_rate / 2, 1.0);
+  sim::Rng rng(13);
+  const GapStats st = collect(*m, rng);
+  const double burst_gap = double(sim::kPsPerSec) / burst_rate;
+  // Average gap is dragged up by OFF periods...
+  EXPECT_GT(st.mean_ps, 1.5 * burst_gap);
+  // ...and the process is burstier than Poisson.
+  EXPECT_GT(st.cv, 1.5);
+}
+
+TEST(Arrival, DeterministicPerSeed) {
+  auto a = poisson_arrival(100'000.0);
+  auto b = poisson_arrival(100'000.0);
+  sim::Rng ra(77), rb(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a->next_gap(ra), b->next_gap(rb));
+  }
+}
+
+}  // namespace
+}  // namespace flextoe::workload

@@ -1,0 +1,165 @@
+// Distribution sanity for the workload size models: empirical-CDF
+// inversion, Pareto/lognormal moments within tolerance, and the
+// bias-free Rng::next_below underneath them all.
+#include "workload/size_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace flextoe::workload {
+namespace {
+
+constexpr int kSamples = 50'000;
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, NextBelowIsUniformWithoutModuloBias) {
+  // n = 3 would show heavy modulo bias on a biased generator only for
+  // tiny ranges of the raw space; instead check a large-ish n and the
+  // exactness of bucket frequencies.
+  sim::Rng rng(123);
+  const std::uint64_t n = 5;
+  std::vector<int> buckets(n, 0);
+  const int draws = 100'000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.next_below(n)];
+  for (std::uint64_t b = 0; b < n; ++b) {
+    const double freq = double(buckets[b]) / draws;
+    EXPECT_NEAR(freq, 1.0 / double(n), 0.01) << "bucket " << b;
+  }
+}
+
+TEST(Rng, NextBelowDeterministicPerSeed) {
+  sim::Rng a(42), b(42), c(43);
+  bool diverged_from_c = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next_below(1000);
+    EXPECT_EQ(va, b.next_below(1000));
+    if (va != c.next_below(1000)) diverged_from_c = true;
+  }
+  EXPECT_TRUE(diverged_from_c);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  sim::Rng rng(7);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 1000ull, (1ull << 62) + 3}) {
+    for (int i = 0; i < 100; ++i) EXPECT_LT(rng.next_below(n), n);
+  }
+}
+
+// --------------------------------------------------------- Size models
+
+TEST(SizeModels, FixedIsConstant) {
+  sim::Rng rng(1);
+  auto m = fixed_size(777);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m->sample(rng), 777u);
+  EXPECT_DOUBLE_EQ(m->mean_bytes(), 777.0);
+}
+
+TEST(SizeModels, UniformBoundsAndMean) {
+  sim::Rng rng(2);
+  auto m = uniform_size(100, 200);
+  std::uint32_t lo = ~0u, hi = 0;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = m->sample(rng);
+    ASSERT_GE(v, 100u);
+    ASSERT_LE(v, 200u);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+  }
+  EXPECT_EQ(lo, 100u);  // endpoints are reachable
+  EXPECT_EQ(hi, 200u);
+  EXPECT_NEAR(sum / kSamples, m->mean_bytes(), 2.0);
+}
+
+TEST(SizeModels, LognormalMomentsWithinTolerance) {
+  sim::Rng rng(3);
+  const double mu = std::log(1000.0), sigma = 0.5;
+  auto m = lognormal_size(mu, sigma, 1, 1'000'000);
+  std::vector<double> xs;
+  xs.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) xs.push_back(m->sample(rng));
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  // Analytic mean exp(mu + sigma^2/2) ~ 1133; clamping is negligible
+  // at these parameters.
+  EXPECT_NEAR(mean, m->mean_bytes(), 0.05 * m->mean_bytes());
+  // Median of a lognormal is exp(mu).
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(mu), 0.05 * std::exp(mu));
+}
+
+TEST(SizeModels, BoundedParetoBoundsAndMean) {
+  sim::Rng rng(4);
+  auto m = bounded_pareto_size(1.5, 100, 100'000);
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = m->sample(rng);
+    ASSERT_GE(v, 100u);
+    ASSERT_LE(v, 100'000u);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, m->mean_bytes(), 0.1 * m->mean_bytes());
+  // Heavy tail: mean well above the lower bound.
+  EXPECT_GT(m->mean_bytes(), 250.0);
+}
+
+TEST(SizeModels, EmpiricalCdfInversionMatchesTable) {
+  const std::vector<CdfPoint> table{
+      {100, 0.25}, {1000, 0.50}, {10000, 0.75}, {100000, 1.0}};
+  sim::Rng rng(5);
+  auto m = empirical_size(table);
+  int below_1000 = 0, below_10000 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = m->sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100000u);
+    if (v <= 1000) ++below_1000;
+    if (v <= 10000) ++below_10000;
+  }
+  // Quantiles of the samples track the table's cumulative probabilities.
+  EXPECT_NEAR(double(below_1000) / kSamples, 0.50, 0.02);
+  EXPECT_NEAR(double(below_10000) / kSamples, 0.75, 0.02);
+}
+
+TEST(SizeModels, EmpiricalCapClampsTailAndMean) {
+  sim::Rng rng(6);
+  auto capped = empirical_size(websearch_flow_cdf(), 64 * 1024);
+  for (int i = 0; i < kSamples; ++i) {
+    ASSERT_LE(capped->sample(rng), 64u * 1024);
+  }
+  auto uncapped = empirical_size(websearch_flow_cdf());
+  EXPECT_LT(capped->mean_bytes(), uncapped->mean_bytes());
+}
+
+TEST(SizeModels, ShippedTablesAreWellFormed) {
+  for (const auto* table : {&websearch_flow_cdf(), &datamining_flow_cdf()}) {
+    ASSERT_FALSE(table->empty());
+    double prev_p = 0;
+    std::uint32_t prev_b = 0;
+    for (const auto& pt : *table) {
+      EXPECT_GT(pt.bytes, prev_b);
+      EXPECT_GT(pt.cum_prob, prev_p);
+      prev_b = pt.bytes;
+      prev_p = pt.cum_prob;
+    }
+    EXPECT_DOUBLE_EQ(table->back().cum_prob, 1.0);
+  }
+}
+
+TEST(SizeModels, SamplingIsDeterministicPerSeed) {
+  auto a = empirical_size(datamining_flow_cdf());
+  auto b = empirical_size(datamining_flow_cdf());
+  sim::Rng ra(99), rb(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a->sample(ra), b->sample(rb));
+}
+
+}  // namespace
+}  // namespace flextoe::workload

@@ -1,0 +1,156 @@
+// Scenario registry round-trip and end-to-end runs of the workload
+// engine: catalog contents, quick runs across the app kinds, open-loop
+// vs closed-loop behavior, churn, and per-seed determinism.
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace flextoe::workload {
+namespace {
+
+class ScenarioCatalog : public ::testing::Test {
+ protected:
+  void SetUp() override { register_builtin_scenarios(); }
+};
+
+TEST_F(ScenarioCatalog, RegistersRequiredScenarios) {
+  const auto& all = ScenarioRegistry::instance().all();
+  EXPECT_GE(all.size(), 8u);
+  // The catalog promises at least one open-loop Poisson, one incast,
+  // and one empirical-CDF workload.
+  for (const char* required :
+       {"rpc_poisson_open", "incast_fanin", "rpc_websearch",
+        "rpc_echo_closed", "kv_memtier_closed", "stream_tx_drain"}) {
+    EXPECT_NE(ScenarioRegistry::instance().find(required), nullptr)
+        << required;
+  }
+}
+
+TEST_F(ScenarioCatalog, NamesAreUniqueAndFindRoundTrips) {
+  std::set<std::string> names;
+  for (const auto& s : ScenarioRegistry::instance().all()) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    const ScenarioSpec* found = ScenarioRegistry::instance().find(s.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, s.name);
+    EXPECT_FALSE(found->description.empty()) << s.name;
+  }
+  EXPECT_EQ(ScenarioRegistry::instance().find("no_such_scenario"), nullptr);
+}
+
+TEST_F(ScenarioCatalog, RegistrationIsIdempotent) {
+  const std::size_t before = ScenarioRegistry::instance().all().size();
+  register_builtin_scenarios();
+  EXPECT_EQ(ScenarioRegistry::instance().all().size(), before);
+}
+
+TEST_F(ScenarioCatalog, AddReplacesByName) {
+  ScenarioSpec s;
+  s.name = "scenario_test_tmp";
+  s.description = "v1";
+  ScenarioRegistry::instance().add(s);
+  const std::size_t n = ScenarioRegistry::instance().all().size();
+  s.description = "v2";
+  ScenarioRegistry::instance().add(s);
+  EXPECT_EQ(ScenarioRegistry::instance().all().size(), n);
+  EXPECT_EQ(ScenarioRegistry::instance().find("scenario_test_tmp")
+                ->description,
+            "v2");
+}
+
+RunOptions tiny_run() {
+  RunOptions ro;
+  ro.warm_override = sim::ms(2);
+  ro.span_override = sim::ms(4);
+  return ro;
+}
+
+TEST_F(ScenarioCatalog, ClosedLoopEchoRuns) {
+  const auto* spec = ScenarioRegistry::instance().find("rpc_echo_closed");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioResult r = run_scenario(*spec, tiny_run());
+  EXPECT_GT(r.completed, 1000u);
+  EXPECT_GT(r.throughput_rps, 0.0);
+  EXPECT_GT(r.server_rx_gbps, 0.0);
+  EXPECT_GT(r.p50_us, 0.0);
+  EXPECT_GE(r.p99_us, r.p50_us);
+  EXPECT_GT(r.jfi, 0.5);
+  EXPECT_EQ(r.connected, 32u);  // 2 nodes x 16 conns
+  EXPECT_EQ(r.reconnects, 0u);
+}
+
+TEST_F(ScenarioCatalog, OpenLoopPoissonTracksOfferedLoad) {
+  const auto* spec = ScenarioRegistry::instance().find("rpc_poisson_open");
+  ASSERT_NE(spec, nullptr);
+  RunOptions ro = tiny_run();
+  ro.span_override = sim::ms(10);
+  const ScenarioResult r = run_scenario(*spec, ro);
+  // 2 nodes x 100k rps offered; completions should be within ~20%.
+  EXPECT_NEAR(r.throughput_rps, 200'000.0, 40'000.0);
+  EXPECT_GT(r.p50_us, 0.0);
+}
+
+TEST_F(ScenarioCatalog, KvScenarioRuns) {
+  const auto* spec = ScenarioRegistry::instance().find("kv_memtier_closed");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioResult r = run_scenario(*spec, tiny_run());
+  EXPECT_GT(r.completed, 1000u);
+  EXPECT_GT(r.client_rx_gbps, 0.0);
+}
+
+TEST_F(ScenarioCatalog, StreamScenarioMovesBytes) {
+  const auto* spec = ScenarioRegistry::instance().find("stream_tx_drain");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioResult r = run_scenario(*spec, tiny_run());
+  EXPECT_GT(r.client_rx_gbps, 1.0);
+  EXPECT_GT(r.jfi, 0.5);
+}
+
+TEST_F(ScenarioCatalog, ChurnScenarioRecyclesConnections) {
+  const auto* spec = ScenarioRegistry::instance().find("rpc_conn_churn");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioResult r = run_scenario(*spec, tiny_run());
+  EXPECT_GT(r.completed, 100u);
+  EXPECT_GT(r.reconnects, 0u);
+  // Churned connections keep completing requests.
+  EXPECT_GT(r.connected, 32u);  // initial 2x16 plus reconnects
+}
+
+TEST_F(ScenarioCatalog, IncastShapedPortCapsThroughput) {
+  const auto* spec = ScenarioRegistry::instance().find("incast_fanin");
+  ASSERT_NE(spec, nullptr);
+  RunOptions ro;
+  ro.quick = true;
+  const ScenarioResult r = run_scenario(*spec, ro);
+  EXPECT_GT(r.server_rx_gbps, 1.0);
+  // Degree-4 incast on a 40G port: shaped to ~10G.
+  EXPECT_LT(r.server_rx_gbps, 11.0);
+}
+
+TEST_F(ScenarioCatalog, RunsAreDeterministicPerSeed) {
+  const auto* spec = ScenarioRegistry::instance().find("rpc_echo_closed");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioResult a = run_scenario(*spec, tiny_run());
+  const ScenarioResult b = run_scenario(*spec, tiny_run());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+}
+
+TEST_F(ScenarioCatalog, SeedOffsetPerturbsStochasticScenarios) {
+  // rpc_echo_closed is seed-independent (fixed sizes, closed loop, no
+  // loss), so seed sensitivity is asserted on a scenario whose behavior
+  // actually consumes randomness: uniform switch loss.
+  const auto* spec = ScenarioRegistry::instance().find("rpc_lossy");
+  ASSERT_NE(spec, nullptr);
+  const ScenarioResult a = run_scenario(*spec, tiny_run());
+  RunOptions shifted = tiny_run();
+  shifted.seed_offset = 1;
+  const ScenarioResult c = run_scenario(*spec, shifted);
+  EXPECT_TRUE(c.completed != a.completed || c.p99_us != a.p99_us);
+}
+
+}  // namespace
+}  // namespace flextoe::workload
