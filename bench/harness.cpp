@@ -18,7 +18,7 @@ namespace flextoe::benchx {
 std::string usage(const std::string& prog) {
   return "usage: " + prog +
          " [--list] [--filter <substr>] [--quick] [--repeats N]"
-         " [--seed S] [--json <path>]\n"
+         " [--seed S] [--json <path>] [--no-telemetry]\n"
          "  --list          print scenario ids and exit\n"
          "  --filter S      run only scenarios whose id contains S\n"
          "  --quick         shrink sweeps and simulated spans (smoke mode)\n"
@@ -27,7 +27,10 @@ std::string usage(const std::string& prog) {
          "                  (distribution/table scenarios are single-run)\n"
          "  --seed S        shift every scenario's simulation seeds by S\n"
          "                  (default 0: the reproducible baseline run)\n"
-         "  --json PATH     also write the report as JSON to PATH\n";
+         "  --json PATH     also write the report as JSON to PATH\n"
+         "  --no-telemetry  disable data-path introspection counters\n"
+         "                  (the report's telemetry section comes out "
+         "empty)\n";
 }
 
 bool parse_args(int argc, const char* const* argv, Options* opts,
@@ -43,6 +46,8 @@ bool parse_args(int argc, const char* const* argv, Options* opts,
     };
     if (a == "--quick") {
       opts->quick = true;
+    } else if (a == "--no-telemetry") {
+      opts->telemetry = false;
     } else if (a == "--list") {
       opts->list_only = true;
     } else if (a == "--filter") {
@@ -257,37 +262,9 @@ void Report::print_text() const {
 
 namespace {
 
-void json_escape(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
+// String escaping is shared with the telemetry snapshot serializer so
+// the two JSON emitters in one document cannot drift.
+using telemetry::json_escape;
 
 void json_number(double v, std::string* out) {
   if (!std::isfinite(v)) {
@@ -333,6 +310,7 @@ std::string Report::to_json() const {
     out += rows.empty() ? "]}" : "\n    ]}";
   }
   out += series_.empty() ? "]" : "\n  ]";
+  out += ",\n  \"telemetry\": " + telem_.to_json();
   out += ",\n  \"notes\": [";
   for (std::size_t i = 0; i < notes_.size(); ++i) {
     if (i) out += ", ";
@@ -404,6 +382,11 @@ int bench_main(int argc, const char* const* argv) {
     return 0;
   }
 
+  // Runtime telemetry default for every registry the scenarios create;
+  // the accumulator gathers each testbed's snapshot on teardown.
+  telemetry::set_default_enabled(opts.telemetry);
+  telemetry::reset_accumulator();
+
   Report report(name, opts);
   const int n = run_scenarios(opts, report);
   if (n == 0) {
@@ -411,6 +394,7 @@ int bench_main(int argc, const char* const* argv) {
                  name.c_str(), opts.filter.c_str());
     return 2;
   }
+  report.merge_telemetry(telemetry::accumulator());
   report.print_text();
 
   if (!opts.json_path.empty()) {

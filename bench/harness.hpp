@@ -4,12 +4,14 @@
 // loops, and output:
 //
 //   fig10_rpc_throughput [--list] [--filter <substr>] [--quick]
-//                        [--repeats N] [--json <path>]
+//                        [--repeats N] [--json <path>] [--no-telemetry]
 //
 // Results accumulate in a Report as named series of labeled rows; the
 // report prints fixed-width tables and, with --json, emits
-// BENCH_<name>.json (series name -> rows of labeled doubles) so the
-// perf trajectory of later PRs can be recorded and diffed.
+// BENCH_<name>.json (series name -> rows of labeled doubles, plus a
+// `telemetry` section aggregating the data-path introspection counters
+// of every testbed the bench ran — see EXPERIMENTS.md for the schema)
+// so the perf trajectory of later PRs can be recorded and diffed.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +21,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "telemetry/registry.hpp"
 
 namespace flextoe::benchx {
 
@@ -35,6 +39,9 @@ struct Options {
   // (--seed); 0 reproduces the default run, other values measure
   // seed-to-seed variance.
   std::uint64_t seed = 0;
+  // --no-telemetry: disable data-path introspection recording at run
+  // time (the registry stays registered; counters just stop moving).
+  bool telemetry = true;
 };
 
 // Parses argv. Returns false and sets *err on bad usage.
@@ -116,13 +123,18 @@ class Report {
   void note(std::string text);
   const std::vector<std::string>& notes() const { return notes_; }
 
+  // Telemetry attached to the report (additively merged; bench_main
+  // merges the process-wide accumulator here after all scenarios ran).
+  void merge_telemetry(const telemetry::Snapshot& s) { telem_.merge(s); }
+  const telemetry::Snapshot& telemetry() const { return telem_; }
+
   // Fixed-width tables on stdout. Series that share row labels and have
   // single-valued rows are pivoted into one table (rows x series), the
   // layout of the paper's figures; everything else prints per series.
   void print_text() const;
 
-  // JSON document: {"bench", "quick", "repeats", "series": [...],
-  // "notes": [...]}.
+  // JSON document: {"bench", "quick", "repeats", "seed", "series":
+  // [...], "telemetry": {...}, "notes": [...]}.
   std::string to_json() const;
   // Returns false if the file cannot be written.
   bool write_json(const std::string& path) const;
@@ -132,6 +144,7 @@ class Report {
   Options opts_;
   std::deque<Series> series_;
   std::vector<std::string> notes_;
+  telemetry::Snapshot telem_;
 };
 
 // ---------------------------------------------------------------------

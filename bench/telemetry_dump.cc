@@ -1,0 +1,210 @@
+// telemetry_dump: run one named scenario from the workload catalog and
+// pretty-print the FlexTOE data-path's telemetry as a counter tree —
+// per-stage visits and latencies, per-FPC rings, per-flow-group traffic,
+// DMA/scheduler activity, host context queues, and the drop-reason
+// taxonomy. This is the introspection front-end; ARCHITECTURE.md walks
+// one dump through the paper's Fig 4 pipeline.
+//
+//   telemetry_dump --list                      # scenario catalog
+//   telemetry_dump rpc_echo_closed             # full-size run + dump
+//   telemetry_dump --quick incast_fanin        # smoke-size run
+//   telemetry_dump --seed 3 --json t.json rpc_lossy
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using flextoe::telemetry::HistogramData;
+using flextoe::telemetry::Snapshot;
+namespace workload = flextoe::workload;
+
+int usage(const char* prog, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [--quick] [--seed S] [--json PATH] [--list] "
+               "<scenario>\n"
+               "  --list       print the scenario catalog and exit\n"
+               "  --quick      run the scenario's smoke-size durations\n"
+               "  --seed S     shift the scenario's simulation seed by S\n"
+               "  --json PATH  also write the telemetry snapshot as JSON\n",
+               prog);
+  return code;
+}
+
+// Renders sorted metric paths as an indented tree: shared '/'-separated
+// prefixes become directory lines, leaves carry the value.
+class TreePrinter {
+ public:
+  void line(const std::string& path, const std::string& value) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+      if (i == path.size() || path[i] == '/') {
+        parts.push_back(path.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    // Common prefix with the previously printed path stays implicit.
+    std::size_t common = 0;
+    while (common + 1 < parts.size() && common < prev_.size() &&
+           parts[common] == prev_[common]) {
+      ++common;
+    }
+    for (std::size_t d = common; d + 1 < parts.size(); ++d) {
+      std::printf("%*s%s/\n", static_cast<int>(2 * d), "",
+                  parts[d].c_str());
+    }
+    const std::size_t depth = parts.size() - 1;
+    std::printf("%*s%-*s %s\n", static_cast<int>(2 * depth), "",
+                static_cast<int>(24 - std::min<std::size_t>(2 * depth, 22)),
+                parts.back().c_str(), value.c_str());
+    prev_.assign(parts.begin(), parts.end() - 1);
+  }
+
+ private:
+  std::vector<std::string> prev_;
+};
+
+std::string hist_summary(const HistogramData& h) {
+  if (h.count == 0) return "count=0";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu mean=%.1f p50~%llu p99~%llu max=%llu",
+                static_cast<unsigned long long>(h.count), h.mean(),
+                static_cast<unsigned long long>(h.quantile(0.50)),
+                static_cast<unsigned long long>(h.quantile(0.99)),
+                static_cast<unsigned long long>(h.max));
+  return buf;
+}
+
+void print_tree(const Snapshot& snap) {
+  // Interleave counters, gauges, and histograms in one sorted walk so
+  // the tree groups by taxonomy, not by metric kind.
+  struct Item {
+    const std::string* path;
+    std::string value;
+  };
+  std::vector<Item> items;
+  items.reserve(snap.counters.size() + snap.gauges.size() +
+                snap.histograms.size());
+  for (const auto& [p, v] : snap.counters) {
+    items.push_back({&p, std::to_string(v)});
+  }
+  for (const auto& [p, v] : snap.gauges) {
+    items.push_back({&p, std::to_string(v) + " (gauge)"});
+  }
+  for (const auto& [p, h] : snap.histograms) {
+    items.push_back({&p, hist_summary(h)});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return *a.path < *b.path; });
+  TreePrinter tree;
+  for (const auto& it : items) tree.line(*it.path, it.value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "telemetry_dump";
+  bool quick = false;
+  bool list = false;
+  std::uint64_t seed = 0;
+  std::string json_path;
+  std::string scenario;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--list") {
+      list = true;
+    } else if (a == "--seed" || a == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", a.c_str());
+        return usage(prog, 2);
+      }
+      const char* v = argv[++i];
+      if (a == "--seed") {
+        char* end = nullptr;
+        seed = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0') {
+          std::fprintf(stderr, "--seed expects an integer, got '%s'\n", v);
+          return 2;
+        }
+      } else {
+        json_path = v;
+      }
+    } else if (a == "--help" || a == "-h") {
+      return usage(prog, 0);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return usage(prog, 2);
+    } else if (scenario.empty()) {
+      scenario = a;
+    } else {
+      std::fprintf(stderr, "only one scenario may be named\n");
+      return usage(prog, 2);
+    }
+  }
+
+  workload::register_builtin_scenarios();
+  const auto& registry = workload::ScenarioRegistry::instance();
+
+  if (list) {
+    for (const auto& spec : registry.all()) {
+      std::printf("%-24s %s\n", spec.name.c_str(),
+                  spec.description.c_str());
+    }
+    return 0;
+  }
+  if (scenario.empty()) return usage(prog, 2);
+
+  const workload::ScenarioSpec* spec = registry.find(scenario);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; --list shows the catalog\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  workload::RunOptions ro;
+  ro.quick = quick;
+  ro.seed_offset = seed;
+  const workload::ScenarioResult r = workload::run_scenario(*spec, ro);
+
+  std::printf("scenario %s (%s)\n", spec->name.c_str(),
+              spec->description.c_str());
+  std::printf("  rps=%.0f client_rx_gbps=%.3f p50_us=%.1f p99_us=%.1f "
+              "jfi=%.3f\n\n",
+              r.throughput_rps, r.client_rx_gbps, r.p50_us, r.p99_us,
+              r.jfi);
+
+  if (r.telemetry.empty()) {
+    std::printf("telemetry: <empty> (software stack under test, "
+                "recording disabled, or built with "
+                "-DFLEXTOE_TELEMETRY=OFF)\n");
+  } else {
+    std::printf("telemetry (%s):\n",
+                r.telemetry.enabled ? "enabled" : "disabled");
+    print_tree(r.telemetry);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string doc = r.telemetry.to_json() + "\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,6 +1,16 @@
 #include "app/testbed.hpp"
 
+#include "telemetry/registry.hpp"
+
 namespace flextoe::app {
+
+Testbed::~Testbed() {
+  for (auto& n : nodes_) {
+    if (n->toe) {
+      telemetry::accumulate(n->toe->datapath().telem().snapshot());
+    }
+  }
+}
 
 Testbed::Node& Testbed::finish_node(std::unique_ptr<Node> n,
                                     double nic_gbps) {

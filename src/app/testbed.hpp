@@ -48,6 +48,9 @@ class Testbed {
                    net::SwitchPortParams port_defaults = {})
       : rng_(seed), sw_(ev_, sim::Rng(seed ^ 0x5a5a), max_ports,
                         port_defaults) {}
+  // Merges every FlexTOE node's telemetry into the process-wide
+  // accumulator so bench reports capture all the data-paths they ran.
+  ~Testbed();
 
   // Adds a machine with a FlexTOE SmartNIC.
   Node& add_flextoe_node(NodeParams np, host::FlexToeNicConfig cfg = {});

@@ -122,6 +122,91 @@ Datapath::Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host)
   tp_drop_ = trace_.register_point("event/drop");
   tp_fretx_ = trace_.register_point("event/fretx");
   tp_ack_ = trace_.register_point("event/ack");
+
+  setup_telemetry();
+}
+
+// ------------------------------------------------------------ telemetry
+
+const char* Datapath::drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::RtcOverload:
+      return "rtc_overload";
+    case DropReason::FpcQueueFull:
+      return "fpc_queue_full";
+    case DropReason::XdpDrop:
+      return "xdp_drop";
+  }
+  return "unknown";
+}
+
+void Datapath::setup_telemetry() {
+  static const char* kStageName[kStageCount] = {
+      "seq",      "pre_rx",   "pre_tx", "pre_hc", "proto_rx",
+      "proto_tx", "proto_hc", "post",   "dma",    "ctx_notify"};
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const std::string base = std::string("stage/") + kStageName[s];
+    stage_telem_[s].visits = telem_.counter(base + "/visits");
+    stage_telem_[s].lat_ns = telem_.histogram(base + "/lat_ns");
+  }
+  for (std::size_t r = 0; r < kDropReasons; ++r) {
+    drop_telem_[r] = telem_.counter(
+        std::string("drop/") + drop_reason_name(static_cast<DropReason>(r)));
+  }
+  pipe_total_ns_[static_cast<std::size_t>(SegCtx::Kind::Rx)] =
+      telem_.histogram("pipe/rx_total_ns");
+  pipe_total_ns_[static_cast<std::size_t>(SegCtx::Kind::Tx)] =
+      telem_.histogram("pipe/tx_total_ns");
+  pipe_total_ns_[static_cast<std::size_t>(SegCtx::Kind::Hc)] =
+      telem_.histogram("pipe/hc_total_ns");
+  group_telem_.resize(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const std::string p = "group/" + std::to_string(g);
+    group_telem_[g].rx = telem_.counter(p + "/rx");
+    group_telem_[g].tx = telem_.counter(p + "/tx");
+    group_telem_[g].hc = telem_.counter(p + "/hc");
+    group_telem_[g].rob_depth = telem_.histogram(p + "/rob_depth");
+  }
+  t_host_notify_ = telem_.counter("hostq/notify");
+
+  for (auto& g : groups_) {
+    for (auto& f : g->pre) f->bind_telemetry(telem_, "fpc/" + f->name());
+    for (auto& f : g->proto) f->bind_telemetry(telem_, "fpc/" + f->name());
+    for (auto& f : g->post) f->bind_telemetry(telem_, "fpc/" + f->name());
+  }
+  for (auto& f : dma_fpcs_) f->bind_telemetry(telem_, "fpc/" + f->name());
+  for (auto& f : ctx_fpcs_) f->bind_telemetry(telem_, "fpc/" + f->name());
+  dma_.bind_telemetry(telem_, "dma");
+  carousel_.bind_telemetry(telem_, "sched");
+}
+
+void Datapath::stamp_birth(SegCtx& ctx) {
+  if (!telem_.enabled()) return;
+  ctx.t_born_ps = ctx.t_stage_ps = ev_.now();
+}
+
+void Datapath::stage_mark(Stage s, SegCtx& ctx) {
+  if (!telem_.enabled()) return;
+  StageTelem& st = stage_telem_[s];
+  st.visits->inc();
+  const sim::TimePs now = ev_.now();
+  if (ctx.t_stage_ps != SegCtx::kNoTimestamp) {
+    st.lat_ns->record((now - ctx.t_stage_ps) / sim::kPsPerNs);
+  }
+  ctx.t_stage_ps = now;
+}
+
+void Datapath::record_pipe_total(SegCtx& ctx) {
+  if (!telem_.enabled() || ctx.t_born_ps == SegCtx::kNoTimestamp) return;
+  pipe_total_ns_[static_cast<std::size_t>(ctx.kind)]->record(
+      (ev_.now() - ctx.t_born_ps) / sim::kPsPerNs);
+  ctx.t_born_ps = SegCtx::kNoTimestamp;  // totals recorded once per ctx
+}
+
+void Datapath::count_drop(DropReason r) {
+  ++drops_;
+  trace_.hit(tp_drop_);
+  if (telem_.enabled()) drop_telem_[static_cast<std::size_t>(r)]->inc();
 }
 
 Datapath::~Datapath() { *alive_ = false; }
@@ -173,8 +258,7 @@ bool Datapath::rtc_admit(std::function<void()> fn, bool droppable) {
   }
   if (rtc_busy_) {
     if (droppable && rtc_pending_.size() >= cfg_.fpc_queue_depth) {
-      ++drops_;
-      trace_.hit(tp_drop_);
+      count_drop(DropReason::RtcOverload);
       return false;  // no NIC-side buffering: shed the segment
     }
     rtc_pending_.push_back(std::move(fn));
@@ -285,7 +369,10 @@ void Datapath::set_rate(ConnId conn, std::uint64_t bytes_per_sec) {
 
 host::CtxQueue& Datapath::hc_queue(std::uint16_t ctx_id) {
   while (hc_queues_.size() <= ctx_id) {
-    hc_queues_.push_back(std::make_unique<host::CtxQueue>());
+    auto q = std::make_unique<host::CtxQueue>();
+    q->bind_telemetry(telem_,
+                      "hostq/hc" + std::to_string(hc_queues_.size()));
+    hc_queues_.push_back(std::move(q));
   }
   return *hc_queues_[ctx_id];
 }
@@ -312,8 +399,7 @@ void Datapath::submit(nfp::Fpc& fpc, std::uint32_t compute,
   w.mem_cycles = mem;
   w.done = std::move(fn);
   if (!fpc.submit(std::move(w))) {
-    ++drops_;
-    trace_.hit(tp_drop_);
+    count_drop(DropReason::FpcQueueFull);
     if (sequenced) groups_[group]->proto_rob->skip(skip_seq);
   }
 }
@@ -329,6 +415,7 @@ void Datapath::deliver(const net::PacketPtr& pkt) {
   auto ctx = std::make_shared<SegCtx>();
   ctx->kind = SegCtx::Kind::Rx;
   ctx->pkt = pkt;
+  stamp_birth(*ctx);
 
   rtc_admit(
       [this, ctx] {
@@ -341,6 +428,7 @@ void Datapath::deliver(const net::PacketPtr& pkt) {
         t.flow_group(static_cast<std::uint32_t>(groups_.size())));
     ctx->flow_group = g;
     ctx->pipe_seq = groups_[g]->sequencer.assign();
+    stage_mark(kStSeq, *ctx);
     Group& grp = *groups_[g];
     nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
     // XDP programs execute in the pre-processing stage; their per-packet
@@ -366,6 +454,7 @@ void Datapath::deliver(const net::PacketPtr& pkt) {
 }
 
 void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
+  stage_mark(kStPreRx, *ctx);
   Group& grp = *groups_[ctx->flow_group];
   net::Packet& pkt = *ctx->pkt;
 
@@ -376,8 +465,7 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
       case xdp::XdpAction::Pass:
         continue;
       case xdp::XdpAction::Drop:
-        ++drops_;
-        trace_.hit(tp_drop_);
+        count_drop(DropReason::XdpDrop);
         grp.proto_rob->skip(ctx->pipe_seq);
         return;
       case xdp::XdpAction::Tx:
@@ -449,6 +537,7 @@ std::uint32_t Datapath::tx_trigger(std::uint32_t conn) {
   ctx->conn_known = true;
   ctx->flow_group = fs.pre.flow_group;
   ctx->hc_len = planned;
+  stamp_birth(*ctx);
 
   Group& grp = *groups_[ctx->flow_group];
   nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
@@ -458,6 +547,7 @@ std::uint32_t Datapath::tx_trigger(std::uint32_t conn) {
   rtc_admit([this, ctx, &grp, &fpc] {
     ctx->rtc_token = make_rtc_token();
     ctx->pipe_seq = grp.sequencer.assign();
+    stage_mark(kStSeq, *ctx);
     submit(fpc, cfg_.costs.seq + cfg_.costs.pre_tx, 0,
            [this, ctx] { stage_pre_tx(ctx); }, ctx->pipe_seq,
            ctx->flow_group, true);
@@ -466,6 +556,7 @@ std::uint32_t Datapath::tx_trigger(std::uint32_t conn) {
 }
 
 void Datapath::stage_pre_tx(const SegCtxPtr& ctx) {
+  stage_mark(kStPreTx, *ctx);
   // Alloc + Head happen here in the real pipeline; the packet itself is
   // materialized in post-processing once the protocol stage has assigned
   // the sequence number. Steer:
@@ -506,6 +597,7 @@ void Datapath::doorbell(std::uint16_t ctx_id) {
           continue;
         }
         ctx->flow_group = flows_[ctx->conn_idx].pre.flow_group;
+        stamp_birth(*ctx);
         rtc_admit([this, ctx] {
           ctx->rtc_token = make_rtc_token();
           // Fetch descriptor via DMA, then steer through the pipeline.
@@ -515,9 +607,11 @@ void Datapath::doorbell(std::uint16_t ctx_id) {
                    dma_.issue(32, [this, ctx] {
                      Group& grp = *groups_[ctx->flow_group];
                      ctx->pipe_seq = grp.sequencer.assign();
+                     stage_mark(kStSeq, *ctx);
                      nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
                      submit(fpc, cfg_.costs.pre_hc, 0,
                             [this, ctx] {
+                              stage_mark(kStPreHc, *ctx);
                               groups_[ctx->flow_group]->proto_rob->push(
                                   ctx->pipe_seq, ctx);
                             },
@@ -559,6 +653,21 @@ void Datapath::stage_proto(const SegCtxPtr& ctx) {
     return;
   }
   Group& grp = *groups_[ctx->flow_group];
+  if (telem_.enabled()) {
+    GroupTelem& gt = group_telem_[ctx->flow_group];
+    switch (ctx->kind) {
+      case SegCtx::Kind::Rx:
+        gt.rx->inc();
+        break;
+      case SegCtx::Kind::Tx:
+        gt.tx->inc();
+        break;
+      case SegCtx::Kind::Hc:
+        gt.hc->inc();
+        break;
+    }
+    gt.rob_depth->record(grp.proto_rob->pending());
+  }
   // Connections are sharded across the group's protocol FPCs; atomicity
   // per connection is preserved because a connection always maps to the
   // same FPC (FIFO work queue).
@@ -603,6 +712,7 @@ void Datapath::stage_proto(const SegCtxPtr& ctx) {
 }
 
 void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
+  stage_mark(kStProtoRx, *ctx);
   ProtoState& p = fs.proto;
   const HeaderSummary& s = ctx->sum;
   ProtoSnapshot& snap = ctx->snap;
@@ -721,6 +831,7 @@ void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
 }
 
 void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
+  stage_mark(kStProtoTx, *ctx);
   ProtoState& p = fs.proto;
   ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
@@ -775,6 +886,7 @@ void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
 }
 
 void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
+  stage_mark(kStProtoHc, *ctx);
   ProtoState& p = fs.proto;
   ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
@@ -841,8 +953,10 @@ void Datapath::spawn_fin_segment(ConnId conn) {
   ctx->conn_known = true;
   ctx->flow_group = flows_[conn].pre.flow_group;
   ctx->hc_len = 0;  // pure FIN
+  stamp_birth(*ctx);
   Group& grp = *groups_[ctx->flow_group];
   ctx->pipe_seq = grp.sequencer.assign();
+  stage_mark(kStSeq, *ctx);
   submit(pick(grp.pre, grp.rr_pre++), cfg_.costs.pre_tx, 0,
          [this, ctx] { stage_pre_tx(ctx); }, ctx->pipe_seq, ctx->flow_group,
          true);
@@ -852,6 +966,7 @@ void Datapath::spawn_fin_segment(ConnId conn) {
 
 void Datapath::stage_post(const SegCtxPtr& ctx) {
   if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) return;
+  stage_mark(kStPost, *ctx);
   FlowState& fs = flows_[ctx->conn_idx];
   ProtoSnapshot& snap = ctx->snap;
 
@@ -936,6 +1051,7 @@ net::PacketPtr Datapath::build_tx_packet(const FlowState& fs,
 // ------------------------------------------------------------- DMA stage
 
 void Datapath::stage_dma(const SegCtxPtr& ctx) {
+  stage_mark(kStDma, *ctx);
   const ProtoSnapshot& snap = ctx->snap;
 
   if (ctx->kind == SegCtx::Kind::Rx) {
@@ -945,6 +1061,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
     // (paper §3.1.3, DMA stage).
     const std::uint32_t len = snap.accept_payload ? snap.rx_write_len : 0;
     auto finish = [this, ctx] {
+      record_pipe_total(*ctx);  // payload (if any) has landed in the host
       if (ctx->ack_pkt) {
         ++acks_sent_;
         trace_.hit(tp_ack_);
@@ -1008,6 +1125,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
         buf->read(pos, pkt->payload);
       }
       ++tx_segments_;
+      record_pipe_total(*ctx);  // segment fully materialized for the NBI
       groups_[ctx->flow_group]->nbi_rob->push(ctx->snap.egress_seq, ctx);
     });
     return;
@@ -1028,6 +1146,8 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
 // ----------------------------------------------------- context-queue stage
 
 void Datapath::stage_ctx_notify(const SegCtxPtr& ctx) {
+  stage_mark(kStCtxNotify, *ctx);
+  record_pipe_total(*ctx);
   const FlowState& fs = flows_[ctx->conn_idx];
   const ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
@@ -1050,6 +1170,7 @@ void Datapath::stage_ctx_notify(const SegCtxPtr& ctx) {
 }
 
 void Datapath::host_notify(const host::CtxDesc& desc) {
+  if (telem_.enabled()) t_host_notify_->inc();
   // 32-byte descriptor DMA + interrupt/eventfd (or polling) delay.
   dma_.issue(32, [this, desc] {
     ev_.schedule_in(cfg_.notify_latency, [this, desc] {

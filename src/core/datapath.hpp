@@ -38,6 +38,7 @@
 #include "sched/carousel.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/registry.hpp"
 #include "xdp/xdp.hpp"
 
 namespace flextoe::core {
@@ -115,6 +116,22 @@ class Datapath : public net::PacketSink {
   sim::TraceRegistry& trace() { return trace_; }
   void set_profiling(bool on);
 
+  // ---- Telemetry ----
+  // Drop-reason taxonomy: every shed segment is attributed to exactly
+  // one reason (their counters sum to drops()).
+  enum class DropReason : std::uint8_t {
+    RtcOverload,   // run-to-completion gate full (single-FPC ablation)
+    FpcQueueFull,  // an inter-stage FPC work ring rejected the item
+    XdpDrop,       // an XDP program returned XDP_DROP
+  };
+  static constexpr std::size_t kDropReasons = 3;
+  static const char* drop_reason_name(DropReason r);
+  // Out-of-band introspection registry (see telemetry/registry.hpp):
+  // stage visit/latency, per-FPC rings, per-flow-group traffic, DMA,
+  // scheduler, host context queues, drop reasons. Zero simulated cost.
+  telemetry::Registry& telem() { return telem_; }
+  const telemetry::Registry& telem() const { return telem_; }
+
   // ---- Introspection ----
   const DatapathConfig& config() const { return cfg_; }
   std::uint64_t rx_segments() const { return rx_segments_; }
@@ -166,7 +183,34 @@ class Datapath : public net::PacketSink {
   nfp::Fpc& pick(std::vector<std::shared_ptr<nfp::Fpc>>& v,
                  std::uint64_t key);
 
+  // ---- Telemetry internals ----
+  // Pipeline stages in instrumentation order (the sequencer plus the
+  // stage_* / proto_* functions each segment context can visit).
+  enum Stage : std::size_t {
+    kStSeq,
+    kStPreRx,
+    kStPreTx,
+    kStPreHc,
+    kStProtoRx,
+    kStProtoTx,
+    kStProtoHc,
+    kStPost,
+    kStDma,
+    kStCtxNotify,
+    kStageCount,
+  };
+  void setup_telemetry();
+  // Stamps pipeline admission time (end-to-end latency base).
+  void stamp_birth(SegCtx& ctx);
+  // Counts a stage visit and records the inter-stage latency.
+  void stage_mark(Stage s, SegCtx& ctx);
+  // Records the admission->completion latency once per context.
+  void record_pipe_total(SegCtx& ctx);
+  // Attributes a shed segment to exactly one taxonomy reason.
+  void count_drop(DropReason r);
+
   sim::EventQueue& ev_;
+  telemetry::Registry telem_;
   DatapathConfig cfg_;
   HostIface host_;
   net::PacketSink* mac_sink_ = nullptr;
@@ -237,6 +281,24 @@ class Datapath : public net::PacketSink {
   sim::TraceRegistry trace_;
   std::uint32_t tp_rx_ = 0, tp_tx_ = 0, tp_ooo_ = 0, tp_drop_ = 0,
                 tp_fretx_ = 0, tp_ack_ = 0;
+
+  // Telemetry handles (stable pointers into telem_, bound once in the
+  // constructor; every hit is a pointer bump behind one enabled branch).
+  struct StageTelem {
+    telemetry::Counter* visits = nullptr;
+    telemetry::Histogram* lat_ns = nullptr;
+  };
+  std::array<StageTelem, kStageCount> stage_telem_{};
+  std::array<telemetry::Counter*, kDropReasons> drop_telem_{};
+  std::array<telemetry::Histogram*, 3> pipe_total_ns_{};  // by SegCtx::Kind
+  struct GroupTelem {
+    telemetry::Counter* rx = nullptr;
+    telemetry::Counter* tx = nullptr;
+    telemetry::Counter* hc = nullptr;
+    telemetry::Histogram* rob_depth = nullptr;
+  };
+  std::vector<GroupTelem> group_telem_;
+  telemetry::Counter* t_host_notify_ = nullptr;
 
   std::uint64_t rx_segments_ = 0;
   std::uint64_t tx_segments_ = 0;

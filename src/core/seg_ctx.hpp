@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "net/packet.hpp"
+#include "sim/time.hpp"
 #include "tcp/flow.hpp"
 #include "tcp/seq.hpp"
 
@@ -84,6 +85,15 @@ struct SegCtx {
   // Prepared ACK (RX post-processing output, sent after payload DMA).
   net::PacketPtr ack_pkt;
   bool notify_host = false;     // allocate a context-queue notification
+
+  // Telemetry timestamps (zero simulated cost): pipeline admission and
+  // the last stage-entry mark, for end-to-end and per-stage latency
+  // histograms. kNoTimestamp = unstamped (telemetry disabled, or the
+  // pipe total was already recorded) — a sentinel distinct from 0 so
+  // segments admitted at simulated time zero still get samples.
+  static constexpr sim::TimePs kNoTimestamp = ~sim::TimePs{0};
+  sim::TimePs t_born_ps = kNoTimestamp;
+  sim::TimePs t_stage_ps = kNoTimestamp;
 
   // Run-to-completion mode: releases the single-FPC gate when the
   // context's processing chain fully completes.

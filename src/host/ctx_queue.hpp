@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "tcp/stack_iface.hpp"
+#include "telemetry/registry.hpp"
 
 namespace flextoe::host {
 
@@ -47,9 +49,14 @@ class CtxQueue {
   bool push(const CtxDesc& d) {
     if (ring_.size() >= capacity_) {
       ++overflows_;
+      if (telem_.on()) t_overflows_->inc();
       return false;
     }
     ring_.push_back(d);
+    if (telem_.on()) {
+      t_pushes_->inc();
+      t_depth_->record(ring_.size());
+    }
     return true;
   }
 
@@ -64,10 +71,24 @@ class CtxQueue {
   bool empty() const { return ring_.empty(); }
   std::uint64_t overflows() const { return overflows_; }
 
+  // Registers push/overflow counters and a ring-depth histogram under
+  // `prefix` (e.g. "hostq/hc0").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    if (!telem_.bind(reg)) return;
+    t_pushes_ = reg.counter(prefix + "/pushes");
+    t_overflows_ = reg.counter(prefix + "/overflows");
+    t_depth_ = reg.histogram(prefix + "/depth");
+  }
+
  private:
   std::size_t capacity_;
   std::deque<CtxDesc> ring_;
   std::uint64_t overflows_ = 0;
+
+  telemetry::Binding telem_;
+  telemetry::Counter* t_pushes_ = nullptr;
+  telemetry::Counter* t_overflows_ = nullptr;
+  telemetry::Histogram* t_depth_ = nullptr;
 };
 
 }  // namespace flextoe::host

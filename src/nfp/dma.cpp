@@ -4,9 +4,20 @@
 
 namespace flextoe::nfp {
 
+void DmaEngine::bind_telemetry(telemetry::Registry& reg,
+                               const std::string& prefix) {
+  if (!telem_.bind(reg)) return;
+  t_txn_ = reg.counter(prefix + "/transactions");
+  t_bytes_ = reg.counter(prefix + "/bytes");
+  t_mmio_ = reg.counter(prefix + "/mmio");
+  t_outstanding_ = reg.histogram(prefix + "/outstanding");
+  t_wait_depth_ = reg.histogram(prefix + "/wait_depth");
+}
+
 void DmaEngine::issue(std::uint32_t bytes, std::function<void()> done) {
   if (outstanding_ >= params_.max_outstanding) {
     waiting_.push_back(Pending{bytes, std::move(done)});
+    if (telem_.on()) t_wait_depth_->record(waiting_.size());
     return;
   }
   start(Pending{bytes, std::move(done)});
@@ -16,6 +27,11 @@ void DmaEngine::start(Pending p) {
   ++outstanding_;
   ++transactions_;
   bytes_moved_ += p.bytes;
+  if (telem_.on()) {
+    t_txn_->inc();
+    t_bytes_->inc(p.bytes);
+    t_outstanding_->record(outstanding_);
+  }
 
   const sim::TimePs begin = std::max(ev_.now(), bus_free_);
   bus_free_ = begin + xfer_time(p.bytes);
@@ -33,6 +49,7 @@ void DmaEngine::start(Pending p) {
 }
 
 void DmaEngine::mmio(std::function<void()> done) {
+  if (telem_.on()) t_mmio_->inc();
   ev_.schedule_in(params_.mmio_latency, std::move(done));
 }
 

@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "telemetry/registry.hpp"
 
 namespace flextoe::nfp {
 
@@ -37,6 +39,10 @@ class DmaEngine {
   std::uint64_t bytes_moved() const { return bytes_moved_; }
   const DmaParams& params() const { return params_; }
 
+  // Registers transaction/byte/MMIO counters and an outstanding-slot
+  // occupancy histogram under `prefix` (e.g. "dma").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
  private:
   struct Pending {
     std::uint32_t bytes;
@@ -56,6 +62,13 @@ class DmaEngine {
   sim::TimePs bus_free_ = 0;
   std::uint64_t transactions_ = 0;
   std::uint64_t bytes_moved_ = 0;
+
+  telemetry::Binding telem_;
+  telemetry::Counter* t_txn_ = nullptr;
+  telemetry::Counter* t_bytes_ = nullptr;
+  telemetry::Counter* t_mmio_ = nullptr;
+  telemetry::Histogram* t_outstanding_ = nullptr;
+  telemetry::Histogram* t_wait_depth_ = nullptr;
 };
 
 }  // namespace flextoe::nfp

@@ -4,12 +4,22 @@
 
 namespace flextoe::nfp {
 
+void Fpc::bind_telemetry(telemetry::Registry& reg,
+                         const std::string& prefix) {
+  if (!telem_.bind(reg)) return;  // shared core (RTC mode): bind once
+  t_done_ = reg.counter(prefix + "/done");
+  t_dropped_ = reg.counter(prefix + "/dropped");
+  t_depth_ = reg.histogram(prefix + "/queue_depth");
+}
+
 bool Fpc::submit(Work w) {
   if (queue_.size() >= params_.queue_capacity) {
     ++items_dropped_;
+    if (telem_.on()) t_dropped_->inc();
     return false;
   }
   queue_.push_back(std::move(w));
+  if (telem_.on()) t_depth_->record(queue_.size());
   try_dispatch();
   return true;
 }
@@ -32,6 +42,7 @@ void Fpc::try_dispatch() {
     ev_.schedule_at(completion, [this, done = std::move(w.done)]() mutable {
       --inflight_;
       ++items_done_;
+      if (telem_.on()) t_done_->inc();
       if (done) done();
       try_dispatch();
     });

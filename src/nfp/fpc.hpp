@@ -17,6 +17,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "telemetry/registry.hpp"
 
 namespace flextoe::nfp {
 
@@ -52,6 +53,11 @@ class Fpc {
   // Total core-occupied time (for utilization accounting).
   sim::TimePs busy_time() const { return busy_time_; }
 
+  // Registers this core's counters (done/dropped) and work-queue depth
+  // histogram under `prefix` (e.g. "fpc/proto0.1"). Idempotent: FPCs
+  // shared between roles (run-to-completion mode) bind once.
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
  private:
   void try_dispatch();
 
@@ -64,6 +70,11 @@ class Fpc {
   std::uint64_t items_done_ = 0;
   std::uint64_t items_dropped_ = 0;
   sim::TimePs busy_time_ = 0;
+
+  telemetry::Binding telem_;
+  telemetry::Counter* t_done_ = nullptr;
+  telemetry::Counter* t_dropped_ = nullptr;
+  telemetry::Histogram* t_depth_ = nullptr;
 };
 
 }  // namespace flextoe::nfp

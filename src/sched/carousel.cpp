@@ -1,3 +1,8 @@
+// Carousel implementation (see carousel.hpp): ready-queue round-robin
+// for uncongested flows, time-wheel insertion keyed by the next pacing
+// deadline for rate-limited ones, one trigger per SCH service interval,
+// and lazy removal (dead flows are skipped at dequeue, as a wheel walk
+// on the NFP would be unaffordable).
 #include "sched/carousel.hpp"
 
 #include <algorithm>
@@ -6,6 +11,17 @@ namespace flextoe::sched {
 
 Carousel::Carousel(sim::EventQueue& ev, CarouselParams params)
     : ev_(ev), params_(params), wheel_(params.num_slots) {}
+
+void Carousel::bind_telemetry(telemetry::Registry& reg,
+                              const std::string& prefix) {
+  if (!telem_.bind(reg)) return;
+  t_triggers_ = reg.counter(prefix + "/triggers");
+  t_tx_bytes_ = reg.counter(prefix + "/tx_bytes");
+  t_parked_ = reg.counter(prefix + "/parked");
+  t_ready_depth_ = reg.histogram(prefix + "/ready_depth");
+  t_wheel_flows_ = reg.histogram(prefix + "/wheel_flows");
+  t_flows_ = reg.gauge(prefix + "/flows");
+}
 
 void Carousel::set_rate(FlowId flow, std::uint64_t bytes_per_sec) {
   auto& st = flows_[flow];
@@ -82,6 +98,7 @@ void Carousel::enqueue_wheel(FlowId flow, sim::TimePs deadline) {
   const std::size_t slot = (wheel_pos_ + off) % wheel_.size();
   wheel_[slot].push_back(flow);
   ++wheel_count_;
+  if (telem_.on()) t_wheel_flows_->record(wheel_count_);
 
   if (!wheel_tick_scheduled_) {
     wheel_tick_scheduled_ = true;
@@ -120,6 +137,10 @@ void Carousel::pump() {
 }
 
 void Carousel::service_one() {
+  if (telem_.on()) {
+    t_ready_depth_->record(ready_.size());
+    t_flows_->set(static_cast<std::int64_t>(flows_.size()));
+  }
   while (!ready_.empty()) {
     const FlowId flow = ready_.front();
     ready_.pop_front();
@@ -128,13 +149,16 @@ void Carousel::service_one() {
     if (st.dead || st.avail == 0) continue;
 
     ++trigger_count_;
+    if (telem_.on()) t_triggers_->inc();
     const std::uint32_t sent = trigger_ ? trigger_(flow) : 0;
     if (sent == 0) {
       // Blocked (window closed / pipeline full): park until the data-path
       // kicks us (window opened, data appended, reset).
       st.parked = true;
+      if (telem_.on()) t_parked_->inc();
       return;
     }
+    if (telem_.on()) t_tx_bytes_->inc(sent);
     st.avail -= std::min<std::uint64_t>(st.avail, sent);
     if (st.avail > 0) {
       if (st.ps_per_byte == 0) {

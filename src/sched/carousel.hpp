@@ -1,24 +1,37 @@
-// Carousel-based flow scheduler (paper §3.4).
+// Carousel-based flow scheduler (paper §3.4, Fig 5): the SCH module
+// that decides which flow transmits next.
+//
+//   FS updates (data appended, window opened, rate programmed)
+//     -> {avail, ps_per_byte} -> uncongested? -> [ready queue] -+
+//                             -> rate-limited? -> [time wheel] -+
+//                                 (slot = next deadline; expires  |
+//                                  back into the ready queue)    v
+//                    trigger(flow) -> pre-TX, one per service interval
 //
 // Flows with data available are scheduled for transmission. Rate-limited
 // flows are enqueued into a time wheel slot computed from their next
 // transmission deadline; uncongested flows bypass the rate limiter and are
-// served round-robin (work conserving). Rates are programmed by the
-// control plane as picoseconds-per-byte *intervals* — the NFP-4000 has no
-// division, so the control plane performs the rate→interval division and
-// the scheduler only multiplies (paper §4).
+// served round-robin (work conserving). A flow whose trigger reports
+// blocked (window closed, pipeline back-pressure) parks until the
+// data-path kicks it. Rates are programmed by the control plane as
+// picoseconds-per-byte *intervals* — the NFP-4000 has no division, so the
+// control plane performs the rate→interval division and the scheduler
+// only multiplies (paper §4). Activity is observable through
+// bind_telemetry (sched/* taxonomy, see ARCHITECTURE.md).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "telemetry/registry.hpp"
 
 namespace flextoe::sched {
 
@@ -60,6 +73,10 @@ class Carousel {
   std::uint64_t triggers() const { return trigger_count_; }
   std::size_t flows_tracked() const { return flows_.size(); }
 
+  // Registers trigger/byte counters, ready-queue and wheel occupancy
+  // histograms, and a tracked-flow gauge under `prefix` (e.g. "sched").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
  private:
   struct FlowState {
     std::uint64_t avail = 0;
@@ -88,6 +105,14 @@ class Carousel {
   bool service_scheduled_ = false;
   sim::TimePs next_service_ = 0;
   std::uint64_t trigger_count_ = 0;
+
+  telemetry::Binding telem_;
+  telemetry::Counter* t_triggers_ = nullptr;
+  telemetry::Counter* t_tx_bytes_ = nullptr;
+  telemetry::Counter* t_parked_ = nullptr;
+  telemetry::Histogram* t_ready_depth_ = nullptr;
+  telemetry::Histogram* t_wheel_flows_ = nullptr;
+  telemetry::Gauge* t_flows_ = nullptr;
 };
 
 }  // namespace flextoe::sched

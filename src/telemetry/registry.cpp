@@ -1,0 +1,520 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace flextoe::telemetry {
+
+// ---------------------------------------------------------------------
+// Histogram buckets.
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t b) {
+  if (b == 0) return 0;
+  return 1ull << (b - 1);
+}
+
+std::uint64_t HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (static_cast<double>(cum) >= target && buckets[b] > 0) {
+      // Upper bound of bucket b (bucket 0 holds only zeros).
+      const std::uint64_t hi =
+          b == 0 ? 0 : (Histogram::bucket_floor(b + 1) - 1);
+      return std::min(hi, max);
+    }
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot lookup and merge.
+
+namespace {
+
+template <typename Vec, typename Value>
+const Value* find_in(const Vec& v, std::string_view path) {
+  for (const auto& kv : v) {
+    if (kv.first == path) return &kv.second;
+  }
+  return nullptr;
+}
+
+template <typename Vec>
+void sort_by_path(Vec& v) {
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+}  // namespace
+
+const std::uint64_t* Snapshot::counter(std::string_view path) const {
+  return find_in<decltype(counters), std::uint64_t>(counters, path);
+}
+
+const std::int64_t* Snapshot::gauge(std::string_view path) const {
+  return find_in<decltype(gauges), std::int64_t>(gauges, path);
+}
+
+const HistogramData* Snapshot::histogram(std::string_view path) const {
+  return find_in<decltype(histograms), HistogramData>(histograms, path);
+}
+
+namespace {
+
+// Two-pointer merge of path-sorted entry vectors (the invariant every
+// Snapshot producer maintains): O(N+M) instead of a lookup per entry.
+template <typename Vec, typename Combine>
+void merge_sorted(Vec& dst, const Vec& src, Combine combine) {
+  Vec out;
+  out.reserve(dst.size() + src.size());
+  auto a = dst.begin();
+  auto b = src.begin();
+  while (a != dst.end() && b != src.end()) {
+    if (a->first < b->first) {
+      out.push_back(std::move(*a++));
+    } else if (b->first < a->first) {
+      out.push_back(*b++);
+    } else {
+      combine(a->second, b->second);
+      out.push_back(std::move(*a++));
+      ++b;
+    }
+  }
+  out.insert(out.end(), std::make_move_iterator(a),
+             std::make_move_iterator(dst.end()));
+  out.insert(out.end(), b, src.end());
+  dst = std::move(out);
+}
+
+}  // namespace
+
+void Snapshot::merge(const Snapshot& other) {
+  enabled = enabled || other.enabled;
+  merge_sorted(counters, other.counters,
+               [](std::uint64_t& d, const std::uint64_t& s) { d += s; });
+  merge_sorted(gauges, other.gauges,
+               [](std::int64_t& d, const std::int64_t& s) {
+                 d = std::max(d, s);  // gauges are levels, not totals
+               });
+  merge_sorted(histograms, other.histograms,
+               [](HistogramData& d, const HistogramData& h) {
+                 d.count += h.count;
+                 d.sum += h.sum;
+                 d.max = std::max(d.max, h.max);
+                 if (d.buckets.size() < h.buckets.size()) {
+                   d.buckets.resize(h.buckets.size(), 0);
+                 }
+                 for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+                   d.buckets[i] += h.buckets[i];
+                 }
+               });
+}
+
+// ---------------------------------------------------------------------
+// JSON emission. Paths are plain identifiers but escape defensively so
+// the document stays valid whatever a caller registers.
+
+void json_escape(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n    \"enabled\": ";
+  out += enabled ? "true" : "false";
+  out += ",\n    \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i ? ",\n      " : "\n      ";
+    json_escape(counters[i].first, &out);
+    out += ": " + std::to_string(counters[i].second);
+  }
+  out += counters.empty() ? "}" : "\n    }";
+  out += ",\n    \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i ? ",\n      " : "\n      ";
+    json_escape(gauges[i].first, &out);
+    out += ": " + std::to_string(gauges[i].second);
+  }
+  out += gauges.empty() ? "}" : "\n    }";
+  out += ",\n    \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    out += i ? ",\n      " : "\n      ";
+    json_escape(histograms[i].first, &out);
+    const HistogramData& h = histograms[i].second;
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + std::to_string(h.sum);
+    out += ", \"max\": " + std::to_string(h.max);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) out += ", ";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}" : "\n    }";
+  out += "\n  }";
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// JSON parsing: a minimal recursive-descent reader for exactly the
+// object shape to_json() produces (any key order, any whitespace).
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+  std::string err;
+
+  bool fail(const std::string& why) {
+    if (err.empty()) err = why + " at offset " + std::to_string(pos);
+    pos = s.size();
+    return false;
+  }
+  void ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t' ||
+            s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) {
+    if (consume(c)) return true;
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool string(std::string* out) {
+    out->clear();
+    if (!consume('"')) return fail("expected string");
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c == '\\') {
+        if (pos >= s.size()) return fail("bad escape");
+        const char e = s[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            auto [p, ec] = std::from_chars(s.data() + pos,
+                                           s.data() + pos + 4, code, 16);
+            if (ec != std::errc() || p != s.data() + pos + 4) {
+              return fail("bad \\u escape");
+            }
+            pos += 4;
+            // Paths only ever carry control chars here; store as byte.
+            *out += static_cast<char>(code & 0xFF);
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    if (!consume('"')) return fail("unterminated string");
+    return true;
+  }
+
+  bool uint64(std::uint64_t* out) {
+    ws();
+    const std::size_t start = pos;
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected integer");
+    auto [p, ec] = std::from_chars(s.data() + start, s.data() + pos, *out);
+    if (ec != std::errc() || p != s.data() + pos) return fail("bad integer");
+    return true;
+  }
+
+  bool int64(std::int64_t* out) {
+    ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    if (pos == start || (pos == start + 1 && s[start] == '-')) {
+      return fail("expected integer");
+    }
+    auto [p, ec] = std::from_chars(s.data() + start, s.data() + pos, *out);
+    if (ec != std::errc() || p != s.data() + pos) return fail("bad integer");
+    return true;
+  }
+
+  bool boolean(bool* out) {
+    ws();
+    if (s.compare(pos, 4, "true") == 0) {
+      *out = true;
+      pos += 4;
+      return true;
+    }
+    if (s.compare(pos, 5, "false") == 0) {
+      *out = false;
+      pos += 5;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool hist(HistogramData* out) {
+    if (!expect('{')) return false;
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!string(&key) || !expect(':')) return false;
+      if (key == "count") {
+        if (!uint64(&out->count)) return false;
+      } else if (key == "sum") {
+        if (!uint64(&out->sum)) return false;
+      } else if (key == "max") {
+        if (!uint64(&out->max)) return false;
+      } else if (key == "buckets") {
+        if (!expect('[')) return false;
+        if (!consume(']')) {
+          while (true) {
+            std::uint64_t v = 0;
+            if (!uint64(&v)) return false;
+            out->buckets.push_back(v);
+            if (consume(',')) continue;
+            if (consume(']')) break;
+            return fail("expected ',' or ']'");
+          }
+        }
+      } else {
+        return fail("unknown histogram key '" + key + "'");
+      }
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+bool Snapshot::from_json(std::string_view text, Snapshot* out,
+                         std::string* err) {
+  *out = Snapshot{};
+  Parser p{text, 0, {}};
+  auto done = [&](bool ok) {
+    if (!ok && err != nullptr) *err = p.err;
+    return ok;
+  };
+
+  if (!p.expect('{')) return done(false);
+  if (!p.consume('}')) {
+  while (true) {
+    std::string key;
+    if (!p.string(&key) || !p.expect(':')) return done(false);
+    if (key == "enabled") {
+      if (!p.boolean(&out->enabled)) return done(false);
+    } else if (key == "counters") {
+      if (!p.expect('{')) return done(false);
+      if (!p.consume('}')) {
+        while (true) {
+          std::string path;
+          std::uint64_t v = 0;
+          if (!p.string(&path) || !p.expect(':') || !p.uint64(&v)) {
+            return done(false);
+          }
+          out->counters.emplace_back(std::move(path), v);
+          if (p.consume(',')) continue;
+          if (p.consume('}')) break;
+          return done(p.fail("expected ',' or '}'"));
+        }
+      }
+    } else if (key == "gauges") {
+      if (!p.expect('{')) return done(false);
+      if (!p.consume('}')) {
+        while (true) {
+          std::string path;
+          std::int64_t v = 0;
+          if (!p.string(&path) || !p.expect(':') || !p.int64(&v)) {
+            return done(false);
+          }
+          out->gauges.emplace_back(std::move(path), v);
+          if (p.consume(',')) continue;
+          if (p.consume('}')) break;
+          return done(p.fail("expected ',' or '}'"));
+        }
+      }
+    } else if (key == "histograms") {
+      if (!p.expect('{')) return done(false);
+      if (!p.consume('}')) {
+        while (true) {
+          std::string path;
+          HistogramData h;
+          if (!p.string(&path) || !p.expect(':') || !p.hist(&h)) {
+            return done(false);
+          }
+          out->histograms.emplace_back(std::move(path), std::move(h));
+          if (p.consume(',')) continue;
+          if (p.consume('}')) break;
+          return done(p.fail("expected ',' or '}'"));
+        }
+      }
+    } else {
+      return done(p.fail("unknown key '" + key + "'"));
+    }
+    if (p.consume(',')) continue;
+    if (p.consume('}')) break;
+    return done(p.fail("expected ',' or '}'"));
+  }
+  }
+  p.ws();
+  if (p.pos != p.s.size()) return done(p.fail("trailing characters"));
+  sort_by_path(out->counters);
+  sort_by_path(out->gauges);
+  sort_by_path(out->histograms);
+  return done(true);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+Registry::Registry() : enabled_(default_enabled()) {}
+
+Counter* Registry::counter(std::string_view path) {
+  auto it = counter_by_name_.find(std::string(path));
+  if (it != counter_by_name_.end()) return it->second;
+  counters_.push_back({std::string(path), Counter{}});
+  Counter* c = &counters_.back().metric;
+  counter_by_name_.emplace(counters_.back().path, c);
+  return c;
+}
+
+Gauge* Registry::gauge(std::string_view path) {
+  auto it = gauge_by_name_.find(std::string(path));
+  if (it != gauge_by_name_.end()) return it->second;
+  gauges_.push_back({std::string(path), Gauge{}});
+  Gauge* g = &gauges_.back().metric;
+  gauge_by_name_.emplace(gauges_.back().path, g);
+  return g;
+}
+
+Histogram* Registry::histogram(std::string_view path) {
+  auto it = histogram_by_name_.find(std::string(path));
+  if (it != histogram_by_name_.end()) return it->second;
+  histograms_.push_back({std::string(path), Histogram{}});
+  Histogram* h = &histograms_.back().metric;
+  histogram_by_name_.emplace(histograms_.back().path, h);
+  return h;
+}
+
+void Registry::clear() {
+  for (auto& e : counters_) e.metric.reset();
+  for (auto& e : gauges_) e.metric.reset();
+  for (auto& e : histograms_) e.metric.reset();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+#ifdef FLEXTOE_TELEMETRY_DISABLED
+  s.enabled = false;
+#else
+  s.enabled = enabled_;
+#endif
+  // A silent registry exports nothing: --no-telemetry and compiled-out
+  // builds produce genuinely empty sections, not trees of zeros.
+  if (!s.enabled) return s;
+  for (const auto& e : counters_) {
+    s.counters.emplace_back(e.path, e.metric.value());
+  }
+  for (const auto& e : gauges_) {
+    s.gauges.emplace_back(e.path, e.metric.value());
+  }
+  for (const auto& e : histograms_) {
+    HistogramData d;
+    d.count = e.metric.count();
+    d.sum = e.metric.sum();
+    d.max = e.metric.max();
+    const auto& b = e.metric.buckets();
+    std::size_t last = b.size();
+    while (last > 0 && b[last - 1] == 0) --last;
+    d.buckets.assign(b.begin(), b.begin() + last);
+    s.histograms.emplace_back(e.path, std::move(d));
+  }
+  sort_by_path(s.counters);
+  sort_by_path(s.gauges);
+  sort_by_path(s.histograms);
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Process-wide plumbing.
+
+namespace {
+
+bool g_default_enabled = true;
+Snapshot g_accumulator;
+
+}  // namespace
+
+bool default_enabled() { return g_default_enabled; }
+void set_default_enabled(bool on) { g_default_enabled = on; }
+
+const Snapshot& accumulator() { return g_accumulator; }
+void accumulate(const Snapshot& s) { g_accumulator.merge(s); }
+void reset_accumulator() { g_accumulator = Snapshot{}; }
+
+}  // namespace flextoe::telemetry

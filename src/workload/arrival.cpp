@@ -1,3 +1,8 @@
+// Arrival-model implementations (see arrival.hpp): closed-loop issue,
+// open-loop Poisson via exponential gaps from the deterministic Rng,
+// fixed-rate pacing, and the two-state ON-OFF burst source. All state
+// lives per instance so factories can hand independent streams to each
+// scenario repetition.
 #include "workload/arrival.hpp"
 
 #include <algorithm>

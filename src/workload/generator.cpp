@@ -1,3 +1,9 @@
+// TrafficGen implementation (see generator.hpp): connection-pool
+// lifecycle (staggered connects, churn recycling), request framing and
+// flush-on-writable transmission, response reassembly through
+// app::FrameReader, latency sampling at completion, and the open-loop
+// back-pressure bound that converts excess offered load into counted
+// overload drops instead of unbounded queues.
 #include "workload/generator.hpp"
 
 #include <cstdio>

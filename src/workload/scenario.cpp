@@ -1,3 +1,11 @@
+// Scenario engine implementation (see scenario.hpp): run_scenario()
+// assembles the testbed a spec describes — stack under test, client
+// nodes or the inverted incast topology, switch shaping/loss, the
+// chosen app, and one generator per client node — then runs warmup and
+// measurement and folds the results (throughput, latency percentiles,
+// fairness, churn/overload counters, and the stack-under-test telemetry
+// snapshot) into a ScenarioResult. The built-in catalog registered by
+// register_builtin_scenarios() lives at the bottom.
 #include "workload/scenario.hpp"
 
 #include <algorithm>
@@ -144,6 +152,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   tb.run_for(warm);
   for (auto& g : gens) g->clear_stats();
   for (auto& d : drains) d->clear_stats();
+  // Telemetry covers the measurement window only, like every other
+  // result field (values reset; registrations and bindings stay).
+  if (core::Datapath* dp = sut->datapath()) dp->telem().clear();
   const std::uint64_t server_rx_base =
       echo_srv ? echo_srv->bytes_rx() : 0;
 
@@ -181,6 +192,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     r.p9999_us = latency.percentile(99.99);
   }
   if (!per_conn.empty()) r.jfi = sim::jains_fairness_index(per_conn);
+  if (core::Datapath* dp = sut->datapath()) {
+    r.telemetry = dp->telem().snapshot();
+  }
   return r;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/registry.hpp"
 #include "workload/arrival.hpp"
 #include "workload/generator.hpp"
 #include "workload/size_model.hpp"
@@ -83,6 +84,9 @@ struct ScenarioResult {
   unsigned connected = 0;
   std::uint64_t reconnects = 0;   // churn recycles
   std::uint64_t overload_drops = 0;  // open-loop back-pressure drops
+  // Data-path introspection snapshot of the stack under test (empty for
+  // software-stack scenarios — only the FlexTOE datapath is telemetered).
+  telemetry::Snapshot telemetry;
 };
 
 struct RunOptions {

@@ -1,3 +1,8 @@
+// Size-model implementations (see size_model.hpp): fixed/uniform draws,
+// lognormal via Box-Muller on the deterministic Rng, bounded Pareto by
+// inverse-CDF, and piecewise-linear empirical CDFs — including the
+// in-tree web-search (DCTCP) and data-mining (VL2) flow-size tables the
+// datacenter workload scenarios sample from.
 #include "workload/size_model.hpp"
 
 #include <algorithm>

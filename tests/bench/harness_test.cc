@@ -402,6 +402,34 @@ TEST(Report, JsonShape) {
   EXPECT_EQ(notes->array[0]->string, "a note with \\ and \"quotes\"");
 }
 
+TEST(Report, TelemetrySectionMergesAndRoundTrips) {
+  Report rep("telem_bench", Options{});
+  telemetry::Snapshot snap;
+  snap.enabled = true;
+  snap.counters = {{"stage/pre_rx/visits", 7}};
+  rep.merge_telemetry(snap);
+  rep.merge_telemetry(snap);  // additive across testbeds/repeats
+  ASSERT_NE(rep.telemetry().counter("stage/pre_rx/visits"), nullptr);
+  EXPECT_EQ(*rep.telemetry().counter("stage/pre_rx/visits"), 14u);
+
+  // The emitted document carries the section, parseable both by a
+  // generic JSON parser and by the snapshot's own reader.
+  const std::string doc_text = rep.to_json();
+  auto doc = parse_json_or_die(doc_text);
+  const auto& t = doc->object.at("telemetry");
+  ASSERT_EQ(t->kind, JsonValue::Kind::Object);
+  EXPECT_TRUE(t->object.at("enabled")->boolean);
+  EXPECT_DOUBLE_EQ(
+      t->object.at("counters")->object.at("stage/pre_rx/visits")->number,
+      14.0);
+  telemetry::Snapshot back;
+  std::string err;
+  ASSERT_TRUE(telemetry::Snapshot::from_json(
+      rep.telemetry().to_json(), &back, &err))
+      << err;
+  EXPECT_EQ(*back.counter("stage/pre_rx/visits"), 14u);
+}
+
 TEST(Report, NonFiniteValuesBecomeNull) {
   Report rep("nanbench", Options{});
   rep.series("s").set("r", "v", std::nan(""));

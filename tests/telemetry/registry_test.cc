@@ -1,0 +1,256 @@
+// Unit tests for the telemetry registry: counter/gauge/histogram
+// semantics, stable handles, runtime enable inheritance, snapshot
+// sorting/merging, and the JSON round-trip contract behind the
+// `telemetry` section of BENCH_<name>.json.
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace flextoe::telemetry {
+namespace {
+
+TEST(Counter, MonotonicInc) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Histogram, Log2BucketBoundaries) {
+  // Bucket 0 holds only zeros; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(4), 8u);
+}
+
+TEST(Histogram, RecordAccumulatesCountSumMax) {
+  Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+  EXPECT_EQ(h.buckets()[0], 1u);  // the zero
+  EXPECT_EQ(h.buckets()[1], 1u);  // 1
+  EXPECT_EQ(h.buckets()[2], 2u);  // 2, 3
+  EXPECT_EQ(h.buckets()[7], 1u);  // 100 in [64, 128)
+}
+
+TEST(Registry, StableFindOrCreateHandles) {
+  Registry reg;
+  Counter* a = reg.counter("x/a");
+  Gauge* g = reg.gauge("x/g");
+  Histogram* h = reg.histogram("x/h");
+  // Force deque growth; handles must stay valid and deduplicated.
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("bulk/" + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter("x/a"), a);
+  EXPECT_EQ(reg.gauge("x/g"), g);
+  EXPECT_EQ(reg.histogram("x/h"), h);
+  EXPECT_EQ(reg.num_metrics(), 1003u);
+  a->inc();
+  reg.clear();
+  EXPECT_EQ(a->value(), 0u);
+}
+
+TEST(Registry, NewRegistriesInheritTheProcessDefault) {
+  ASSERT_TRUE(default_enabled());
+  set_default_enabled(false);
+  Registry off;
+  set_default_enabled(true);
+  Registry on;
+  if (kCompiledIn) {
+    EXPECT_FALSE(off.enabled());
+    EXPECT_TRUE(on.enabled());
+    off.set_enabled(true);
+    EXPECT_TRUE(off.enabled());
+  } else {
+    EXPECT_FALSE(off.enabled());
+    EXPECT_FALSE(on.enabled());
+  }
+}
+
+// HistogramData equivalent of a live Histogram (what snapshot() emits),
+// computable in every build mode — Histogram::record itself is ungated.
+HistogramData data_of(const Histogram& h) {
+  HistogramData d;
+  d.count = h.count();
+  d.sum = h.sum();
+  d.max = h.max();
+  const auto& b = h.buckets();
+  std::size_t last = b.size();
+  while (last > 0 && b[last - 1] == 0) --last;
+  d.buckets.assign(b.begin(), b.begin() + last);
+  return d;
+}
+
+// Hand-built (not via Registry::snapshot(), which rightly exports
+// nothing in -DFLEXTOE_TELEMETRY=OFF builds — these Snapshot tests
+// must pass in the reference build too).
+Snapshot sample_snapshot() {
+  Snapshot s;
+  s.enabled = true;
+  s.counters = {{"a/one", 1}, {"b/two", 2}};
+  s.gauges = {{"g/level", -5}};
+  Histogram h;
+  h.record(0);
+  h.record(3);
+  h.record(300);
+  s.histograms = {{"h/lat", data_of(h)}};
+  return s;
+}
+
+TEST(Snapshot, RegistrySnapshotSortsAndTrims) {
+  if (!kCompiledIn) {
+    GTEST_SKIP() << "snapshot() exports nothing when compiled out";
+  }
+  Registry reg;
+  reg.counter("b/two")->inc(2);
+  reg.counter("a/one")->inc(1);
+  reg.gauge("g/level")->set(-5);
+  Histogram* h = reg.histogram("h/lat");
+  h->record(0);
+  h->record(3);
+  h->record(300);
+  Snapshot s = reg.snapshot();
+  s.enabled = true;
+  // Registration order was b-then-a; the snapshot sorts, trims
+  // histogram buckets, and matches the hand-built equivalent.
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a/one");
+  const Snapshot expect = sample_snapshot();
+  EXPECT_EQ(s.to_json(), expect.to_json());
+}
+
+TEST(Snapshot, DisabledRegistryExportsNothing) {
+  Registry reg;
+  reg.counter("x")->inc(3);
+  reg.set_enabled(false);
+  const Snapshot s = reg.snapshot();
+  EXPECT_FALSE(s.enabled);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Snapshot, SortedLookupAndBucketTrim) {
+  const Snapshot s = sample_snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a/one");  // sorted by path
+  EXPECT_EQ(s.counters[1].first, "b/two");
+  ASSERT_NE(s.counter("b/two"), nullptr);
+  EXPECT_EQ(*s.counter("b/two"), 2u);
+  EXPECT_EQ(s.counter("missing"), nullptr);
+  ASSERT_NE(s.gauge("g/level"), nullptr);
+  EXPECT_EQ(*s.gauge("g/level"), -5);
+  const HistogramData* h = s.histogram("h/lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->sum, 303u);
+  EXPECT_EQ(h->max, 300u);
+  // 300 lands in bucket 9 ([256, 512)); trailing zero buckets trimmed.
+  ASSERT_EQ(h->buckets.size(), 10u);
+  EXPECT_EQ(h->buckets[9], 1u);
+}
+
+TEST(Snapshot, MergeSumsAndKeepsDeterministicOrder) {
+  Snapshot a = sample_snapshot();
+  Snapshot b = sample_snapshot();
+  b.counters.emplace_back("z/extra", 7);
+  a.merge(b);
+  EXPECT_EQ(*a.counter("a/one"), 2u);
+  EXPECT_EQ(*a.counter("z/extra"), 7u);
+  EXPECT_EQ(*a.gauge("g/level"), -5);  // gauges merge by max (levels)
+  const HistogramData* h = a.histogram("h/lat");
+  EXPECT_EQ(h->count, 6u);
+  EXPECT_EQ(h->sum, 606u);
+  EXPECT_EQ(h->max, 300u);
+  EXPECT_EQ(h->buckets[9], 2u);
+  // Still sorted after the merge.
+  for (std::size_t i = 1; i < a.counters.size(); ++i) {
+    EXPECT_LT(a.counters[i - 1].first, a.counters[i].first);
+  }
+}
+
+TEST(Snapshot, JsonRoundTrip) {
+  Snapshot s = sample_snapshot();
+  s.counters.emplace_back("weird \"path\"\n", 3);  // exercise escaping
+  std::sort(s.counters.begin(), s.counters.end());
+
+  Snapshot back;
+  std::string err;
+  ASSERT_TRUE(Snapshot::from_json(s.to_json(), &back, &err)) << err;
+  EXPECT_EQ(back.enabled, s.enabled);
+  ASSERT_EQ(back.counters.size(), s.counters.size());
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i], s.counters[i]);
+  }
+  ASSERT_EQ(back.gauges.size(), s.gauges.size());
+  EXPECT_EQ(*back.gauge("g/level"), -5);
+  const HistogramData* h = back.histogram("h/lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->sum, 303u);
+  EXPECT_EQ(h->max, 300u);
+  EXPECT_EQ(h->buckets, s.histogram("h/lat")->buckets);
+  // The round-trip is a fixed point: re-serializing parses identically.
+  EXPECT_EQ(back.to_json(), s.to_json());
+}
+
+TEST(Snapshot, FromJsonRejectsMalformedInput) {
+  Snapshot out;
+  std::string err;
+  for (const char* bad :
+       {"", "{", "{\"enabled\": maybe}", "{\"counters\": [1]}",
+        "{\"histograms\": {\"x\": {\"frob\": 1}}}", "{} trailing"}) {
+    EXPECT_FALSE(Snapshot::from_json(bad, &out, &err)) << bad;
+    EXPECT_FALSE(err.empty());
+  }
+  EXPECT_TRUE(Snapshot::from_json("{}", &out, &err)) << err;
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HistogramData, ApproximateQuantiles) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(10);  // bucket 4: [8, 16)
+  h.record(1000);                             // bucket 10: [512, 1024)
+  const HistogramData d = data_of(h);
+  // p50 within bucket [8,16) -> upper bound 15; p999 hits the outlier.
+  EXPECT_EQ(d.quantile(0.50), 15u);
+  EXPECT_GE(d.quantile(0.999), 512u);
+  EXPECT_LE(d.quantile(0.999), 1000u);  // clamped to observed max
+  EXPECT_EQ(d.quantile(0.0), 15u);      // lowest non-empty bucket
+}
+
+TEST(Accumulator, MergesAndResets) {
+  reset_accumulator();
+  EXPECT_TRUE(accumulator().empty());
+  accumulate(sample_snapshot());
+  accumulate(sample_snapshot());
+  EXPECT_EQ(*accumulator().counter("a/one"), 2u);
+  reset_accumulator();
+  EXPECT_TRUE(accumulator().empty());
+}
+
+}  // namespace
+}  // namespace flextoe::telemetry

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Documentation checks for CI (the `docs` job).
+
+1. Markdown link resolution: every relative link target in the repo's
+   *.md files must exist on disk (http/mailto/#anchor links are skipped;
+   a trailing #anchor on a file link is stripped).
+2. Source anchors: `src/...`, `bench/...`, `tests/...`, `tools/...`
+   paths mentioned in the docs (the ARCHITECTURE.md `file:line` style)
+   must name existing files. Line numbers are not checked — they drift;
+   the file must not.
+3. Scenario catalog sync: the table in EXPERIMENTS.md under
+   "### Scenario catalog" must list exactly the scenarios that
+   `scenario_runner --list` prints (pass its output via
+   --scenario-list; omit the flag to skip this check, e.g. when no
+   build is available).
+
+Exit status 0 = all checks pass; 1 = problems (each printed on stderr).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+ANCHOR_RE = re.compile(
+    r"`((?:src|bench|tests|tools|examples)/[A-Za-z0-9_./-]+"
+    r"\.(?:hpp|cpp|cc|h|py|md|txt))(?::\d+)?`"
+)
+CATALOG_HEADING = "### Scenario catalog"
+CATALOG_ROW_RE = re.compile(r"^\|\s*`([A-Za-z0-9_]+)`\s*\|")
+
+
+def md_files():
+    return sorted(p for p in REPO.glob("*.md"))
+
+
+def check_links(problems):
+    for md in md_files():
+        text = md.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                problems.append(f"{md.name}: broken link -> {target}")
+
+
+def check_source_anchors(problems):
+    for md in md_files():
+        text = md.read_text(encoding="utf-8")
+        for path in set(ANCHOR_RE.findall(text)):
+            if not (REPO / path).exists():
+                problems.append(f"{md.name}: source anchor -> missing file {path}")
+
+
+def documented_scenarios(problems):
+    text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    if CATALOG_HEADING not in text:
+        problems.append(f"EXPERIMENTS.md: missing '{CATALOG_HEADING}' section")
+        return set()
+    section = text.split(CATALOG_HEADING, 1)[1]
+    # Section ends at the next heading (any level).
+    end = re.search(r"\n#{1,6} ", section)
+    if end:
+        section = section[: end.start()]
+    names = set()
+    for line in section.splitlines():
+        m = CATALOG_ROW_RE.match(line.strip())
+        if m:
+            names.add(m.group(1))
+    if not names:
+        problems.append("EXPERIMENTS.md: scenario catalog table has no rows")
+    return names
+
+
+def check_scenarios(problems, listing_path):
+    documented = documented_scenarios(problems)
+    listed = set()
+    for line in pathlib.Path(listing_path).read_text(encoding="utf-8").splitlines():
+        parts = line.split()
+        if parts:
+            listed.add(parts[0])
+    for missing in sorted(listed - documented):
+        problems.append(
+            f"EXPERIMENTS.md: scenario '{missing}' is registered but undocumented"
+        )
+    for stale in sorted(documented - listed):
+        problems.append(
+            f"EXPERIMENTS.md: scenario '{stale}' is documented but not registered"
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--scenario-list",
+        metavar="FILE",
+        help="output of `scenario_runner --list` to sync EXPERIMENTS.md against",
+    )
+    args = ap.parse_args()
+
+    problems = []
+    check_links(problems)
+    check_source_anchors(problems)
+    if args.scenario_list:
+        check_scenarios(problems, args.scenario_list)
+    else:
+        documented_scenarios(problems)  # the section must at least exist
+
+    if problems:
+        for p in problems:
+            print(f"check_docs: {p}", file=sys.stderr)
+        return 1
+    n = len(md_files())
+    print(f"check_docs: OK ({n} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
