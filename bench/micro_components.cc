@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/reorder.hpp"
+#include "pipeline/reorder.hpp"
 #include "harness.hpp"
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
@@ -125,7 +125,7 @@ BENCH_SCENARIO(micro, "host-side component costs (ns/op)") {
 
   record("reorder_buffer_in_order", [&](int) {
     std::uint64_t released = 0;
-    core::ReorderBuffer<int> rob([&released](int) { ++released; });
+    pipeline::ReorderBuffer<int> rob([&released](int) { ++released; });
     std::uint64_t seq = 0;
     const double ns = time_ns_per_op(iters, [&](std::uint64_t) {
       rob.push(seq++, 1);

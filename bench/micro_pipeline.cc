@@ -1,0 +1,184 @@
+// Simulator hot-path microbenchmark: raw events/second through
+// sim::EventQueue, work items/second through an nfp::Fpc ring, and
+// segments/second through a small core::Datapath.
+//
+// Unlike the paper-figure benches, the metric here is *host* wall-clock
+// throughput of the simulator itself — the denominator every scenario in
+// the catalog pays. The events-per-second series is the acceptance gauge
+// for hot-path work (pooled/small-buffer callbacks, SegCtx pooling):
+// compare BENCH_micro_pipeline.json across commits.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/datapath.hpp"
+#include "harness.hpp"
+#include "net/packet.hpp"
+#include "nfp/fpc.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace flextoe;
+
+double wall_seconds_since(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------- events
+
+// Self-rescheduling event chains with capture payloads sized like the
+// data-path's stage lambdas (a this-pointer plus a shared_ptr context and
+// bookkeeping) — large enough that a heap-allocating callback type pays
+// one allocation per event.
+BENCH_SCENARIO(event_queue, "EventQueue dispatch throughput (events/s)") {
+  auto& report = ctx.report();
+  const std::uint64_t total = ctx.pick<std::uint64_t>(4'000'000, 200'000);
+  const int chains = 64;
+
+  const double evps = ctx.measure([&](int) {
+    sim::EventQueue ev;
+    std::uint64_t remaining = total;
+    auto payload = std::make_shared<std::uint64_t>(0);
+    struct Chain {
+      sim::EventQueue* ev;
+      std::uint64_t* remaining;
+      std::shared_ptr<std::uint64_t> payload;
+      std::uint64_t a = 1, b = 2;
+      void fire() {
+        *payload += a + b;
+        if (*remaining == 0) return;
+        --*remaining;
+        ev->schedule_in(1000, [c = *this]() mutable { c.fire(); });
+      }
+    };
+    for (int i = 0; i < chains; ++i) {
+      Chain c{&ev, &remaining, payload};
+      ev.schedule_in(1000 + i, [c]() mutable { auto cc = c; cc.fire(); });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    ev.run_all();
+    const double secs = wall_seconds_since(t0);
+    return static_cast<double>(ev.executed()) / secs;
+  });
+  report.series("micro_pipeline").set("event_queue", "ops_per_sec", evps);
+}
+
+// ------------------------------------------------------------- fpc ring
+
+// Work-ring churn: submit/complete cycles through one FPC, capture sizes
+// as above. Completion handlers immediately resubmit, keeping the ring
+// warm the way a loaded pipeline stage does.
+BENCH_SCENARIO(fpc_ring, "Fpc work-ring throughput (items/s)") {
+  auto& report = ctx.report();
+  const std::uint64_t total = ctx.pick<std::uint64_t>(2'000'000, 100'000);
+
+  const double itemps = ctx.measure([&](int) {
+    sim::EventQueue ev;
+    nfp::FpcParams fp;
+    fp.queue_capacity = 1024;
+    nfp::Fpc fpc(ev, fp, "bench");
+    std::uint64_t remaining = total;
+    auto payload = std::make_shared<std::uint64_t>(0);
+    struct Resubmit {
+      nfp::Fpc* fpc;
+      std::uint64_t* remaining;
+      std::shared_ptr<std::uint64_t> payload;
+      void fire() {
+        *payload += 1;
+        if (*remaining == 0) return;
+        --*remaining;
+        nfp::Work w;
+        w.compute_cycles = 50;
+        w.mem_cycles = 20;
+        w.done = [r = *this]() mutable { r.fire(); };
+        fpc->submit(std::move(w));
+      }
+    };
+    for (int i = 0; i < 32; ++i) {
+      Resubmit r{&fpc, &remaining, payload};
+      r.fire();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    ev.run_all();
+    const double secs = wall_seconds_since(t0);
+    return static_cast<double>(fpc.items_done()) / secs;
+  });
+  report.series("micro_pipeline").set("fpc_ring", "ops_per_sec", itemps);
+}
+
+// ----------------------------------------------------------- segments
+
+// Full data-path traversal: in-order RX data segments delivered straight
+// into a Datapath (no links/switch), exercising SegCtx allocation, every
+// stage submit, the reorder points, DMA, and host notification.
+BENCH_SCENARIO(datapath_rx, "Datapath RX traversal (segments/s)") {
+  auto& report = ctx.report();
+  const std::uint32_t total = ctx.pick<std::uint32_t>(200'000, 20'000);
+  const std::uint32_t mss = 1448;
+
+  const double segps = ctx.measure([&](int) {
+    sim::EventQueue ev;
+    core::Datapath::HostIface host;
+    host.notify = [](const host::CtxDesc&) {};
+    host.to_control = [](const net::PacketPtr&) {};
+    host.peer_fin = [](tcp::ConnId) {};
+    core::Datapath dp(ev, core::agilio_cx40_config(), host);
+    const auto local_mac = net::MacAddr::from_u64(0x02AA);
+    const auto peer_mac = net::MacAddr::from_u64(0x02BB);
+    const auto local_ip = net::make_ip(10, 0, 0, 1);
+    const auto peer_ip = net::make_ip(10, 0, 0, 2);
+    dp.set_local(local_mac, local_ip);
+
+    host::PayloadBuf rx(1 << 20), tx(1 << 20);
+    core::FlowInstall ins;
+    ins.tuple = {local_ip, peer_ip, 80, 9999};
+    ins.local_mac = local_mac;
+    ins.peer_mac = peer_mac;
+    ins.iss = 1000;
+    ins.irs = 2000;
+    ins.rx_buf = &rx;
+    ins.tx_buf = &tx;
+    const auto conn = dp.install_flow(ins);
+    (void)conn;
+
+    // Template segment; per-delivery we only bump seq and free RX space
+    // so the window never closes.
+    auto tmpl = net::make_tcp_packet(
+        peer_mac, local_mac, peer_ip, local_ip, 9999, 80, 0, 1001,
+        net::tcpflag::kAck | net::tcpflag::kPsh,
+        std::vector<std::uint8_t>(mss, 0x5A));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint32_t seq = 2001;
+    for (std::uint32_t i = 0; i < total; ++i) {
+      auto pkt = net::clone(*tmpl);
+      pkt->tcp.seq = seq;
+      seq += mss;
+      dp.deliver(pkt);
+      // Keep the pipeline shallow (in-order, no overload drops) and the
+      // receive window open.
+      ev.run_until(ev.now() + sim::us(2));
+      host::CtxQueue& q = dp.hc_queue(0);
+      host::CtxDesc d;
+      d.type = host::CtxDescType::RxFreed;
+      d.conn = conn;
+      d.a = mss;
+      q.push(d);
+      dp.doorbell(0);
+    }
+    ev.run_all();
+    const double secs = wall_seconds_since(t0);
+    return static_cast<double>(dp.rx_segments()) / secs;
+  });
+  report.series("micro_pipeline").set("datapath_rx", "segments_per_sec",
+                                      segps);
+  report.note(
+      "Host wall-clock simulator throughput; absolute numbers are "
+      "machine-dependent — compare across commits on one machine.");
+}
+
+}  // namespace

@@ -40,6 +40,9 @@ struct DatapathConfig {
   unsigned proto_fpcs_per_group = 2;  // connections sharded within group
   unsigned dma_fpcs = 4;
   unsigned ctx_fpcs = 4;
+  // false: reorder points pass through (no-reorder ablation) — parallel
+  // stages may then reorder segments within a flow group.
+  bool reorder = true;
 
   // --- Platform ---
   sim::ClockDomain clock = sim::kFpcClock;
@@ -116,6 +119,14 @@ inline DatapathConfig ablation_flow_groups() {
   DatapathConfig c = ablation_replicated();
   c.flow_groups = 4;
   c.proto_fpcs_per_group = 2;
+  return c;
+}
+
+// Full parallelism with pass-through reorder points: measures what the
+// §3.2 sequencing machinery costs (and what unordered delivery breaks).
+inline DatapathConfig ablation_no_reorder() {
+  DatapathConfig c = ablation_flow_groups();
+  c.reorder = false;
   return c;
 }
 

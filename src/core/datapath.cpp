@@ -1,7 +1,12 @@
+// Datapath implementation: TCP stage bodies (pre/protocol/post/DMA/
+// notify) bound into the pipeline::Graph that owns all structure —
+// stage dispatch, replica selection, sequencing/reorder, the RTC gate,
+// drop taxonomy and stage telemetry live in src/pipeline/graph.cpp.
 #include "core/datapath.hpp"
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace flextoe::core {
 
@@ -22,77 +27,30 @@ std::uint32_t now_us_of(sim::EventQueue& ev) {
 
 }  // namespace
 
+pipeline::Graph::Handlers Datapath::make_handlers() {
+  pipeline::Graph::Handlers h;
+  h.pre_rx = [this](const SegCtxPtr& ctx) { stage_pre_rx(ctx); };
+  h.pre_tx = [this](const SegCtxPtr& ctx) { stage_pre_tx(ctx); };
+  h.proto = [this](const SegCtxPtr& ctx) { stage_proto(ctx); };
+  h.post = [this](const SegCtxPtr& ctx) { stage_post(ctx); };
+  h.dma = [this](const SegCtxPtr& ctx) { stage_dma(ctx); };
+  h.ctx_notify = [this](const SegCtxPtr& ctx) { stage_ctx_notify(ctx); };
+  h.conn_valid = [this](const SegCtxPtr& ctx) {
+    return ctx->conn_idx < flows_.size() && flows_[ctx->conn_idx].valid;
+  };
+  h.nbi_tx = [this](const net::PacketPtr& pkt) { nbi_transmit(pkt); };
+  h.on_drop = [this](DropReason r) { count_drop_legacy(r); };
+  return h;
+}
+
 Datapath::Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host)
     : ev_(ev),
       cfg_(cfg),
       host_(std::move(host)),
       dma_(ev, cfg.dma),
       carousel_(ev) {
-  // Build flow-group islands.
-  const unsigned ngroups = std::max(1u, cfg_.flow_groups);
-  nfp::FpcParams fp;
-  fp.clock = cfg_.clock;
-  fp.threads = std::max(1u, cfg_.threads_per_fpc);
-  fp.queue_capacity = cfg_.fpc_queue_depth;
-
-  // Run-to-completion mode: every module shares one FPC, so all work —
-  // including PCIe waits — serializes on a single core (Table 3 baseline).
-  std::shared_ptr<nfp::Fpc> rtc_fpc;
-  if (!cfg_.pipelined) {
-    rtc_fpc = std::make_shared<nfp::Fpc>(ev_, fp, "rtc");
-  }
-
-  for (unsigned g = 0; g < ngroups; ++g) {
-    auto grp = std::make_unique<Group>();
-    grp->island_mem = std::make_unique<nfp::IslandMemory>(512);
-    auto make_fpcs = [&](std::vector<std::shared_ptr<nfp::Fpc>>& v,
-                         unsigned n, const char* tag) {
-      for (unsigned i = 0; i < n; ++i) {
-        if (rtc_fpc) {
-          v.push_back(rtc_fpc);
-          continue;
-        }
-        v.push_back(std::make_shared<nfp::Fpc>(
-            ev_, fp, tag + std::to_string(g) + "." + std::to_string(i)));
-      }
-    };
-    make_fpcs(grp->pre, std::max(1u, cfg_.pre_replicas), "pre");
-    make_fpcs(grp->proto, std::max(1u, cfg_.proto_fpcs_per_group), "proto");
-    make_fpcs(grp->post, std::max(1u, cfg_.post_replicas), "post");
-    for (std::size_t i = 0; i < grp->proto.size(); ++i) {
-      grp->proto_mem.push_back(std::make_unique<nfp::StateAccessModel>(
-          cfg_.mem, grp->island_mem.get(), &nic_mem_, 16));
-    }
-    for (std::size_t i = 0; i < grp->post.size(); ++i) {
-      grp->post_mem.push_back(std::make_unique<nfp::StateAccessModel>(
-          cfg_.mem, grp->island_mem.get(), &nic_mem_, 16));
-    }
-    for (std::size_t i = 0; i < grp->pre.size(); ++i) {
-      grp->pre_lookup_cache.push_back(
-          std::make_unique<nfp::DirectMappedCache>(128));
-    }
-    grp->proto_rob = std::make_unique<ReorderBuffer<SegCtxPtr>>(
-        [this](SegCtxPtr ctx) { stage_proto(ctx); });
-    grp->nbi_rob = std::make_unique<ReorderBuffer<SegCtxPtr>>(
-        [this](SegCtxPtr ctx) {
-          if (ctx->pkt) nbi_transmit(ctx->pkt);
-        });
-    groups_.push_back(std::move(grp));
-  }
-
-  // Service island: DMA managers + context-queue FPCs.
-  for (unsigned i = 0; i < std::max(1u, cfg_.dma_fpcs); ++i) {
-    dma_fpcs_.push_back(
-        rtc_fpc ? rtc_fpc
-                : std::make_shared<nfp::Fpc>(ev_, fp,
-                                             "dma." + std::to_string(i)));
-  }
-  for (unsigned i = 0; i < std::max(1u, cfg_.ctx_fpcs); ++i) {
-    ctx_fpcs_.push_back(
-        rtc_fpc ? rtc_fpc
-                : std::make_shared<nfp::Fpc>(ev_, fp,
-                                             "ctx." + std::to_string(i)));
-  }
+  graph_ = std::make_unique<pipeline::Graph>(ev_, cfg_, dma_,
+                                             make_handlers());
 
   carousel_.set_trigger([this](std::uint32_t conn) {
     return tx_trigger(conn);
@@ -123,161 +81,28 @@ Datapath::Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host)
   tp_fretx_ = trace_.register_point("event/fretx");
   tp_ack_ = trace_.register_point("event/ack");
 
-  setup_telemetry();
-}
-
-// ------------------------------------------------------------ telemetry
-
-const char* Datapath::drop_reason_name(DropReason r) {
-  switch (r) {
-    case DropReason::RtcOverload:
-      return "rtc_overload";
-    case DropReason::FpcQueueFull:
-      return "fpc_queue_full";
-    case DropReason::XdpDrop:
-      return "xdp_drop";
-  }
-  return "unknown";
-}
-
-void Datapath::setup_telemetry() {
-  static const char* kStageName[kStageCount] = {
-      "seq",      "pre_rx",   "pre_tx", "pre_hc", "proto_rx",
-      "proto_tx", "proto_hc", "post",   "dma",    "ctx_notify"};
-  for (std::size_t s = 0; s < kStageCount; ++s) {
-    const std::string base = std::string("stage/") + kStageName[s];
-    stage_telem_[s].visits = telem_.counter(base + "/visits");
-    stage_telem_[s].lat_ns = telem_.histogram(base + "/lat_ns");
-  }
-  for (std::size_t r = 0; r < kDropReasons; ++r) {
-    drop_telem_[r] = telem_.counter(
-        std::string("drop/") + drop_reason_name(static_cast<DropReason>(r)));
-  }
-  pipe_total_ns_[static_cast<std::size_t>(SegCtx::Kind::Rx)] =
-      telem_.histogram("pipe/rx_total_ns");
-  pipe_total_ns_[static_cast<std::size_t>(SegCtx::Kind::Tx)] =
-      telem_.histogram("pipe/tx_total_ns");
-  pipe_total_ns_[static_cast<std::size_t>(SegCtx::Kind::Hc)] =
-      telem_.histogram("pipe/hc_total_ns");
-  group_telem_.resize(groups_.size());
-  for (std::size_t g = 0; g < groups_.size(); ++g) {
-    const std::string p = "group/" + std::to_string(g);
-    group_telem_[g].rx = telem_.counter(p + "/rx");
-    group_telem_[g].tx = telem_.counter(p + "/tx");
-    group_telem_[g].hc = telem_.counter(p + "/hc");
-    group_telem_[g].rob_depth = telem_.histogram(p + "/rob_depth");
-  }
+  graph_->bind_telemetry(telem_);
   t_host_notify_ = telem_.counter("hostq/notify");
-
-  for (auto& g : groups_) {
-    for (auto& f : g->pre) f->bind_telemetry(telem_, "fpc/" + f->name());
-    for (auto& f : g->proto) f->bind_telemetry(telem_, "fpc/" + f->name());
-    for (auto& f : g->post) f->bind_telemetry(telem_, "fpc/" + f->name());
-  }
-  for (auto& f : dma_fpcs_) f->bind_telemetry(telem_, "fpc/" + f->name());
-  for (auto& f : ctx_fpcs_) f->bind_telemetry(telem_, "fpc/" + f->name());
   dma_.bind_telemetry(telem_, "dma");
   carousel_.bind_telemetry(telem_, "sched");
 }
 
-void Datapath::stamp_birth(SegCtx& ctx) {
-  if (!telem_.enabled()) return;
-  ctx.t_born_ps = ctx.t_stage_ps = ev_.now();
-}
-
-void Datapath::stage_mark(Stage s, SegCtx& ctx) {
-  if (!telem_.enabled()) return;
-  StageTelem& st = stage_telem_[s];
-  st.visits->inc();
-  const sim::TimePs now = ev_.now();
-  if (ctx.t_stage_ps != SegCtx::kNoTimestamp) {
-    st.lat_ns->record((now - ctx.t_stage_ps) / sim::kPsPerNs);
-  }
-  ctx.t_stage_ps = now;
-}
-
-void Datapath::record_pipe_total(SegCtx& ctx) {
-  if (!telem_.enabled() || ctx.t_born_ps == SegCtx::kNoTimestamp) return;
-  pipe_total_ns_[static_cast<std::size_t>(ctx.kind)]->record(
-      (ev_.now() - ctx.t_born_ps) / sim::kPsPerNs);
-  ctx.t_born_ps = SegCtx::kNoTimestamp;  // totals recorded once per ctx
-}
-
-void Datapath::count_drop(DropReason r) {
-  ++drops_;
-  trace_.hit(tp_drop_);
-  if (telem_.enabled()) drop_telem_[static_cast<std::size_t>(r)]->inc();
-}
-
 Datapath::~Datapath() { *alive_ = false; }
 
-unsigned Datapath::total_fpcs() const {
-  unsigned n = static_cast<unsigned>(dma_fpcs_.size() + ctx_fpcs_.size());
-  for (const auto& g : groups_) {
-    n += static_cast<unsigned>(g->pre.size() + g->proto.size() +
-                               g->post.size());
-  }
-  return n;
+// ------------------------------------------------------------ telemetry
+
+void Datapath::count_drop_legacy(DropReason r) {
+  (void)r;  // taxonomy counters live in the graph
+  ++drops_;
+  trace_.hit(tp_drop_);
 }
+
+unsigned Datapath::total_fpcs() const { return graph_->total_fpcs(); }
 
 double Datapath::fpc_utilization() const {
-  sim::TimePs busy = 0;
-  for (const auto& g : groups_) {
-    for (const auto& f : g->pre) busy += f->busy_time();
-    for (const auto& f : g->proto) busy += f->busy_time();
-    for (const auto& f : g->post) busy += f->busy_time();
-  }
-  for (const auto& f : dma_fpcs_) busy += f->busy_time();
-  for (const auto& f : ctx_fpcs_) busy += f->busy_time();
   const double elapsed = static_cast<double>(ev_.now()) * total_fpcs();
-  return elapsed > 0 ? static_cast<double>(busy) / elapsed : 0.0;
-}
-
-nfp::Fpc& Datapath::pick(std::vector<std::shared_ptr<nfp::Fpc>>& v,
-                         std::uint64_t key) {
-  return *v[key % v.size()];
-}
-
-// ------------------------------------------------------------- RTC gate
-
-// Run-to-completion token: when the last reference to the segment
-// context (and thus every callback in its chain) dies, the pipeline is
-// free to admit the next segment.
-std::shared_ptr<void> Datapath::make_rtc_token() {
-  if (cfg_.pipelined) return nullptr;
-  return std::shared_ptr<void>(nullptr,
-                               [this, alive = alive_](void*) {
-                                 if (*alive) rtc_done();
-                               });
-}
-
-bool Datapath::rtc_admit(std::function<void()> fn, bool droppable) {
-  if (cfg_.pipelined) {
-    fn();
-    return true;
-  }
-  if (rtc_busy_) {
-    if (droppable && rtc_pending_.size() >= cfg_.fpc_queue_depth) {
-      count_drop(DropReason::RtcOverload);
-      return false;  // no NIC-side buffering: shed the segment
-    }
-    rtc_pending_.push_back(std::move(fn));
-    return true;
-  }
-  rtc_busy_ = true;
-  fn();
-  return true;
-}
-
-void Datapath::rtc_done() {
-  rtc_busy_ = false;
-  if (!rtc_pending_.empty()) {
-    auto fn = std::move(rtc_pending_.front());
-    rtc_pending_.pop_front();
-    rtc_busy_ = true;
-    // Defer to avoid unbounded recursion through completion chains.
-    ev_.schedule_in(0, std::move(fn));
-  }
+  return elapsed > 0 ? static_cast<double>(graph_->total_busy()) / elapsed
+                     : 0.0;
 }
 
 // --------------------------------------------------------- flow install
@@ -304,8 +129,8 @@ ConnId Datapath::install_flow(const FlowInstall& ins) {
   fs.pre.peer_ip = ins.tuple.remote_ip;
   fs.pre.local_port = ins.tuple.local_port;
   fs.pre.remote_port = ins.tuple.remote_port;
-  fs.pre.flow_group = static_cast<std::uint8_t>(
-      ins.tuple.flow_group(static_cast<std::uint32_t>(groups_.size())));
+  fs.pre.flow_group = static_cast<std::uint8_t>(ins.tuple.flow_group(
+      static_cast<std::uint32_t>(graph_->group_count())));
   fs.proto = ProtoState{};
   fs.proto.seq = ins.iss + 1;
   fs.proto.ack = ins.irs + 1;
@@ -384,24 +209,8 @@ void Datapath::add_xdp_program(xdp::XdpProgramPtr prog) {
 void Datapath::clear_xdp_programs() { xdp_programs_.clear(); }
 
 void Datapath::set_profiling(bool on) {
-  cfg_.profiling = on;
+  cfg_.profiling = on;  // the graph reads the live config
   trace_.set_enabled(on);
-}
-
-// ------------------------------------------------------------- submit
-
-void Datapath::submit(nfp::Fpc& fpc, std::uint32_t compute,
-                      std::uint32_t mem, std::function<void()> fn,
-                      std::uint64_t skip_seq, std::uint8_t group,
-                      bool sequenced) {
-  nfp::Work w;
-  w.compute_cycles = compute + profile_overhead();
-  w.mem_cycles = mem;
-  w.done = std::move(fn);
-  if (!fpc.submit(std::move(w))) {
-    count_drop(DropReason::FpcQueueFull);
-    if (sequenced) groups_[group]->proto_rob->skip(skip_seq);
-  }
 }
 
 // --------------------------------------------------------------- MAC RX
@@ -412,50 +221,29 @@ void Datapath::deliver(const net::PacketPtr& pkt) {
   ++rx_segments_;
   trace_.hit(tp_rx_);
 
-  auto ctx = std::make_shared<SegCtx>();
+  auto ctx = ctx_pool_.acquire();
   ctx->kind = SegCtx::Kind::Rx;
   ctx->pkt = pkt;
-  stamp_birth(*ctx);
+  // Sequencer: compute the flow group (CRC on the 4-tuple, hardware
+  // accelerated); the graph assigns the pipeline sequence number at
+  // admission.
+  tcp::FlowTuple t{pkt->ip.dst, pkt->ip.src, pkt->tcp.dport,
+                   pkt->tcp.sport};
+  ctx->flow_group = static_cast<std::uint8_t>(t.flow_group(
+      static_cast<std::uint32_t>(graph_->group_count())));
+  ctx->lookup_key = t.hash();
+  graph_->stamp_birth(*ctx);
 
-  rtc_admit(
-      [this, ctx] {
-    ctx->rtc_token = make_rtc_token();
-    // Sequencer: compute the flow group (CRC on the 4-tuple, hardware
-    // accelerated) and assign the pipeline sequence number.
-    tcp::FlowTuple t{ctx->pkt->ip.dst, ctx->pkt->ip.src,
-                     ctx->pkt->tcp.dport, ctx->pkt->tcp.sport};
-    const std::uint8_t g = static_cast<std::uint8_t>(
-        t.flow_group(static_cast<std::uint32_t>(groups_.size())));
-    ctx->flow_group = g;
-    ctx->pipe_seq = groups_[g]->sequencer.assign();
-    stage_mark(kStSeq, *ctx);
-    Group& grp = *groups_[g];
-    nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
-    // XDP programs execute in the pre-processing stage; their per-packet
-    // instruction cost is charged to the hosting FPC (Table 2).
-    std::uint32_t xdp_cost = 0;
-    for (const auto& prog : xdp_programs_) {
-      xdp_cost += prog->cycles_per_packet();
-    }
-    // Flow lookup: IMEM lookup engine, front-cached per pre-processor.
-    const std::size_t pre_idx = (grp.rr_pre - 1) % grp.pre.size();
-    tcp::FlowTuple lt{ctx->pkt->ip.dst, ctx->pkt->ip.src,
-                      ctx->pkt->tcp.dport, ctx->pkt->tcp.sport};
-    std::uint32_t lookup_mem = cfg_.flat_mem_cycles;
-    if (cfg_.nfp_memory) {
-      lookup_mem = grp.pre_lookup_cache[pre_idx]->access(lt.hash())
-                       ? cfg_.mem.local
-                       : cfg_.mem.imem;
-    }
-    submit(fpc, cfg_.costs.seq + cfg_.costs.pre_rx + xdp_cost, lookup_mem,
-           [this, ctx] { stage_pre_rx(ctx); }, ctx->pipe_seq, g, true);
-      },
-      /*droppable=*/true);
+  // XDP programs execute in the pre-processing stage; their per-packet
+  // instruction cost is charged to the hosting FPC (Table 2).
+  std::uint32_t xdp_cost = 0;
+  for (const auto& prog : xdp_programs_) {
+    xdp_cost += prog->cycles_per_packet();
+  }
+  graph_->ingress_rx(ctx, xdp_cost);
 }
 
 void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
-  stage_mark(kStPreRx, *ctx);
-  Group& grp = *groups_[ctx->flow_group];
   net::Packet& pkt = *ctx->pkt;
 
   // --- XDP ingress hooks (paper §3.3) ---
@@ -465,17 +253,17 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
       case xdp::XdpAction::Pass:
         continue;
       case xdp::XdpAction::Drop:
-        count_drop(DropReason::XdpDrop);
-        grp.proto_rob->skip(ctx->pipe_seq);
+        graph_->count_drop(DropReason::XdpDrop);
+        graph_->skip_proto(ctx);
         return;
       case xdp::XdpAction::Tx:
         nbi_transmit(ctx->pkt);
-        grp.proto_rob->skip(ctx->pipe_seq);
+        graph_->skip_proto(ctx);
         return;
       case xdp::XdpAction::Redirect:
         ++to_control_count_;
         host_.to_control(ctx->pkt);
-        grp.proto_rob->skip(ctx->pipe_seq);
+        graph_->skip_proto(ctx);
         return;
     }
   }
@@ -484,7 +272,7 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
   if (!pkt.tcp.is_datapath_segment()) {
     ++to_control_count_;
     host_.to_control(ctx->pkt);
-    grp.proto_rob->skip(ctx->pipe_seq);
+    graph_->skip_proto(ctx);
     return;
   }
 
@@ -495,7 +283,7 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
     // Not an established data-path flow (e.g. final handshake ACK).
     ++to_control_count_;
     host_.to_control(ctx->pkt);
-    grp.proto_rob->skip(ctx->pipe_seq);
+    graph_->skip_proto(ctx);
     return;
   }
   ctx->conn_idx = it->second;
@@ -515,7 +303,7 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
   s.ecn_ce = pkt.ip.ecn == net::Ecn::Ce;
 
   // --- Steer: in-order admission to the flow-group's protocol stage ---
-  grp.proto_rob->push(ctx->pipe_seq, ctx);
+  graph_->to_proto(ctx);
 }
 
 // ----------------------------------------------------------- TX trigger
@@ -531,96 +319,62 @@ std::uint32_t Datapath::tx_trigger(std::uint32_t conn) {
   const std::uint32_t room = fs.proto.remote_win - outstanding;
   const std::uint32_t planned = std::min(cfg_.mss, room);
 
-  auto ctx = std::make_shared<SegCtx>();
+  auto ctx = ctx_pool_.acquire();
   ctx->kind = SegCtx::Kind::Tx;
   ctx->conn_idx = conn;
   ctx->conn_known = true;
   ctx->flow_group = fs.pre.flow_group;
   ctx->hc_len = planned;
-  stamp_birth(*ctx);
+  graph_->stamp_birth(*ctx);
 
-  Group& grp = *groups_[ctx->flow_group];
-  nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
-  if (fpc.queue_len() >= cfg_.fpc_queue_depth) return 0;  // back-pressure
-
+  if (!graph_->ingress_tx(ctx)) return 0;  // inter-stage back-pressure
   pending_planned_[conn] += planned;
-  rtc_admit([this, ctx, &grp, &fpc] {
-    ctx->rtc_token = make_rtc_token();
-    ctx->pipe_seq = grp.sequencer.assign();
-    stage_mark(kStSeq, *ctx);
-    submit(fpc, cfg_.costs.seq + cfg_.costs.pre_tx, 0,
-           [this, ctx] { stage_pre_tx(ctx); }, ctx->pipe_seq,
-           ctx->flow_group, true);
-  });
   return planned;
 }
 
 void Datapath::stage_pre_tx(const SegCtxPtr& ctx) {
-  stage_mark(kStPreTx, *ctx);
   // Alloc + Head happen here in the real pipeline; the packet itself is
   // materialized in post-processing once the protocol stage has assigned
   // the sequence number. Steer:
-  groups_[ctx->flow_group]->proto_rob->push(ctx->pipe_seq, ctx);
+  graph_->to_proto(ctx);
 }
 
 // ------------------------------------------------------------- HC path
 
 void Datapath::doorbell(std::uint16_t ctx_id) {
   // MMIO doorbell -> context-queue FPC polls and fetches descriptors.
-  dma_.mmio([this, ctx_id] {
-    {
-      host::CtxQueue& q = hc_queue(ctx_id);
-      host::CtxDesc d;
-      while (q.pop(d)) {
-        auto ctx = std::make_shared<SegCtx>();
-        ctx->kind = SegCtx::Kind::Hc;
-        ctx->conn_idx = d.conn;
-        ctx->conn_known = true;
-        ctx->hc_len = d.a;
-        switch (d.type) {
-          case host::CtxDescType::TxDoorbell:
-            ctx->hc_op = HcOp::TxDoorbell;
-            break;
-          case host::CtxDescType::RxFreed:
-            ctx->hc_op = HcOp::RxFreed;
-            break;
-          case host::CtxDescType::Fin:
-            ctx->hc_op = HcOp::Fin;
-            break;
-          case host::CtxDescType::Retransmit:
-            ctx->hc_op = HcOp::Retransmit;
-            break;
-          default:
-            continue;
-        }
-        if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
+  dma_.mmio([this, alive = alive_, ctx_id] {
+    if (!*alive) return;
+    host::CtxQueue& q = hc_queue(ctx_id);
+    host::CtxDesc d;
+    while (q.pop(d)) {
+      auto ctx = ctx_pool_.acquire();
+      ctx->kind = SegCtx::Kind::Hc;
+      ctx->conn_idx = d.conn;
+      ctx->conn_known = true;
+      ctx->hc_len = d.a;
+      switch (d.type) {
+        case host::CtxDescType::TxDoorbell:
+          ctx->hc_op = HcOp::TxDoorbell;
+          break;
+        case host::CtxDescType::RxFreed:
+          ctx->hc_op = HcOp::RxFreed;
+          break;
+        case host::CtxDescType::Fin:
+          ctx->hc_op = HcOp::Fin;
+          break;
+        case host::CtxDescType::Retransmit:
+          ctx->hc_op = HcOp::Retransmit;
+          break;
+        default:
           continue;
-        }
-        ctx->flow_group = flows_[ctx->conn_idx].pre.flow_group;
-        stamp_birth(*ctx);
-        rtc_admit([this, ctx] {
-          ctx->rtc_token = make_rtc_token();
-          // Fetch descriptor via DMA, then steer through the pipeline.
-          nfp::Fpc& cfpc = pick(ctx_fpcs_, rr_ctx_++);
-          submit(cfpc, cfg_.costs.ctx_op, 0,
-                 [this, ctx] {
-                   dma_.issue(32, [this, ctx] {
-                     Group& grp = *groups_[ctx->flow_group];
-                     ctx->pipe_seq = grp.sequencer.assign();
-                     stage_mark(kStSeq, *ctx);
-                     nfp::Fpc& fpc = pick(grp.pre, grp.rr_pre++);
-                     submit(fpc, cfg_.costs.pre_hc, 0,
-                            [this, ctx] {
-                              stage_mark(kStPreHc, *ctx);
-                              groups_[ctx->flow_group]->proto_rob->push(
-                                  ctx->pipe_seq, ctx);
-                            },
-                            ctx->pipe_seq, ctx->flow_group, true);
-                   });
-                 },
-                 0, 0, false);
-        });
       }
+      if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
+        continue;
+      }
+      ctx->flow_group = flows_[ctx->conn_idx].pre.flow_group;
+      graph_->stamp_birth(*ctx);
+      graph_->ingress_hc(ctx);
     }
   });
 }
@@ -636,83 +390,26 @@ void Datapath::sched_resync(ConnId conn, const ProtoState& p) {
 
 // --------------------------------------------------------- protocol stage
 
-std::uint32_t Datapath::state_mem_cycles(Group& g,
-                                         nfp::StateAccessModel& model,
-                                         std::uint32_t conn) {
-  (void)g;
-  if (!cfg_.nfp_memory) return cfg_.flat_mem_cycles;
-  // Protocol state is read-modify-write: fetch + write-back both pay the
-  // hierarchy (this is what strains the EMEM SRAM cache at high
-  // connection counts, Fig 13).
-  return 2 * model.access_cycles(conn);
-}
-
 void Datapath::stage_proto(const SegCtxPtr& ctx) {
-  if (!ctx->conn_known || ctx->conn_idx >= flows_.size() ||
-      !flows_[ctx->conn_idx].valid) {
+  if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
     return;
   }
-  Group& grp = *groups_[ctx->flow_group];
-  if (telem_.enabled()) {
-    GroupTelem& gt = group_telem_[ctx->flow_group];
-    switch (ctx->kind) {
-      case SegCtx::Kind::Rx:
-        gt.rx->inc();
-        break;
-      case SegCtx::Kind::Tx:
-        gt.tx->inc();
-        break;
-      case SegCtx::Kind::Hc:
-        gt.hc->inc();
-        break;
-    }
-    gt.rob_depth->record(grp.proto_rob->pending());
-  }
-  // Connections are sharded across the group's protocol FPCs; atomicity
-  // per connection is preserved because a connection always maps to the
-  // same FPC (FIFO work queue).
-  const std::size_t shard = ctx->conn_idx % grp.proto.size();
-  nfp::Fpc& fpc = *grp.proto[shard];
-  nfp::StateAccessModel& mem = *grp.proto_mem[shard];
-
-  std::uint32_t compute = 0;
+  FlowState& fs = flows_[ctx->conn_idx];
   switch (ctx->kind) {
     case SegCtx::Kind::Rx:
-      compute = cfg_.costs.proto_rx;
+      proto_rx(fs, ctx);
       break;
     case SegCtx::Kind::Tx:
-      compute = cfg_.costs.proto_tx;
+      proto_tx(fs, ctx);
       break;
     case SegCtx::Kind::Hc:
-      compute = cfg_.costs.proto_hc;
+      proto_hc(fs, ctx);
       break;
   }
-  const std::uint32_t memc = state_mem_cycles(grp, mem, ctx->conn_idx);
-
-  submit(fpc, compute, memc,
-         [this, ctx] {
-           if (ctx->conn_idx >= flows_.size() ||
-               !flows_[ctx->conn_idx].valid) {
-             return;
-           }
-           FlowState& fs = flows_[ctx->conn_idx];
-           switch (ctx->kind) {
-             case SegCtx::Kind::Rx:
-               proto_rx(fs, ctx);
-               break;
-             case SegCtx::Kind::Tx:
-               proto_tx(fs, ctx);
-               break;
-             case SegCtx::Kind::Hc:
-               proto_hc(fs, ctx);
-               break;
-           }
-         },
-         0, 0, false);
 }
 
 void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
-  stage_mark(kStProtoRx, *ctx);
+  graph_->mark(pipeline::StageId::ProtoRx, *ctx);
   ProtoState& p = fs.proto;
   const HeaderSummary& s = ctx->sum;
   ProtoSnapshot& snap = ctx->snap;
@@ -810,7 +507,7 @@ void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
     snap.echo_ecn = s.ecn_ce;  // precise per-segment DCTCP ECN echo
     snap.ts_echo = s.ts_val;
     p.next_ts = s.ts_val;
-    snap.egress_seq = groups_[ctx->flow_group]->egress_next++;
+    snap.egress_seq = graph_->next_egress(ctx->flow_group);
   }
 
   // ACKs can open the send window or re-expose bytes (go-back-N reset):
@@ -822,16 +519,11 @@ void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
   }
 
   // Forward snapshot to post-processing.
-  Group& grp = *groups_[ctx->flow_group];
-  const std::size_t pidx = grp.rr_post++ % grp.post.size();
-  submit(*grp.post[pidx], cfg_.costs.post_rx,
-         cfg_.nfp_memory ? grp.post_mem[pidx]->access_cycles(conn)
-                         : cfg_.flat_mem_cycles,
-         [this, ctx] { stage_post(ctx); }, 0, 0, false);
+  graph_->to_post(ctx);
 }
 
 void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
-  stage_mark(kStProtoTx, *ctx);
+  graph_->mark(pipeline::StageId::ProtoTx, *ctx);
   ProtoState& p = fs.proto;
   ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
@@ -874,19 +566,14 @@ void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
 
   snd_max_[conn] = seq_ge(p.seq, snd_max_[conn]) ? p.seq : snd_max_[conn];
   if (planned != len) sched_resync(conn, p);
-  snap.egress_seq = groups_[ctx->flow_group]->egress_next++;
+  snap.egress_seq = graph_->next_egress(ctx->flow_group);
   trace_.hit(tp_tx_);
 
-  Group& grp = *groups_[ctx->flow_group];
-  const std::size_t pidx = grp.rr_post++ % grp.post.size();
-  submit(*grp.post[pidx], cfg_.costs.post_tx,
-         cfg_.nfp_memory ? grp.post_mem[pidx]->access_cycles(conn)
-                         : cfg_.flat_mem_cycles,
-         [this, ctx] { stage_post(ctx); }, 0, 0, false);
+  graph_->to_post(ctx);
 }
 
 void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
-  stage_mark(kStProtoHc, *ctx);
+  graph_->mark(pipeline::StageId::ProtoHc, *ctx);
   ProtoState& p = fs.proto;
   ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
@@ -906,7 +593,7 @@ void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
         snap.self_seq = p.seq;
         snap.rx_window = p.rx_avail;
         snap.ts_echo = p.next_ts;
-        snap.egress_seq = groups_[ctx->flow_group]->egress_next++;
+        snap.egress_seq = graph_->next_egress(ctx->flow_group);
       }
       break;
     }
@@ -936,37 +623,32 @@ void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
   const bool want_fin_now =
       p.fin_pending && !p.fin_sent && p.tx_avail == 0;
 
-  Group& grp = *groups_[ctx->flow_group];
-  const std::size_t pidx = grp.rr_post++ % grp.post.size();
-  submit(*grp.post[pidx], cfg_.costs.post_hc,
-         cfg_.nfp_memory ? grp.post_mem[pidx]->access_cycles(conn)
-                         : cfg_.flat_mem_cycles,
-         [this, ctx] { stage_post(ctx); }, 0, 0, false);
+  graph_->to_post(ctx);
 
   if (want_fin_now) spawn_fin_segment(conn);
 }
 
 void Datapath::spawn_fin_segment(ConnId conn) {
-  auto ctx = std::make_shared<SegCtx>();
+  auto ctx = ctx_pool_.acquire();
   ctx->kind = SegCtx::Kind::Tx;
   ctx->conn_idx = conn;
   ctx->conn_known = true;
   ctx->flow_group = flows_[conn].pre.flow_group;
   ctx->hc_len = 0;  // pure FIN
-  stamp_birth(*ctx);
-  Group& grp = *groups_[ctx->flow_group];
-  ctx->pipe_seq = grp.sequencer.assign();
-  stage_mark(kStSeq, *ctx);
-  submit(pick(grp.pre, grp.rr_pre++), cfg_.costs.pre_tx, 0,
-         [this, ctx] { stage_pre_tx(ctx); }, ctx->pipe_seq, ctx->flow_group,
-         true);
+  graph_->stamp_birth(*ctx);
+  graph_->spawn_tx(ctx);
 }
 
 // ------------------------------------------------------------ post stage
 
 void Datapath::stage_post(const SegCtxPtr& ctx) {
-  if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) return;
-  stage_mark(kStPost, *ctx);
+  if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
+    // Flow removed mid-flight: release any NBI egress slot the protocol
+    // stage assigned so the egress reorder point cannot stall.
+    graph_->skip_nbi(ctx);
+    return;
+  }
+  graph_->mark(pipeline::StageId::Post, *ctx);
   FlowState& fs = flows_[ctx->conn_idx];
   ProtoSnapshot& snap = ctx->snap;
 
@@ -999,11 +681,9 @@ void Datapath::stage_post(const SegCtxPtr& ctx) {
   const bool needs_payload_dma =
       (snap.accept_payload && snap.rx_write_len > 0) || snap.tx_valid;
   if (needs_payload_dma || ctx->ack_pkt || (snap.tx_fin && ctx->pkt)) {
-    submit(pick(dma_fpcs_, rr_dma_++), cfg_.costs.dma_issue, 0,
-           [this, ctx] { stage_dma(ctx); }, 0, 0, false);
+    graph_->to_dma(ctx);
   } else if (ctx->notify_host || snap.tx_freed > 0 || snap.fin_consumed) {
-    submit(pick(ctx_fpcs_, rr_ctx_++), cfg_.costs.ctx_op, 0,
-           [this, ctx] { stage_ctx_notify(ctx); }, 0, 0, false);
+    graph_->to_ctx_notify(ctx);
   }
 }
 
@@ -1051,7 +731,6 @@ net::PacketPtr Datapath::build_tx_packet(const FlowState& fs,
 // ------------------------------------------------------------- DMA stage
 
 void Datapath::stage_dma(const SegCtxPtr& ctx) {
-  stage_mark(kStDma, *ctx);
   const ProtoSnapshot& snap = ctx->snap;
 
   if (ctx->kind == SegCtx::Kind::Rx) {
@@ -1061,21 +740,22 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
     // (paper §3.1.3, DMA stage).
     const std::uint32_t len = snap.accept_payload ? snap.rx_write_len : 0;
     auto finish = [this, ctx] {
-      record_pipe_total(*ctx);  // payload (if any) has landed in the host
+      graph_->record_pipe_total(*ctx);  // payload has landed in the host
       if (ctx->ack_pkt) {
         ++acks_sent_;
         trace_.hit(tp_ack_);
-        auto ack_ctx = std::make_shared<SegCtx>();
+        auto ack_ctx = ctx_pool_.acquire();
         ack_ctx->kind = SegCtx::Kind::Rx;
         ack_ctx->pkt = ctx->ack_pkt;
+        ack_ctx->flow_group = ctx->flow_group;
+        ack_ctx->snap.egress_seq = ctx->snap.egress_seq;
         ack_ctx->rtc_token = ctx->rtc_token;
-        groups_[ctx->flow_group]->nbi_rob->push(ctx->snap.egress_seq,
-                                                std::move(ack_ctx));
+        graph_->to_nbi(ctx->flow_group, ctx->snap.egress_seq,
+                       std::move(ack_ctx));
       }
       if (ctx->notify_host || ctx->snap.tx_freed > 0 ||
           ctx->snap.fin_consumed) {
-        submit(pick(ctx_fpcs_, rr_ctx_++), cfg_.costs.ctx_op, 0,
-               [this, ctx] { stage_ctx_notify(ctx); }, 0, 0, false);
+        graph_->to_ctx_notify(ctx);
       }
     };
     if (len > 0) {
@@ -1089,8 +769,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
               : 0;
       if (copy_cost > 0) {
         // Software copy on the DMA-module core (x86/BlueField ports).
-        nfp::Fpc& f = pick(dma_fpcs_, rr_dma_++);
-        submit(f, copy_cost, 0, [] {}, 0, 0, false);
+        graph_->charge_dma_copy(copy_cost);
       }
       dma_.issue(len + 64, [buf, pos, trim, len, pkt, finish] {
         if (buf != nullptr) {
@@ -1116,8 +795,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
         cfg_.shared_memory_ctx ? cfg_.copy_cycles_per_kb * (len / 1024 + 1)
                                : 0;
     if (copy_cost > 0) {
-      nfp::Fpc& f = pick(dma_fpcs_, rr_dma_++);
-      submit(f, copy_cost, 0, [] {}, 0, 0, false);
+      graph_->charge_dma_copy(copy_cost);
     }
     dma_.issue(len + 64, [this, ctx, buf, pkt, pos, len] {
       if (len > 0 && buf != nullptr) {
@@ -1125,8 +803,8 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
         buf->read(pos, pkt->payload);
       }
       ++tx_segments_;
-      record_pipe_total(*ctx);  // segment fully materialized for the NBI
-      groups_[ctx->flow_group]->nbi_rob->push(ctx->snap.egress_seq, ctx);
+      graph_->record_pipe_total(*ctx);  // fully materialized for the NBI
+      graph_->to_nbi(ctx->flow_group, ctx->snap.egress_seq, ctx);
     });
     return;
   }
@@ -1134,21 +812,21 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
   // HC with a window-update ACK.
   if (ctx->ack_pkt) {
     ++acks_sent_;
-    auto ack_ctx = std::make_shared<SegCtx>();
+    auto ack_ctx = ctx_pool_.acquire();
     ack_ctx->kind = SegCtx::Kind::Hc;
     ack_ctx->pkt = ctx->ack_pkt;
+    ack_ctx->flow_group = ctx->flow_group;
+    ack_ctx->snap.egress_seq = ctx->snap.egress_seq;
     ack_ctx->rtc_token = ctx->rtc_token;
-    groups_[ctx->flow_group]->nbi_rob->push(ctx->snap.egress_seq,
-                                            std::move(ack_ctx));
+    graph_->to_nbi(ctx->flow_group, ctx->snap.egress_seq,
+                   std::move(ack_ctx));
   }
 }
 
 // ----------------------------------------------------- context-queue stage
 
 void Datapath::stage_ctx_notify(const SegCtxPtr& ctx) {
-  stage_mark(kStCtxNotify, *ctx);
-  record_pipe_total(*ctx);
-  const FlowState& fs = flows_[ctx->conn_idx];
+  graph_->record_pipe_total(*ctx);
   const ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
 
@@ -1166,14 +844,15 @@ void Datapath::stage_ctx_notify(const SegCtxPtr& ctx) {
     send(host::CtxDescType::RxEof, 0);
     if (host_.peer_fin) host_.peer_fin(conn);
   }
-  (void)fs;
 }
 
 void Datapath::host_notify(const host::CtxDesc& desc) {
   if (telem_.enabled()) t_host_notify_->inc();
   // 32-byte descriptor DMA + interrupt/eventfd (or polling) delay.
-  dma_.issue(32, [this, desc] {
-    ev_.schedule_in(cfg_.notify_latency, [this, desc] {
+  dma_.issue(32, [this, alive = alive_, desc] {
+    if (!*alive) return;
+    ev_.schedule_in(cfg_.notify_latency, [this, alive, desc] {
+      if (!*alive) return;
       if (host_.notify) host_.notify(desc);
     });
   });

@@ -11,14 +11,18 @@
 // never buffered on the NIC — payload moves directly between the wire and
 // host per-socket payload buffers via DMA.
 //
-// The pipeline topology (replication, flow-groups, threads/FPC, memory
-// model) is fully configurable; Table 3's ablation and the x86/BlueField
-// ports are configurations of this one implementation.
+// The pipeline *structure* — stage nodes, replica selection, flow-group
+// islands, reorder points, the run-to-completion gate, drop taxonomy and
+// stage telemetry — lives in the pipeline framework (src/pipeline/): this
+// class builds a pipeline::Graph from its DatapathConfig and binds in the
+// stage bodies (TCP protocol logic) as handlers. Topology knobs
+// (replication, flow-groups, threads/FPC, memory model, reordering) are
+// graph configurations; Table 3's ablation and the x86/BlueField ports
+// are configurations of this one implementation.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -26,15 +30,14 @@
 
 #include "core/config.hpp"
 #include "core/flow_state.hpp"
-#include "core/reorder.hpp"
 #include "core/seg_ctx.hpp"
 #include "host/ctx_queue.hpp"
 #include "host/payload_buf.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "nfp/dma.hpp"
-#include "nfp/fpc.hpp"
-#include "nfp/memory.hpp"
+#include "pipeline/graph.hpp"
+#include "pipeline/pool.hpp"
 #include "sched/carousel.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
@@ -117,15 +120,14 @@ class Datapath : public net::PacketSink {
   void set_profiling(bool on);
 
   // ---- Telemetry ----
-  // Drop-reason taxonomy: every shed segment is attributed to exactly
-  // one reason (their counters sum to drops()).
-  enum class DropReason : std::uint8_t {
-    RtcOverload,   // run-to-completion gate full (single-FPC ablation)
-    FpcQueueFull,  // an inter-stage FPC work ring rejected the item
-    XdpDrop,       // an XDP program returned XDP_DROP
-  };
-  static constexpr std::size_t kDropReasons = 3;
-  static const char* drop_reason_name(DropReason r);
+  // Drop-reason taxonomy (owned by the pipeline framework): every shed
+  // segment is attributed to exactly one reason (their counters sum to
+  // drops()).
+  using DropReason = pipeline::DropReason;
+  static constexpr std::size_t kDropReasons = pipeline::kDropReasons;
+  static const char* drop_reason_name(DropReason r) {
+    return pipeline::drop_reason_name(r);
+  }
   // Out-of-band introspection registry (see telemetry/registry.hpp):
   // stage visit/latency, per-FPC rings, per-flow-group traffic, DMA,
   // scheduler, host context queues, drop reasons. Zero simulated cost.
@@ -143,18 +145,19 @@ class Datapath : public net::PacketSink {
   std::uint64_t ooo_segments() const { return ooo_segments_; }
   const ProtoState* proto_state(tcp::ConnId conn) const;
   sched::Carousel& scheduler() { return carousel_; }
+  // The stage graph this data-path drives (construction/wiring tests,
+  // extensions).
+  pipeline::Graph& graph() { return *graph_; }
+  const pipeline::Graph& graph() const { return *graph_; }
   // Total FPCs configured (utilization reporting).
   unsigned total_fpcs() const;
   double fpc_utilization() const;
 
  private:
-  struct Group;  // flow-group island
-
-  // Pipeline stages (each runs as FPC work).
+  // ---- Stage bodies (bound into the graph as handlers) ----
   void stage_pre_rx(const SegCtxPtr& ctx);
   void stage_pre_tx(const SegCtxPtr& ctx);
-  void stage_pre_hc(const SegCtxPtr& ctx);
-  void stage_proto(const SegCtxPtr& ctx);
+  void stage_proto(const SegCtxPtr& ctx);  // kind dispatch + validity
   void proto_rx(FlowState& fs, const SegCtxPtr& ctx);
   void proto_tx(FlowState& fs, const SegCtxPtr& ctx);
   void proto_hc(FlowState& fs, const SegCtxPtr& ctx);
@@ -166,48 +169,14 @@ class Datapath : public net::PacketSink {
   std::uint32_t tx_trigger(std::uint32_t conn);  // Carousel callback
   void sched_resync(tcp::ConnId conn, const ProtoState& p);
   void spawn_fin_segment(tcp::ConnId conn);
-  void submit(nfp::Fpc& fpc, std::uint32_t compute, std::uint32_t mem,
-              std::function<void()> fn, std::uint64_t skip_seq,
-              std::uint8_t group, bool sequenced);
-  std::shared_ptr<void> make_rtc_token();
   void nbi_transmit(const net::PacketPtr& pkt);
   void host_notify(const host::CtxDesc& desc);
   void emit_ack_packet(const SegCtxPtr& ctx);
   net::PacketPtr build_tx_packet(const FlowState& fs,
                                  const ProtoSnapshot& snap);
-  std::uint32_t state_mem_cycles(Group& g, nfp::StateAccessModel& model,
-                                 std::uint32_t conn);
-  std::uint32_t profile_overhead() const {
-    return cfg_.profiling ? cfg_.profile_cycles : 0;
-  }
-  nfp::Fpc& pick(std::vector<std::shared_ptr<nfp::Fpc>>& v,
-                 std::uint64_t key);
-
-  // ---- Telemetry internals ----
-  // Pipeline stages in instrumentation order (the sequencer plus the
-  // stage_* / proto_* functions each segment context can visit).
-  enum Stage : std::size_t {
-    kStSeq,
-    kStPreRx,
-    kStPreTx,
-    kStPreHc,
-    kStProtoRx,
-    kStProtoTx,
-    kStProtoHc,
-    kStPost,
-    kStDma,
-    kStCtxNotify,
-    kStageCount,
-  };
-  void setup_telemetry();
-  // Stamps pipeline admission time (end-to-end latency base).
-  void stamp_birth(SegCtx& ctx);
-  // Counts a stage visit and records the inter-stage latency.
-  void stage_mark(Stage s, SegCtx& ctx);
-  // Records the admission->completion latency once per context.
-  void record_pipe_total(SegCtx& ctx);
-  // Attributes a shed segment to exactly one taxonomy reason.
-  void count_drop(DropReason r);
+  // Legacy drop accounting fed by the graph's taxonomy.
+  void count_drop_legacy(DropReason r);
+  pipeline::Graph::Handlers make_handlers();
 
   sim::EventQueue& ev_;
   telemetry::Registry telem_;
@@ -215,32 +184,12 @@ class Datapath : public net::PacketSink {
   HostIface host_;
   net::PacketSink* mac_sink_ = nullptr;
 
-  // Flow-group islands: pre/proto/post FPCs + reorder points.
-  struct Group {
-    std::vector<std::shared_ptr<nfp::Fpc>> pre;
-    std::vector<std::shared_ptr<nfp::Fpc>> proto;
-    std::vector<std::shared_ptr<nfp::Fpc>> post;
-    std::unique_ptr<nfp::IslandMemory> island_mem;
-    // One state-access model per FPC (local CAM caches are per-FPC).
-    std::vector<std::unique_ptr<nfp::StateAccessModel>> proto_mem;
-    std::vector<std::unique_ptr<nfp::StateAccessModel>> post_mem;
-    std::vector<std::unique_ptr<nfp::DirectMappedCache>> pre_lookup_cache;
-    Sequencer sequencer;
-    std::unique_ptr<ReorderBuffer<SegCtxPtr>> proto_rob;
-    std::unique_ptr<ReorderBuffer<SegCtxPtr>> nbi_rob;
-    std::uint64_t egress_next = 0;
-    std::uint64_t rr_pre = 0;   // round-robin replica choice
-    std::uint64_t rr_post = 0;
-  };
-
-  std::vector<std::unique_ptr<Group>> groups_;
-  std::vector<std::shared_ptr<nfp::Fpc>> dma_fpcs_;
-  std::vector<std::shared_ptr<nfp::Fpc>> ctx_fpcs_;
-  std::uint64_t rr_dma_ = 0;
-  std::uint64_t rr_ctx_ = 0;
-  nfp::NicMemory nic_mem_;
   nfp::DmaEngine dma_;
   sched::Carousel carousel_;
+  // The stage graph (built from cfg_; destroyed before dma_/carousel_).
+  std::unique_ptr<pipeline::Graph> graph_;
+  // Pooled segment-context allocation (one recycled block per segment).
+  pipeline::SharedPool<SegCtx> ctx_pool_;
 
   // Flow state tables (EMEM) + active-connection DB (IMEM lookup engine).
   std::vector<FlowState> flows_;
@@ -264,16 +213,9 @@ class Datapath : public net::PacketSink {
   };
   std::vector<CcAccum> cc_accum_;
 
-  // Run-to-completion mode: one segment at a time through the pipeline.
-  bool rtc_busy_ = false;
-  std::deque<std::function<void()>> rtc_pending_;
-  // Destruction sentinel: event-queue callbacks (and RTC-token deleters)
-  // may outlive this object inside a draining EventQueue.
+  // Destruction sentinel: host-notification events may outlive this
+  // object inside a draining EventQueue.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  // droppable: RX segments may be shed under overload (one-shot datapath);
-  // HC/TX work is never lost. Returns false if dropped.
-  bool rtc_admit(std::function<void()> fn, bool droppable = false);
-  void rtc_done();
   net::MacAddr local_mac_{};
   net::Ipv4Addr local_ip_ = 0;
 
@@ -282,22 +224,6 @@ class Datapath : public net::PacketSink {
   std::uint32_t tp_rx_ = 0, tp_tx_ = 0, tp_ooo_ = 0, tp_drop_ = 0,
                 tp_fretx_ = 0, tp_ack_ = 0;
 
-  // Telemetry handles (stable pointers into telem_, bound once in the
-  // constructor; every hit is a pointer bump behind one enabled branch).
-  struct StageTelem {
-    telemetry::Counter* visits = nullptr;
-    telemetry::Histogram* lat_ns = nullptr;
-  };
-  std::array<StageTelem, kStageCount> stage_telem_{};
-  std::array<telemetry::Counter*, kDropReasons> drop_telem_{};
-  std::array<telemetry::Histogram*, 3> pipe_total_ns_{};  // by SegCtx::Kind
-  struct GroupTelem {
-    telemetry::Counter* rx = nullptr;
-    telemetry::Counter* tx = nullptr;
-    telemetry::Counter* hc = nullptr;
-    telemetry::Histogram* rob_depth = nullptr;
-  };
-  std::vector<GroupTelem> group_telem_;
   telemetry::Counter* t_host_notify_ = nullptr;
 
   std::uint64_t rx_segments_ = 0;

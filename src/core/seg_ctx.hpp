@@ -73,6 +73,9 @@ struct SegCtx {
   std::uint8_t flow_group = 0;
   std::uint32_t conn_idx = 0;
   bool conn_known = false;
+  // Flow-tuple hash for the pre-stage lookup front cache (computed by
+  // the sequencer alongside the flow-group CRC).
+  std::uint64_t lookup_key = 0;
 
   net::PacketPtr pkt;           // RX: received; TX: under construction
   HeaderSummary sum;            // RX meta-data

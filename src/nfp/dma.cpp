@@ -4,6 +4,22 @@
 
 namespace flextoe::nfp {
 
+namespace {
+// Layout stand-in for the completion lambda in DmaEngine::start — the
+// largest hot closure in the simulator. If this stops fitting inline in
+// an EventQueue callback, every DMA completion silently pays a heap
+// allocation; fail the build instead.
+struct CompletionClosureProbe {
+  void* engine;
+  std::shared_ptr<bool> alive;
+  DmaEngine::DoneFn done;
+  void operator()() {}
+};
+static_assert(
+    sim::EventQueue::Callback::fits_inline<CompletionClosureProbe>(),
+    "DMA completion closures must stay inline in EventQueue callbacks");
+}  // namespace
+
 void DmaEngine::bind_telemetry(telemetry::Registry& reg,
                                const std::string& prefix) {
   if (!telem_.bind(reg)) return;
@@ -14,7 +30,7 @@ void DmaEngine::bind_telemetry(telemetry::Registry& reg,
   t_wait_depth_ = reg.histogram(prefix + "/wait_depth");
 }
 
-void DmaEngine::issue(std::uint32_t bytes, std::function<void()> done) {
+void DmaEngine::issue(std::uint32_t bytes, DoneFn done) {
   if (outstanding_ >= params_.max_outstanding) {
     waiting_.push_back(Pending{bytes, std::move(done)});
     if (telem_.on()) t_wait_depth_->record(waiting_.size());
@@ -37,7 +53,9 @@ void DmaEngine::start(Pending p) {
   bus_free_ = begin + xfer_time(p.bytes);
   const sim::TimePs completion = bus_free_ + params_.latency;
 
-  ev_.schedule_at(completion, [this, done = std::move(p.done)]() mutable {
+  ev_.schedule_at(completion, [this, alive = alive_,
+                               done = std::move(p.done)]() mutable {
+    if (!*alive) return;  // engine destroyed with this DMA in flight
     --outstanding_;
     if (done) done();
     if (!waiting_.empty() && outstanding_ < params_.max_outstanding) {
@@ -48,7 +66,7 @@ void DmaEngine::start(Pending p) {
   });
 }
 
-void DmaEngine::mmio(std::function<void()> done) {
+void DmaEngine::mmio(DoneFn done) {
   if (telem_.on()) t_mmio_->inc();
   ev_.schedule_in(params_.mmio_latency, std::move(done));
 }

@@ -6,10 +6,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <memory>
 #include <string>
 
 #include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 #include "telemetry/registry.hpp"
 
@@ -24,15 +25,22 @@ struct DmaParams {
 
 class DmaEngine {
  public:
+  // Completion closures carry up to a packet pointer, buffer cursor and a
+  // nested finish handler inline (the data-path payload-landing lambdas).
+  using DoneFn = sim::SmallFn<64>;
+
   DmaEngine(sim::EventQueue& ev, DmaParams params = {})
       : ev_(ev), params_(params) {}
+  ~DmaEngine() { *alive_ = false; }
+  DmaEngine(const DmaEngine&) = delete;
+  DmaEngine& operator=(const DmaEngine&) = delete;
 
   // Issues an asynchronous DMA of `bytes`; `done` fires on completion.
   // If all transaction slots are busy, the request waits in a queue.
-  void issue(std::uint32_t bytes, std::function<void()> done);
+  void issue(std::uint32_t bytes, DoneFn done);
 
   // Posted MMIO write (doorbell): fire-and-forget with latency.
-  void mmio(std::function<void()> done);
+  void mmio(DoneFn done);
 
   unsigned outstanding() const { return outstanding_; }
   std::uint64_t transactions() const { return transactions_; }
@@ -46,7 +54,7 @@ class DmaEngine {
  private:
   struct Pending {
     std::uint32_t bytes;
-    std::function<void()> done;
+    DoneFn done;
   };
 
   void start(Pending p);
@@ -57,6 +65,9 @@ class DmaEngine {
 
   sim::EventQueue& ev_;
   DmaParams params_;
+  // Destruction sentinel (see nfp::Fpc::alive_): completions already on
+  // the EventQueue must not re-enter a freed engine.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::deque<Pending> waiting_;
   unsigned outstanding_ = 0;
   sim::TimePs bus_free_ = 0;

@@ -39,7 +39,9 @@ void Fpc::try_dispatch() {
     busy_time_ += compute;
     const sim::TimePs completion = core_free_ + mem;
 
-    ev_.schedule_at(completion, [this, done = std::move(w.done)]() mutable {
+    ev_.schedule_at(completion, [this, alive = alive_,
+                                 done = std::move(w.done)]() mutable {
+      if (!*alive) return;  // core destroyed with this completion pending
       --inflight_;
       ++items_done_;
       if (telem_.on()) t_done_->inc();

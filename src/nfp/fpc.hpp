@@ -11,11 +11,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 #include "telemetry/registry.hpp"
 
@@ -28,15 +29,23 @@ struct FpcParams {
 };
 
 struct Work {
+  // Inline capacity covers the data-path stage closures (a component
+  // pointer plus a shared segment context); anything bigger transparently
+  // falls back to the heap.
+  using DoneFn = sim::SmallFn<48>;
+
   std::uint32_t compute_cycles = 0;
   std::uint32_t mem_cycles = 0;
-  std::function<void()> done;
+  DoneFn done;
 };
 
 class Fpc {
  public:
   Fpc(sim::EventQueue& ev, FpcParams params, std::string name)
       : ev_(ev), params_(params), name_(std::move(name)) {}
+  ~Fpc() { *alive_ = false; }
+  Fpc(const Fpc&) = delete;
+  Fpc& operator=(const Fpc&) = delete;
 
   // Enqueues a work item. Returns false (and drops it) if the work queue
   // is full — FlexTOE's one-shot data-path never buffers segments, so
@@ -64,6 +73,10 @@ class Fpc {
   sim::EventQueue& ev_;
   FpcParams params_;
   std::string name_;
+  // Destruction sentinel: completion events scheduled on the EventQueue
+  // may outlive this core (e.g. a Datapath torn down with events still
+  // pending); they check the flag before touching freed state.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::deque<Work> queue_;
   unsigned inflight_ = 0;
   sim::TimePs core_free_ = 0;

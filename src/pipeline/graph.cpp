@@ -1,0 +1,531 @@
+#include "pipeline/graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace flextoe::pipeline {
+
+const char* stage_name(StageId s) {
+  static const char* kNames[kStageCount] = {
+      "seq",      "pre_rx",   "pre_tx", "pre_hc", "proto_rx",
+      "proto_tx", "proto_hc", "post",   "dma",    "ctx_notify"};
+  return kNames[static_cast<std::size_t>(s)];
+}
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::RtcOverload:
+      return "rtc_overload";
+    case DropReason::FpcQueueFull:
+      return "fpc_queue_full";
+    case DropReason::XdpDrop:
+      return "xdp_drop";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ building
+
+Graph::Island::Island(std::size_t g)
+    : pre("pre" + std::to_string(g), StageRole::Pre, PickPolicy::RoundRobin,
+          StateAccess::LookupCache,
+          StageTraits{/*sequenced=*/true, /*droppable=*/true}),
+      proto("proto" + std::to_string(g), StageRole::Proto,
+            PickPolicy::ConnShard, StateAccess::ReadModifyWrite,
+            StageTraits{}),
+      post("post" + std::to_string(g), StageRole::Post,
+           PickPolicy::RoundRobin, StateAccess::Read, StageTraits{}) {}
+
+Graph::Graph(sim::EventQueue& ev, const core::DatapathConfig& cfg,
+             nfp::DmaEngine& dma, Handlers handlers)
+    : ev_(ev),
+      cfg_(&cfg),
+      dma_(&dma),
+      handlers_(std::move(handlers)),
+      dma_stage_("dma", StageRole::Dma, PickPolicy::RoundRobin,
+                 StateAccess::None, StageTraits{}),
+      ctx_stage_("ctx", StageRole::CtxQueue, PickPolicy::RoundRobin,
+                 StateAccess::None, StageTraits{}) {
+  const unsigned ngroups = std::max(1u, cfg.flow_groups);
+  nfp::FpcParams fp;
+  fp.clock = cfg.clock;
+  fp.threads = std::max(1u, cfg.threads_per_fpc);
+  fp.queue_capacity = cfg.fpc_queue_depth;
+
+  // Run-to-completion configuration: every stage shares one FPC, so all
+  // work — including PCIe waits — serializes on a single core (Table 3
+  // baseline), and the admission gate below serializes whole segments.
+  std::shared_ptr<nfp::Fpc> rtc_fpc;
+  if (!cfg.pipelined) {
+    rtc_fpc = std::make_shared<nfp::Fpc>(ev_, fp, "rtc");
+    gate_ = std::make_shared<GateState>(ev_, cfg.fpc_queue_depth);
+  }
+
+  auto populate = [&](Stage& st, unsigned n, const char* tag,
+                      std::size_t g) {
+    for (unsigned i = 0; i < n; ++i) {
+      if (rtc_fpc) {
+        st.add_replica(rtc_fpc);
+        continue;
+      }
+      st.add_replica(std::make_shared<nfp::Fpc>(
+          ev_, fp, tag + std::to_string(g) + "." + std::to_string(i)));
+    }
+  };
+
+  for (unsigned g = 0; g < ngroups; ++g) {
+    auto isl = std::make_unique<Island>(g);
+    isl->mem = std::make_unique<nfp::IslandMemory>(512);
+    populate(isl->pre, std::max(1u, cfg.pre_replicas), "pre", g);
+    populate(isl->proto, std::max(1u, cfg.proto_fpcs_per_group), "proto", g);
+    populate(isl->post, std::max(1u, cfg.post_replicas), "post", g);
+    for (std::size_t i = 0; i < isl->proto.replicas(); ++i) {
+      isl->proto.mem().push_back(std::make_unique<nfp::StateAccessModel>(
+          cfg.mem, isl->mem.get(), &nic_mem_, 16));
+    }
+    for (std::size_t i = 0; i < isl->post.replicas(); ++i) {
+      isl->post.mem().push_back(std::make_unique<nfp::StateAccessModel>(
+          cfg.mem, isl->mem.get(), &nic_mem_, 16));
+    }
+    for (std::size_t i = 0; i < isl->pre.replicas(); ++i) {
+      isl->pre.lookup().push_back(
+          std::make_unique<nfp::DirectMappedCache>(128));
+    }
+    isl->proto_rob = std::make_unique<ReorderBuffer<core::SegCtxPtr>>(
+        [this](core::SegCtxPtr ctx) { dispatch_proto(ctx); }, cfg.reorder);
+    isl->nbi_rob = std::make_unique<ReorderBuffer<core::SegCtxPtr>>(
+        [this](core::SegCtxPtr ctx) {
+          if (ctx->pkt) handlers_.nbi_tx(ctx->pkt);
+        },
+        cfg.reorder);
+    islands_.push_back(std::move(isl));
+  }
+
+  // Service island: DMA managers + context-queue FPCs.
+  for (unsigned i = 0; i < std::max(1u, cfg.dma_fpcs); ++i) {
+    dma_stage_.add_replica(
+        rtc_fpc ? rtc_fpc
+                : std::make_shared<nfp::Fpc>(ev_, fp,
+                                             "dma." + std::to_string(i)));
+  }
+  for (unsigned i = 0; i < std::max(1u, cfg.ctx_fpcs); ++i) {
+    ctx_stage_.add_replica(
+        rtc_fpc ? rtc_fpc
+                : std::make_shared<nfp::Fpc>(ev_, fp,
+                                             "ctx." + std::to_string(i)));
+  }
+
+  wire_ports();
+}
+
+Graph::~Graph() = default;
+
+// Binds every stage's typed output ports to the framework's routing.
+// The ports are the graph's declarative edge list — named, typed, and
+// asserted by the construction tests; the hot dispatch paths call the
+// same routing methods directly to avoid an indirection per segment.
+void Graph::wire_ports() {
+  for (std::size_t g = 0; g < islands_.size(); ++g) {
+    Island& isl = *islands_[g];
+    isl.pre.out("steer").bind(
+        "proto" + std::to_string(g),
+        [this](const core::SegCtxPtr& c) { to_proto(c); });
+    isl.proto.out("post").bind(
+        "post" + std::to_string(g),
+        [this](const core::SegCtxPtr& c) { to_post(c); });
+    isl.post.out("dma").bind(
+        "dma", [this](const core::SegCtxPtr& c) { to_dma(c); });
+    isl.post.out("notify").bind(
+        "ctx", [this](const core::SegCtxPtr& c) { to_ctx_notify(c); });
+  }
+  dma_stage_.out("notify").bind(
+      "ctx", [this](const core::SegCtxPtr& c) { to_ctx_notify(c); });
+  dma_stage_.out("nbi").bind("mac_tx", [this](const core::SegCtxPtr& c) {
+    to_nbi(c->flow_group, c->snap.egress_seq, c);
+  });
+}
+
+// ----------------------------------------------------------- telemetry
+
+void Graph::bind_telemetry(telemetry::Registry& reg) {
+  reg_ = &reg;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const std::string base =
+        std::string("stage/") + stage_name(static_cast<StageId>(s));
+    stage_telem_[s].visits = reg.counter(base + "/visits");
+    stage_telem_[s].lat_ns = reg.histogram(base + "/lat_ns");
+  }
+  for (std::size_t r = 0; r < kDropReasons; ++r) {
+    drop_telem_[r] = reg.counter(
+        std::string("drop/") + drop_reason_name(static_cast<DropReason>(r)));
+  }
+  pipe_total_ns_[static_cast<std::size_t>(core::SegCtx::Kind::Rx)] =
+      reg.histogram("pipe/rx_total_ns");
+  pipe_total_ns_[static_cast<std::size_t>(core::SegCtx::Kind::Tx)] =
+      reg.histogram("pipe/tx_total_ns");
+  pipe_total_ns_[static_cast<std::size_t>(core::SegCtx::Kind::Hc)] =
+      reg.histogram("pipe/hc_total_ns");
+  group_telem_.resize(islands_.size());
+  for (std::size_t g = 0; g < islands_.size(); ++g) {
+    const std::string p = "group/" + std::to_string(g);
+    group_telem_[g].rx = reg.counter(p + "/rx");
+    group_telem_[g].tx = reg.counter(p + "/tx");
+    group_telem_[g].hc = reg.counter(p + "/hc");
+    group_telem_[g].rob_depth = reg.histogram(p + "/rob_depth");
+  }
+  for (auto& isl : islands_) {
+    for (auto& f : isl->pre.all_fpcs()) {
+      f->bind_telemetry(reg, "fpc/" + f->name());
+    }
+    for (auto& f : isl->proto.all_fpcs()) {
+      f->bind_telemetry(reg, "fpc/" + f->name());
+    }
+    for (auto& f : isl->post.all_fpcs()) {
+      f->bind_telemetry(reg, "fpc/" + f->name());
+    }
+  }
+  for (auto& f : dma_stage_.all_fpcs()) {
+    f->bind_telemetry(reg, "fpc/" + f->name());
+  }
+  for (auto& f : ctx_stage_.all_fpcs()) {
+    f->bind_telemetry(reg, "fpc/" + f->name());
+  }
+}
+
+void Graph::stamp_birth(core::SegCtx& ctx) {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  ctx.t_born_ps = ctx.t_stage_ps = ev_.now();
+}
+
+void Graph::mark(StageId s, core::SegCtx& ctx) {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  StageTelem& st = stage_telem_[static_cast<std::size_t>(s)];
+  st.visits->inc();
+  const sim::TimePs now = ev_.now();
+  if (ctx.t_stage_ps != core::SegCtx::kNoTimestamp) {
+    st.lat_ns->record((now - ctx.t_stage_ps) / sim::kPsPerNs);
+  }
+  ctx.t_stage_ps = now;
+}
+
+void Graph::record_pipe_total(core::SegCtx& ctx) {
+  if (reg_ == nullptr || !reg_->enabled() ||
+      ctx.t_born_ps == core::SegCtx::kNoTimestamp) {
+    return;
+  }
+  pipe_total_ns_[static_cast<std::size_t>(ctx.kind)]->record(
+      (ev_.now() - ctx.t_born_ps) / sim::kPsPerNs);
+  ctx.t_born_ps = core::SegCtx::kNoTimestamp;  // recorded once per ctx
+}
+
+void Graph::count_drop(DropReason r) {
+  if (handlers_.on_drop) handlers_.on_drop(r);
+  if (reg_ != nullptr && reg_->enabled()) {
+    drop_telem_[static_cast<std::size_t>(r)]->inc();
+  }
+}
+
+// ------------------------------------------------------------ RTC gate
+
+bool Graph::admit(GateTask fn, bool droppable) {
+  if (!gate_) {
+    fn();
+    return true;
+  }
+  if (gate_->busy) {
+    if (droppable && gate_->pending.size() >= gate_->limit) {
+      count_drop(DropReason::RtcOverload);
+      return false;  // no NIC-side buffering: shed the segment
+    }
+    gate_->pending.push_back(std::move(fn));
+    return true;
+  }
+  gate_->busy = true;
+  fn();
+  return true;
+}
+
+// Run-to-completion token: when the last reference to the segment
+// context (and thus every callback in its chain) dies, the pipeline is
+// free to admit the next segment. The weak reference makes tokens inert
+// once the graph is gone (contexts may outlive it in a draining
+// EventQueue).
+std::shared_ptr<void> Graph::gate_token() {
+  if (!gate_) return nullptr;
+  return std::shared_ptr<void>(
+      nullptr, [w = std::weak_ptr<GateState>(gate_)](void*) {
+        if (auto g = w.lock()) gate_done(g);
+      });
+}
+
+void Graph::gate_done(const std::shared_ptr<GateState>& g) {
+  g->busy = false;
+  if (g->pending.empty()) return;
+  GateTask fn = std::move(g->pending.front());
+  g->pending.pop_front();
+  g->busy = true;
+  // Defer to avoid unbounded recursion through completion chains. The
+  // continuation holds graph-owned state, so it re-checks liveness.
+  g->ev.schedule_in(0, [w = std::weak_ptr<GateState>(g),
+                        fn = std::move(fn)]() mutable {
+    if (w.lock()) fn();
+  });
+}
+
+// ------------------------------------------------------------- dispatch
+
+bool Graph::submit(nfp::Fpc& fpc, std::uint32_t compute, std::uint32_t mem,
+                   nfp::Work::DoneFn fn, std::uint64_t skip_seq,
+                   std::uint8_t group, bool sequenced) {
+  nfp::Work w;
+  w.compute_cycles = compute + profile_overhead();
+  w.mem_cycles = mem;
+  w.done = std::move(fn);
+  if (!fpc.submit(std::move(w))) {
+    count_drop(DropReason::FpcQueueFull);
+    if (sequenced) islands_[group]->proto_rob->skip(skip_seq);
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t Graph::state_cycles(Stage& st, std::size_t replica,
+                                  std::uint32_t conn) const {
+  if (!cfg_->nfp_memory) return cfg_->flat_mem_cycles;
+  const std::uint32_t once = st.mem()[replica]->access_cycles(conn);
+  // Protocol state is read-modify-write: fetch + write-back both pay the
+  // hierarchy (this is what strains the EMEM SRAM cache at high
+  // connection counts, Fig 13).
+  return st.state_access() == StateAccess::ReadModifyWrite ? 2 * once
+                                                           : once;
+}
+
+void Graph::ingress_rx(const core::SegCtxPtr& ctx,
+                       std::uint32_t extra_cycles) {
+  admit(
+      [this, ctx, extra_cycles] {
+        ctx->rtc_token = gate_token();
+        Island& isl = *islands_[ctx->flow_group];
+        ctx->pipe_seq = isl.sequencer.assign();
+        mark(StageId::Seq, *ctx);
+        const std::size_t idx = isl.pre.pick();
+        // Flow lookup: IMEM lookup engine, front-cached per pre-processor.
+        std::uint32_t lookup_mem = cfg_->flat_mem_cycles;
+        if (cfg_->nfp_memory &&
+            isl.pre.state_access() == StateAccess::LookupCache) {
+          lookup_mem = isl.pre.lookup()[idx]->access(ctx->lookup_key)
+                           ? cfg_->mem.local
+                           : cfg_->mem.imem;
+        }
+        submit(isl.pre.fpc(idx),
+               cfg_->costs.seq + cfg_->costs.pre_rx + extra_cycles,
+               lookup_mem,
+               [this, ctx] {
+                 mark(StageId::PreRx, *ctx);
+                 handlers_.pre_rx(ctx);
+               },
+               ctx->pipe_seq, ctx->flow_group, isl.pre.traits().sequenced);
+      },
+      islands_[ctx->flow_group]->pre.traits().droppable);
+}
+
+bool Graph::ingress_tx(const core::SegCtxPtr& ctx) {
+  Island& isl = *islands_[ctx->flow_group];
+  // The replica grant is consumed even under back-pressure (hardware
+  // arbitration semantics).
+  const std::size_t idx = isl.pre.pick();
+  if (isl.pre.fpc(idx).queue_len() >= cfg_->fpc_queue_depth) return false;
+  admit(
+      [this, ctx, idx] {
+        ctx->rtc_token = gate_token();
+        Island& isl2 = *islands_[ctx->flow_group];
+        ctx->pipe_seq = isl2.sequencer.assign();
+        mark(StageId::Seq, *ctx);
+        submit(isl2.pre.fpc(idx), cfg_->costs.seq + cfg_->costs.pre_tx, 0,
+               [this, ctx] {
+                 mark(StageId::PreTx, *ctx);
+                 handlers_.pre_tx(ctx);
+               },
+               ctx->pipe_seq, ctx->flow_group, isl2.pre.traits().sequenced);
+      },
+      /*droppable=*/false);  // TX/HC work is never lost, only RX sheds
+  return true;
+}
+
+void Graph::ingress_hc(const core::SegCtxPtr& ctx) {
+  admit(
+      [this, ctx] {
+        ctx->rtc_token = gate_token();
+        // Fetch the descriptor via DMA, then steer through the pipeline.
+        const std::size_t cidx = ctx_stage_.pick();
+        submit(ctx_stage_.fpc(cidx), cfg_->costs.ctx_op, 0,
+               [this, ctx] {
+                 dma_->issue(32, [this, ctx] {
+                   Island& isl = *islands_[ctx->flow_group];
+                   ctx->pipe_seq = isl.sequencer.assign();
+                   mark(StageId::Seq, *ctx);
+                   const std::size_t idx = isl.pre.pick();
+                   submit(isl.pre.fpc(idx), cfg_->costs.pre_hc, 0,
+                          [this, ctx] {
+                            mark(StageId::PreHc, *ctx);
+                            to_proto(ctx);
+                          },
+                          ctx->pipe_seq, ctx->flow_group,
+                          isl.pre.traits().sequenced);
+                 });
+               },
+               0, 0, false);
+      },
+      /*droppable=*/false);
+}
+
+void Graph::spawn_tx(const core::SegCtxPtr& ctx) {
+  Island& isl = *islands_[ctx->flow_group];
+  ctx->pipe_seq = isl.sequencer.assign();
+  mark(StageId::Seq, *ctx);
+  const std::size_t idx = isl.pre.pick();
+  submit(isl.pre.fpc(idx), cfg_->costs.pre_tx, 0,
+         [this, ctx] {
+           mark(StageId::PreTx, *ctx);
+           handlers_.pre_tx(ctx);
+         },
+         ctx->pipe_seq, ctx->flow_group, isl.pre.traits().sequenced);
+}
+
+void Graph::to_proto(const core::SegCtxPtr& ctx) {
+  islands_[ctx->flow_group]->proto_rob->push(ctx->pipe_seq, ctx);
+}
+
+void Graph::skip_proto(const core::SegCtxPtr& ctx) {
+  islands_[ctx->flow_group]->proto_rob->skip(ctx->pipe_seq);
+}
+
+void Graph::skip_nbi(const core::SegCtxPtr& ctx) {
+  if (!holds_egress_slot(*ctx)) return;
+  islands_[ctx->flow_group]->nbi_rob->skip(ctx->snap.egress_seq);
+}
+
+void Graph::dispatch_proto(const core::SegCtxPtr& ctx) {
+  if (!ctx->conn_known || !handlers_.conn_valid(ctx)) return;
+  Island& isl = *islands_[ctx->flow_group];
+  if (reg_ != nullptr && reg_->enabled()) {
+    GroupTelem& gt = group_telem_[ctx->flow_group];
+    switch (ctx->kind) {
+      case core::SegCtx::Kind::Rx:
+        gt.rx->inc();
+        break;
+      case core::SegCtx::Kind::Tx:
+        gt.tx->inc();
+        break;
+      case core::SegCtx::Kind::Hc:
+        gt.hc->inc();
+        break;
+    }
+    gt.rob_depth->record(isl.proto_rob->pending());
+  }
+  // Connections are sharded across the group's protocol FPCs; atomicity
+  // per connection is preserved because a connection always maps to the
+  // same FPC (FIFO work queue).
+  const std::size_t shard = isl.proto.pick(ctx->conn_idx);
+
+  std::uint32_t compute = 0;
+  switch (ctx->kind) {
+    case core::SegCtx::Kind::Rx:
+      compute = cfg_->costs.proto_rx;
+      break;
+    case core::SegCtx::Kind::Tx:
+      compute = cfg_->costs.proto_tx;
+      break;
+    case core::SegCtx::Kind::Hc:
+      compute = cfg_->costs.proto_hc;
+      break;
+  }
+  const std::uint32_t memc =
+      state_cycles(isl.proto, shard, ctx->conn_idx);
+
+  submit(isl.proto.fpc(shard), compute, memc,
+         [this, ctx] { handlers_.proto(ctx); }, 0, 0,
+         isl.proto.traits().sequenced);
+}
+
+void Graph::to_post(const core::SegCtxPtr& ctx) {
+  Island& isl = *islands_[ctx->flow_group];
+  const std::size_t idx = isl.post.pick();
+  std::uint32_t compute = 0;
+  switch (ctx->kind) {
+    case core::SegCtx::Kind::Rx:
+      compute = cfg_->costs.post_rx;
+      break;
+    case core::SegCtx::Kind::Tx:
+      compute = cfg_->costs.post_tx;
+      break;
+    case core::SegCtx::Kind::Hc:
+      compute = cfg_->costs.post_hc;
+      break;
+  }
+  const std::uint32_t memc = state_cycles(isl.post, idx, ctx->conn_idx);
+  if (!submit(isl.post.fpc(idx), compute, memc,
+              [this, ctx] { handlers_.post(ctx); }, 0, 0,
+              isl.post.traits().sequenced)) {
+    skip_nbi(ctx);  // shed after an egress slot was assigned
+  }
+}
+
+void Graph::to_dma(const core::SegCtxPtr& ctx) {
+  const std::size_t idx = dma_stage_.pick();
+  if (!submit(dma_stage_.fpc(idx), cfg_->costs.dma_issue, 0,
+              [this, ctx] {
+                mark(StageId::Dma, *ctx);
+                handlers_.dma(ctx);
+              },
+              0, 0, dma_stage_.traits().sequenced)) {
+    skip_nbi(ctx);  // shed after an egress slot was assigned
+  }
+}
+
+void Graph::to_ctx_notify(const core::SegCtxPtr& ctx) {
+  const std::size_t idx = ctx_stage_.pick();
+  submit(ctx_stage_.fpc(idx), cfg_->costs.ctx_op, 0,
+         [this, ctx] {
+           mark(StageId::CtxNotify, *ctx);
+           handlers_.ctx_notify(ctx);
+         },
+         0, 0, false);
+}
+
+void Graph::to_nbi(std::uint8_t group, std::uint64_t egress_seq,
+                   core::SegCtxPtr ctx) {
+  islands_[group]->nbi_rob->push(egress_seq, std::move(ctx));
+}
+
+void Graph::charge_dma_copy(std::uint32_t cycles) {
+  // Software copy on a DMA-module core (x86/BlueField ports).
+  const std::size_t idx = dma_stage_.pick();
+  submit(dma_stage_.fpc(idx), cycles, 0, [] {}, 0, 0, false);
+}
+
+// -------------------------------------------------------- introspection
+
+unsigned Graph::total_fpcs() const {
+  unsigned n = static_cast<unsigned>(dma_stage_.replicas() +
+                                     ctx_stage_.replicas());
+  for (const auto& isl : islands_) {
+    n += static_cast<unsigned>(isl->pre.replicas() + isl->proto.replicas() +
+                               isl->post.replicas());
+  }
+  return n;
+}
+
+sim::TimePs Graph::total_busy() const {
+  sim::TimePs busy = 0;
+  for (const auto& isl : islands_) {
+    for (const auto& f : isl->pre.all_fpcs()) busy += f->busy_time();
+    for (const auto& f : isl->proto.all_fpcs()) busy += f->busy_time();
+    for (const auto& f : isl->post.all_fpcs()) busy += f->busy_time();
+  }
+  for (const auto& f : dma_stage_.all_fpcs()) busy += f->busy_time();
+  for (const auto& f : ctx_stage_.all_fpcs()) busy += f->busy_time();
+  return busy;
+}
+
+}  // namespace flextoe::pipeline

@@ -1,0 +1,232 @@
+// pipeline::Graph — the explicit stage graph of the FlexTOE data path.
+//
+//   MAC RX -> [gate] -> seq -> pre ==steer==> (proto ROB) -> proto
+//        -> post ==dma/notify==> dma -> (NBI ROB) -> MAC TX
+//                                 \-> ctx-queue -> host notify
+//
+// The graph owns everything *structural* about the pipeline: stage nodes
+// with their replica FPCs and selection policy (pipeline/stage.hpp),
+// per-flow-group islands (sequencer, reorder points, egress numbering,
+// island memory), the service stages (DMA issue, context queue), the
+// run-to-completion admission gate, the drop taxonomy, and per-stage
+// telemetry. Stage *bodies* — the TCP protocol logic — are bound in as
+// handlers by the owner (core::Datapath), which no longer contains any
+// dispatch or replica-selection code.
+//
+// Run-to-completion (Table 3 baseline) is a graph configuration, not a
+// parallel code path: `cfg.pipelined = false` builds every stage on one
+// shared FPC and arms the admission gate that serializes whole segments.
+// Likewise `cfg.reorder = false` builds pass-through reorder points (the
+// no-reorder ablation) — new topologies are configs, not code.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/seg_ctx.hpp"
+#include "net/packet.hpp"
+#include "nfp/dma.hpp"
+#include "nfp/fpc.hpp"
+#include "nfp/memory.hpp"
+#include "pipeline/reorder.hpp"
+#include "pipeline/stage.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
+#include "telemetry/registry.hpp"
+
+namespace flextoe::pipeline {
+
+class Graph {
+ public:
+  using SegHandler = std::function<void(const core::SegCtxPtr&)>;
+
+  // Stage bodies and callbacks supplied by the graph's owner. All are
+  // bound once at construction; the framework never outlives them.
+  struct Handlers {
+    SegHandler pre_rx;       // Val/Id/Sum (header summary, flow lookup)
+    SegHandler pre_tx;       // Alloc/Head
+    SegHandler proto;        // atomic per-connection protocol step
+    SegHandler post;         // Ack/Stamp/Stats/Pos
+    SegHandler dma;          // payload DMA issue
+    SegHandler ctx_notify;   // host context-queue notification
+    // Is the context's connection still installed? (guards dispatch into
+    // the stateful stages).
+    std::function<bool(const core::SegCtxPtr&)> conn_valid;
+    // In-order egress sink (NBI -> MAC).
+    std::function<void(const net::PacketPtr&)> nbi_tx;
+    // Legacy drop accounting (aggregate counter + tracepoint).
+    std::function<void(DropReason)> on_drop;
+  };
+
+  Graph(sim::EventQueue& ev, const core::DatapathConfig& cfg,
+        nfp::DmaEngine& dma, Handlers handlers);
+  ~Graph();
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // ---- Ingress (pipeline admission) ----
+  // Telemetry admission stamp (end-to-end latency base).
+  void stamp_birth(core::SegCtx& ctx);
+  // MAC RX: gate-admitted (droppable under RTC overload), sequenced,
+  // then dispatched to the flow group's pre stage. `extra_cycles` bills
+  // ingress extensions (XDP programs) onto the hosting FPC.
+  void ingress_rx(const core::SegCtxPtr& ctx, std::uint32_t extra_cycles);
+  // Scheduler-triggered TX: consumes a pre-replica grant; returns false
+  // when that replica's work ring exerts back-pressure.
+  bool ingress_tx(const core::SegCtxPtr& ctx);
+  // Host-control descriptor: context-queue FPC poll + descriptor DMA
+  // fetch, then sequenced into the flow group's pre stage.
+  void ingress_hc(const core::SegCtxPtr& ctx);
+  // In-pipeline spawn (e.g. FIN flush from the protocol stage): enters
+  // at the sequencer, bypassing gate and back-pressure checks.
+  void spawn_tx(const core::SegCtxPtr& ctx);
+
+  // ---- Stage-boundary routing (called from stage bodies) ----
+  void to_proto(const core::SegCtxPtr& ctx);  // in-order protocol entry
+  void skip_proto(const core::SegCtxPtr& ctx);  // left pipeline early
+  // Releases the NBI egress slot of a context that dies after the
+  // protocol stage assigned it one (flow removed mid-flight, or its
+  // post/DMA work was shed) so the egress reorder point cannot stall.
+  void skip_nbi(const core::SegCtxPtr& ctx);
+  // True when the protocol stage reserved an NBI egress slot for this
+  // context (the exact conditions under which next_egress() was called).
+  static bool holds_egress_slot(const core::SegCtx& ctx) {
+    return ctx.snap.send_ack || ctx.snap.tx_valid || ctx.snap.tx_fin;
+  }
+  void to_post(const core::SegCtxPtr& ctx);
+  void to_dma(const core::SegCtxPtr& ctx);
+  void to_ctx_notify(const core::SegCtxPtr& ctx);
+  // In-order egress: hand a materialized segment to the NBI reorder
+  // point of `group` at position `egress_seq`.
+  void to_nbi(std::uint8_t group, std::uint64_t egress_seq,
+              core::SegCtxPtr ctx);
+  // Software payload-copy cost on a DMA-stage core (shared-memory ports).
+  void charge_dma_copy(std::uint32_t cycles);
+  std::uint64_t next_egress(std::uint8_t group) {
+    return islands_[group]->egress_next++;
+  }
+
+  // ---- Telemetry / accounting ----
+  void bind_telemetry(telemetry::Registry& reg);
+  // Counts a stage visit and records the inter-stage latency.
+  void mark(StageId s, core::SegCtx& ctx);
+  // Records the admission->completion latency once per context.
+  void record_pipe_total(core::SegCtx& ctx);
+  // Attributes a shed segment to exactly one taxonomy reason.
+  void count_drop(DropReason r);
+
+  // ---- Introspection ----
+  std::size_t group_count() const { return islands_.size(); }
+  Stage& pre(std::size_t g) { return islands_[g]->pre; }
+  Stage& proto(std::size_t g) { return islands_[g]->proto; }
+  Stage& post(std::size_t g) { return islands_[g]->post; }
+  Stage& dma_stage() { return dma_stage_; }
+  Stage& ctx_stage() { return ctx_stage_; }
+  const ReorderBuffer<core::SegCtxPtr>& proto_rob(std::size_t g) const {
+    return *islands_[g]->proto_rob;
+  }
+  const ReorderBuffer<core::SegCtxPtr>& nbi_rob(std::size_t g) const {
+    return *islands_[g]->nbi_rob;
+  }
+  // True when the graph runs in run-to-completion mode (gate armed).
+  bool run_to_completion() const { return gate_ != nullptr; }
+  std::size_t gate_backlog() const {
+    return gate_ ? gate_->pending.size() : 0;
+  }
+  // FPC slots as configured (shared RTC cores count once per role, like
+  // the utilization accounting always has).
+  unsigned total_fpcs() const;
+  sim::TimePs total_busy() const;
+
+ private:
+  // Work the admission gate defers: small closures over {graph, ctx}.
+  using GateTask = sim::SmallFn<48>;
+
+  // Run-to-completion gate: one segment occupies the whole pipeline;
+  // completion is signalled by the context's token dying. Kept behind a
+  // shared_ptr so tokens and deferred continuations can outlive the
+  // graph safely (they no-op once the state is gone).
+  struct GateState {
+    sim::EventQueue& ev;
+    std::size_t limit;  // pending-queue depth before RX work is shed
+    bool busy = false;
+    std::deque<GateTask> pending;
+    GateState(sim::EventQueue& e, std::size_t l) : ev(e), limit(l) {}
+  };
+
+  struct Island {
+    Stage pre;
+    Stage proto;
+    Stage post;
+    std::unique_ptr<nfp::IslandMemory> mem;
+    Sequencer sequencer;
+    std::unique_ptr<ReorderBuffer<core::SegCtxPtr>> proto_rob;
+    std::unique_ptr<ReorderBuffer<core::SegCtxPtr>> nbi_rob;
+    std::uint64_t egress_next = 0;
+
+    explicit Island(std::size_t g);
+  };
+
+  // Admits `fn` through the RTC gate (runs immediately when pipelined).
+  // Droppable work is shed when the gate backlog is full.
+  bool admit(GateTask fn, bool droppable);
+  // Completion token tied to the gate (nullptr when pipelined).
+  std::shared_ptr<void> gate_token();
+  static void gate_done(const std::shared_ptr<GateState>& g);
+
+  // Uniform dispatch: enqueue stage work, charging profiling overhead,
+  // attributing ring-full drops, and skipping the ordering number of
+  // sequenced work so reorder points don't stall. Returns false when the
+  // ring rejected the work.
+  bool submit(nfp::Fpc& fpc, std::uint32_t compute, std::uint32_t mem,
+              nfp::Work::DoneFn fn, std::uint64_t skip_seq,
+              std::uint8_t group, bool sequenced);
+  void dispatch_proto(const core::SegCtxPtr& ctx);
+  // Connection-state cycles for a visit to `st`'s replica under the
+  // stage's declared StateAccess (read-modify-write pays the hierarchy
+  // twice; flat-memory platforms pay a constant).
+  std::uint32_t state_cycles(Stage& st, std::size_t replica,
+                             std::uint32_t conn) const;
+  std::uint32_t profile_overhead() const {
+    return cfg_->profiling ? cfg_->profile_cycles : 0;
+  }
+  void wire_ports();
+
+  sim::EventQueue& ev_;
+  const core::DatapathConfig* cfg_;  // owner's live config (profiling)
+  nfp::DmaEngine* dma_;
+  Handlers handlers_;
+
+  std::vector<std::unique_ptr<Island>> islands_;
+  Stage dma_stage_;
+  Stage ctx_stage_;
+  nfp::NicMemory nic_mem_;
+  std::shared_ptr<GateState> gate_;  // null when pipelined
+
+  // Telemetry handles (stable pointers, bound once; every hit is a
+  // pointer bump behind one enabled branch).
+  telemetry::Registry* reg_ = nullptr;
+  struct StageTelem {
+    telemetry::Counter* visits = nullptr;
+    telemetry::Histogram* lat_ns = nullptr;
+  };
+  std::array<StageTelem, kStageCount> stage_telem_{};
+  std::array<telemetry::Counter*, kDropReasons> drop_telem_{};
+  std::array<telemetry::Histogram*, 3> pipe_total_ns_{};  // by SegCtx::Kind
+  struct GroupTelem {
+    telemetry::Counter* rx = nullptr;
+    telemetry::Counter* tx = nullptr;
+    telemetry::Counter* hc = nullptr;
+    telemetry::Histogram* rob_depth = nullptr;
+  };
+  std::vector<GroupTelem> group_telem_;
+};
+
+}  // namespace flextoe::pipeline

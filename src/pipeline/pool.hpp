@@ -1,0 +1,97 @@
+// Recycling allocation for shared_ptr-managed pipeline objects.
+//
+// Every segment traversing the data-path used to cost one
+// make_shared<SegCtx> (control block + ~300 B object) from the global
+// heap. SharedPool keeps the combined allocate_shared block on a free
+// list instead: acquire() still constructs a fresh object (so no stale
+// state survives reuse), but the memory round-trips through the pool.
+//
+// Lifetime: each control block holds a copy of the recycling allocator,
+// which holds a shared_ptr to the pool core. Blocks therefore return to
+// a live core even when the pool's owner (e.g. the Datapath) has been
+// destroyed while contexts are still referenced from pending event-queue
+// callbacks — the core dies only after the last outstanding object does.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace flextoe::pipeline {
+
+template <typename T>
+class SharedPool {
+ public:
+  SharedPool() : core_(std::make_shared<Core>()) {}
+
+  // A fresh T, constructed in a pooled block.
+  template <typename... Args>
+  std::shared_ptr<T> acquire(Args&&... args) {
+    return std::allocate_shared<T>(Recycler<T>{core_},
+                                   std::forward<Args>(args)...);
+  }
+
+  // Blocks currently parked on the free list (introspection/tests).
+  std::size_t free_blocks() const { return core_->free.size(); }
+
+ private:
+  struct Core {
+    std::vector<void*> free;
+    // Size of the combined control-block+object allocation; learned on
+    // first allocation (only blocks of this size are pooled).
+    std::size_t block_size = 0;
+    ~Core() {
+      for (void* p : free) ::operator delete(p);
+    }
+  };
+
+  template <typename U>
+  struct Recycler {
+    using value_type = U;
+
+    std::shared_ptr<Core> core;
+
+    explicit Recycler(std::shared_ptr<Core> c) : core(std::move(c)) {}
+    template <typename V>
+    explicit Recycler(const Recycler<V>& o) : core(o.core) {}
+
+    U* allocate(std::size_t n) {
+      if (n == 1 && alignof(U) <= alignof(std::max_align_t)) {
+        if (core->block_size == 0) core->block_size = sizeof(U);
+        if (core->block_size == sizeof(U)) {
+          if (!core->free.empty()) {
+            void* p = core->free.back();
+            core->free.pop_back();
+            return static_cast<U*>(p);
+          }
+          return static_cast<U*>(::operator new(sizeof(U)));
+        }
+      }
+      return static_cast<U*>(::operator new(n * sizeof(U)));
+    }
+
+    void deallocate(U* p, std::size_t n) {
+      if (n == 1 && alignof(U) <= alignof(std::max_align_t) &&
+          core->block_size == sizeof(U)) {
+        core->free.push_back(p);
+        return;
+      }
+      ::operator delete(p);
+    }
+
+    template <typename V>
+    bool operator==(const Recycler<V>& o) const {
+      return core == o.core;
+    }
+    template <typename V>
+    bool operator!=(const Recycler<V>& o) const {
+      return core != o.core;
+    }
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace flextoe::pipeline

@@ -1,4 +1,5 @@
-// Sequencing and reordering (paper §3.2).
+// Sequencing and reordering (paper §3.2) — stage-boundary concerns of
+// the pipeline framework.
 //
 // Parallel pipeline stages (replicated pre/post processors, multi-thread
 // FPCs, DMA) can reorder segments. FlexTOE assigns a sequence number to
@@ -7,6 +8,10 @@
 // admission to the NBI for transmission. Segments that leave the pipeline
 // early (dropped, filtered to the control plane, XDP_DROP/TX/REDIRECT)
 // must signal a skip so the reorder point does not stall.
+//
+// A reorder point can be built pass-through (`enforce = false`) for the
+// no-reorder ablation: items release immediately in arrival order and
+// skips are no-ops.
 #pragma once
 
 #include <cstddef>
@@ -15,21 +20,24 @@
 #include <map>
 #include <utility>
 
-namespace flextoe::core {
+namespace flextoe::pipeline {
 
 template <typename T>
 class ReorderBuffer {
  public:
   using Release = std::function<void(T)>;
 
-  explicit ReorderBuffer(Release release) : release_(std::move(release)) {}
+  explicit ReorderBuffer(Release release, bool enforce = true)
+      : release_(std::move(release)), enforce_(enforce) {}
 
   // Inserts item with ordering number `seq`; releases any in-order run.
   void push(std::uint64_t seq, T item) {
-    if (seq == next_) {
+    if (!enforce_ || seq == next_) {
       release_(std::move(item));
-      ++next_;
-      drain();
+      if (seq == next_) {
+        ++next_;
+        drain();
+      }
       return;
     }
     pending_.emplace(seq, std::move(item));
@@ -37,6 +45,7 @@ class ReorderBuffer {
 
   // Marks `seq` as skipped (segment left the pipeline before this point).
   void skip(std::uint64_t seq) {
+    if (!enforce_) return;
     if (seq == next_) {
       ++next_;
       drain();
@@ -47,6 +56,7 @@ class ReorderBuffer {
 
   std::uint64_t next_expected() const { return next_; }
   std::size_t pending() const { return pending_.size(); }
+  bool enforcing() const { return enforce_; }
 
  private:
   void drain() {
@@ -70,6 +80,7 @@ class ReorderBuffer {
   }
 
   Release release_;
+  bool enforce_;
   std::uint64_t next_ = 0;
   std::map<std::uint64_t, T> pending_;
   std::map<std::uint64_t, bool> skipped_;
@@ -85,4 +96,4 @@ class Sequencer {
   std::uint64_t next_ = 0;
 };
 
-}  // namespace flextoe::core
+}  // namespace flextoe::pipeline

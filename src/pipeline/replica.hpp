@@ -1,0 +1,34 @@
+// Replica selection for replicated pipeline stages.
+//
+// FlexTOE replicates stateless stages (pre/post processors, DMA and
+// context-queue modules) and fans work across the replicas round-robin
+// (paper §3.2). This picker is the one source of that state — it
+// replaces the four hand-rolled counters (`rr_pre`/`rr_post` per
+// flow-group plus the top-level `rr_dma_`/`rr_ctx_`) the Datapath
+// monolith used to interleave by hand.
+//
+// The counter advances on every pick, including picks whose work is then
+// rejected by back-pressure — matching hardware arbitration, where the
+// grant is consumed even if the target ring refuses the item.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flextoe::pipeline {
+
+class ReplicaPicker {
+ public:
+  // Returns the replica index for the next unit of work.
+  std::size_t next(std::size_t n_replicas) {
+    return static_cast<std::size_t>(rr_++ % n_replicas);
+  }
+
+  // Total picks made (distribution testing / introspection).
+  std::uint64_t issued() const { return rr_; }
+
+ private:
+  std::uint64_t rr_ = 0;
+};
+
+}  // namespace flextoe::pipeline

@@ -1,0 +1,178 @@
+// pipeline::Stage — one node of the data-path stage graph.
+//
+// A stage is a named set of replica FPCs plus everything the framework
+// needs to dispatch work onto it uniformly: a replica-selection policy,
+// per-replica connection-state access models (the software-managed NFP
+// cache hierarchy is per core), per-kind compute costs, traits
+// (sequenced / droppable), and typed output ports giving the wiring to
+// its successors. The graph (graph.hpp) builds stages from
+// `core::DatapathConfig` and owns all dispatch; stage *bodies* (protocol
+// logic) stay with the graph's client, bound in as handlers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/seg_ctx.hpp"
+#include "nfp/fpc.hpp"
+#include "nfp/memory.hpp"
+#include "pipeline/replica.hpp"
+
+namespace flextoe::pipeline {
+
+// Instrumented points of the pipeline, in traversal order: the sequencer
+// plus every stage body a segment context can visit. Telemetry taxonomy
+// `stage/<name>/{visits,lat_ns}` is keyed by these.
+enum class StageId : std::size_t {
+  Seq,
+  PreRx,
+  PreTx,
+  PreHc,
+  ProtoRx,
+  ProtoTx,
+  ProtoHc,
+  Post,
+  Dma,
+  CtxNotify,
+  Count,
+};
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(StageId::Count);
+
+const char* stage_name(StageId s);
+
+// Drop-reason taxonomy: every shed segment is attributed to exactly one
+// reason (their telemetry counters sum to the legacy drops() total).
+enum class DropReason : std::uint8_t {
+  RtcOverload,   // run-to-completion admission gate full (Table 3 baseline)
+  FpcQueueFull,  // an inter-stage FPC work ring rejected the item
+  XdpDrop,       // an XDP program returned XDP_DROP
+};
+inline constexpr std::size_t kDropReasons = 3;
+const char* drop_reason_name(DropReason r);
+
+// The structural roles a stage can play in the FlexTOE graph (Fig 4).
+enum class StageRole : std::uint8_t { Pre, Proto, Post, Dma, CtxQueue };
+
+// How work is mapped onto a stage's replicas.
+enum class PickPolicy : std::uint8_t {
+  RoundRobin,  // stateless stages: fan out evenly
+  ConnShard,   // stateful stages: conn -> fixed replica (atomicity)
+};
+
+// What a stage visit pays for connection state under the NFP memory
+// model (ignored on flat-memory platforms).
+enum class StateAccess : std::uint8_t {
+  None,             // no per-connection state
+  LookupCache,      // pre: flow-lookup front cache over the IMEM engine
+  Read,             // post: one state fetch
+  ReadModifyWrite,  // proto: fetch + write-back (2x the hierarchy)
+};
+
+struct StageTraits {
+  // Sequenced stages feed a reorder point: work shed before reaching it
+  // must skip its ordering number so the point does not stall.
+  bool sequenced = false;
+  // Droppable stages may shed work under overload (RX only — the
+  // one-shot data-path never buffers segments; HC/TX work is never lost).
+  bool droppable = false;
+};
+
+// A typed output port: an explicit stage-to-stage edge. Binding happens
+// once at graph wiring time; sending is one indirect call. The target
+// name makes the wiring introspectable (construction tests assert it).
+template <typename T>
+class Port {
+ public:
+  using Send = std::function<void(const T&)>;
+
+  void bind(std::string target, Send send) {
+    target_ = std::move(target);
+    send_ = std::move(send);
+  }
+
+  void operator()(const T& item) const { send_(item); }
+  const std::string& target() const { return target_; }
+  explicit operator bool() const { return static_cast<bool>(send_); }
+
+ private:
+  std::string target_;
+  Send send_;
+};
+
+using SegPort = Port<core::SegCtxPtr>;
+
+class Stage {
+ public:
+  Stage(std::string name, StageRole role, PickPolicy policy,
+        StateAccess state, StageTraits traits)
+      : name_(std::move(name)),
+        role_(role),
+        policy_(policy),
+        state_(state),
+        traits_(traits) {}
+
+  const std::string& name() const { return name_; }
+  StageRole role() const { return role_; }
+  PickPolicy policy() const { return policy_; }
+  StateAccess state_access() const { return state_; }
+  const StageTraits& traits() const { return traits_; }
+
+  // ---- Replicas ----
+  void add_replica(std::shared_ptr<nfp::Fpc> fpc) {
+    fpcs_.push_back(std::move(fpc));
+  }
+  std::size_t replicas() const { return fpcs_.size(); }
+  nfp::Fpc& fpc(std::size_t i) { return *fpcs_[i]; }
+  const nfp::Fpc& fpc(std::size_t i) const { return *fpcs_[i]; }
+  const std::vector<std::shared_ptr<nfp::Fpc>>& all_fpcs() const {
+    return fpcs_;
+  }
+
+  // Next replica under this stage's policy. `key` is the connection
+  // index for ConnShard stages and unused for RoundRobin ones.
+  std::size_t pick(std::uint64_t key = 0) {
+    return policy_ == PickPolicy::ConnShard
+               ? static_cast<std::size_t>(key % fpcs_.size())
+               : picker_.next(fpcs_.size());
+  }
+  ReplicaPicker& picker() { return picker_; }
+
+  // ---- Per-replica connection-state models ----
+  std::vector<std::unique_ptr<nfp::StateAccessModel>>& mem() { return mem_; }
+  std::vector<std::unique_ptr<nfp::DirectMappedCache>>& lookup() {
+    return lookup_;
+  }
+
+  // ---- Typed output ports ----
+  SegPort& out(std::string_view port_name) {
+    for (auto& [n, p] : ports_) {
+      if (n == port_name) return p;
+    }
+    ports_.emplace_back(std::string(port_name), SegPort{});
+    return ports_.back().second;
+  }
+  const std::vector<std::pair<std::string, SegPort>>& ports() const {
+    return ports_;
+  }
+
+ private:
+  std::string name_;
+  StageRole role_;
+  PickPolicy policy_;
+  StateAccess state_;
+  StageTraits traits_;
+  std::vector<std::shared_ptr<nfp::Fpc>> fpcs_;
+  ReplicaPicker picker_;
+  std::vector<std::unique_ptr<nfp::StateAccessModel>> mem_;
+  std::vector<std::unique_ptr<nfp::DirectMappedCache>> lookup_;
+  std::vector<std::pair<std::string, SegPort>> ports_;
+};
+
+}  // namespace flextoe::pipeline

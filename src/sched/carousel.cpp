@@ -102,7 +102,9 @@ void Carousel::enqueue_wheel(FlowId flow, sim::TimePs deadline) {
 
   if (!wheel_tick_scheduled_) {
     wheel_tick_scheduled_ = true;
-    ev_.schedule_in(params_.slot_granularity, [this] { wheel_tick(); });
+    ev_.schedule_in(params_.slot_granularity, [this, alive = alive_] {
+      if (*alive) wheel_tick();
+    });
   }
 }
 
@@ -120,7 +122,9 @@ void Carousel::wheel_tick() {
   pump();
   if (wheel_count_ > 0 && !wheel_tick_scheduled_) {
     wheel_tick_scheduled_ = true;
-    ev_.schedule_in(params_.slot_granularity, [this] { wheel_tick(); });
+    ev_.schedule_in(params_.slot_granularity, [this, alive = alive_] {
+      if (*alive) wheel_tick();
+    });
   }
 }
 
@@ -129,7 +133,8 @@ void Carousel::pump() {
   service_scheduled_ = true;
   const sim::TimePs at = std::max(ev_.now(), next_service_);
   next_service_ = at + params_.service_interval;
-  ev_.schedule_at(at, [this] {
+  ev_.schedule_at(at, [this, alive = alive_] {
+    if (!*alive) return;
     service_scheduled_ = false;
     service_one();
     pump();

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -53,6 +54,9 @@ class Carousel {
   using TxTrigger = std::function<std::uint32_t(FlowId)>;
 
   Carousel(sim::EventQueue& ev, CarouselParams params = {});
+  ~Carousel() { *alive_ = false; }
+  Carousel(const Carousel&) = delete;
+  Carousel& operator=(const Carousel&) = delete;
 
   void set_trigger(TxTrigger t) { trigger_ = std::move(t); }
 
@@ -94,6 +98,9 @@ class Carousel {
 
   sim::EventQueue& ev_;
   CarouselParams params_;
+  // Destruction sentinel: wheel-tick/service events already scheduled on
+  // the EventQueue must become no-ops once the scheduler is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   TxTrigger trigger_;
   std::unordered_map<FlowId, FlowState> flows_;
   std::deque<FlowId> ready_;

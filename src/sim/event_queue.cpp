@@ -7,18 +7,29 @@ namespace flextoe::sim {
 
 void EventQueue::schedule_at(TimePs t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
-  heap_.push(Ev{t, next_seq_++, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(cb));
+  }
+  heap_.push(Ev{t, next_seq_++, slot});
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() returns const&; move via const_cast is safe here
-  // because we pop immediately after.
-  Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+  const Ev ev = heap_.top();
   heap_.pop();
+  // Move the callback out before invoking: the callback may schedule new
+  // events, which may recycle the slot or grow the slab.
+  Callback cb = std::move(slots_[ev.slot]);
+  free_slots_.push_back(ev.slot);
   now_ = ev.t;
   ++executed_;
-  ev.cb();
+  cb();
   return true;
 }
 

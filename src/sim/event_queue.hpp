@@ -2,22 +2,32 @@
 //
 // Events scheduled for the same timestamp run in schedule order (FIFO),
 // which keeps every simulation bit-reproducible for a given seed.
+//
+// The event representation is pooled and allocation-free at steady
+// state: the binary heap orders 24-byte {time, seq, slot} records while
+// the callbacks themselves — sim::SmallFn closures, stored inline, no
+// per-closure malloc — live in a slab of recycled slots. Heap sifts move
+// only the small records; a callback is relocated exactly twice (into
+// its slot, out at dispatch) regardless of heap depth.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <utility>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace flextoe::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  // Sized for the largest hot closure: a DMA completion carrying a
+  // lifetime guard plus an inline done-handler payload — 8 (this) +
+  // 16 (guard) + pad-to-16 + 80 (SmallFn<64> done) = 112 bytes.
+  using Callback = SmallFn<112>;
 
   // Schedules `cb` to run at absolute time `t` (>= now()).
   void schedule_at(TimePs t, Callback cb);
@@ -44,8 +54,8 @@ class EventQueue {
  private:
   struct Ev {
     TimePs t;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    Callback cb;
+    std::uint64_t seq;   // tie-break: FIFO among same-time events
+    std::uint32_t slot;  // index of the callback in the slot pool
   };
   struct Later {
     bool operator()(const Ev& a, const Ev& b) const {
@@ -54,6 +64,8 @@ class EventQueue {
   };
 
   std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  std::vector<Callback> slots_;          // slab; grows to peak pending
+  std::vector<std::uint32_t> free_slots_;  // recycled slot indices
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

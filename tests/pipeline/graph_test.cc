@@ -1,0 +1,260 @@
+// Stage-graph construction: the pipeline::Graph a Datapath builds must
+// mirror its DatapathConfig across the Table 3 ablation configurations —
+// stage and replica counts, run-to-completion as a one-FPC graph
+// configuration (not a parallel code path), pass-through reorder points
+// for the no-reorder ablation, and the typed port wiring.
+#include "pipeline/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/datapath.hpp"
+#include "host/payload_buf.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+
+namespace flextoe::pipeline {
+namespace {
+
+using core::DatapathConfig;
+
+struct BuiltGraph {
+  sim::EventQueue ev;
+  std::optional<core::Datapath> dp;
+
+  explicit BuiltGraph(const DatapathConfig& cfg) {
+    core::Datapath::HostIface host;
+    host.notify = [](const host::CtxDesc&) {};
+    host.to_control = [](const net::PacketPtr&) {};
+    host.peer_fin = [](tcp::ConnId) {};
+    dp.emplace(ev, cfg, host);
+  }
+  Graph& graph() { return dp->graph(); }
+};
+
+void expect_counts(Graph& g, const DatapathConfig& cfg) {
+  const auto exp = [](unsigned n) { return std::max(1u, n); };
+  ASSERT_EQ(g.group_count(), exp(cfg.flow_groups));
+  for (std::size_t i = 0; i < g.group_count(); ++i) {
+    EXPECT_EQ(g.pre(i).replicas(), exp(cfg.pre_replicas));
+    EXPECT_EQ(g.proto(i).replicas(), exp(cfg.proto_fpcs_per_group));
+    EXPECT_EQ(g.post(i).replicas(), exp(cfg.post_replicas));
+  }
+  EXPECT_EQ(g.dma_stage().replicas(), exp(cfg.dma_fpcs));
+  EXPECT_EQ(g.ctx_stage().replicas(), exp(cfg.ctx_fpcs));
+  EXPECT_EQ(g.total_fpcs(),
+            exp(cfg.flow_groups) *
+                    (exp(cfg.pre_replicas) + exp(cfg.proto_fpcs_per_group) +
+                     exp(cfg.post_replicas)) +
+                exp(cfg.dma_fpcs) + exp(cfg.ctx_fpcs));
+  EXPECT_EQ(g.run_to_completion(), !cfg.pipelined);
+}
+
+// Every Table 3 ablation step (plus the no-reorder variant) builds a
+// graph whose stage/replica counts match its DatapathConfig.
+TEST(GraphConstruction, AblationSweepMatchesConfig) {
+  const std::vector<DatapathConfig> configs = {
+      core::ablation_baseline(),    core::ablation_pipelined(),
+      core::ablation_threads(),     core::ablation_replicated(),
+      core::ablation_flow_groups(), core::ablation_no_reorder(),
+      core::agilio_cx40_config(),   core::x86_config(),
+  };
+  for (const auto& cfg : configs) {
+    BuiltGraph b(cfg);
+    expect_counts(b.graph(), cfg);
+  }
+}
+
+// Replication sweep: pre/post replica counts track the knobs exactly.
+TEST(GraphConstruction, ReplicationSweep) {
+  for (unsigned r = 1; r <= 6; ++r) {
+    DatapathConfig cfg = core::ablation_threads();
+    cfg.pre_replicas = r;
+    cfg.post_replicas = r + 1;
+    cfg.dma_fpcs = r;
+    cfg.ctx_fpcs = r;
+    BuiltGraph b(cfg);
+    expect_counts(b.graph(), cfg);
+  }
+}
+
+// Run-to-completion is a one-FPC configuration: every stage of every
+// island (and the service stages) shares the single "rtc" core, and the
+// admission gate is armed.
+TEST(GraphConstruction, RtcSharesOneFpc) {
+  BuiltGraph b(core::ablation_baseline());
+  Graph& g = b.graph();
+  ASSERT_TRUE(g.run_to_completion());
+  const nfp::Fpc* rtc = &g.pre(0).fpc(0);
+  EXPECT_EQ(rtc->name(), "rtc");
+  for (std::size_t i = 0; i < g.group_count(); ++i) {
+    for (std::size_t r = 0; r < g.pre(i).replicas(); ++r) {
+      EXPECT_EQ(&g.pre(i).fpc(r), rtc);
+    }
+    for (std::size_t r = 0; r < g.proto(i).replicas(); ++r) {
+      EXPECT_EQ(&g.proto(i).fpc(r), rtc);
+    }
+    for (std::size_t r = 0; r < g.post(i).replicas(); ++r) {
+      EXPECT_EQ(&g.post(i).fpc(r), rtc);
+    }
+  }
+  EXPECT_EQ(&g.dma_stage().fpc(0), rtc);
+  EXPECT_EQ(&g.ctx_stage().fpc(0), rtc);
+
+  // Pipelined graphs give every replica its own core and no gate.
+  BuiltGraph p(core::ablation_flow_groups());
+  EXPECT_FALSE(p.graph().run_to_completion());
+  EXPECT_NE(&p.graph().pre(0).fpc(0), &p.graph().proto(0).fpc(0));
+}
+
+// The no-reorder ablation builds pass-through reorder points; the
+// default enforces ordering at both the protocol and NBI points.
+TEST(GraphConstruction, NoReorderAblation) {
+  BuiltGraph def(core::ablation_flow_groups());
+  EXPECT_TRUE(def.graph().proto_rob(0).enforcing());
+  EXPECT_TRUE(def.graph().nbi_rob(0).enforcing());
+
+  BuiltGraph nr(core::ablation_no_reorder());
+  for (std::size_t g = 0; g < nr.graph().group_count(); ++g) {
+    EXPECT_FALSE(nr.graph().proto_rob(g).enforcing());
+    EXPECT_FALSE(nr.graph().nbi_rob(g).enforcing());
+  }
+}
+
+// Typed port wiring: the graph's edges are explicit and introspectable,
+// and the bound Send callbacks route through the same machinery as the
+// direct dispatch paths (sending through a port has real effects).
+TEST(GraphConstruction, PortWiring) {
+  BuiltGraph b(core::agilio_cx40_config());
+  Graph& g = b.graph();
+  for (std::size_t i = 0; i < g.group_count(); ++i) {
+    const std::string gs = std::to_string(i);
+    EXPECT_EQ(g.pre(i).out("steer").target(), "proto" + gs);
+    EXPECT_EQ(g.proto(i).out("post").target(), "post" + gs);
+    EXPECT_EQ(g.post(i).out("dma").target(), "dma");
+    EXPECT_EQ(g.post(i).out("notify").target(), "ctx");
+  }
+  EXPECT_EQ(g.dma_stage().out("nbi").target(), "mac_tx");
+  EXPECT_EQ(g.dma_stage().out("notify").target(), "ctx");
+  EXPECT_TRUE(static_cast<bool>(g.pre(0).out("steer")));
+
+  // Sending through the pre "steer" port reaches the protocol reorder
+  // point: an unknown-connection context is released and consumed there
+  // (next_expected advances past its ordering number).
+  auto ctx = std::make_shared<core::SegCtx>();
+  ctx->flow_group = 0;
+  ctx->pipe_seq = 0;
+  EXPECT_EQ(g.proto_rob(0).next_expected(), 0u);
+  g.pre(0).out("steer")(ctx);
+  EXPECT_EQ(g.proto_rob(0).next_expected(), 1u);
+
+  // Sending a materialized segment through the dma "nbi" port egresses
+  // it in its snap's slot order, same as the direct to_nbi path.
+  struct CountingSink : net::PacketSink {
+    int delivered = 0;
+    void deliver(const net::PacketPtr&) override { ++delivered; }
+  } sink;
+  b.dp->set_mac_sink(&sink);
+  auto seg = std::make_shared<core::SegCtx>();
+  seg->flow_group = 0;
+  seg->pkt = std::make_shared<net::Packet>();
+  seg->snap.send_ack = true;
+  seg->snap.egress_seq = g.next_egress(0);
+  g.dma_stage().out("nbi")(seg);
+  EXPECT_EQ(sink.delivered, 1);
+  EXPECT_EQ(g.nbi_rob(0).next_expected(), 1u);
+}
+
+// Stage metadata: roles, policies and traits carried by the graph match
+// the paper's structure (pre droppable+sequenced, proto conn-sharded).
+TEST(GraphConstruction, StageTraitsAndPolicies) {
+  BuiltGraph b(core::agilio_cx40_config());
+  Graph& g = b.graph();
+  EXPECT_EQ(g.pre(0).policy(), PickPolicy::RoundRobin);
+  EXPECT_TRUE(g.pre(0).traits().sequenced);
+  EXPECT_TRUE(g.pre(0).traits().droppable);
+  EXPECT_EQ(g.pre(0).state_access(), StateAccess::LookupCache);
+  EXPECT_EQ(g.proto(0).policy(), PickPolicy::ConnShard);
+  EXPECT_EQ(g.proto(0).state_access(), StateAccess::ReadModifyWrite);
+  EXPECT_FALSE(g.proto(0).traits().droppable);
+  EXPECT_EQ(g.post(0).state_access(), StateAccess::Read);
+  EXPECT_EQ(g.dma_stage().role(), StageRole::Dma);
+  EXPECT_EQ(g.ctx_stage().role(), StageRole::CtxQueue);
+}
+
+// A context that dies after the protocol stage assigned it an NBI
+// egress slot (flow removed mid-flight, post/DMA work shed) must release
+// the slot, or the egress reorder point stalls the whole flow group.
+TEST(GraphConstruction, SkipNbiReleasesEgressSlot) {
+  BuiltGraph b(core::agilio_cx40_config());
+  Graph& g = b.graph();
+
+  struct CountingSink : net::PacketSink {
+    int delivered = 0;
+    void deliver(const net::PacketPtr&) override { ++delivered; }
+  } sink;
+  b.dp->set_mac_sink(&sink);
+
+  // Slot 0 is assigned to a context that then dies; slot 1 arrives
+  // first and parks behind it.
+  auto dead = std::make_shared<core::SegCtx>();
+  dead->flow_group = 0;
+  dead->snap.send_ack = true;  // proto assigned it egress slot...
+  dead->snap.egress_seq = g.next_egress(0);
+
+  auto late = std::make_shared<core::SegCtx>();
+  late->flow_group = 0;
+  late->pkt = std::make_shared<net::Packet>();
+  const std::uint64_t late_seq = g.next_egress(0);
+
+  g.to_nbi(0, late_seq, late);
+  EXPECT_EQ(sink.delivered, 0);  // parked behind the dead slot
+
+  g.skip_nbi(dead);  // the dead context releases its slot...
+  EXPECT_EQ(sink.delivered, 1);  // ...and the parked segment egresses
+
+  // Contexts that never took a slot are no-ops.
+  auto none = std::make_shared<core::SegCtx>();
+  none->flow_group = 0;
+  g.skip_nbi(none);
+  EXPECT_EQ(g.nbi_rob(0).next_expected(), 2u);
+}
+
+// Functional smoke for the no-reorder configuration: segments still
+// traverse the full pipeline (deliver -> proto -> post -> DMA -> ACK).
+TEST(GraphConstruction, NoReorderStillCarriesTraffic) {
+  BuiltGraph b(core::ablation_no_reorder());
+  core::Datapath& dp = *b.dp;
+  dp.set_local(net::MacAddr::from_u64(0x02AA), net::make_ip(10, 0, 0, 1));
+  host::PayloadBuf rx(1 << 16), tx(1 << 16);
+  core::FlowInstall ins;
+  ins.tuple = {net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2), 80,
+               9999};
+  ins.local_mac = net::MacAddr::from_u64(0x02AA);
+  ins.peer_mac = net::MacAddr::from_u64(0x02BB);
+  ins.iss = 1000;
+  ins.irs = 2000;
+  ins.rx_buf = &rx;
+  ins.tx_buf = &tx;
+  dp.install_flow(ins);
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    dp.deliver(net::make_tcp_packet(
+        net::MacAddr::from_u64(0x02BB), net::MacAddr::from_u64(0x02AA),
+        net::make_ip(10, 0, 0, 2), net::make_ip(10, 0, 0, 1), 9999, 80,
+        2001 + i * 128, 1001, net::tcpflag::kAck | net::tcpflag::kPsh,
+        std::vector<std::uint8_t>(128, 0x55)));
+    b.ev.run_until(b.ev.now() + sim::us(20));
+  }
+  b.ev.run_all();
+  EXPECT_EQ(dp.rx_segments(), 4u);
+  EXPECT_EQ(dp.acks_sent(), 4u);
+  EXPECT_EQ(dp.drops(), 0u);
+}
+
+}  // namespace
+}  // namespace flextoe::pipeline

@@ -1,0 +1,74 @@
+// ReplicaPicker: the one source of round-robin replica state (replaces
+// the Datapath's four hand-rolled counters). Distribution must be even
+// under any replication factor, and the grant must be consumed even when
+// the caller then rejects the pick (back-pressure semantics).
+#include "pipeline/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pipeline/stage.hpp"
+
+namespace flextoe::pipeline {
+namespace {
+
+TEST(ReplicaPicker, EvenDistributionUnderReplication) {
+  for (std::size_t n : {2u, 3u, 4u, 8u}) {
+    ReplicaPicker p;
+    const std::uint64_t rounds = 1000;
+    std::vector<std::uint64_t> hits(n, 0);
+    for (std::uint64_t i = 0; i < rounds * n; ++i) {
+      const std::size_t idx = p.next(n);
+      ASSERT_LT(idx, n);
+      ++hits[idx];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i], rounds) << "replica " << i << " of " << n;
+    }
+    EXPECT_EQ(p.issued(), rounds * n);
+  }
+}
+
+TEST(ReplicaPicker, SequentialRoundRobinOrder) {
+  ReplicaPicker p;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(p.next(4), i);
+    }
+  }
+}
+
+// Consuming a grant without using it (ring-full rejection) still
+// advances the rotation — the next pick goes to the next replica.
+TEST(ReplicaPicker, GrantConsumedOnRejection) {
+  ReplicaPicker p;
+  EXPECT_EQ(p.next(2), 0u);  // caller rejects this pick
+  EXPECT_EQ(p.next(2), 1u);  // rotation advanced anyway
+  EXPECT_EQ(p.next(2), 0u);
+}
+
+// Stage::pick honors the policy: ConnShard pins a connection to one
+// replica; RoundRobin ignores the key.
+TEST(StagePick, PolicyRouting) {
+  Stage shard("proto0", StageRole::Proto, PickPolicy::ConnShard,
+              StateAccess::ReadModifyWrite, StageTraits{});
+  Stage rr("post0", StageRole::Post, PickPolicy::RoundRobin,
+           StateAccess::Read, StageTraits{});
+  // Three replica slots each (FPC pointers unused by pick()).
+  for (int i = 0; i < 3; ++i) {
+    shard.add_replica(nullptr);
+    rr.add_replica(nullptr);
+  }
+  for (std::uint64_t conn = 0; conn < 9; ++conn) {
+    const std::size_t first = shard.pick(conn);
+    EXPECT_EQ(first, conn % 3);
+    EXPECT_EQ(shard.pick(conn), first);  // sticky per connection
+  }
+  EXPECT_EQ(rr.pick(7), 0u);  // key ignored
+  EXPECT_EQ(rr.pick(7), 1u);
+  EXPECT_EQ(rr.pick(7), 2u);
+}
+
+}  // namespace
+}  // namespace flextoe::pipeline

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "app/framer.hpp"
-#include "core/reorder.hpp"
+#include "pipeline/reorder.hpp"
 #include "host/payload_buf.hpp"
 #include "nfp/caches.hpp"
 #include "nfp/dma.hpp"
@@ -263,7 +263,7 @@ TEST(Carousel, RemoveFlowStopsService) {
 
 TEST(Reorder, ReleasesInOrder) {
   std::vector<int> out;
-  core::ReorderBuffer<int> rob([&](int v) { out.push_back(v); });
+  pipeline::ReorderBuffer<int> rob([&](int v) { out.push_back(v); });
   rob.push(2, 102);
   rob.push(0, 100);
   EXPECT_EQ(out, (std::vector<int>{100}));
@@ -273,7 +273,7 @@ TEST(Reorder, ReleasesInOrder) {
 
 TEST(Reorder, SkipUnblocks) {
   std::vector<int> out;
-  core::ReorderBuffer<int> rob([&](int v) { out.push_back(v); });
+  pipeline::ReorderBuffer<int> rob([&](int v) { out.push_back(v); });
   rob.push(1, 101);
   rob.push(3, 103);
   EXPECT_TRUE(out.empty());
@@ -286,7 +286,7 @@ TEST(Reorder, SkipUnblocks) {
 
 TEST(Reorder, SkipAheadOfTime) {
   std::vector<int> out;
-  core::ReorderBuffer<int> rob([&](int v) { out.push_back(v); });
+  pipeline::ReorderBuffer<int> rob([&](int v) { out.push_back(v); });
   rob.skip(1);  // future skip arrives before item 0
   rob.push(0, 100);
   rob.push(2, 102);
