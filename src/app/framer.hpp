@@ -48,13 +48,27 @@ class FrameReader {
   std::vector<std::uint8_t> buf_;
 };
 
+// Appends a [u32 len][payload_len fill bytes] frame to `out` in place —
+// the allocation-free form for hot request loops (workload::TrafficGen
+// reuses its per-connection pending_tx capacity across requests).
+inline void append_frame(std::vector<std::uint8_t>& out,
+                         std::uint32_t payload_len,
+                         std::uint8_t fill = 0xA5) {
+  // No exact-size reserve here: a backlogged buffer must keep vector's
+  // geometric growth (exact reserves would make repeated appends
+  // quadratic); a drained buffer reuses its retained capacity anyway.
+  out.push_back(static_cast<std::uint8_t>(payload_len));
+  out.push_back(static_cast<std::uint8_t>(payload_len >> 8));
+  out.push_back(static_cast<std::uint8_t>(payload_len >> 16));
+  out.push_back(static_cast<std::uint8_t>(payload_len >> 24));
+  out.insert(out.end(), payload_len, fill);
+}
+
 inline std::vector<std::uint8_t> make_frame(std::uint32_t payload_len,
                                             std::uint8_t fill = 0xA5) {
-  std::vector<std::uint8_t> f(4 + payload_len, fill);
-  f[0] = static_cast<std::uint8_t>(payload_len);
-  f[1] = static_cast<std::uint8_t>(payload_len >> 8);
-  f[2] = static_cast<std::uint8_t>(payload_len >> 16);
-  f[3] = static_cast<std::uint8_t>(payload_len >> 24);
+  std::vector<std::uint8_t> f;
+  f.reserve(4 + payload_len);  // fresh vector: one sized allocation
+  append_frame(f, payload_len, fill);
   return f;
 }
 

@@ -527,7 +527,7 @@ void SwTcpStack::try_transmit(ConnId cid) {
 void SwTcpStack::emit_segment(ConnId cid, Conn& c, SeqNum seq,
                               std::uint32_t len, std::uint8_t extra_flags) {
   (void)cid;
-  auto pkt = std::make_shared<net::Packet>();
+  auto pkt = pool_.acquire();
   pkt->eth.src = cfg_.mac;
   pkt->eth.dst = resolve_mac(c);
   pkt->ip.src = c.tuple.local_ip;
@@ -567,7 +567,7 @@ void SwTcpStack::emit_segment(ConnId cid, Conn& c, SeqNum seq,
 
 void SwTcpStack::send_ack(ConnId cid, Conn& c) {
   (void)cid;
-  auto pkt = std::make_shared<net::Packet>();
+  auto pkt = pool_.acquire();
   pkt->eth.src = cfg_.mac;
   pkt->eth.dst = resolve_mac(c);
   pkt->ip.src = c.tuple.local_ip;
@@ -596,7 +596,7 @@ void SwTcpStack::send_ctrl(const tcp::FlowTuple& t, net::MacAddr peer_mac,
                            SeqNum seq, SeqNum ack, std::uint8_t flags,
                            std::optional<std::uint16_t> mss_opt,
                            std::uint32_t ts_ecr) {
-  auto pkt = std::make_shared<net::Packet>();
+  auto pkt = pool_.acquire();
   pkt->eth.src = cfg_.mac;
   pkt->eth.dst = peer_mac;
   pkt->ip.src = t.local_ip;

@@ -26,6 +26,7 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/cpu.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -115,6 +116,9 @@ class SwTcpStack final : public tcp::StackIface, public net::PacketSink {
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
   std::uint64_t cwnd_bytes(tcp::ConnId c) const;
   const net::MacAddr& mac() const { return cfg_.mac; }
+  // Recycled allocator behind every segment this stack emits (client
+  // stacks are segment producers on the data path too).
+  const net::PacketPool& pkt_pool() const { return pool_; }
 
   // Debug/diagnostic snapshot of one connection's sequence state.
   struct ConnDebug {
@@ -228,6 +232,9 @@ class SwTcpStack final : public tcp::StackIface, public net::PacketSink {
   sim::EventQueue& ev_;
   sim::Rng rng_;
   SwTcpConfig cfg_;
+  // Pooled Packet slots for emit_segment/send_ack/send_ctrl; packets
+  // already serialized onto links safely outlive a destroyed stack.
+  net::PacketPool pool_;
   net::PacketSink* tx_sink_ = nullptr;
   sim::CpuPool* cpu_ = nullptr;
   net::MacAddr gateway_mac_{};  // dst MAC fallback (switch learns anyway)

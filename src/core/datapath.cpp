@@ -85,6 +85,7 @@ Datapath::Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host)
   t_host_notify_ = telem_.counter("hostq/notify");
   dma_.bind_telemetry(telem_, "dma");
   carousel_.bind_telemetry(telem_, "sched");
+  pkt_pool_.bind_telemetry(telem_, "pool/pkt");
 }
 
 Datapath::~Datapath() { *alive_ = false; }
@@ -690,7 +691,7 @@ void Datapath::stage_post(const SegCtxPtr& ctx) {
 void Datapath::emit_ack_packet(const SegCtxPtr& ctx) {
   FlowState& fs = flows_[ctx->conn_idx];
   const ProtoSnapshot& snap = ctx->snap;
-  auto ack = std::make_shared<net::Packet>();
+  auto ack = pkt_pool_.acquire();
   ack->eth.src = local_mac_;
   ack->eth.dst = fs.pre.peer_mac;
   ack->ip.src = fs.tuple.local_ip;
@@ -709,7 +710,7 @@ void Datapath::emit_ack_packet(const SegCtxPtr& ctx) {
 
 net::PacketPtr Datapath::build_tx_packet(const FlowState& fs,
                                          const ProtoSnapshot& snap) {
-  auto pkt = std::make_shared<net::Packet>();
+  auto pkt = pkt_pool_.acquire();
   pkt->eth.src = local_mac_;
   pkt->eth.dst = fs.pre.peer_mac;
   pkt->ip.src = fs.tuple.local_ip;

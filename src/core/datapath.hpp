@@ -35,6 +35,7 @@
 #include "host/payload_buf.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "nfp/dma.hpp"
 #include "pipeline/graph.hpp"
 #include "pipeline/pool.hpp"
@@ -149,6 +150,11 @@ class Datapath : public net::PacketSink {
   // extensions).
   pipeline::Graph& graph() { return *graph_; }
   const pipeline::Graph& graph() const { return *graph_; }
+  // The recycled-Packet allocator every segment this data-path generates
+  // (ACKs, TX segments, FINs, control-plane handshakes) draws from.
+  // In-flight packets keep the pool core alive past ~Datapath.
+  net::PacketPool& pkt_pool() { return pkt_pool_; }
+  const net::PacketPool& pkt_pool() const { return pkt_pool_; }
   // Total FPCs configured (utilization reporting).
   unsigned total_fpcs() const;
   double fpc_utilization() const;
@@ -190,6 +196,9 @@ class Datapath : public net::PacketSink {
   std::unique_ptr<pipeline::Graph> graph_;
   // Pooled segment-context allocation (one recycled block per segment).
   pipeline::SharedPool<SegCtx> ctx_pool_;
+  // Pooled Packet allocation for generated segments (declared after
+  // telem_ so ~PacketPool unbinds before the registry dies).
+  net::PacketPool pkt_pool_;
 
   // Flow state tables (EMEM) + active-connection DB (IMEM lookup engine).
   std::vector<FlowState> flows_;

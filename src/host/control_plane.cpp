@@ -25,7 +25,8 @@ void ControlPlane::listen(std::uint16_t port) { listening_[port] = true; }
 net::PacketPtr ControlPlane::make_ctrl_packet(const ConnCtl& c, SeqNum seq,
                                               SeqNum ack,
                                               std::uint8_t flags) {
-  auto pkt = std::make_shared<net::Packet>();
+  // Handshake segments share the data-path's recycled Packet slots.
+  auto pkt = dp_.pkt_pool().acquire();
   pkt->eth.src = mac_;
   pkt->eth.dst = c.peer_mac;
   pkt->ip.src = c.tuple.local_ip;

@@ -208,15 +208,8 @@ PacketPtr make_tcp_packet(const MacAddr& src_mac, const MacAddr& dst_mac,
                           std::uint8_t flags,
                           std::vector<std::uint8_t> payload) {
   auto p = std::make_shared<Packet>();
-  p->eth.src = src_mac;
-  p->eth.dst = dst_mac;
-  p->ip.src = src_ip;
-  p->ip.dst = dst_ip;
-  p->tcp.sport = sport;
-  p->tcp.dport = dport;
-  p->tcp.seq = seq;
-  p->tcp.ack = ack;
-  p->tcp.flags = flags;
+  init_tcp_packet(*p, src_mac, dst_mac, src_ip, dst_ip, sport, dport, seq,
+                  ack, flags);
   p->payload = std::move(payload);
   return p;
 }

@@ -44,13 +44,48 @@ struct Packet {
   // `verify_checksums` is set, bad IPv4/TCP checksums also fail the parse.
   static std::optional<Packet> parse(std::span<const std::uint8_t> frame,
                                      bool verify_checksums = true);
+
+  // Returns every field to its default-constructed value but keeps
+  // payload.capacity(): a net::PacketPool slot is reset on release, so
+  // reuse never sees stale headers yet never reallocates the payload
+  // buffer for same-sized segments. Written as whole-object assignment
+  // (with the payload buffer parked aside) so fields added to Packet
+  // later are reset automatically instead of leaking across recycles.
+  void reset() {
+    auto buf = std::move(payload);
+    *this = Packet{};
+    payload = std::move(buf);
+    payload.clear();
+  }
 };
 
 using PacketPtr = std::shared_ptr<Packet>;
 
+// Heap clone (cold paths: tests, captures). Hot paths clone through a
+// net::PacketPool (packet_pool.hpp), which reuses recycled slots.
 inline PacketPtr clone(const Packet& p) { return std::make_shared<Packet>(p); }
 
-// Convenience constructor for a TCP segment.
+// Shared field initialization behind make_tcp_packet and
+// PacketPool::make_tcp — one place defines what a "convenience TCP
+// segment" looks like, so the heap and pooled variants cannot drift.
+inline void init_tcp_packet(Packet& p, const MacAddr& src_mac,
+                            const MacAddr& dst_mac, Ipv4Addr src_ip,
+                            Ipv4Addr dst_ip, std::uint16_t sport,
+                            std::uint16_t dport, std::uint32_t seq,
+                            std::uint32_t ack, std::uint8_t flags) {
+  p.eth.src = src_mac;
+  p.eth.dst = dst_mac;
+  p.ip.src = src_ip;
+  p.ip.dst = dst_ip;
+  p.tcp.sport = sport;
+  p.tcp.dport = dport;
+  p.tcp.seq = seq;
+  p.tcp.ack = ack;
+  p.tcp.flags = flags;
+}
+
+// Convenience constructor for a TCP segment (heap-allocating; the
+// pooled equivalent is PacketPool::make_tcp).
 PacketPtr make_tcp_packet(const MacAddr& src_mac, const MacAddr& dst_mac,
                           Ipv4Addr src_ip, Ipv4Addr dst_ip,
                           std::uint16_t sport, std::uint16_t dport,

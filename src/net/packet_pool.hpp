@@ -1,0 +1,233 @@
+// Recycled Packet allocation for an allocation-free segment path.
+//
+// After PR 4 pooled SegCtx blocks, `make_shared<net::Packet>` plus
+// payload-vector growth became the largest remaining allocation sink on
+// the data path (bench/micro_pipeline, `datapath_rx` series). PacketPool
+// closes it: Packet objects round-trip through a free list *without
+// being destroyed* — release resets header fields but keeps
+// `payload.capacity()`, so a warm pool serves MSS-sized segments with
+// zero heap traffic — and the shared_ptr control block round-trips
+// through a SharedPool-style recycling allocator, so an acquire is two
+// free-list pops steady-state.
+//
+// Lifetime: the custom deleter and the control-block allocator each
+// hold a shared_ptr to the pool core. In-flight packets (queued in a
+// switch port, captured by a DMA completion, parked in the event queue)
+// therefore safely outlive a destroyed PacketPool: their slots return
+// to the core's free list and the core dies only after the last
+// outstanding packet does — the same discipline pipeline::SharedPool
+// established for SegCtx.
+//
+// Telemetry (optional, owner-bound): pool/pkt/in_use (gauge),
+// pool/pkt/recycled and pool/pkt/fresh (counters). ~PacketPool unbinds,
+// so late releases from in-flight packets never touch a dead registry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/block_pool.hpp"
+#include "telemetry/registry.hpp"
+
+namespace flextoe::net {
+
+class PacketPool {
+ public:
+  PacketPool() : core_(new Core()) {}
+  ~PacketPool() {
+    // The core may outlive this owner via in-flight packets; make sure
+    // it stops touching the owner's telemetry registry.
+    core_->reg = nullptr;
+    core_->unref();
+  }
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // A reset packet in a recycled slot (or a fresh one on a cold pool).
+  PacketPtr acquire() {
+    Core& c = *core_;
+    Packet* slot;
+    if (!c.free.empty()) {
+      slot = c.free.back();
+      c.free.pop_back();
+      ++c.recycled;
+      if (c.on() && c.c_recycled) c.c_recycled->inc();
+    } else {
+      slot = new Packet();
+      ++c.fresh;
+      if (c.on() && c.c_fresh) c.c_fresh->inc();
+    }
+    ++c.in_use;
+    if (c.on() && c.g_in_use) c.g_in_use->set(c.in_use);
+    // The deleter holds the core unowned: the control block stores an
+    // owning CbAlloc copy, and shared_ptr destruction runs the deleter
+    // strictly before deallocating the block through that copy — the
+    // core is alive for the whole release path with one (plain-integer)
+    // refcount round-trip per packet.
+    return PacketPtr(slot, Deleter{&c}, CbAlloc<Packet>(&c));
+  }
+
+  // Pooled copy of an existing packet (copy-assignment into the slot
+  // reuses the retained payload capacity).
+  PacketPtr clone(const Packet& src) {
+    PacketPtr p = acquire();
+    *p = src;
+    return p;
+  }
+
+  // Pool-aware variant of net::make_tcp_packet (same field defaults via
+  // the shared init_tcp_packet; payload copied into the slot's retained
+  // buffer instead of moving a caller-built vector in).
+  PacketPtr make_tcp(const MacAddr& src_mac, const MacAddr& dst_mac,
+                     Ipv4Addr src_ip, Ipv4Addr dst_ip, std::uint16_t sport,
+                     std::uint16_t dport, std::uint32_t seq,
+                     std::uint32_t ack, std::uint8_t flags,
+                     std::span<const std::uint8_t> payload = {}) {
+    PacketPtr p = acquire();
+    init_tcp_packet(*p, src_mac, dst_mac, src_ip, dst_ip, sport, dport,
+                    seq, ack, flags);
+    p->payload.assign(payload.begin(), payload.end());
+    return p;
+  }
+
+  // Registers pool/… metrics under `prefix` (idempotent via Binding
+  // semantics is not needed — pools bind at construction time, once).
+  void bind_telemetry(telemetry::Registry& reg,
+                      const std::string& prefix = "pool/pkt") {
+    Core& c = *core_;
+    c.reg = &reg;
+    c.g_in_use = reg.gauge(prefix + "/in_use");
+    c.c_recycled = reg.counter(prefix + "/recycled");
+    c.c_fresh = reg.counter(prefix + "/fresh");
+  }
+
+  // ---- Introspection (tests, benches) ----
+  // Packet slots currently parked on the free list.
+  std::size_t free_slots() const { return core_->free.size(); }
+  // Control-block allocations parked for reuse.
+  std::size_t free_blocks() const { return core_->cb.parked(); }
+  // Heap allocations ever made (cold misses).
+  std::uint64_t fresh() const { return core_->fresh; }
+  // Free-list hits.
+  std::uint64_t recycled() const { return core_->recycled; }
+  // Packets currently handed out and alive.
+  std::int64_t in_use() const { return core_->in_use; }
+
+ private:
+  struct Core {
+    std::vector<Packet*> free;  // reset slots, payload capacity kept
+    // shared_ptr control-block allocations, recycled by learned size
+    // (sim::BlockRecycler — shared with pipeline::SharedPool).
+    sim::BlockRecycler cb;
+    std::uint64_t fresh = 0;
+    std::uint64_t recycled = 0;
+    std::int64_t in_use = 0;
+    // Intrusive refcount (the pool owner + one per live control block).
+    // Plain integer on purpose: the simulator is single-threaded, and
+    // this sits on the per-packet hot path.
+    std::uint64_t refs = 1;
+
+    // Owner-bound telemetry; reg is nulled by ~PacketPool so releases
+    // after the owner's death stay silent (the counters above keep
+    // counting — they are plain members, always safe).
+    telemetry::Registry* reg = nullptr;
+    telemetry::Gauge* g_in_use = nullptr;
+    telemetry::Counter* c_recycled = nullptr;
+    telemetry::Counter* c_fresh = nullptr;
+    bool on() const { return reg != nullptr && reg->enabled(); }
+
+    void ref() { ++refs; }
+    // GCC's -Wuse-after-free cannot see that the temporary CbAlloc
+    // copies made during shared_ptr construction each hold their own
+    // reference on top of the pool's — it flags the second unref of an
+    // inlined sequence as touching a potentially-deleted core. The
+    // refcounts are balanced by construction (every unref pairs with a
+    // ref taken earlier on the same path, and the pool owner's
+    // reference pins the core while acquire() runs), so the warning is
+    // a false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+#endif
+    void unref() {
+      if (--refs == 0) delete this;
+    }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+    ~Core() {
+      for (Packet* p : free) delete p;
+    }
+  };
+
+  struct Deleter {
+    Core* core;  // kept alive by the CbAlloc copy in the control block
+    void operator()(Packet* p) const {
+      p->reset();  // headers to defaults; payload capacity retained
+      Core& c = *core;
+      c.free.push_back(p);
+      --c.in_use;
+      if (c.on() && c.g_in_use) c.g_in_use->set(c.in_use);
+    }
+  };
+
+  // Recycling allocator for the shared_ptr control block (the library
+  // rebinds it to its internal counted-deleter type; only blocks of
+  // that one learned size are pooled). Owns its core reference — this
+  // is the copy, stored inside each control block, that keeps the core
+  // alive for in-flight packets after the pool dies.
+  template <typename U>
+  struct CbAlloc {
+    using value_type = U;
+
+    Core* core;
+
+    explicit CbAlloc(Core* c) : core(c) { core->ref(); }
+    CbAlloc(const CbAlloc& o) : core(o.core) { core->ref(); }
+    template <typename V>
+    explicit CbAlloc(const CbAlloc<V>& o) : core(o.core) {
+      core->ref();
+    }
+    CbAlloc& operator=(const CbAlloc& o) {
+      o.core->ref();
+      core->unref();
+      core = o.core;
+      return *this;
+    }
+    ~CbAlloc() { core->unref(); }
+
+    U* allocate(std::size_t n) {
+      if (void* b = core->cb.take(sizeof(U), alignof(U), n)) {
+        return static_cast<U*>(b);
+      }
+      return static_cast<U*>(::operator new(n * sizeof(U)));
+    }
+
+    void deallocate(U* p, std::size_t n) {
+      if (core->cb.give(p, sizeof(U), alignof(U), n)) return;
+      ::operator delete(p);
+    }
+
+    template <typename V>
+    bool operator==(const CbAlloc<V>& o) const {
+      return core == o.core;
+    }
+    template <typename V>
+    bool operator!=(const CbAlloc<V>& o) const {
+      return core != o.core;
+    }
+  };
+
+  Core* core_;  // owning ref; released (not necessarily freed) in dtor
+};
+
+}  // namespace flextoe::net

@@ -65,7 +65,8 @@ void Switch::enqueue(int port_idx, PacketPtr pkt) {
   // threshold, if the packet is ECN-capable.
   if (port.params.ecn_marking && port.queued_bytes >= port.params.ecn_threshold &&
       pkt->ip.ecn != Ecn::NotEct && pkt->ip.ecn != Ecn::Ce) {
-    pkt = clone(*pkt);  // copy-on-write: other recipients see the original
+    pkt = pool_.clone(*pkt);  // copy-on-write: other recipients see the
+                              // original; the copy reuses a pooled slot
     pkt->ip.ecn = Ecn::Ce;
     ++ecn_marked_;
   }

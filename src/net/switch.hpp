@@ -12,6 +12,7 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -74,6 +75,9 @@ class Switch {
 
   sim::EventQueue& ev_;
   sim::Rng rng_;
+  // Recycled slots for the ECN-mark copy-on-write clones (frames are
+  // otherwise forwarded by shared ownership, never copied).
+  PacketPool pool_;
   std::vector<Port> ports_;
   std::vector<std::unique_ptr<IngressSink>> ingress_sinks_;
   std::unordered_map<std::uint64_t, int> mac_table_;

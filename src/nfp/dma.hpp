@@ -2,6 +2,14 @@
 // transactions (paper §2.3). Transactions share PCIe Gen3 x8 bandwidth
 // and each pays the round-trip PCIe latency. MMIO doorbells are small
 // posted writes that pay latency but negligible bandwidth.
+//
+// Completion closures routinely capture pooled net::PacketPtr payloads
+// (RX landing writes out of the packet, TX materialization resizes its
+// payload into retained capacity). Two lifetime rules make that safe:
+// the engine's alive-sentinel gates completions scheduled past
+// ~DmaEngine, and a pooled packet's control block owns its pool core —
+// so a completion may run, and release the packet, after both the
+// engine and the pool's owner are gone (see net/packet_pool.hpp).
 #pragma once
 
 #include <cstdint>

@@ -17,7 +17,8 @@
 #include <memory>
 #include <new>
 #include <utility>
-#include <vector>
+
+#include "sim/block_pool.hpp"
 
 namespace flextoe::pipeline {
 
@@ -34,17 +35,13 @@ class SharedPool {
   }
 
   // Blocks currently parked on the free list (introspection/tests).
-  std::size_t free_blocks() const { return core_->free.size(); }
+  std::size_t free_blocks() const { return core_->blocks.parked(); }
 
  private:
   struct Core {
-    std::vector<void*> free;
-    // Size of the combined control-block+object allocation; learned on
-    // first allocation (only blocks of this size are pooled).
-    std::size_t block_size = 0;
-    ~Core() {
-      for (void* p : free) ::operator delete(p);
-    }
+    // Combined control-block+object allocations, recycled by learned
+    // size (sim::BlockRecycler — shared with net::PacketPool).
+    sim::BlockRecycler blocks;
   };
 
   template <typename U>
@@ -58,26 +55,14 @@ class SharedPool {
     explicit Recycler(const Recycler<V>& o) : core(o.core) {}
 
     U* allocate(std::size_t n) {
-      if (n == 1 && alignof(U) <= alignof(std::max_align_t)) {
-        if (core->block_size == 0) core->block_size = sizeof(U);
-        if (core->block_size == sizeof(U)) {
-          if (!core->free.empty()) {
-            void* p = core->free.back();
-            core->free.pop_back();
-            return static_cast<U*>(p);
-          }
-          return static_cast<U*>(::operator new(sizeof(U)));
-        }
+      if (void* p = core->blocks.take(sizeof(U), alignof(U), n)) {
+        return static_cast<U*>(p);
       }
       return static_cast<U*>(::operator new(n * sizeof(U)));
     }
 
     void deallocate(U* p, std::size_t n) {
-      if (n == 1 && alignof(U) <= alignof(std::max_align_t) &&
-          core->block_size == sizeof(U)) {
-        core->free.push_back(p);
-        return;
-      }
+      if (core->blocks.give(p, sizeof(U), alignof(U), n)) return;
       ::operator delete(p);
     }
 

@@ -1,0 +1,61 @@
+// Learned-size raw-block free list: the recycling core shared by the
+// simulator's pooled allocators (pipeline::SharedPool for SegCtx
+// control blocks, net::PacketPool for PacketPtr control blocks).
+//
+// The pattern both need: an allocator instantiated for exactly one
+// single-object allocation shape, where the shape's size is only known
+// at the first allocation (the standard library rebinds allocators to
+// its internal control-block types). The recycler learns that size
+// once and thereafter round-trips blocks of it through a free list;
+// any other request shape falls back to the global heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace flextoe::sim {
+
+class BlockRecycler {
+ public:
+  BlockRecycler() = default;
+  BlockRecycler(const BlockRecycler&) = delete;
+  BlockRecycler& operator=(const BlockRecycler&) = delete;
+  ~BlockRecycler() {
+    for (void* p : free_) ::operator delete(p);
+  }
+
+  // A block for an allocation of `n` objects of `bytes` each (recycled
+  // when possible, fresh otherwise), or nullptr when this shape is not
+  // poolable — the caller must then use the global heap.
+  void* take(std::size_t bytes, std::size_t align, std::size_t n) {
+    if (n != 1 || align > alignof(std::max_align_t)) return nullptr;
+    if (size_ == 0) size_ = bytes;
+    if (size_ != bytes) return nullptr;
+    if (!free_.empty()) {
+      void* p = free_.back();
+      free_.pop_back();
+      return p;
+    }
+    return ::operator new(bytes);
+  }
+
+  // True when the block was parked for reuse; false when the shape is
+  // not this recycler's — the caller must then free it itself.
+  bool give(void* p, std::size_t bytes, std::size_t align, std::size_t n) {
+    if (n != 1 || align > alignof(std::max_align_t) || size_ != bytes) {
+      return false;
+    }
+    free_.push_back(p);
+    return true;
+  }
+
+  // Blocks currently parked (introspection/tests).
+  std::size_t parked() const { return free_.size(); }
+
+ private:
+  std::vector<void*> free_;
+  std::size_t size_ = 0;  // learned on first take()
+};
+
+}  // namespace flextoe::sim

@@ -113,9 +113,14 @@ void TrafficGen::issue(std::size_t idx) {
     return;
   }
   const std::uint32_t size = sizes_->sample(rng_);
-  const auto req =
-      make_request_ ? make_request_(rng_, size) : app::make_frame(size);
-  conn.pending_tx.insert(conn.pending_tx.end(), req.begin(), req.end());
+  if (make_request_) {
+    const auto req = make_request_(rng_, size);
+    conn.pending_tx.insert(conn.pending_tx.end(), req.begin(), req.end());
+  } else {
+    // Default framing appends in place: pending_tx's capacity is reused
+    // across requests, so steady-state issue() allocates nothing.
+    app::append_frame(conn.pending_tx, size);
+  }
   conn.sent_at.push_back(ev_.now());
   ++issued_;
   flush(idx);

@@ -11,8 +11,9 @@
 3. Scenario catalog sync: the table in EXPERIMENTS.md under
    "### Scenario catalog" must list exactly the scenarios that
    `scenario_runner --list` prints (pass its output via
-   --scenario-list; omit the flag to skip this check, e.g. when no
-   build is available).
+   --scenario-list, or the binary itself via --scenario-runner and the
+   check runs it; omit both to skip the sync, e.g. when no build is
+   available).
 
 Exit status 0 = all checks pass; 1 = problems (each printed on stderr).
 """
@@ -20,6 +21,7 @@ Exit status 0 = all checks pass; 1 = problems (each printed on stderr).
 import argparse
 import pathlib
 import re
+import subprocess
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
@@ -78,10 +80,10 @@ def documented_scenarios(problems):
     return names
 
 
-def check_scenarios(problems, listing_path):
+def check_scenarios(problems, listing_text):
     documented = documented_scenarios(problems)
     listed = set()
-    for line in pathlib.Path(listing_path).read_text(encoding="utf-8").splitlines():
+    for line in listing_text.splitlines():
         parts = line.split()
         if parts:
             listed.add(parts[0])
@@ -102,13 +104,31 @@ def main():
         metavar="FILE",
         help="output of `scenario_runner --list` to sync EXPERIMENTS.md against",
     )
+    ap.add_argument(
+        "--scenario-runner",
+        metavar="BINARY",
+        help="scenario_runner binary; runs `--list` itself (ctest mode)",
+    )
     args = ap.parse_args()
 
     problems = []
     check_links(problems)
     check_source_anchors(problems)
-    if args.scenario_list:
-        check_scenarios(problems, args.scenario_list)
+    if args.scenario_runner:
+        listing = subprocess.run(
+            [args.scenario_runner, "--list"], capture_output=True, text=True
+        )
+        if listing.returncode != 0:
+            problems.append(
+                f"scenario_runner --list failed (exit {listing.returncode})"
+            )
+        else:
+            check_scenarios(problems, listing.stdout)
+    elif args.scenario_list:
+        check_scenarios(
+            problems,
+            pathlib.Path(args.scenario_list).read_text(encoding="utf-8"),
+        )
     else:
         documented_scenarios(problems)  # the section must at least exist
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Golden-output regression check for the paper benches.
+
+Runs a bench binary in deterministic quick mode (`--quick --seed 0
+--json`) and compares the emitted JSON byte-for-byte against the
+checked-in reference under tests/golden/. This automates the
+"byte-identical pre/post" verification earlier PRs did by hand: any
+refactor of the data path that changes a simulated result — or even
+serialization order — fails the diff.
+
+Usage:
+    check_golden.py GOLDEN BINARY [extra-args...]      # verify
+    check_golden.py --update GOLDEN BINARY [args...]   # regenerate
+
+Exit status: 0 = identical (or golden updated), 1 = mismatch/error.
+
+Degradation: when the fresh run's telemetry is disabled (a
+-DFLEXTOE_TELEMETRY=OFF build or --no-telemetry) but the golden's was
+enabled, the `telemetry` section is excluded and everything else must
+still match byte-equivalently — simulated results are telemetry-
+independent by design, and that property stays enforced.
+"""
+
+import difflib
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(binary, out_path, extra):
+    cmd = [binary, "--quick", "--seed", "0", "--json", out_path] + extra
+    proc = subprocess.run(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(f"check_golden: {' '.join(cmd)} failed "
+                         f"(exit {proc.returncode})\n{proc.stderr}")
+        return False
+    return True
+
+
+def without_telemetry(text):
+    """Excises the `"telemetry": {...}` value textually (brace-matched),
+    so the rest of the document is still compared byte-for-byte — no
+    JSON re-serialization that would mask ordering/formatting drift."""
+    i = text.find('"telemetry":')
+    if i < 0:
+        return text
+    j = text.index("{", i)
+    depth = 0
+    k = j
+    while k < len(text):
+        if text[k] == "{":
+            depth += 1
+        elif text[k] == "}":
+            depth -= 1
+            if depth == 0:
+                break
+        k += 1
+    end = k + 1
+    if end < len(text) and text[end] == ",":
+        end += 1
+    line_start = text.rfind("\n", 0, i) + 1
+    return text[:line_start] + text[end:].lstrip("\n")
+
+
+def main():
+    args = sys.argv[1:]
+    update = False
+    if args and args[0] == "--update":
+        update = True
+        args = args[1:]
+    if len(args) < 2:
+        sys.stderr.write(__doc__)
+        return 1
+    golden = pathlib.Path(args[0])
+    binary = args[1]
+    extra = args[2:]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_path = str(pathlib.Path(tmp) / "fresh.json")
+        if not run_bench(binary, fresh_path, extra):
+            return 1
+        fresh = pathlib.Path(fresh_path).read_text(encoding="utf-8")
+
+    if update:
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(fresh, encoding="utf-8")
+        print(f"check_golden: updated {golden}")
+        return 0
+
+    if not golden.exists():
+        sys.stderr.write(
+            f"check_golden: missing golden {golden}\n"
+            f"  generate it: tools/check_golden.py --update {golden} "
+            f"{binary}\n")
+        return 1
+
+    want = golden.read_text(encoding="utf-8")
+    if fresh == want:
+        print(f"check_golden: OK ({golden.name} byte-identical)")
+        return 0
+
+    # Telemetry-off builds legitimately empty the telemetry section; the
+    # simulated results must still match byte-for-byte. A golden that is
+    # not valid JSON falls through to the mismatch report.
+    try:
+        fresh_doc = json.loads(fresh)
+        json.loads(want)
+        telem_off = not fresh_doc.get("telemetry", {}).get("enabled", False)
+    except (json.JSONDecodeError, AttributeError):
+        telem_off = False
+    if telem_off and without_telemetry(fresh) == without_telemetry(want):
+        print(f"check_golden: OK ({golden.name} matches; telemetry "
+              f"section skipped — disabled in this build)")
+        return 0
+
+    sys.stderr.write(f"check_golden: {golden.name} MISMATCH\n")
+    diff = difflib.unified_diff(
+        want.splitlines(keepends=True), fresh.splitlines(keepends=True),
+        fromfile=f"golden/{golden.name}", tofile="fresh", n=2)
+    for i, line in enumerate(diff):
+        if i >= 200:
+            sys.stderr.write("... (diff truncated)\n")
+            break
+        sys.stderr.write(line)
+    sys.stderr.write(
+        "\nIf the change is intentional, regenerate:\n"
+        f"  python3 tools/check_golden.py --update {golden} {binary}\n")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
