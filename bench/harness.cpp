@@ -8,6 +8,7 @@
 #include <cstring>
 #include <string>
 
+#include "sim/domain.hpp"
 #include "sim/stats.hpp"
 
 namespace flextoe::benchx {
@@ -18,7 +19,7 @@ namespace flextoe::benchx {
 std::string usage(const std::string& prog) {
   return "usage: " + prog +
          " [--list] [--filter <substr>] [--quick] [--repeats N]"
-         " [--seed S] [--json <path>] [--no-telemetry]\n"
+         " [--seed S] [--threads N] [--json <path>] [--no-telemetry]\n"
          "  --list          print scenario ids and exit\n"
          "  --filter S      run only scenarios whose id contains S\n"
          "  --quick         shrink sweeps and simulated spans (smoke mode)\n"
@@ -27,6 +28,8 @@ std::string usage(const std::string& prog) {
          "                  (distribution/table scenarios are single-run)\n"
          "  --seed S        shift every scenario's simulation seeds by S\n"
          "                  (default 0: the reproducible baseline run)\n"
+         "  --threads N     worker threads for parallel simulation\n"
+         "                  (default 1; results identical at any N)\n"
          "  --json PATH     also write the report as JSON to PATH\n"
          "  --no-telemetry  disable data-path introspection counters\n"
          "                  (the report's telemetry section comes out "
@@ -80,6 +83,17 @@ bool parse_args(int argc, const char* const* argv, Options* opts,
         return false;
       }
       opts->seed = static_cast<std::uint64_t>(n);
+    } else if (a == "--threads") {
+      const char* v = value("--threads");
+      if (!v) return false;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1 || n > 1024) {
+        *err = "--threads expects a positive integer, got '" +
+               std::string(v) + "'";
+        return false;
+      }
+      opts->threads = static_cast<int>(n);
     } else if (a == "--help" || a == "-h") {
       *err = "";
       return false;
@@ -286,6 +300,7 @@ std::string Report::to_json() const {
   out += opts_.quick ? "true" : "false";
   out += ",\n  \"repeats\": " + std::to_string(opts_.repeats);
   out += ",\n  \"seed\": " + std::to_string(opts_.seed);
+  out += ",\n  \"threads\": " + std::to_string(opts_.threads);
   out += ",\n  \"series\": [";
   for (std::size_t si = 0; si < series_.size(); ++si) {
     const auto& s = series_[si];
@@ -386,6 +401,8 @@ int bench_main(int argc, const char* const* argv) {
   // the accumulator gathers each testbed's snapshot on teardown.
   telemetry::set_default_enabled(opts.telemetry);
   telemetry::reset_accumulator();
+  // Worker budget for DomainScheduler / run_scenario_batch users.
+  sim::set_default_sim_threads(static_cast<unsigned>(opts.threads));
 
   Report report(name, opts);
   const int n = run_scenarios(opts, report);

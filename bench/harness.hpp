@@ -42,6 +42,11 @@ struct Options {
   // --no-telemetry: disable data-path introspection recording at run
   // time (the registry stays registered; counters just stop moving).
   bool telemetry = true;
+  // --threads: worker-thread budget for parallel simulation (the
+  // DomainScheduler and workload::run_scenario_batch). 1 = fully
+  // sequential, the deterministic baseline; results are identical at
+  // any setting (see sim/domain.hpp).
+  int threads = 1;
 };
 
 // Parses argv. Returns false and sets *err on bad usage.
@@ -133,8 +138,8 @@ class Report {
   // layout of the paper's figures; everything else prints per series.
   void print_text() const;
 
-  // JSON document: {"bench", "quick", "repeats", "seed", "series":
-  // [...], "telemetry": {...}, "notes": [...]}.
+  // JSON document: {"bench", "quick", "repeats", "seed", "threads",
+  // "series": [...], "telemetry": {...}, "notes": [...]}.
   std::string to_json() const;
   // Returns false if the file cannot be written.
   bool write_json(const std::string& path) const;
@@ -169,6 +174,10 @@ class ScenarioCtx {
   // shifted by --seed, so perf runs are reproducible by default and
   // variance is measurable across harness seeds.
   std::uint64_t seed(std::uint64_t base) const { return base + opts_.seed; }
+
+  // Worker-thread budget (--threads) for scenarios that run parallel
+  // simulations or batches.
+  int threads() const { return opts_.threads; }
 
   // Mean over `--repeats` runs of a scalar measurement; `rep` feeds
   // per-repetition seeds.

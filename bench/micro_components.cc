@@ -13,7 +13,7 @@
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
 #include "sched/carousel.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "tcp/byte_ring.hpp"
 #include "tcp/flow.hpp"
 #include "tcp/ooo.hpp"
@@ -135,7 +135,7 @@ BENCH_SCENARIO(micro, "host-side component costs (ns/op)") {
   });
 
   record("carousel_trigger", [&](int) {
-    sim::EventQueue ev;
+    sim::Domain ev;
     sched::Carousel car(ev);
     std::uint64_t sent = 0;
     car.set_trigger([&sent](std::uint32_t) -> std::uint32_t {
@@ -153,7 +153,7 @@ BENCH_SCENARIO(micro, "host-side component costs (ns/op)") {
   });
 
   record("event_queue_churn", [&](int) {
-    sim::EventQueue ev;
+    sim::Domain ev;
     int fired = 0;
     const double ns = time_ns_per_op(iters, [&](std::uint64_t) {
       ev.schedule_in(sim::ns(10), [&fired] { ++fired; });

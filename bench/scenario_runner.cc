@@ -24,15 +24,16 @@ void run_one(const std::string& name, ScenarioCtx& ctx) {
   if (spec == nullptr) return;
 
   // Every emitted metric is the mean over --repeats seeded runs, not
-  // just the throughput scalar.
-  std::vector<workload::ScenarioResult> runs;
-  ctx.measure([&](int rep) {
-    workload::RunOptions ro;
-    ro.quick = ctx.quick();
-    ro.seed_offset = ctx.seed(static_cast<unsigned>(rep));
-    runs.push_back(workload::run_scenario(*spec, ro));
-    return runs.back().throughput_rps;
-  });
+  // just the throughput scalar. The repetitions are independent whole
+  // simulations (run i shifts the seed by i, exactly the seeds the old
+  // sequential ctx.measure loop used), so they batch across --threads
+  // workers with results identical to a sequential run.
+  workload::RunOptions ro;
+  ro.quick = ctx.quick();
+  ro.seed_offset = ctx.seed(0);
+  const std::vector<workload::ScenarioResult> runs =
+      workload::run_scenario_batch(*spec, ro, ctx.opts().repeats,
+                                   ctx.threads());
   const double n = static_cast<double>(runs.size());
   auto mean = [&](auto field) {
     double sum = 0;

@@ -2,6 +2,7 @@
 // statistics/profiling (48 tracepoints), tcpdump-style logging, XDP null,
 // XDP vlan-strip — plus the connection-splicing rate (§5.1).
 #include "common.hpp"
+#include "sim/domain.hpp"
 #include "xdp/modules.hpp"
 
 using namespace flextoe;
@@ -42,7 +43,7 @@ double run_datapath(const std::function<void(core::Datapath&)>& prep,
 // Maximum splicing rate: synthetic spliced-flow segments injected at the
 // MAC; every XDP_TX emission counts (paper: 6.4 Mpps on idle FPCs).
 double run_splice_mpps(sim::TimePs span) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   core::DatapathConfig cfg;  // Agilio topology
   core::Datapath::HostIface host;
   host.notify = [](const host::CtxDesc&) {};

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/datapath.hpp"
+#include "sim/domain.hpp"
 #include "xdp/modules.hpp"
 
 using namespace flextoe;
@@ -32,7 +33,7 @@ class PrintSink : public net::PacketSink {
 }  // namespace
 
 int main() {
-  sim::EventQueue ev;
+  sim::Domain ev;
   core::Datapath::HostIface host;
   std::uint64_t redirected = 0;
   host.notify = [](const host::CtxDesc&) {};

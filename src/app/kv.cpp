@@ -19,7 +19,7 @@ void put_u32(std::vector<std::uint8_t>& v, std::uint32_t x) {
 
 // ------------------------------------------------------------ KvServer
 
-KvServer::KvServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+KvServer::KvServer(sim::Domain& ev, tcp::StackIface& stack, Params p,
                    sim::CpuPool* cpu)
     : ev_(ev), stack_(stack), p_(p), cpu_(cpu) {
   tcp::StackCallbacks cbs;
@@ -134,7 +134,7 @@ workload::TrafficGenParams kv_gen_params(const KvClient::Params& p) {
 
 }  // namespace
 
-KvClient::KvClient(sim::EventQueue& ev, tcp::StackIface& stack,
+KvClient::KvClient(sim::Domain& ev, tcp::StackIface& stack,
                    net::Ipv4Addr server_ip, Params p)
     : gen_(ev, stack, server_ip, kv_gen_params(p),
            workload::closed_loop_arrival(),

@@ -17,7 +17,7 @@
 
 #include "app/framer.hpp"
 #include "sim/cpu.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "tcp/stack_iface.hpp"
@@ -50,7 +50,7 @@ class KvServer {
     std::uint32_t app_cycles = 890;
   };
 
-  KvServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+  KvServer(sim::Domain& ev, tcp::StackIface& stack, Params p,
            sim::CpuPool* cpu = nullptr);
 
   std::uint64_t gets() const { return gets_; }
@@ -70,7 +70,7 @@ class KvServer {
   void handle(tcp::ConnId c, std::vector<std::uint8_t> req);
   void flush(tcp::ConnId c);
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   tcp::StackIface& stack_;
   Params p_;
   sim::CpuPool* cpu_;
@@ -94,7 +94,7 @@ class KvClient {
     std::uint64_t seed = 42;
   };
 
-  KvClient(sim::EventQueue& ev, tcp::StackIface& stack,
+  KvClient(sim::Domain& ev, tcp::StackIface& stack,
            net::Ipv4Addr server_ip, Params p);
 
   void start() { gen_.start(); }

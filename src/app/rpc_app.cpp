@@ -8,7 +8,7 @@ using tcp::ConnId;
 
 // ---------------------------------------------------------- EchoServer
 
-EchoServer::EchoServer(sim::EventQueue& ev, tcp::StackIface& stack,
+EchoServer::EchoServer(sim::Domain& ev, tcp::StackIface& stack,
                        Params p, sim::CpuPool* cpu)
     : ev_(ev), stack_(stack), p_(p), cpu_(cpu) {
   tcp::StackCallbacks cbs;
@@ -83,7 +83,7 @@ void EchoServer::flush(ConnId c) {
 
 // ------------------------------------------------------ ProducerServer
 
-ProducerServer::ProducerServer(sim::EventQueue& ev, tcp::StackIface& stack,
+ProducerServer::ProducerServer(sim::Domain& ev, tcp::StackIface& stack,
                                Params p, sim::CpuPool* cpu)
     : ev_(ev), stack_(stack), p_(p), cpu_(cpu) {
   tcp::StackCallbacks cbs;
@@ -141,7 +141,7 @@ workload::TrafficGenParams closed_loop_gen_params(
 
 }  // namespace
 
-ClosedLoopClient::ClosedLoopClient(sim::EventQueue& ev,
+ClosedLoopClient::ClosedLoopClient(sim::Domain& ev,
                                    tcp::StackIface& stack,
                                    net::Ipv4Addr server_ip, Params p)
     : gen_(ev, stack, server_ip, closed_loop_gen_params(p),
@@ -150,7 +150,7 @@ ClosedLoopClient::ClosedLoopClient(sim::EventQueue& ev,
 
 // -------------------------------------------------------- DrainClient
 
-DrainClient::DrainClient(sim::EventQueue& ev, tcp::StackIface& stack,
+DrainClient::DrainClient(sim::Domain& ev, tcp::StackIface& stack,
                          net::Ipv4Addr server_ip, Params p)
     : ev_(ev), stack_(stack), server_ip_(server_ip), p_(p) {
   per_conn_.resize(p_.connections, 0);

@@ -18,7 +18,7 @@
 
 #include "app/framer.hpp"
 #include "sim/cpu.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/stats.hpp"
 #include "tcp/stack_iface.hpp"
 #include "workload/generator.hpp"
@@ -34,7 +34,7 @@ class EchoServer {
     bool close_on_peer_close = true;
   };
 
-  EchoServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+  EchoServer(sim::Domain& ev, tcp::StackIface& stack, Params p,
              sim::CpuPool* cpu = nullptr);
 
   std::uint64_t requests() const { return requests_; }
@@ -52,7 +52,7 @@ class EchoServer {
   void respond(tcp::ConnId c, std::uint32_t request_len);
   void flush(tcp::ConnId c);
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   tcp::StackIface& stack_;
   Params p_;
   sim::CpuPool* cpu_;
@@ -69,7 +69,7 @@ class ProducerServer {
     std::uint32_t app_cycles = 0;     // per produced frame
   };
 
-  ProducerServer(sim::EventQueue& ev, tcp::StackIface& stack, Params p,
+  ProducerServer(sim::Domain& ev, tcp::StackIface& stack, Params p,
                  sim::CpuPool* cpu = nullptr);
 
   std::uint64_t frames_sent() const { return frames_; }
@@ -82,7 +82,7 @@ class ProducerServer {
   };
   void pump(tcp::ConnId c);
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   tcp::StackIface& stack_;
   Params p_;
   sim::CpuPool* cpu_;
@@ -103,7 +103,7 @@ class ClosedLoopClient {
     sim::TimePs connect_stagger = sim::us(5);
   };
 
-  ClosedLoopClient(sim::EventQueue& ev, tcp::StackIface& stack,
+  ClosedLoopClient(sim::Domain& ev, tcp::StackIface& stack,
                    net::Ipv4Addr server_ip, Params p);
 
   void start() { gen_.start(); }
@@ -132,7 +132,7 @@ class DrainClient {
     std::uint32_t kick_size = 1;  // first request to start the producer
   };
 
-  DrainClient(sim::EventQueue& ev, tcp::StackIface& stack,
+  DrainClient(sim::Domain& ev, tcp::StackIface& stack,
               net::Ipv4Addr server_ip, Params p);
 
   void start();
@@ -143,7 +143,7 @@ class DrainClient {
   void clear_stats();
 
  private:
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   tcp::StackIface& stack_;
   net::Ipv4Addr server_ip_;
   Params p_;

@@ -15,7 +15,7 @@
 #include "host/flextoe_nic.hpp"
 #include "net/switch.hpp"
 #include "sim/cpu.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 
 namespace flextoe::app {
@@ -63,7 +63,7 @@ class Testbed {
   Node& add_client_node(double nic_gbps = 100.0,
                         std::size_t sockbuf_bytes = 512 * 1024);
 
-  sim::EventQueue& ev() { return ev_; }
+  sim::Domain& ev() { return ev_; }
   net::Switch& the_switch() { return sw_; }
   Node& node(std::size_t i) { return *nodes_[i]; }
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -80,7 +80,7 @@ class Testbed {
     return net::make_ip(10, 0, 0, static_cast<std::uint8_t>(++last_host_));
   }
 
-  sim::EventQueue ev_;
+  sim::Domain ev_;
   sim::Rng rng_;
   net::Switch sw_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -16,7 +16,7 @@ namespace flag = net::tcpflag;
 
 using tcp::kWindowShift;
 
-SwTcpStack::SwTcpStack(sim::EventQueue& ev, sim::Rng rng, SwTcpConfig cfg)
+SwTcpStack::SwTcpStack(sim::Domain& ev, sim::Rng rng, SwTcpConfig cfg)
     : ev_(ev), rng_(rng), cfg_(cfg) {}
 
 SwTcpStack::~SwTcpStack() = default;

@@ -28,7 +28,7 @@
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "sim/cpu.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "tcp/byte_ring.hpp"
@@ -70,7 +70,7 @@ struct SwTcpConfig {
 
 class SwTcpStack final : public tcp::StackIface, public net::PacketSink {
  public:
-  SwTcpStack(sim::EventQueue& ev, sim::Rng rng, SwTcpConfig cfg);
+  SwTcpStack(sim::Domain& ev, sim::Rng rng, SwTcpConfig cfg);
   ~SwTcpStack() override;
 
   // Wiring.
@@ -229,7 +229,7 @@ class SwTcpStack final : public tcp::StackIface, public net::PacketSink {
   void maybe_close_notify(tcp::ConnId cid, Conn& c);
   net::MacAddr resolve_mac(const Conn& c) const;
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   sim::Rng rng_;
   SwTcpConfig cfg_;
   // Pooled Packet slots for emit_segment/send_ack/send_ctrl; packets

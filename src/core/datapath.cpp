@@ -21,7 +21,7 @@ namespace flag = net::tcpflag;
 
 namespace {
 
-std::uint32_t now_us_of(sim::EventQueue& ev) {
+std::uint32_t now_us_of(sim::Domain& ev) {
   return static_cast<std::uint32_t>(ev.now() / sim::kPsPerUs);
 }
 
@@ -43,7 +43,7 @@ pipeline::Graph::Handlers Datapath::make_handlers() {
   return h;
 }
 
-Datapath::Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host)
+Datapath::Datapath(sim::Domain& ev, DatapathConfig cfg, HostIface host)
     : ev_(ev),
       cfg_(cfg),
       host_(std::move(host)),

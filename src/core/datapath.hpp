@@ -40,7 +40,7 @@
 #include "pipeline/graph.hpp"
 #include "pipeline/pool.hpp"
 #include "sched/carousel.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/registry.hpp"
 #include "xdp/xdp.hpp"
@@ -77,7 +77,7 @@ class Datapath : public net::PacketSink {
     std::function<void(tcp::ConnId)> peer_fin;
   };
 
-  Datapath(sim::EventQueue& ev, DatapathConfig cfg, HostIface host);
+  Datapath(sim::Domain& ev, DatapathConfig cfg, HostIface host);
   ~Datapath() override;
 
   // NIC identity (MAC filter + source addressing for generated segments).
@@ -184,7 +184,7 @@ class Datapath : public net::PacketSink {
   void count_drop_legacy(DropReason r);
   pipeline::Graph::Handlers make_handlers();
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   telemetry::Registry telem_;
   DatapathConfig cfg_;
   HostIface host_;

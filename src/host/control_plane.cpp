@@ -10,7 +10,7 @@ using tcp::ConnId;
 using tcp::SeqNum;
 namespace flag = net::tcpflag;
 
-ControlPlane::ControlPlane(sim::EventQueue& ev, core::Datapath& dp,
+ControlPlane::ControlPlane(sim::Domain& ev, core::Datapath& dp,
                            sim::Rng rng, ControlPlaneConfig cfg)
     : ev_(ev), dp_(dp), rng_(rng), cfg_(cfg) {}
 

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/datapath.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 #include "tcp/cc.hpp"
 #include "tcp/flow.hpp"
@@ -41,7 +41,7 @@ struct ControlPlaneConfig {
 
 class ControlPlane {
  public:
-  ControlPlane(sim::EventQueue& ev, core::Datapath& dp, sim::Rng rng,
+  ControlPlane(sim::Domain& ev, core::Datapath& dp, sim::Rng rng,
                ControlPlaneConfig cfg);
 
   void set_libtoe(LibToe* lib) { lib_ = lib; }
@@ -107,7 +107,7 @@ class ControlPlane {
     return static_cast<std::uint32_t>(ev_.now() / sim::kPsPerUs);
   }
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   core::Datapath& dp_;
   sim::Rng rng_;
   ControlPlaneConfig cfg_;

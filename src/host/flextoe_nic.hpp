@@ -20,7 +20,7 @@ struct FlexToeNicConfig {
 
 class FlexToeNic {
  public:
-  FlexToeNic(sim::EventQueue& ev, sim::Rng rng, net::MacAddr mac,
+  FlexToeNic(sim::Domain& ev, sim::Rng rng, net::MacAddr mac,
              net::Ipv4Addr ip, FlexToeNicConfig cfg = {},
              sim::CpuPool* host_cpu = nullptr)
       : dp_(ev, cfg.datapath,

@@ -8,7 +8,7 @@ namespace flextoe::host {
 
 using tcp::ConnId;
 
-LibToe::LibToe(sim::EventQueue& ev, core::Datapath& dp, ControlPlane& cp,
+LibToe::LibToe(sim::Domain& ev, core::Datapath& dp, ControlPlane& cp,
                LibToeConfig cfg, sim::CpuPool* cpu)
     : ev_(ev), dp_(dp), cp_(cp), cfg_(cfg), cpu_(cpu) {}
 

@@ -15,7 +15,7 @@
 #include "host/ctx_queue.hpp"
 #include "host/payload_buf.hpp"
 #include "sim/cpu.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "tcp/stack_iface.hpp"
 
 namespace flextoe::host {
@@ -36,7 +36,7 @@ struct LibToeConfig {
 
 class LibToe final : public tcp::StackIface {
  public:
-  LibToe(sim::EventQueue& ev, core::Datapath& dp, ControlPlane& cp,
+  LibToe(sim::Domain& ev, core::Datapath& dp, ControlPlane& cp,
          LibToeConfig cfg, sim::CpuPool* cpu = nullptr);
 
   // ---- StackIface ----
@@ -88,7 +88,7 @@ class LibToe final : public tcp::StackIface {
   void post_hc(CtxDescType type, tcp::ConnId conn, std::uint32_t a);
   void charge_sockop();
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   core::Datapath& dp_;
   ControlPlane& cp_;
   LibToeConfig cfg_;

@@ -6,7 +6,7 @@
 #include <deque>
 
 #include "net/packet.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 
 namespace flextoe::net {
@@ -26,7 +26,7 @@ struct LinkParams {
 
 class Link : public PacketSink {
  public:
-  Link(sim::EventQueue& ev, sim::Rng rng, LinkParams params)
+  Link(sim::Domain& ev, sim::Rng rng, LinkParams params)
       : ev_(ev), rng_(rng), params_(params) {}
 
   // PacketSink: sending into the link == transmitting over it.
@@ -52,7 +52,7 @@ class Link : public PacketSink {
   }
 
  private:
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   sim::Rng rng_;
   LinkParams params_;
   PacketSink* sink_ = nullptr;

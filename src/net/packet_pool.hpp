@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/affinity.hpp"
 #include "sim/block_pool.hpp"
 #include "telemetry/registry.hpp"
 
@@ -52,8 +53,15 @@ class PacketPool {
   PacketPool& operator=(const PacketPool&) = delete;
 
   // A reset packet in a recycled slot (or a fresh one on a cold pool).
+  //
+  // Domain affinity (sim/affinity.hpp): the free list and the plain-int
+  // core refcount are unsynchronized, so every acquire and release must
+  // come from the pool's owning domain thread. Packets never cross
+  // domains outside the epoch mailbox hand-off; a pool handed to
+  // another domain wholesale re-binds with rebind_owner().
   PacketPtr acquire() {
     Core& c = *core_;
+    c.affinity.check();
     Packet* slot;
     if (!c.free.empty()) {
       slot = c.free.back();
@@ -109,6 +117,10 @@ class PacketPool {
     c.c_fresh = reg.counter(prefix + "/fresh");
   }
 
+  // Domain hand-off: re-bind the affinity check to the next thread that
+  // uses the pool (both threads must be quiesced — an epoch boundary).
+  void rebind_owner() { core_->affinity.rebind(); }
+
   // ---- Introspection (tests, benches) ----
   // Packet slots currently parked on the free list.
   std::size_t free_slots() const { return core_->free.size(); }
@@ -131,9 +143,11 @@ class PacketPool {
     std::uint64_t recycled = 0;
     std::int64_t in_use = 0;
     // Intrusive refcount (the pool owner + one per live control block).
-    // Plain integer on purpose: the simulator is single-threaded, and
-    // this sits on the per-packet hot path.
+    // Plain integer on purpose: each domain's simulation is single-
+    // threaded, and this sits on the per-packet hot path. The affinity
+    // guard (debug builds) enforces that single-threadedness.
     std::uint64_t refs = 1;
+    sim::ThreadAffinity affinity;
 
     // Owner-bound telemetry; reg is nulled by ~PacketPool so releases
     // after the owner's death stay silent (the counters above keep
@@ -174,6 +188,7 @@ class PacketPool {
     void operator()(Packet* p) const {
       p->reset();  // headers to defaults; payload capacity retained
       Core& c = *core;
+      c.affinity.check();
       c.free.push_back(p);
       --c.in_use;
       if (c.on() && c.g_in_use) c.g_in_use->set(c.in_use);

@@ -4,7 +4,7 @@
 
 namespace flextoe::net {
 
-Switch::Switch(sim::EventQueue& ev, sim::Rng rng, int num_ports,
+Switch::Switch(sim::Domain& ev, sim::Rng rng, int num_ports,
                SwitchPortParams defaults)
     : ev_(ev), rng_(rng) {
   ports_.resize(static_cast<std::size_t>(num_ports));

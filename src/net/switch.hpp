@@ -13,7 +13,7 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 
 namespace flextoe::net {
@@ -28,7 +28,7 @@ struct SwitchPortParams {
 
 class Switch {
  public:
-  Switch(sim::EventQueue& ev, sim::Rng rng, int num_ports,
+  Switch(sim::Domain& ev, sim::Rng rng, int num_ports,
          SwitchPortParams defaults = {});
 
   // Attaches a device sink to `port` (egress side).
@@ -73,7 +73,7 @@ class Switch {
   void enqueue(int port, PacketPtr pkt);
   void start_tx(int port);
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   sim::Rng rng_;
   // Recycled slots for the ECN-mark copy-on-write clones (frames are
   // otherwise forwarded by shared ownership, never copied).

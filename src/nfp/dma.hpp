@@ -17,7 +17,7 @@
 #include <memory>
 #include <string>
 
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 #include "telemetry/registry.hpp"
@@ -37,7 +37,7 @@ class DmaEngine {
   // nested finish handler inline (the data-path payload-landing lambdas).
   using DoneFn = sim::SmallFn<64>;
 
-  DmaEngine(sim::EventQueue& ev, DmaParams params = {})
+  DmaEngine(sim::Domain& ev, DmaParams params = {})
       : ev_(ev), params_(params) {}
   ~DmaEngine() { *alive_ = false; }
   DmaEngine(const DmaEngine&) = delete;
@@ -71,7 +71,7 @@ class DmaEngine {
     return static_cast<sim::TimePs>(bits * 1000.0 / params_.gbps);
   }
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   DmaParams params_;
   // Destruction sentinel (see nfp::Fpc::alive_): completions already on
   // the EventQueue must not re-enter a freed engine.

@@ -15,7 +15,7 @@
 #include <string>
 #include <utility>
 
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 #include "telemetry/registry.hpp"
@@ -41,7 +41,7 @@ struct Work {
 
 class Fpc {
  public:
-  Fpc(sim::EventQueue& ev, FpcParams params, std::string name)
+  Fpc(sim::Domain& ev, FpcParams params, std::string name)
       : ev_(ev), params_(params), name_(std::move(name)) {}
   ~Fpc() { *alive_ = false; }
   Fpc(const Fpc&) = delete;
@@ -70,7 +70,7 @@ class Fpc {
  private:
   void try_dispatch();
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   FpcParams params_;
   std::string name_;
   // Destruction sentinel: completion events scheduled on the EventQueue

@@ -36,7 +36,7 @@ Graph::Island::Island(std::size_t g)
       post("post" + std::to_string(g), StageRole::Post,
            PickPolicy::RoundRobin, StateAccess::Read, StageTraits{}) {}
 
-Graph::Graph(sim::EventQueue& ev, const core::DatapathConfig& cfg,
+Graph::Graph(sim::Domain& ev, const core::DatapathConfig& cfg,
              nfp::DmaEngine& dma, Handlers handlers)
     : ev_(ev),
       cfg_(&cfg),

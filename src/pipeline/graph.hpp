@@ -37,7 +37,7 @@
 #include "nfp/memory.hpp"
 #include "pipeline/reorder.hpp"
 #include "pipeline/stage.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/small_fn.hpp"
 #include "telemetry/registry.hpp"
 
@@ -65,7 +65,7 @@ class Graph {
     std::function<void(DropReason)> on_drop;
   };
 
-  Graph(sim::EventQueue& ev, const core::DatapathConfig& cfg,
+  Graph(sim::Domain& ev, const core::DatapathConfig& cfg,
         nfp::DmaEngine& dma, Handlers handlers);
   ~Graph();
   Graph(const Graph&) = delete;
@@ -199,7 +199,7 @@ class Graph {
   }
   void wire_ports();
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   const core::DatapathConfig* cfg_;  // owner's live config (profiling)
   nfp::DmaEngine* dma_;
   Handlers handlers_;

@@ -18,6 +18,7 @@
 #include <new>
 #include <utility>
 
+#include "sim/affinity.hpp"
 #include "sim/block_pool.hpp"
 
 namespace flextoe::pipeline {
@@ -28,11 +29,21 @@ class SharedPool {
   SharedPool() : core_(std::make_shared<Core>()) {}
 
   // A fresh T, constructed in a pooled block.
+  //
+  // Domain affinity (sim/affinity.hpp): the free list is unsynchronized
+  // — acquire and the final release of every pooled object must happen
+  // on the pool's owning domain thread. Pooled objects cross domains
+  // only via the epoch mailbox hand-off; a pool migrating wholesale
+  // re-binds with rebind_owner().
   template <typename... Args>
   std::shared_ptr<T> acquire(Args&&... args) {
     return std::allocate_shared<T>(Recycler<T>{core_},
                                    std::forward<Args>(args)...);
   }
+
+  // Domain hand-off: re-bind the affinity check to the next thread that
+  // uses the pool (both threads must be quiesced — an epoch boundary).
+  void rebind_owner() { core_->affinity.rebind(); }
 
   // Blocks currently parked on the free list (introspection/tests).
   std::size_t free_blocks() const { return core_->blocks.parked(); }
@@ -42,6 +53,7 @@ class SharedPool {
     // Combined control-block+object allocations, recycled by learned
     // size (sim::BlockRecycler — shared with net::PacketPool).
     sim::BlockRecycler blocks;
+    sim::ThreadAffinity affinity;
   };
 
   template <typename U>
@@ -55,6 +67,7 @@ class SharedPool {
     explicit Recycler(const Recycler<V>& o) : core(o.core) {}
 
     U* allocate(std::size_t n) {
+      core->affinity.check();
       if (void* p = core->blocks.take(sizeof(U), alignof(U), n)) {
         return static_cast<U*>(p);
       }
@@ -62,6 +75,7 @@ class SharedPool {
     }
 
     void deallocate(U* p, std::size_t n) {
+      core->affinity.check();
       if (core->blocks.give(p, sizeof(U), alignof(U), n)) return;
       ::operator delete(p);
     }

@@ -9,7 +9,7 @@
 
 namespace flextoe::sched {
 
-Carousel::Carousel(sim::EventQueue& ev, CarouselParams params)
+Carousel::Carousel(sim::Domain& ev, CarouselParams params)
     : ev_(ev), params_(params), wheel_(params.num_slots) {}
 
 void Carousel::bind_telemetry(telemetry::Registry& reg,

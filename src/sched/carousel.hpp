@@ -30,7 +30,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/time.hpp"
 #include "telemetry/registry.hpp"
 
@@ -53,7 +53,7 @@ class Carousel {
   // number of payload bytes queued for transmission (0 = blocked).
   using TxTrigger = std::function<std::uint32_t(FlowId)>;
 
-  Carousel(sim::EventQueue& ev, CarouselParams params = {});
+  Carousel(sim::Domain& ev, CarouselParams params = {});
   ~Carousel() { *alive_ = false; }
   Carousel(const Carousel&) = delete;
   Carousel& operator=(const Carousel&) = delete;
@@ -96,7 +96,7 @@ class Carousel {
   void service_one();
   void wheel_tick();
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   CarouselParams params_;
   // Destruction sentinel: wheel-tick/service events already scheduled on
   // the EventQueue must become no-ops once the scheduler is gone.

@@ -1,0 +1,66 @@
+// Debug-build domain-affinity contract for pooled allocators.
+//
+// The parallel domain scheduler (sim/domain.hpp) runs each island's
+// simulation on one worker thread. The recycling pools on the segment
+// hot path — net::PacketPool and pipeline::SharedPool — use plain-int
+// reference counts and unlocked free lists on purpose: within a domain
+// the simulator is single-threaded, and the pools sit on the per-packet
+// and per-segment fast paths. That is only sound under the affinity
+// contract: every acquire and release of a pooled object happens on the
+// thread that owns the pool's domain. Objects may cross domains only
+// through the epoch mailbox hand-off, where the scheduler barrier
+// quiesces both sides; code performing such a hand-off must move the
+// object's ownership (and, for a migrating pool, call rebind()).
+//
+// ThreadAffinity enforces the contract where assertions are live
+// (Debug, Sanitize, and TSan builds; RelWithDebInfo/Release define
+// NDEBUG and compile the check away to an empty struct): the pool binds
+// to the first thread that touches it and every later pooled operation
+// must come from that thread.
+#pragma once
+
+#include <cassert>
+
+#if !defined(NDEBUG)
+#include <thread>
+#define FLEXTOE_AFFINITY_CHECKS 1
+#else
+#define FLEXTOE_AFFINITY_CHECKS 0
+#endif
+
+namespace flextoe::sim {
+
+#if FLEXTOE_AFFINITY_CHECKS
+
+class ThreadAffinity {
+ public:
+  // Binds on first use; asserts on any use from another thread.
+  void check() {
+    if (bound_ == std::thread::id{}) {
+      bound_ = std::this_thread::get_id();
+      return;
+    }
+    assert(bound_ == std::this_thread::get_id() &&
+           "pooled object used off its owning domain's thread "
+           "(domain-affinity contract, sim/affinity.hpp)");
+  }
+
+  // Legitimate ownership hand-off (epoch mailbox transfer between
+  // quiesced threads): rebind to the next thread that calls check().
+  void rebind() { bound_ = std::thread::id{}; }
+
+ private:
+  std::thread::id bound_{};
+};
+
+#else
+
+class ThreadAffinity {
+ public:
+  void check() {}
+  void rebind() {}
+};
+
+#endif
+
+}  // namespace flextoe::sim

@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/time.hpp"
 
 namespace flextoe::sim {
@@ -31,7 +31,7 @@ enum class CpuCat : std::uint8_t {
 
 class CpuPool {
  public:
-  CpuPool(EventQueue& ev, unsigned cores, ClockDomain clock = kHostClock)
+  CpuPool(Domain& ev, unsigned cores, ClockDomain clock = kHostClock)
       : ev_(ev), clock_(clock), core_free_(cores, 0) {}
 
   // Fraction of each work item that serializes on a global lock.
@@ -81,7 +81,7 @@ class CpuPool {
   }
 
  private:
-  EventQueue& ev_;
+  Domain& ev_;
   ClockDomain clock_;
   std::vector<TimePs> core_free_;
   TimePs lock_free_ = 0;

@@ -1,0 +1,230 @@
+#include "sim/domain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace flextoe::sim {
+
+namespace {
+
+unsigned g_default_threads = 1;
+
+// Reusable N-party rendezvous. Condvar-based on purpose: oversubscribed
+// runs (more workers than host cores — this container has one) must
+// block, not spin, or every epoch costs a scheduling quantum. The
+// mutex/condvar pair also gives the happens-before edge the mailbox
+// spill path and the coordinator's horizon writes rely on.
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(unsigned parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lk(m_);
+    const std::uint64_t gen = gen_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return gen_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  const unsigned parties_;
+  unsigned waiting_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
+}  // namespace
+
+unsigned default_sim_threads() { return g_default_threads; }
+
+void set_default_sim_threads(unsigned n) {
+  g_default_threads = n == 0 ? 1 : n;
+}
+
+// ---------------------------------------------------------------------
+// Domain
+
+void Domain::post(Domain& to, TimePs t, EventQueue::Callback cb) {
+  if (&to == this || !to.scheduled_) {
+    to.schedule_at(t, std::move(cb));
+    return;
+  }
+  // Conservative-sync safety: the receiver may already be executing up
+  // to now() + lookahead; a nearer post would arrive in its past.
+  assert(t >= now() + min_post_delay_ &&
+         "cross-domain post inside the lookahead window");
+  assert(id_ < to.inboxes_.size() && to.inboxes_[id_] != nullptr &&
+         "posting to a domain of a different scheduler");
+  to.inboxes_[id_]->push(t, std::move(cb));
+}
+
+void Domain::drain_inboxes() {
+  for (auto& mb : inboxes_) {
+    if (!mb) continue;
+    mb->drain([this](TimePs t, EventQueue::Callback cb) {
+      schedule_at(t, std::move(cb));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------
+// DomainScheduler
+
+DomainScheduler::DomainScheduler(std::size_t domains, std::uint64_t seed)
+    : DomainScheduler(domains, seed, Params{}) {}
+
+DomainScheduler::DomainScheduler(std::size_t domains, std::uint64_t seed,
+                                 Params p)
+    : params_(p) {
+  if (params_.lookahead == 0) params_.lookahead = 1;
+  Rng seeder(seed);
+  domains_.reserve(domains);
+  for (std::size_t i = 0; i < domains; ++i) {
+    domains_.push_back(std::make_unique<Domain>(
+        Domain::Params{static_cast<std::uint32_t>(i), seeder.next_u64()}));
+  }
+  for (auto& d : domains_) {
+    d->inboxes_.resize(domains);
+    for (std::size_t s = 0; s < domains; ++s) {
+      if (s == d->id_) continue;
+      d->inboxes_[s] = std::make_unique<Mailbox>(params_.mailbox_capacity);
+    }
+  }
+}
+
+DomainScheduler::~DomainScheduler() = default;
+
+TimePs DomainScheduler::global_next() const {
+  TimePs next = EventQueue::kNoEvent;
+  for (const auto& d : domains_) next = std::min(next, d->next_time());
+  return next;
+}
+
+TimePs DomainScheduler::horizon_for(TimePs next, TimePs limit) const {
+  // Exclusive upper bound of the epoch window, saturating, and capped so
+  // run_until(limit) still executes events at exactly `limit`.
+  TimePs horizon = next > EventQueue::kNoEvent - params_.lookahead
+                       ? EventQueue::kNoEvent
+                       : next + params_.lookahead;
+  if (limit != EventQueue::kNoEvent && horizon > limit) horizon = limit + 1;
+  return horizon;
+}
+
+void DomainScheduler::run_window(unsigned worker, TimePs horizon) {
+  for (std::size_t i = worker; i < domains_.size(); i += threads_used_) {
+    domains_[i]->run_before(horizon);
+  }
+}
+
+void DomainScheduler::drain_phase(unsigned worker) {
+  for (std::size_t i = worker; i < domains_.size(); i += threads_used_) {
+    domains_[i]->drain_inboxes();
+  }
+}
+
+void DomainScheduler::run_epochs(TimePs limit) {
+  const unsigned want = params_.threads ? params_.threads
+                                        : default_sim_threads();
+  threads_used_ = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, want), domains_.size()));
+
+  // Mailbox routing is armed for the whole run regardless of the thread
+  // count, so a 1-thread run replays the exact epoch/drain sequence of
+  // an N-thread run (determinism across thread counts).
+  for (auto& d : domains_) {
+    d->scheduled_ = true;
+    d->min_post_delay_ = params_.lookahead;
+  }
+
+  if (threads_used_ == 1) {
+    for (;;) {
+      const TimePs next = global_next();
+      if (next == EventQueue::kNoEvent || next > limit) break;
+      const TimePs horizon = horizon_for(next, limit);
+      ++epochs_;
+      run_window(0, horizon);
+      drain_phase(0);
+    }
+  } else {
+    // The calling thread doubles as worker 0 and coordinates: it
+    // publishes the next horizon (or done), then everyone runs the
+    // window phase, a barrier, the drain phase, a barrier, and the
+    // coordinator recomputes. All cross-thread state (horizon, done,
+    // mailbox spill lists) is ordered by the barrier's mutex.
+    EpochBarrier barrier(threads_used_);
+    TimePs horizon = 0;
+    bool done = false;
+
+    auto body = [&](unsigned w) {
+      for (;;) {
+        barrier.arrive_and_wait();  // A: horizon/done published
+        if (done) return;
+        run_window(w, horizon);
+        barrier.arrive_and_wait();  // B: every producer quiesced
+        drain_phase(w);
+        barrier.arrive_and_wait();  // C: every mailbox drained
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads_used_ - 1);
+    for (unsigned w = 1; w < threads_used_; ++w) {
+      pool.emplace_back(body, w);
+    }
+    for (;;) {
+      const TimePs next = global_next();
+      if (next == EventQueue::kNoEvent || next > limit) {
+        done = true;
+        barrier.arrive_and_wait();  // release workers into exit
+        break;
+      }
+      horizon = horizon_for(next, limit);
+      ++epochs_;
+      barrier.arrive_and_wait();  // A
+      run_window(0, horizon);
+      barrier.arrive_and_wait();  // B
+      drain_phase(0);
+      barrier.arrive_and_wait();  // C
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  for (auto& d : domains_) {
+    d->scheduled_ = false;
+    d->min_post_delay_ = 0;
+  }
+}
+
+void DomainScheduler::run_all() { run_epochs(EventQueue::kNoEvent); }
+
+void DomainScheduler::run_until(TimePs t) {
+  run_epochs(t);
+  for (auto& d : domains_) d->advance_clock(t);
+}
+
+std::uint64_t DomainScheduler::executed() const {
+  std::uint64_t n = 0;
+  for (const auto& d : domains_) n += d->executed();
+  return n;
+}
+
+std::uint64_t DomainScheduler::mailbox_spills() const {
+  std::uint64_t n = 0;
+  for (const auto& d : domains_) {
+    for (const auto& mb : d->inboxes_) {
+      if (mb) n += mb->spills();
+    }
+  }
+  return n;
+}
+
+}  // namespace flextoe::sim

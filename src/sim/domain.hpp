@@ -1,0 +1,152 @@
+// Event domains: the unit of parallelism in the simulator.
+//
+// A Domain is an EventQueue plus the per-island simulation context that
+// must never be shared across threads: a deterministic Rng stream and
+// the inbound mailboxes other domains post events through. Every
+// simulated component (switch, links, FPCs, DMA, scheduler, stacks,
+// apps) takes a `sim::Domain&` where it used to take a
+// `sim::EventQueue&`; a stand-alone Domain behaves exactly like the
+// queue it derives from, so the default single-domain simulation is
+// byte-identical to the pre-domain simulator.
+//
+// DomainScheduler runs N domains under conservative time-window
+// synchronization (the classic CMB-style parallel-DES discipline, cf.
+// SimGrid's kernel/actor split):
+//
+//   epoch:  next    = min over domains of earliest pending event
+//           horizon = next + lookahead
+//           parallel: each domain runs all events with t < horizon
+//           barrier;  each domain drains its inbound mailboxes
+//           barrier;  repeat until no events remain
+//
+// Safety: a domain executing an event at time t may affect another
+// domain no earlier than t + lookahead >= horizon, so every event below
+// the horizon is causally independent across domains. Cross-domain
+// posts (Domain::post) are therefore required to carry at least
+// `lookahead` of delay — the minimum cross-island latency at the
+// sequencer/reorder/egress boundary nodes — and land in the receiver's
+// mailbox, drained only at epoch boundaries.
+//
+// Determinism: the island->thread mapping is fixed (domain id modulo
+// thread count), windows are computed from event times only (never from
+// wall-clock), every domain's own execution is sequential, and mailbox
+// drain order is fixed (senders in id order, per-sender FIFO). The
+// result: a given seed produces the same simulation event-for-event at
+// any thread count, including 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::sim {
+
+class DomainScheduler;
+
+// Process-wide default worker-thread budget for DomainScheduler and the
+// scenario batch runner (workload::run_scenario_batch). Set once from
+// the CLI (bench harness --threads) before any simulation starts;
+// defaults to 1 (fully sequential, the deterministic baseline).
+unsigned default_sim_threads();
+void set_default_sim_threads(unsigned n);
+
+class Domain : public EventQueue {
+ public:
+  struct Params {
+    std::uint32_t id = 0;
+    std::uint64_t seed = 1;
+  };
+
+  Domain() : Domain(Params{}) {}
+  explicit Domain(Params p) : id_(p.id), rng_(p.seed) {}
+
+  std::uint32_t id() const { return id_; }
+  // The domain-local random stream. Components fork sub-streams off it
+  // so results stay independent of event interleaving elsewhere.
+  Rng& rng() { return rng_; }
+
+  // Cross-domain post: run `cb` at absolute time `t` on `to`'s queue.
+  // Outside a DomainScheduler run (or to == this) this is a plain
+  // schedule_at. Under a scheduler it lands in `to`'s mailbox from this
+  // domain, drained at the next epoch boundary; `t` must then be at
+  // least lookahead past now() (debug-checked) — the conservative-sync
+  // safety condition.
+  void post(Domain& to, TimePs t, EventQueue::Callback cb);
+
+ private:
+  friend class DomainScheduler;
+
+  // Epoch-boundary mailbox drain: senders in id order, per-sender FIFO.
+  // Arrivals get fresh FIFO sequence numbers in the local queue, after
+  // everything this domain scheduled during its own window — an order
+  // that depends only on simulated time, never on thread interleaving.
+  void drain_inboxes();
+  void advance_clock(TimePs t) { advance_to(t); }
+
+  std::uint32_t id_;
+  Rng rng_;
+  // Set while attached to a running DomainScheduler.
+  bool scheduled_ = false;
+  TimePs min_post_delay_ = 0;  // scheduler lookahead (debug check)
+  std::vector<std::unique_ptr<Mailbox>> inboxes_;  // by sender id
+};
+
+class DomainScheduler {
+ public:
+  struct Params {
+    // Worker threads; 0 = default_sim_threads(). Clamped to the domain
+    // count. The domain->thread mapping is id % threads — fixed, so a
+    // run is reproducible for a given (seed, domain count) at any
+    // thread setting.
+    unsigned threads = 0;
+    // Conservative epoch lookahead: the minimum delay every cross-
+    // domain post carries (= min cross-island latency at the boundary
+    // nodes). Larger lookahead -> wider epochs -> fewer barriers.
+    TimePs lookahead = us(1);
+    std::size_t mailbox_capacity = 1024;
+  };
+
+  // Creates `domains` event domains with ids 0..domains-1 and
+  // independent seed-derived Rng streams, fully meshed with mailboxes.
+  DomainScheduler(std::size_t domains, std::uint64_t seed);
+  DomainScheduler(std::size_t domains, std::uint64_t seed, Params p);
+  ~DomainScheduler();
+  DomainScheduler(const DomainScheduler&) = delete;
+  DomainScheduler& operator=(const DomainScheduler&) = delete;
+
+  Domain& domain(std::size_t i) { return *domains_[i]; }
+  std::size_t size() const { return domains_.size(); }
+
+  // Runs epochs until every domain queue and mailbox is empty.
+  void run_all();
+  // Runs all events with timestamp <= t, then advances every domain's
+  // clock to t (the multi-domain analogue of EventQueue::run_until).
+  void run_until(TimePs t);
+
+  // ---- Introspection ----
+  std::uint64_t epochs() const { return epochs_; }
+  unsigned threads_used() const { return threads_used_; }
+  TimePs lookahead() const { return params_.lookahead; }
+  std::uint64_t executed() const;
+  std::uint64_t mailbox_spills() const;
+
+ private:
+  void run_epochs(TimePs limit);
+  void run_window(unsigned worker, TimePs horizon);
+  void drain_phase(unsigned worker);
+  TimePs global_next() const;
+  TimePs horizon_for(TimePs next, TimePs limit) const;
+
+  Params params_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::uint64_t epochs_ = 0;
+  unsigned threads_used_ = 0;
+};
+
+}  // namespace flextoe::sim

@@ -35,7 +35,11 @@ bool EventQueue::step() {
 
 void EventQueue::run_until(TimePs t) {
   while (!heap_.empty() && heap_.top().t <= t) step();
-  if (now_ < t) now_ = t;
+  advance_to(t);
+}
+
+void EventQueue::run_before(TimePs t) {
+  while (!heap_.empty() && heap_.top().t < t) step();
 }
 
 void EventQueue::run_all() {

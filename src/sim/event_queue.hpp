@@ -43,13 +43,32 @@ class EventQueue {
   // Runs all events with timestamp <= t, then advances now() to t.
   void run_until(TimePs t);
 
+  // Runs all events with timestamp strictly below `t` but does NOT
+  // advance now() past the last executed event. This is the window
+  // primitive of the conservative parallel scheduler (sim/domain.hpp):
+  // cross-domain arrivals land at >= t and stay schedulable afterwards.
+  void run_before(TimePs t);
+
   // Drains the queue completely (use only for bounded simulations).
   void run_all();
+
+  // Sentinel returned by next_time() when no events are pending.
+  static constexpr TimePs kNoEvent = ~TimePs{0};
+  // Timestamp of the earliest pending event (kNoEvent when empty) — the
+  // quantity the domain scheduler minimizes over to pick epoch horizons.
+  TimePs next_time() const { return heap_.empty() ? kNoEvent : heap_.top().t; }
 
   TimePs now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
+
+ protected:
+  // Clock jump without event execution (epoch alignment in run_until()
+  // and the domain scheduler). Never moves the clock backwards.
+  void advance_to(TimePs t) {
+    if (t > now_) now_ = t;
+  }
 
  private:
   struct Ev {

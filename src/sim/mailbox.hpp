@@ -1,0 +1,102 @@
+// Bounded SPSC mailbox for cross-domain event posts.
+//
+// Each ordered (sender, receiver) domain pair owns one Mailbox. The
+// sender's worker thread pushes during its epoch window; the receiver's
+// worker thread drains at the epoch boundary, after the scheduler
+// barrier has stopped every producer. The ring is a classic
+// single-producer/single-consumer circular buffer (acquire/release
+// indices, no locks); posts that arrive while the ring is full spill to
+// an overflow list that is touched by the producer only inside windows
+// and by the consumer only at boundaries — the scheduler barrier
+// sequences the two, so the spill path needs no atomics.
+//
+// Per-sender FIFO is part of the contract (tests/sim/domain_test.cc):
+// once one post spills, younger posts follow it into the overflow list
+// until the consumer empties it, so drain order is always push order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::sim {
+
+class Mailbox {
+ public:
+  struct Post {
+    TimePs t = 0;
+    EventQueue::Callback cb;
+  };
+
+  explicit Mailbox(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+  }
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Producer side: enqueue a callback to run at absolute time `t` in the
+  // receiving domain. Never blocks and never drops — a full ring spills.
+  void push(TimePs t, EventQueue::Callback cb) {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (spilled_ || tail - head == ring_.size()) {
+      spilled_ = true;
+      ++spill_count_;
+      overflow_.push_back(Post{t, std::move(cb)});
+      return;
+    }
+    ring_[tail & (ring_.size() - 1)] = Post{t, std::move(cb)};
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  // Consumer side: pop every pending post, oldest first, into
+  // `f(time, callback)`. Only call from the receiver's thread at an
+  // epoch boundary (producers quiesced by the scheduler barrier).
+  template <typename F>
+  void drain(F&& f) {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    while (head != tail) {
+      Post& p = ring_[head & (ring_.size() - 1)];
+      f(p.t, std::move(p.cb));
+      ++head;
+    }
+    head_.store(head, std::memory_order_release);
+    if (spilled_) {
+      for (auto& p : overflow_) f(p.t, std::move(p.cb));
+      overflow_.clear();
+      spilled_ = false;
+    }
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           !spilled_;
+  }
+  std::size_t capacity() const { return ring_.size(); }
+  // Posts that missed the ring and took the overflow path (bench/tests:
+  // a healthy configuration keeps this near zero).
+  std::uint64_t spills() const { return spill_count_; }
+
+ private:
+  std::vector<Post> ring_;
+  std::atomic<std::size_t> head_{0};  // consumer cursor
+  std::atomic<std::size_t> tail_{0};  // producer cursor
+  // Producer-written inside windows, consumer-cleared at boundaries;
+  // the scheduler barrier orders the two phases.
+  bool spilled_ = false;
+  std::deque<Post> overflow_;
+  std::uint64_t spill_count_ = 0;
+};
+
+}  // namespace flextoe::sim

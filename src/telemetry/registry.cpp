@@ -5,6 +5,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <mutex>
 
 namespace flextoe::telemetry {
 
@@ -506,6 +507,13 @@ Snapshot Registry::snapshot() const {
 namespace {
 
 bool g_default_enabled = true;
+// The accumulator is the one telemetry structure shared across parallel
+// scenario runs (workload::run_scenario_batch): each worker merges its
+// finished testbed's snapshot here. Snapshot::merge is an additive
+// two-pointer merge of path-sorted vectors — commutative — so guarding
+// it with a mutex keeps batched results identical to sequential runs
+// regardless of worker interleaving.
+std::mutex g_accumulator_mu;
 Snapshot g_accumulator;
 
 }  // namespace
@@ -514,7 +522,13 @@ bool default_enabled() { return g_default_enabled; }
 void set_default_enabled(bool on) { g_default_enabled = on; }
 
 const Snapshot& accumulator() { return g_accumulator; }
-void accumulate(const Snapshot& s) { g_accumulator.merge(s); }
-void reset_accumulator() { g_accumulator = Snapshot{}; }
+void accumulate(const Snapshot& s) {
+  std::lock_guard<std::mutex> lk(g_accumulator_mu);
+  g_accumulator.merge(s);
+}
+void reset_accumulator() {
+  std::lock_guard<std::mutex> lk(g_accumulator_mu);
+  g_accumulator = Snapshot{};
+}
 
 }  // namespace flextoe::telemetry

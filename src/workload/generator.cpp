@@ -14,7 +14,7 @@ namespace flextoe::workload {
 
 using tcp::ConnId;
 
-TrafficGen::TrafficGen(sim::EventQueue& ev, tcp::StackIface& stack,
+TrafficGen::TrafficGen(sim::Domain& ev, tcp::StackIface& stack,
                        net::Ipv4Addr server_ip, TrafficGenParams p,
                        std::unique_ptr<ArrivalModel> arrival,
                        std::unique_ptr<SizeModel> sizes,

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "app/framer.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -52,7 +52,7 @@ class TrafficGen {
   using RequestFactory =
       std::function<std::vector<std::uint8_t>(sim::Rng&, std::uint32_t)>;
 
-  TrafficGen(sim::EventQueue& ev, tcp::StackIface& stack,
+  TrafficGen(sim::Domain& ev, tcp::StackIface& stack,
              net::Ipv4Addr server_ip, TrafficGenParams p,
              std::unique_ptr<ArrivalModel> arrival = nullptr,  // null: closed
              std::unique_ptr<SizeModel> sizes = nullptr,  // null: fixed 64 B
@@ -98,7 +98,7 @@ class TrafficGen {
   void on_data(std::size_t idx);
   void schedule_next_arrival();
 
-  sim::EventQueue& ev_;
+  sim::Domain& ev_;
   tcp::StackIface& stack_;
   net::Ipv4Addr server_ip_;
   TrafficGenParams p_;

@@ -12,10 +12,12 @@
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "app/kv.hpp"
 #include "app/rpc_app.hpp"
+#include "sim/domain.hpp"
 
 namespace flextoe::workload {
 
@@ -369,6 +371,43 @@ void register_builtin_scenarios() {
     s.seed = 59;
     reg.add(std::move(s));
   }
+}
+
+std::vector<ScenarioResult> run_scenario_batch(const ScenarioSpec& spec,
+                                               const RunOptions& opts,
+                                               int runs, int threads) {
+  std::vector<ScenarioResult> results(
+      static_cast<std::size_t>(std::max(runs, 0)));
+  if (runs <= 0) return results;
+
+  unsigned want = threads > 0 ? static_cast<unsigned>(threads)
+                              : sim::default_sim_threads();
+  const unsigned workers = static_cast<unsigned>(std::min<std::uint64_t>(
+      std::max(1u, want), static_cast<std::uint64_t>(runs)));
+
+  // Fixed run -> worker mapping (i % workers), each run a complete
+  // single-threaded simulation with its own seed: the results vector is
+  // deterministic and identical to the sequential loop at any worker
+  // count.
+  auto body = [&](unsigned w) {
+    for (int i = static_cast<int>(w); i < runs;
+         i += static_cast<int>(workers)) {
+      RunOptions ro = opts;
+      ro.seed_offset = opts.seed_offset + static_cast<std::uint64_t>(i);
+      results[static_cast<std::size_t>(i)] = run_scenario(spec, ro);
+    }
+  };
+
+  if (workers == 1) {
+    body(0);
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(body, w);
+  body(0);
+  for (auto& t : pool) t.join();
+  return results;
 }
 
 }  // namespace flextoe::workload

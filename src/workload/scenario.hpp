@@ -103,6 +103,19 @@ struct RunOptions {
 ScenarioResult run_scenario(const ScenarioSpec& spec,
                             const RunOptions& opts = {});
 
+// Runs `runs` independent repetitions of `spec` — run i uses
+// `opts.seed_offset + i` — and returns the results in run order.
+// `threads` worker threads execute the runs on a fixed i % threads
+// mapping (0 = sim::default_sim_threads(), clamped to `runs`); each run
+// is a whole single-threaded simulation, so the result vector is
+// field-for-field identical to running the loop sequentially. The only
+// cross-run shared state, the process-wide telemetry accumulator, is
+// merged under a lock (and commutatively), so batched telemetry matches
+// sequential telemetry too.
+std::vector<ScenarioResult> run_scenario_batch(const ScenarioSpec& spec,
+                                               const RunOptions& opts,
+                                               int runs, int threads = 0);
+
 class ScenarioRegistry {
  public:
   static ScenarioRegistry& instance();

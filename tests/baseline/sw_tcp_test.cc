@@ -7,7 +7,7 @@
 #include <numeric>
 
 #include "net/switch.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 
 namespace flextoe::baseline {
 namespace {
@@ -24,7 +24,7 @@ std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 7) {
 
 // Two stacks joined through a 2-port switch.
 struct Pair {
-  sim::EventQueue ev;
+  sim::Domain ev;
   net::Switch sw;
   net::Link link_a, link_b;
   SwTcpStack a, b;

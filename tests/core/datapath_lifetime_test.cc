@@ -17,13 +17,13 @@
 #include "core/datapath.hpp"
 #include "host/payload_buf.hpp"
 #include "net/packet.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 
 namespace flextoe::core {
 namespace {
 
 struct Rig {
-  sim::EventQueue ev;
+  sim::Domain ev;
   host::PayloadBuf rx{1 << 16}, tx{1 << 16};
   std::optional<Datapath> dp;
   int notifies = 0;

@@ -8,7 +8,7 @@
 #include "baseline/sw_tcp.hpp"
 #include "host/flextoe_nic.hpp"
 #include "net/switch.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "xdp/modules.hpp"
 
 namespace flextoe {
@@ -26,7 +26,7 @@ std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 9) {
 
 // FlexTOE server + SwTcp client over a 2-port switch.
 struct Rig {
-  sim::EventQueue ev;
+  sim::Domain ev;
   net::Switch sw;
   net::Link toe_link, cli_link;
   host::FlexToeNic toe;

@@ -8,7 +8,7 @@
 
 #include "core/config.hpp"
 #include "core/datapath.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 
 namespace flextoe::core {
 namespace {
@@ -50,7 +50,7 @@ TEST(StatePartition, FootprintClaims) {
 TEST(StatePartition, StagesOwnDisjointState) {
   // Structural: installing a flow populates each partition with its own
   // fields; protocol state never aliases pre/post fields.
-  sim::EventQueue ev;
+  sim::Domain ev;
   Datapath::HostIface host;
   host.notify = [](const host::CtxDesc&) {};
   host.to_control = [](const net::PacketPtr&) {};

@@ -15,7 +15,7 @@
 #include "core/datapath.hpp"
 #include "host/payload_buf.hpp"
 #include "net/packet.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 
 namespace flextoe::pipeline {
 namespace {
@@ -23,7 +23,7 @@ namespace {
 using core::DatapathConfig;
 
 struct BuiltGraph {
-  sim::EventQueue ev;
+  sim::Domain ev;
   std::optional<core::Datapath> dp;
 
   explicit BuiltGraph(const DatapathConfig& cfg) {

@@ -9,7 +9,7 @@
 #include "baseline/sw_tcp.hpp"
 #include "host/flextoe_nic.hpp"
 #include "net/switch.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "sim/rng.hpp"
 #include "tcp/byte_ring.hpp"
 #include "tcp/ooo.hpp"
@@ -141,7 +141,7 @@ class InteropTest : public ::testing::TestWithParam<InteropCase> {};
 
 TEST_P(InteropTest, BidirectionalIntegrity) {
   const auto pc = GetParam();
-  sim::EventQueue ev;
+  sim::Domain ev;
   net::Switch sw(ev, sim::Rng(1), 2);
   net::Link l0(ev, sim::Rng(2), {40.0, sim::ns(500), pc.loss});
   net::Link l1(ev, sim::Rng(3), {40.0, sim::ns(500), pc.loss});
@@ -252,7 +252,7 @@ TEST_P(TopologyTest, TransferIntactUnderAnyTopology) {
   };
   const auto& dp_cfg = cfgs[GetParam()];
 
-  sim::EventQueue ev;
+  sim::Domain ev;
   net::Switch sw(ev, sim::Rng(1), 2);
   net::Link l0(ev, sim::Rng(2), {40.0, sim::ns(500), 0.002});
   net::Link l1(ev, sim::Rng(3), {40.0, sim::ns(500), 0.002});

@@ -1,0 +1,276 @@
+// Determinism battery for the parallel domain scheduler
+// (sim/domain.hpp): single-domain equivalence with the raw EventQueue,
+// thread-count independence of multi-island runs, mailbox FIFO
+// (including the overflow spill path), the out-of-scheduler post
+// fall-through, the parallel scenario batch, and the pool
+// domain-affinity contract.
+#include "sim/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/packet_pool.hpp"
+#include "nfp/fpc.hpp"
+#include "sim/mailbox.hpp"
+#include "workload/scenario.hpp"
+
+namespace flextoe::sim {
+namespace {
+
+// One executed event: (domain, time, tag). The trace of a run is the
+// determinism fingerprint the battery compares.
+struct TraceEvent {
+  std::uint32_t domain;
+  TimePs t;
+  int tag;
+  bool operator==(const TraceEvent&) const = default;
+};
+
+// ---------------------------------------------------------------------
+// (a) A single domain is the EventQueue, event for event.
+
+TEST(Domain, SingleDomainMatchesRawEventQueueTrace) {
+  auto drive = [](EventQueue& q, std::vector<TraceEvent>* trace) {
+    // Self-rescheduling chains with FIFO ties, like the simulator's
+    // stage callbacks.
+    for (int c = 0; c < 4; ++c) {
+      struct Chain {
+        EventQueue* q;
+        std::vector<TraceEvent>* trace;
+        int tag;
+        int left = 25;
+        void fire() {
+          trace->push_back({0, q->now(), tag});
+          if (--left == 0) return;
+          q->schedule_in(ns(100) + static_cast<TimePs>(tag),
+                         [c = *this]() mutable { c.fire(); });
+        }
+      };
+      q.schedule_at(ns(10), [c = Chain{&q, trace, c}]() mutable { c.fire(); });
+    }
+    q.run_all();
+  };
+
+  std::vector<TraceEvent> raw, dom, sched1;
+  {
+    EventQueue q;
+    drive(q, &raw);
+  }
+  {
+    Domain d;  // stand-alone domain: plain queue semantics
+    drive(d, &dom);
+  }
+  {
+    // Under a 1-domain scheduler the epoch machinery is live but the
+    // trace must still be identical.
+    DomainScheduler s(1, 42);
+    drive(s.domain(0), &sched1);
+  }
+  EXPECT_EQ(raw, dom);
+  EXPECT_EQ(raw, sched1);
+  EXPECT_EQ(raw.size(), 100u);
+}
+
+// ---------------------------------------------------------------------
+// (b) Multi-island runs are identical at any thread count and across
+// repeats: islands of FPC pipelines cross-posting into an egress
+// domain, the parallel_speedup bench in miniature.
+
+std::vector<TraceEvent> run_islands(unsigned threads) {
+  DomainScheduler::Params sp;
+  sp.threads = threads;
+  sp.lookahead = us(5);
+  DomainScheduler sched(5, 7, sp);
+  Domain& egress = sched.domain(0);
+
+  std::vector<TraceEvent> arrivals;  // egress-domain-only writes
+  std::vector<std::unique_ptr<nfp::Fpc>> fpcs;
+  struct Seg {
+    nfp::Fpc* fpc;
+    Domain* dom;
+    Domain* egress;
+    std::vector<TraceEvent>* arrivals;
+    TimePs lookahead;
+    int left;
+    void fire() {
+      if (left-- == 0) return;
+      nfp::Work w;
+      w.compute_cycles =
+          50 + static_cast<std::uint32_t>(dom->rng().next_u64() % 16);
+      w.mem_cycles = 10;
+      w.done = [s = *this]() mutable {
+        const TimePs t = s.dom->now() + s.lookahead;
+        auto* out = s.arrivals;
+        const std::uint32_t id = s.dom->id();
+        s.dom->post(*s.egress, t, [out, id, t] {
+          out->push_back({id, t, 0});
+        });
+        s.fire();
+      };
+      fpc->submit(std::move(w));
+    }
+  };
+  nfp::FpcParams fp;
+  fp.queue_capacity = 64;
+  for (std::size_t i = 1; i < sched.size(); ++i) {
+    Domain& d = sched.domain(i);
+    fpcs.push_back(std::make_unique<nfp::Fpc>(d, fp, "island"));
+    Seg seg{fpcs.back().get(), &d, &egress, &arrivals, sp.lookahead, 40};
+    seg.fire();
+  }
+  sched.run_all();
+
+  // Fold scheduler-level invariants into the trace so they are
+  // compared too.
+  arrivals.push_back({0, egress.now(), static_cast<int>(sched.executed())});
+  return arrivals;
+}
+
+TEST(DomainScheduler, TraceIdenticalAcrossThreadCounts) {
+  const std::vector<TraceEvent> t1 = run_islands(1);
+  ASSERT_GT(t1.size(), 160u);  // 4 islands x 40 segments + sentinel
+  EXPECT_EQ(t1, run_islands(2));
+  EXPECT_EQ(t1, run_islands(4));
+  // Repeat at the same thread count: no run-to-run wobble either.
+  EXPECT_EQ(run_islands(4), run_islands(4));
+}
+
+// ---------------------------------------------------------------------
+// (c) Mailbox FIFO, including the overflow spill path.
+
+TEST(Mailbox, PreservesFifoThroughOverflowSpill) {
+  Mailbox mb(8);  // ring capacity 8; pushes 9.. spill to overflow
+  std::vector<int> order;
+  for (int i = 0; i < 30; ++i) {
+    mb.push(static_cast<TimePs>(1000), [&order, i] { order.push_back(i); });
+  }
+  EXPECT_GT(mb.spills(), 0u);
+  mb.drain([&](TimePs t, EventQueue::Callback cb) {
+    EXPECT_EQ(t, 1000u);
+    cb();
+  });
+  ASSERT_EQ(order.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  EXPECT_TRUE(mb.empty());
+
+  // Drained mailbox is reusable and back on the fast (ring) path.
+  order.clear();
+  mb.push(static_cast<TimePs>(2000), [&order] { order.push_back(99); });
+  mb.drain([&](TimePs, EventQueue::Callback cb) { cb(); });
+  EXPECT_EQ(order, (std::vector<int>{99}));
+}
+
+TEST(DomainScheduler, DrainIsPerSenderFifoInSenderIdOrder) {
+  // Two senders each post three same-time events into domain 0 during
+  // one epoch window; the drain must schedule sender 1's posts (in
+  // order) before sender 2's (in order).
+  DomainScheduler::Params sp;
+  sp.lookahead = us(1);
+  DomainScheduler sched(3, 1, sp);
+  std::vector<std::pair<std::uint32_t, int>> order;
+  for (std::uint32_t s : {1u, 2u}) {
+    Domain& d = sched.domain(s);
+    d.schedule_at(ns(10), [&sched, &order, &d, s] {
+      for (int i = 0; i < 3; ++i) {
+        d.post(sched.domain(0), d.now() + us(1),
+               [&order, s, i] { order.emplace_back(s, i); });
+      }
+    });
+  }
+  sched.run_all();
+  const std::vector<std::pair<std::uint32_t, int>> want{
+      {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}};
+  EXPECT_EQ(order, want);
+}
+
+// ---------------------------------------------------------------------
+// (d) post() outside a scheduler run falls through to schedule_at.
+
+TEST(Domain, PostOutsideSchedulerIsPlainSchedule) {
+  Domain a(Domain::Params{0, 1});
+  Domain b(Domain::Params{1, 2});
+  int fired = 0;
+  a.post(b, ns(5), [&] { ++fired; });  // no scheduler: direct schedule
+  a.post(a, ns(5), [&] { ++fired; });  // self-post: always direct
+  EXPECT_EQ(b.pending(), 1u);
+  a.run_all();
+  b.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------------
+// (e) Parallel scenario batch == sequential scenario loop.
+
+TEST(ScenarioBatch, ParallelBatchMatchesSequentialFieldForField) {
+  workload::register_builtin_scenarios();
+  const workload::ScenarioSpec* spec =
+      workload::ScenarioRegistry::instance().find("rpc_echo_closed");
+  ASSERT_NE(spec, nullptr);
+
+  workload::RunOptions ro;
+  ro.quick = true;
+  ro.seed_offset = 3;
+  ro.warm_override = us(200);
+  ro.span_override = us(500);
+
+  std::vector<workload::ScenarioResult> seq;
+  for (int i = 0; i < 4; ++i) {
+    workload::RunOptions one = ro;
+    one.seed_offset = ro.seed_offset + static_cast<std::uint64_t>(i);
+    seq.push_back(workload::run_scenario(*spec, one));
+  }
+  const auto par = workload::run_scenario_batch(*spec, ro, 4, 4);
+
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(par[i].completed, seq[i].completed) << "run " << i;
+    EXPECT_EQ(par[i].throughput_rps, seq[i].throughput_rps) << "run " << i;
+    EXPECT_EQ(par[i].server_rx_gbps, seq[i].server_rx_gbps) << "run " << i;
+    EXPECT_EQ(par[i].client_rx_gbps, seq[i].client_rx_gbps) << "run " << i;
+    EXPECT_EQ(par[i].p50_us, seq[i].p50_us) << "run " << i;
+    EXPECT_EQ(par[i].p99_us, seq[i].p99_us) << "run " << i;
+    EXPECT_EQ(par[i].jfi, seq[i].jfi) << "run " << i;
+    EXPECT_EQ(par[i].connected, seq[i].connected) << "run " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// (f) Domain-affinity contract for pooled packets (debug builds).
+
+#if FLEXTOE_AFFINITY_CHECKS
+
+// Death tests fork; TSan's runtime does not survive that, so the
+// violation check runs in Debug/Sanitize builds only.
+#if !defined(__SANITIZE_THREAD__)
+using DomainAffinityDeathTest = ::testing::Test;
+
+TEST(DomainAffinityDeathTest, PacketPoolAcquireOffOwnerThreadAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  net::PacketPool pool;
+  (void)pool.acquire();  // binds the pool to this thread
+  EXPECT_DEATH(
+      {
+        std::thread t([&] { (void)pool.acquire(); });
+        t.join();
+      },
+      "domain-affinity");
+}
+#endif  // !__SANITIZE_THREAD__
+
+TEST(DomainAffinity, RebindOwnerAllowsQuiescedHandOff) {
+  net::PacketPool pool;
+  (void)pool.acquire();
+  pool.rebind_owner();  // legitimate hand-off: next thread binds
+  std::thread t([&] { (void)pool.acquire(); });
+  t.join();
+  EXPECT_EQ(pool.recycled(), 1u);
+}
+
+#endif  // FLEXTOE_AFFINITY_CHECKS
+
+}  // namespace
+}  // namespace flextoe::sim

@@ -75,6 +75,32 @@ TEST(EventQueue, EventsMayScheduleMoreEvents) {
   EXPECT_EQ(q.executed(), 100u);
 }
 
+TEST(EventQueue, NextTimeReportsEarliestPendingEvent) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), EventQueue::kNoEvent);
+  q.schedule_at(ns(30), [] {});
+  q.schedule_at(ns(10), [] {});
+  EXPECT_EQ(q.next_time(), ns(10));
+  q.run_all();
+  EXPECT_EQ(q.next_time(), EventQueue::kNoEvent);
+}
+
+TEST(EventQueue, RunBeforeIsExclusiveAndKeepsClock) {
+  // The epoch-window primitive: strictly-before-horizon execution that
+  // leaves now() at the last executed event, not at the horizon.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(ns(10), [&] { order.push_back(1); });
+  q.schedule_at(ns(20), [&] { order.push_back(2); });
+  q.schedule_at(ns(30), [&] { order.push_back(3); });
+  q.run_before(ns(30));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), ns(20));
+  EXPECT_EQ(q.next_time(), ns(30));
+  q.run_before(EventQueue::kNoEvent);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(ClockDomain, CycleConversions) {
   EXPECT_EQ(kFpcClock.cycles(800), ns(1000));  // 800 cycles @800MHz = 1us
   EXPECT_EQ(kHostClock.cycles(2000), ns(1000));

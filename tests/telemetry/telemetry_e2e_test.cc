@@ -10,7 +10,7 @@
 #include "baseline/sw_tcp.hpp"
 #include "host/flextoe_nic.hpp"
 #include "net/switch.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/domain.hpp"
 #include "telemetry/registry.hpp"
 #include "workload/scenario.hpp"
 #include "xdp/modules.hpp"
@@ -110,7 +110,7 @@ TEST(TelemetryE2E, ScenarioRunPopulatesEveryTaxonomy) {
 // FlexTOE server + SwTcp client over a 2-port switch (the core e2e rig),
 // used to exercise drop attribution and the runtime toggle directly.
 struct Rig {
-  sim::EventQueue ev;
+  sim::Domain ev;
   net::Switch sw;
   net::Link toe_link, cli_link;
   host::FlexToeNic toe;

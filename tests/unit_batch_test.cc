@@ -11,6 +11,7 @@
 #include "nfp/fpc.hpp"
 #include "nfp/memory.hpp"
 #include "sched/carousel.hpp"
+#include "sim/domain.hpp"
 #include "sim/cpu.hpp"
 #include "sim/trace.hpp"
 #include "tcp/byte_ring.hpp"
@@ -23,7 +24,7 @@ namespace {
 // ----------------------------------------------------------------- FPC
 
 TEST(Fpc, SingleThreadSerializesCompute) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   nfp::Fpc fpc(ev, {.threads = 1}, "t");
   int done = 0;
   // Two items of 800 cycles (1 us each at 800 MHz) serialize.
@@ -37,7 +38,7 @@ TEST(Fpc, SingleThreadSerializesCompute) {
 }
 
 TEST(Fpc, ThreadsHideMemoryLatency) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   nfp::Fpc fast(ev, {.threads = 8}, "fast");
   // 8 items: 80 compute + 720 memory cycles each. With 8 threads the
   // memory waits overlap: total ~ 8*80 compute + 720 tail.
@@ -50,7 +51,7 @@ TEST(Fpc, ThreadsHideMemoryLatency) {
 }
 
 TEST(Fpc, QueueFullDropsWork) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   nfp::Fpc fpc(ev, {.threads = 1, .queue_capacity = 4}, "q");
   int accepted = 0;
   for (int i = 0; i < 20; ++i) {
@@ -125,7 +126,7 @@ TEST(StateAccess, EmemSramCapacityCliff) {
 // ------------------------------------------------------------------ DMA
 
 TEST(Dma, CompletionAfterLatencyAndBandwidth) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   nfp::DmaParams p;
   p.gbps = 8.0;  // 1 byte/ns
   p.latency = sim::ns(500);
@@ -137,7 +138,7 @@ TEST(Dma, CompletionAfterLatencyAndBandwidth) {
 }
 
 TEST(Dma, OutstandingLimitQueues) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   nfp::DmaParams p;
   p.max_outstanding = 2;
   nfp::DmaEngine dma(ev, p);
@@ -152,7 +153,7 @@ TEST(Dma, OutstandingLimitQueues) {
 // -------------------------------------------------------------- CpuPool
 
 TEST(CpuPool, ParallelAcrossCores) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   sim::CpuPool cpu(ev, 4, sim::kHostClock);
   int done = 0;
   for (int i = 0; i < 4; ++i) {
@@ -163,7 +164,7 @@ TEST(CpuPool, ParallelAcrossCores) {
 }
 
 TEST(CpuPool, SerialFractionLimitsScaling) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   sim::CpuPool cpu(ev, 8, sim::kHostClock);
   cpu.set_serial_fraction(1.0);  // everything under one lock
   int done = 0;
@@ -175,7 +176,7 @@ TEST(CpuPool, SerialFractionLimitsScaling) {
 }
 
 TEST(CpuPool, CategoryAccounting) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   sim::CpuPool cpu(ev, 1);
   cpu.run(100, sim::CpuCat::Stack, nullptr);
   cpu.reattribute(sim::CpuCat::Stack, sim::CpuCat::Driver, 40);
@@ -187,7 +188,7 @@ TEST(CpuPool, CategoryAccounting) {
 // ------------------------------------------------------------- Carousel
 
 TEST(Carousel, UncongestedRoundRobin) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   sched::Carousel car(ev);
   std::vector<std::uint32_t> order;
   car.set_trigger([&](std::uint32_t f) {
@@ -205,7 +206,7 @@ TEST(Carousel, UncongestedRoundRobin) {
 }
 
 TEST(Carousel, RateLimitedPacing) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   sched::Carousel car(ev);
   std::vector<sim::TimePs> at;
   car.set_trigger([&](std::uint32_t) {
@@ -224,7 +225,7 @@ TEST(Carousel, RateLimitedPacing) {
 }
 
 TEST(Carousel, BlockedFlowParksUntilKick) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   sched::Carousel car(ev);
   int calls = 0;
   bool blocked = true;
@@ -243,7 +244,7 @@ TEST(Carousel, BlockedFlowParksUntilKick) {
 }
 
 TEST(Carousel, RemoveFlowStopsService) {
-  sim::EventQueue ev;
+  sim::Domain ev;
   sched::Carousel car(ev);
   int calls = 0;
   car.set_trigger([&](std::uint32_t) {
