@@ -10,6 +10,8 @@
 
 #include "sim/domain.hpp"
 #include "sim/stats.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace flextoe::benchx {
 
@@ -19,7 +21,8 @@ namespace flextoe::benchx {
 std::string usage(const std::string& prog) {
   return "usage: " + prog +
          " [--list] [--filter <substr>] [--quick] [--repeats N]"
-         " [--seed S] [--threads N] [--json <path>] [--no-telemetry]\n"
+         " [--seed S] [--threads N] [--json <path>] [--no-telemetry]"
+         " [--trace <path>]\n"
          "  --list          print scenario ids and exit\n"
          "  --filter S      run only scenarios whose id contains S\n"
          "  --quick         shrink sweeps and simulated spans (smoke mode)\n"
@@ -33,7 +36,10 @@ std::string usage(const std::string& prog) {
          "  --json PATH     also write the report as JSON to PATH\n"
          "  --no-telemetry  disable data-path introspection counters\n"
          "                  (the report's telemetry section comes out "
-         "empty)\n";
+         "empty)\n"
+         "  --trace PATH    record segment-lifecycle flight recorders and\n"
+         "                  write the merged Chrome/Perfetto trace JSON\n"
+         "                  to PATH (load it at ui.perfetto.dev)\n";
 }
 
 bool parse_args(int argc, const char* const* argv, Options* opts,
@@ -61,6 +67,10 @@ bool parse_args(int argc, const char* const* argv, Options* opts,
       const char* v = value("--json");
       if (!v) return false;
       opts->json_path = v;
+    } else if (a == "--trace") {
+      const char* v = value("--trace");
+      if (!v) return false;
+      opts->trace_path = v;
     } else if (a == "--repeats") {
       const char* v = value("--repeats");
       if (!v) return false;
@@ -301,6 +311,23 @@ std::string Report::to_json() const {
   out += ",\n  \"repeats\": " + std::to_string(opts_.repeats);
   out += ",\n  \"seed\": " + std::to_string(opts_.seed);
   out += ",\n  \"threads\": " + std::to_string(opts_.threads);
+  // Reproducibility header: what produced this document. Golden diffs
+  // excise this block (check_golden.py), so it can vary freely.
+#ifndef FLEXTOE_GIT_SHA
+#define FLEXTOE_GIT_SHA "unknown"
+#endif
+#ifndef FLEXTOE_BUILD_TYPE
+#define FLEXTOE_BUILD_TYPE "unknown"
+#endif
+  out += ",\n  \"config\": {\"git_sha\": ";
+  json_escape(FLEXTOE_GIT_SHA, &out);
+  out += ", \"build_type\": ";
+  json_escape(FLEXTOE_BUILD_TYPE, &out);
+  out += ", \"telemetry_compiled\": ";
+  out += telemetry::kCompiledIn ? "true" : "false";
+  out += ", \"trace_compiled\": ";
+  out += trace::kCompiledIn ? "true" : "false";
+  out += "}";
   out += ",\n  \"series\": [";
   for (std::size_t si = 0; si < series_.size(); ++si) {
     const auto& s = series_[si];
@@ -401,6 +428,15 @@ int bench_main(int argc, const char* const* argv) {
   // the accumulator gathers each testbed's snapshot on teardown.
   telemetry::set_default_enabled(opts.telemetry);
   telemetry::reset_accumulator();
+  if (!opts.trace_path.empty()) {
+    if (!trace::kCompiledIn) {
+      std::fprintf(stderr,
+                   "%s: --trace ignored: tracing compiled out "
+                   "(FLEXTOE_TRACE=OFF)\n",
+                   name.c_str());
+    }
+    trace::set_enabled(true);
+  }
   // Worker budget for DomainScheduler / run_scenario_batch users.
   sim::set_default_sim_threads(static_cast<unsigned>(opts.threads));
 
@@ -421,6 +457,15 @@ int bench_main(int argc, const char* const* argv) {
       return 1;
     }
     std::printf("\nwrote %s\n", opts.json_path.c_str());
+  }
+
+  if (!opts.trace_path.empty() && trace::kCompiledIn) {
+    if (!trace::write_chrome_trace(opts.trace_path)) {
+      std::fprintf(stderr, "%s: cannot write trace to %s\n", name.c_str(),
+                   opts.trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", opts.trace_path.c_str());
   }
   return 0;
 }

@@ -35,6 +35,9 @@ struct Options {
   bool list_only = false;
   std::string filter;     // substring match on scenario id
   std::string json_path;  // empty = no JSON emission
+  // --trace: enable the segment-lifecycle flight recorders for the run
+  // and export the merged Chrome/Perfetto trace JSON here afterwards.
+  std::string trace_path;  // empty = tracing stays off
   // Base seed offset mixed into every scenario's simulation seeds
   // (--seed); 0 reproduces the default run, other values measure
   // seed-to-seed variance.
@@ -139,7 +142,10 @@ class Report {
   void print_text() const;
 
   // JSON document: {"bench", "quick", "repeats", "seed", "threads",
-  // "series": [...], "telemetry": {...}, "notes": [...]}.
+  // "config": {...}, "series": [...], "telemetry": {...}, "notes":
+  // [...]}. The "config" block is the reproducibility header (git SHA,
+  // build type, compiled-in instrumentation); tools/check_golden.py
+  // excises it before diffing, so it never breaks golden comparisons.
   std::string to_json() const;
   // Returns false if the file cannot be written.
   bool write_json(const std::string& path) const;

@@ -76,12 +76,38 @@ std::string hist_summary(const HistogramData& h) {
   if (h.count == 0) return "count=0";
   char buf[160];
   std::snprintf(buf, sizeof buf,
-                "count=%llu mean=%.1f p50~%llu p99~%llu max=%llu",
+                "count=%llu mean=%.1f p50~%llu p90~%llu p99~%llu max=%llu",
                 static_cast<unsigned long long>(h.count), h.mean(),
                 static_cast<unsigned long long>(h.quantile(0.50)),
+                static_cast<unsigned long long>(h.quantile(0.90)),
                 static_cast<unsigned long long>(h.quantile(0.99)),
                 static_cast<unsigned long long>(h.max));
   return buf;
+}
+
+// Derived per-histogram summary statistics computed from the log2
+// buckets (quantiles are bucket upper bounds, hence approximate), so
+// JSON consumers don't have to re-derive them from raw bucket arrays.
+std::string derived_json(const Snapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [p, h] : snap.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    flextoe::telemetry::json_escape(p, &out);
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  ": {\"count\": %llu, \"mean\": %.3f, \"p50\": %llu, "
+                  "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}",
+                  static_cast<unsigned long long>(h.count), h.mean(),
+                  static_cast<unsigned long long>(h.quantile(0.50)),
+                  static_cast<unsigned long long>(h.quantile(0.90)),
+                  static_cast<unsigned long long>(h.quantile(0.99)),
+                  static_cast<unsigned long long>(h.max));
+    out += buf;
+  }
+  out += first ? "}" : "\n  }";
+  return out;
 }
 
 void print_tree(const Snapshot& snap) {
@@ -201,7 +227,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    const std::string doc = r.telemetry.to_json() + "\n";
+    // {"telemetry": <snapshot, the shape Snapshot::from_json parses>,
+    //  "derived": {path: {count, mean, p50, p90, p99, max}}}
+    const std::string doc = "{\n  \"telemetry\": " + r.telemetry.to_json() +
+                            ",\n  \"derived\": " + derived_json(r.telemetry) +
+                            "\n}\n";
     std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path.c_str());

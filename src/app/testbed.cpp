@@ -1,6 +1,8 @@
 #include "app/testbed.hpp"
 
 #include "telemetry/registry.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace flextoe::app {
 
@@ -10,6 +12,11 @@ Testbed::~Testbed() {
       telemetry::accumulate(n->toe->datapath().telem().snapshot());
     }
   }
+}
+
+bool Testbed::dump_trace(const std::string& path) const {
+  if (!trace::kCompiledIn || !trace::enabled()) return false;
+  return trace::write_chrome_trace(path);
 }
 
 Testbed::Node& Testbed::finish_node(std::unique_ptr<Node> n,

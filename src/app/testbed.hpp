@@ -70,6 +70,13 @@ class Testbed {
 
   void run_for(sim::TimePs t) { ev_.run_until(ev_.now() + t); }
 
+  // Exports everything the flight recorders currently hold (this testbed
+  // and any earlier ones — rings are process-wide) as Chrome trace-event
+  // JSON. No-op returning false when tracing is compiled out or was
+  // never enabled. The harness --trace flag does this automatically at
+  // exit; call directly to capture mid-run state.
+  bool dump_trace(const std::string& path) const;
+
   static net::MacAddr mac_for(net::Ipv4Addr ip) {
     return net::MacAddr::from_u64(0x020000000000ull + ip);
   }

@@ -254,7 +254,7 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
       case xdp::XdpAction::Pass:
         continue;
       case xdp::XdpAction::Drop:
-        graph_->count_drop(DropReason::XdpDrop);
+        graph_->count_drop(DropReason::XdpDrop, ctx->trace_id);
         graph_->skip_proto(ctx);
         return;
       case xdp::XdpAction::Tx:
@@ -748,6 +748,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
         auto ack_ctx = ctx_pool_.acquire();
         ack_ctx->kind = SegCtx::Kind::Rx;
         ack_ctx->pkt = ctx->ack_pkt;
+        ack_ctx->trace_id = ctx->trace_id;
         ack_ctx->flow_group = ctx->flow_group;
         ack_ctx->snap.egress_seq = ctx->snap.egress_seq;
         ack_ctx->rtc_token = ctx->rtc_token;
@@ -816,6 +817,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
     auto ack_ctx = ctx_pool_.acquire();
     ack_ctx->kind = SegCtx::Kind::Hc;
     ack_ctx->pkt = ctx->ack_pkt;
+    ack_ctx->trace_id = ctx->trace_id;
     ack_ctx->flow_group = ctx->flow_group;
     ack_ctx->snap.egress_seq = ctx->snap.egress_seq;
     ack_ctx->rtc_token = ctx->rtc_token;

@@ -98,6 +98,16 @@ struct SegCtx {
   sim::TimePs t_born_ps = kNoTimestamp;
   sim::TimePs t_stage_ps = kNoTimestamp;
 
+  // Causal id for segment-lifecycle tracing (trace/trace.hpp): minted
+  // at pipeline admission, copied to spawned contexts (ACKs) and the
+  // egress packet so one RPC's segments can be followed across domains
+  // and back in through the peer's RX path. 0 = untraced. `trace_open`
+  // marks an open end-to-end "pipe" span so its close records exactly
+  // once. Both are out-of-band: no simulated cost, and always zero
+  // while tracing is disabled.
+  std::uint64_t trace_id = 0;
+  bool trace_open = false;
+
   // Run-to-completion mode: releases the single-FPC gate when the
   // context's processing chain fully completes.
   std::shared_ptr<void> rtc_token;

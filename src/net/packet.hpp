@@ -18,6 +18,12 @@ struct Packet {
   TcpHeader tcp;
   std::vector<std::uint8_t> payload;
 
+  // Segment-lifecycle causal id (trace/trace.hpp): stamped from the
+  // emitting SegCtx at egress and adopted by the receiving pipeline, so
+  // a trace follows a segment NIC-to-NIC through the simulated fabric.
+  // Not wire data — never serialized, 0 when tracing is off.
+  std::uint64_t trace_id = 0;
+
   // Bytes on the wire (L2 frame without preamble/FCS/IFG).
   std::uint32_t frame_size() const {
     return 14u + (vlan ? 4u : 0u) + 20u + tcp.header_len() +

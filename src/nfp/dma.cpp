@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace flextoe::nfp {
 
 namespace {
@@ -30,7 +32,20 @@ void DmaEngine::bind_telemetry(telemetry::Registry& reg,
   t_wait_depth_ = reg.histogram(prefix + "/wait_depth");
 }
 
-void DmaEngine::issue(std::uint32_t bytes, DoneFn done) {
+void DmaEngine::issue(std::uint32_t bytes, DoneFn done,
+                      std::uint64_t trace_cid) {
+  // Span opens at issue so slot-wait time is inside it; the matching
+  // end id is derived FIFO at completion (see trace_base_ in dma.hpp).
+  if (trace::Ring* r = ev_.trace_ring()) {
+    if (trace_base_ == 0) {
+      trace_base_ = trace::Tracer::instance().next_actor_base();
+      trace_track_ = trace::Tracer::instance().intern("dma/pcie");
+      trace_name_xfer_ = trace::Tracer::instance().intern("xfer");
+      trace_name_mmio_ = trace::Tracer::instance().intern("mmio");
+    }
+    r->record(ev_.now(), trace::Phase::kAsyncBegin, trace_name_xfer_,
+              trace_track_, trace_base_ | ++trace_issue_seq_, trace_cid);
+  }
   if (outstanding_ >= params_.max_outstanding) {
     waiting_.push_back(Pending{bytes, std::move(done)});
     if (telem_.on()) t_wait_depth_->record(waiting_.size());
@@ -57,6 +72,10 @@ void DmaEngine::start(Pending p) {
                                done = std::move(p.done)]() mutable {
     if (!*alive) return;  // engine destroyed with this DMA in flight
     --outstanding_;
+    if (trace::Ring* r = ev_.trace_ring()) {
+      r->record(ev_.now(), trace::Phase::kAsyncEnd, trace_name_xfer_,
+                trace_track_, trace_base_ | ++trace_done_seq_, 0);
+    }
     if (done) done();
     if (!waiting_.empty() && outstanding_ < params_.max_outstanding) {
       Pending next = std::move(waiting_.front());
@@ -66,8 +85,18 @@ void DmaEngine::start(Pending p) {
   });
 }
 
-void DmaEngine::mmio(DoneFn done) {
+void DmaEngine::mmio(DoneFn done, std::uint64_t trace_cid) {
   if (telem_.on()) t_mmio_->inc();
+  if (trace::Ring* r = ev_.trace_ring()) {
+    if (trace_base_ == 0) {
+      trace_base_ = trace::Tracer::instance().next_actor_base();
+      trace_track_ = trace::Tracer::instance().intern("dma/pcie");
+      trace_name_xfer_ = trace::Tracer::instance().intern("xfer");
+      trace_name_mmio_ = trace::Tracer::instance().intern("mmio");
+    }
+    r->record(ev_.now(), trace::Phase::kInstant, trace_name_mmio_,
+              trace_track_, trace_cid, 0);
+  }
   ev_.schedule_in(params_.mmio_latency, std::move(done));
 }
 

@@ -45,10 +45,12 @@ class DmaEngine {
 
   // Issues an asynchronous DMA of `bytes`; `done` fires on completion.
   // If all transaction slots are busy, the request waits in a queue.
-  void issue(std::uint32_t bytes, DoneFn done);
+  // `trace_cid` ties the transaction's trace span to a segment's causal
+  // id (0 = untraced segment; the span is still recorded).
+  void issue(std::uint32_t bytes, DoneFn done, std::uint64_t trace_cid = 0);
 
   // Posted MMIO write (doorbell): fire-and-forget with latency.
-  void mmio(DoneFn done);
+  void mmio(DoneFn done, std::uint64_t trace_cid = 0);
 
   unsigned outstanding() const { return outstanding_; }
   std::uint64_t transactions() const { return transactions_; }
@@ -88,6 +90,19 @@ class DmaEngine {
   telemetry::Counter* t_mmio_ = nullptr;
   telemetry::Histogram* t_outstanding_ = nullptr;
   telemetry::Histogram* t_wait_depth_ = nullptr;
+
+  // Trace span pairing without growing the completion closure (the
+  // CompletionClosureProbe static_assert in dma.cpp): transactions
+  // start in issue order and complete in start order (bus_free_ is
+  // monotonic, per-txn latency constant), so begin ids (issue seq) and
+  // end ids (done seq) pair FIFO through engine members reached via the
+  // already-captured `this`.
+  std::uint64_t trace_base_ = 0;       // Tracer::next_actor_base()
+  std::uint64_t trace_issue_seq_ = 0;
+  std::uint64_t trace_done_seq_ = 0;
+  std::uint16_t trace_track_ = 0;      // "dma/pcie"
+  std::uint16_t trace_name_xfer_ = 0;  // "xfer"
+  std::uint16_t trace_name_mmio_ = 0;  // "mmio"
 };
 
 }  // namespace flextoe::nfp

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace flextoe::nfp {
 
 void Fpc::bind_telemetry(telemetry::Registry& reg,
@@ -10,6 +12,10 @@ void Fpc::bind_telemetry(telemetry::Registry& reg,
   t_done_ = reg.counter(prefix + "/done");
   t_dropped_ = reg.counter(prefix + "/dropped");
   t_depth_ = reg.histogram(prefix + "/queue_depth");
+  // Gauge twin of the depth histogram: its high-water mark surfaces as
+  // `<prefix>/queue_depth_peak`, catching transient ring saturation the
+  // sampled histogram can miss.
+  t_depth_now_ = reg.gauge(prefix + "/queue_depth");
 }
 
 bool Fpc::submit(Work w) {
@@ -18,8 +24,23 @@ bool Fpc::submit(Work w) {
     if (telem_.on()) t_dropped_->inc();
     return false;
   }
+  const std::uint64_t cid = w.trace_cid;
   queue_.push_back(std::move(w));
-  if (telem_.on()) t_depth_->record(queue_.size());
+  if (telem_.on()) {
+    t_depth_->record(queue_.size());
+    t_depth_now_->set(static_cast<std::int64_t>(queue_.size()));
+  }
+  if (cid != 0) {
+    if (trace::Ring* r = ev_.trace_ring()) {
+      if (trace_track_ == 0) {
+        trace_track_ = trace::Tracer::instance().intern("fpc/" + name_);
+        trace_name_ = trace::Tracer::instance().intern("work");
+      }
+      // Ring-residency span: open at enqueue, closed when dispatched.
+      r->record(ev_.now(), trace::Phase::kAsyncBegin, trace_name_,
+                trace_track_, cid, queue_.size());
+    }
+  }
   try_dispatch();
   return true;
 }
@@ -29,6 +50,15 @@ void Fpc::try_dispatch() {
     Work w = std::move(queue_.front());
     queue_.pop_front();
     ++inflight_;
+    if (telem_.on()) {
+      t_depth_now_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    if (w.trace_cid != 0) {
+      if (trace::Ring* r = ev_.trace_ring()) {
+        r->record(ev_.now(), trace::Phase::kAsyncEnd, trace_name_,
+                  trace_track_, w.trace_cid, queue_.size());
+      }
+    }
 
     const sim::TimePs compute = params_.clock.cycles(w.compute_cycles);
     const sim::TimePs mem = params_.clock.cycles(w.mem_cycles);

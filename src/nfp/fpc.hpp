@@ -37,6 +37,9 @@ struct Work {
   std::uint32_t compute_cycles = 0;
   std::uint32_t mem_cycles = 0;
   DoneFn done;
+  // Causal id of the segment this item serves (trace/trace.hpp); the
+  // FPC records ring enqueue/dequeue spans against it. 0 = untraced.
+  std::uint64_t trace_cid = 0;
 };
 
 class Fpc {
@@ -88,6 +91,12 @@ class Fpc {
   telemetry::Counter* t_done_ = nullptr;
   telemetry::Counter* t_dropped_ = nullptr;
   telemetry::Histogram* t_depth_ = nullptr;
+  telemetry::Gauge* t_depth_now_ = nullptr;  // current + high-water depth
+
+  // Interned trace names ("fpc/<name>" track), resolved on first
+  // traced event.
+  std::uint16_t trace_track_ = 0;
+  std::uint16_t trace_name_ = 0;
 };
 
 }  // namespace flextoe::nfp

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace flextoe::pipeline {
 
 const char* stage_name(StageId s) {
@@ -95,6 +97,17 @@ Graph::Graph(sim::Domain& ev, const core::DatapathConfig& cfg,
         [this](core::SegCtxPtr ctx) { dispatch_proto(ctx); }, cfg.reorder);
     isl->nbi_rob = std::make_unique<ReorderBuffer<core::SegCtxPtr>>(
         [this](core::SegCtxPtr ctx) {
+          if (ctx->trace_id != 0) {
+            if (trace::Ring* r = ev_.trace_ring()) {
+              const TraceIds& ids = trace_ids();
+              r->record(ev_.now(), trace::Phase::kAsyncEnd, ids.nbi_name,
+                        ids.nbi_track, ctx->trace_id, 0);
+            }
+            // NIC-side egress stamp: the switch forwards this PacketPtr,
+            // so the receiving datapath adopts the same causal id and the
+            // segment is traceable NIC-to-NIC.
+            if (ctx->pkt) ctx->pkt->trace_id = ctx->trace_id;
+          }
           if (ctx->pkt) handlers_.nbi_tx(ctx->pkt);
         },
         cfg.reorder);
@@ -172,6 +185,7 @@ void Graph::bind_telemetry(telemetry::Registry& reg) {
     group_telem_[g].tx = reg.counter(p + "/tx");
     group_telem_[g].hc = reg.counter(p + "/hc");
     group_telem_[g].rob_depth = reg.histogram(p + "/rob_depth");
+    group_telem_[g].rob_depth_now = reg.gauge(p + "/rob_depth");
   }
   for (auto& isl : islands_) {
     for (auto& f : isl->pre.all_fpcs()) {
@@ -192,7 +206,55 @@ void Graph::bind_telemetry(telemetry::Registry& reg) {
   }
 }
 
+const Graph::TraceIds& Graph::trace_ids() {
+  if (!trace_ids_.ready) {
+    auto& tr = trace::Tracer::instance();
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const char* n = stage_name(static_cast<StageId>(s));
+      trace_ids_.stage_name[s] = tr.intern(n);
+      trace_ids_.stage_track[s] = tr.intern(std::string("stage/") + n);
+    }
+    trace_ids_.pipe_track = tr.intern("pipe/segments");
+    trace_ids_.pipe_name[static_cast<std::size_t>(core::SegCtx::Kind::Rx)] =
+        tr.intern("pipe_rx");
+    trace_ids_.pipe_name[static_cast<std::size_t>(core::SegCtx::Kind::Tx)] =
+        tr.intern("pipe_tx");
+    trace_ids_.pipe_name[static_cast<std::size_t>(core::SegCtx::Kind::Hc)] =
+        tr.intern("pipe_hc");
+    trace_ids_.rob_track = tr.intern("rob/proto");
+    trace_ids_.rob_name = tr.intern("reorder");
+    trace_ids_.nbi_track = tr.intern("rob/nbi");
+    trace_ids_.nbi_name = tr.intern("egress");
+    trace_ids_.skip_name = tr.intern("skip");
+    trace_ids_.drop_track = tr.intern("drop/pipeline");
+    for (std::size_t r = 0; r < kDropReasons; ++r) {
+      trace_ids_.drop_name[r] =
+          tr.intern(drop_reason_name(static_cast<DropReason>(r)));
+    }
+    trace_ids_.ready = true;
+  }
+  return trace_ids_;
+}
+
 void Graph::stamp_birth(core::SegCtx& ctx) {
+  // Trace admission: mint (or adopt from the arriving packet — egress
+  // stamps it NIC-side, so a traced segment keeps one causal id across
+  // the simulated fabric) the causal id and open the end-to-end "pipe"
+  // span. Independent of telemetry enablement.
+  if (trace::Ring* r = ev_.trace_ring()) {
+    const TraceIds& ids = trace_ids();
+    if (ctx.trace_id == 0) {
+      ctx.trace_id = (ctx.pkt && ctx.pkt->trace_id != 0)
+                         ? ctx.pkt->trace_id
+                         : r->make_cid();
+    }
+    if (!ctx.trace_open) {
+      ctx.trace_open = true;
+      r->record(ev_.now(), trace::Phase::kAsyncBegin,
+                ids.pipe_name[static_cast<std::size_t>(ctx.kind)],
+                ids.pipe_track, ctx.trace_id, ctx.flow_group);
+    }
+  }
   if (reg_ == nullptr || !reg_->enabled()) return;
   ctx.t_born_ps = ctx.t_stage_ps = ev_.now();
 }
@@ -209,6 +271,15 @@ void Graph::mark(StageId s, core::SegCtx& ctx) {
 }
 
 void Graph::record_pipe_total(core::SegCtx& ctx) {
+  if (ctx.trace_open) {
+    ctx.trace_open = false;  // closed once per ctx
+    if (trace::Ring* r = ev_.trace_ring()) {
+      const TraceIds& ids = trace_ids();
+      r->record(ev_.now(), trace::Phase::kAsyncEnd,
+                ids.pipe_name[static_cast<std::size_t>(ctx.kind)],
+                ids.pipe_track, ctx.trace_id, 0);
+    }
+  }
   if (reg_ == nullptr || !reg_->enabled() ||
       ctx.t_born_ps == core::SegCtx::kNoTimestamp) {
     return;
@@ -218,23 +289,35 @@ void Graph::record_pipe_total(core::SegCtx& ctx) {
   ctx.t_born_ps = core::SegCtx::kNoTimestamp;  // recorded once per ctx
 }
 
-void Graph::count_drop(DropReason r) {
+void Graph::count_drop(DropReason r, std::uint64_t trace_cid) {
   if (handlers_.on_drop) handlers_.on_drop(r);
   if (reg_ != nullptr && reg_->enabled()) {
     drop_telem_[static_cast<std::size_t>(r)]->inc();
+  }
+  if (trace::Ring* ring = ev_.trace_ring()) {
+    const TraceIds& ids = trace_ids();
+    // Record the drop itself first so the post-mortem slice includes it,
+    // then freeze the victim's last-K events out of this ring.
+    ring->record(ev_.now(), trace::Phase::kInstant,
+                 ids.drop_name[static_cast<std::size_t>(r)], ids.drop_track,
+                 trace_cid, 0);
+    if (trace_cid != 0) {
+      trace::Tracer::instance().report_drop(*ring, trace_cid,
+                                            drop_reason_name(r), ev_.now());
+    }
   }
 }
 
 // ------------------------------------------------------------ RTC gate
 
-bool Graph::admit(GateTask fn, bool droppable) {
+bool Graph::admit(GateTask fn, bool droppable, std::uint64_t trace_cid) {
   if (!gate_) {
     fn();
     return true;
   }
   if (gate_->busy) {
     if (droppable && gate_->pending.size() >= gate_->limit) {
-      count_drop(DropReason::RtcOverload);
+      count_drop(DropReason::RtcOverload, trace_cid);
       return false;  // no NIC-side buffering: shed the segment
     }
     gate_->pending.push_back(std::move(fn));
@@ -274,15 +357,45 @@ void Graph::gate_done(const std::shared_ptr<GateState>& g) {
 
 // ------------------------------------------------------------- dispatch
 
-bool Graph::submit(nfp::Fpc& fpc, std::uint32_t compute, std::uint32_t mem,
+bool Graph::submit(StageId sid, std::uint64_t trace_cid, nfp::Fpc& fpc,
+                   std::uint32_t compute, std::uint32_t mem,
                    nfp::Work::DoneFn fn, std::uint64_t skip_seq,
                    std::uint8_t group, bool sequenced) {
+  // Stage span: submit -> handler completion (queue wait + service). The
+  // wrapped done-fn may heap-allocate in SmallFn; that only happens while
+  // tracing is live, which is out-of-band by contract.
+  const std::size_t s = static_cast<std::size_t>(sid);
+  if (trace_cid != 0) {
+    if (trace::Ring* r = ev_.trace_ring()) {
+      const TraceIds& ids = trace_ids();
+      r->record(ev_.now(), trace::Phase::kAsyncBegin, ids.stage_name[s],
+                ids.stage_track[s], trace_cid, group);
+      fn = [this, s, trace_cid, inner = std::move(fn)]() mutable {
+        inner();
+        if (trace::Ring* rr = ev_.trace_ring()) {
+          rr->record(ev_.now(), trace::Phase::kAsyncEnd,
+                     trace_ids_.stage_name[s], trace_ids_.stage_track[s],
+                     trace_cid, 0);
+        }
+      };
+    }
+  }
   nfp::Work w;
   w.compute_cycles = compute + profile_overhead();
   w.mem_cycles = mem;
   w.done = std::move(fn);
+  w.trace_cid = trace_cid;
   if (!fpc.submit(std::move(w))) {
-    count_drop(DropReason::FpcQueueFull);
+    // Close the stage span immediately (arg=1 flags the rejection) so the
+    // begin above never orphans, then attribute the drop.
+    if (trace_cid != 0) {
+      if (trace::Ring* r = ev_.trace_ring()) {
+        r->record(ev_.now(), trace::Phase::kAsyncEnd,
+                  trace_ids_.stage_name[s], trace_ids_.stage_track[s],
+                  trace_cid, 1);
+      }
+    }
+    count_drop(DropReason::FpcQueueFull, trace_cid);
     if (sequenced) islands_[group]->proto_rob->skip(skip_seq);
     return false;
   }
@@ -317,7 +430,7 @@ void Graph::ingress_rx(const core::SegCtxPtr& ctx,
                            ? cfg_->mem.local
                            : cfg_->mem.imem;
         }
-        submit(isl.pre.fpc(idx),
+        submit(StageId::PreRx, ctx->trace_id, isl.pre.fpc(idx),
                cfg_->costs.seq + cfg_->costs.pre_rx + extra_cycles,
                lookup_mem,
                [this, ctx] {
@@ -326,7 +439,7 @@ void Graph::ingress_rx(const core::SegCtxPtr& ctx,
                },
                ctx->pipe_seq, ctx->flow_group, isl.pre.traits().sequenced);
       },
-      islands_[ctx->flow_group]->pre.traits().droppable);
+      islands_[ctx->flow_group]->pre.traits().droppable, ctx->trace_id);
 }
 
 bool Graph::ingress_tx(const core::SegCtxPtr& ctx) {
@@ -341,7 +454,8 @@ bool Graph::ingress_tx(const core::SegCtxPtr& ctx) {
         Island& isl2 = *islands_[ctx->flow_group];
         ctx->pipe_seq = isl2.sequencer.assign();
         mark(StageId::Seq, *ctx);
-        submit(isl2.pre.fpc(idx), cfg_->costs.seq + cfg_->costs.pre_tx, 0,
+        submit(StageId::PreTx, ctx->trace_id, isl2.pre.fpc(idx),
+               cfg_->costs.seq + cfg_->costs.pre_tx, 0,
                [this, ctx] {
                  mark(StageId::PreTx, *ctx);
                  handlers_.pre_tx(ctx);
@@ -358,21 +472,26 @@ void Graph::ingress_hc(const core::SegCtxPtr& ctx) {
         ctx->rtc_token = gate_token();
         // Fetch the descriptor via DMA, then steer through the pipeline.
         const std::size_t cidx = ctx_stage_.pick();
-        submit(ctx_stage_.fpc(cidx), cfg_->costs.ctx_op, 0,
+        submit(StageId::CtxNotify, ctx->trace_id, ctx_stage_.fpc(cidx),
+               cfg_->costs.ctx_op, 0,
                [this, ctx] {
-                 dma_->issue(32, [this, ctx] {
-                   Island& isl = *islands_[ctx->flow_group];
-                   ctx->pipe_seq = isl.sequencer.assign();
-                   mark(StageId::Seq, *ctx);
-                   const std::size_t idx = isl.pre.pick();
-                   submit(isl.pre.fpc(idx), cfg_->costs.pre_hc, 0,
-                          [this, ctx] {
-                            mark(StageId::PreHc, *ctx);
-                            to_proto(ctx);
-                          },
-                          ctx->pipe_seq, ctx->flow_group,
-                          isl.pre.traits().sequenced);
-                 });
+                 dma_->issue(
+                     32,
+                     [this, ctx] {
+                       Island& isl = *islands_[ctx->flow_group];
+                       ctx->pipe_seq = isl.sequencer.assign();
+                       mark(StageId::Seq, *ctx);
+                       const std::size_t idx = isl.pre.pick();
+                       submit(StageId::PreHc, ctx->trace_id,
+                              isl.pre.fpc(idx), cfg_->costs.pre_hc, 0,
+                              [this, ctx] {
+                                mark(StageId::PreHc, *ctx);
+                                to_proto(ctx);
+                              },
+                              ctx->pipe_seq, ctx->flow_group,
+                              isl.pre.traits().sequenced);
+                     },
+                     ctx->trace_id);
                },
                0, 0, false);
       },
@@ -384,7 +503,8 @@ void Graph::spawn_tx(const core::SegCtxPtr& ctx) {
   ctx->pipe_seq = isl.sequencer.assign();
   mark(StageId::Seq, *ctx);
   const std::size_t idx = isl.pre.pick();
-  submit(isl.pre.fpc(idx), cfg_->costs.pre_tx, 0,
+  submit(StageId::PreTx, ctx->trace_id, isl.pre.fpc(idx),
+         cfg_->costs.pre_tx, 0,
          [this, ctx] {
            mark(StageId::PreTx, *ctx);
            handlers_.pre_tx(ctx);
@@ -393,19 +513,50 @@ void Graph::spawn_tx(const core::SegCtxPtr& ctx) {
 }
 
 void Graph::to_proto(const core::SegCtxPtr& ctx) {
+  // Proto-ROB residency span: push -> in-order release (dispatch_proto).
+  if (ctx->trace_id != 0) {
+    if (trace::Ring* r = ev_.trace_ring()) {
+      const TraceIds& ids = trace_ids();
+      r->record(ev_.now(), trace::Phase::kAsyncBegin, ids.rob_name,
+                ids.rob_track, ctx->trace_id, ctx->pipe_seq);
+    }
+  }
   islands_[ctx->flow_group]->proto_rob->push(ctx->pipe_seq, ctx);
 }
 
 void Graph::skip_proto(const core::SegCtxPtr& ctx) {
+  if (ctx->trace_id != 0) {
+    if (trace::Ring* r = ev_.trace_ring()) {
+      const TraceIds& ids = trace_ids();
+      r->record(ev_.now(), trace::Phase::kInstant, ids.skip_name,
+                ids.rob_track, ctx->trace_id, ctx->pipe_seq);
+    }
+  }
   islands_[ctx->flow_group]->proto_rob->skip(ctx->pipe_seq);
 }
 
 void Graph::skip_nbi(const core::SegCtxPtr& ctx) {
   if (!holds_egress_slot(*ctx)) return;
+  if (ctx->trace_id != 0) {
+    if (trace::Ring* r = ev_.trace_ring()) {
+      const TraceIds& ids = trace_ids();
+      r->record(ev_.now(), trace::Phase::kInstant, ids.skip_name,
+                ids.nbi_track, ctx->trace_id, ctx->snap.egress_seq);
+    }
+  }
   islands_[ctx->flow_group]->nbi_rob->skip(ctx->snap.egress_seq);
 }
 
 void Graph::dispatch_proto(const core::SegCtxPtr& ctx) {
+  // Close the proto-ROB residency span before any early return: the
+  // reorder point released the segment either way.
+  if (ctx->trace_id != 0) {
+    if (trace::Ring* r = ev_.trace_ring()) {
+      const TraceIds& ids = trace_ids();
+      r->record(ev_.now(), trace::Phase::kAsyncEnd, ids.rob_name,
+                ids.rob_track, ctx->trace_id, ctx->pipe_seq);
+    }
+  }
   if (!ctx->conn_known || !handlers_.conn_valid(ctx)) return;
   Island& isl = *islands_[ctx->flow_group];
   if (reg_ != nullptr && reg_->enabled()) {
@@ -422,6 +573,8 @@ void Graph::dispatch_proto(const core::SegCtxPtr& ctx) {
         break;
     }
     gt.rob_depth->record(isl.proto_rob->pending());
+    gt.rob_depth_now->set(
+        static_cast<std::int64_t>(isl.proto_rob->pending()));
   }
   // Connections are sharded across the group's protocol FPCs; atomicity
   // per connection is preserved because a connection always maps to the
@@ -429,21 +582,25 @@ void Graph::dispatch_proto(const core::SegCtxPtr& ctx) {
   const std::size_t shard = isl.proto.pick(ctx->conn_idx);
 
   std::uint32_t compute = 0;
+  StageId sid = StageId::ProtoRx;
   switch (ctx->kind) {
     case core::SegCtx::Kind::Rx:
       compute = cfg_->costs.proto_rx;
+      sid = StageId::ProtoRx;
       break;
     case core::SegCtx::Kind::Tx:
       compute = cfg_->costs.proto_tx;
+      sid = StageId::ProtoTx;
       break;
     case core::SegCtx::Kind::Hc:
       compute = cfg_->costs.proto_hc;
+      sid = StageId::ProtoHc;
       break;
   }
   const std::uint32_t memc =
       state_cycles(isl.proto, shard, ctx->conn_idx);
 
-  submit(isl.proto.fpc(shard), compute, memc,
+  submit(sid, ctx->trace_id, isl.proto.fpc(shard), compute, memc,
          [this, ctx] { handlers_.proto(ctx); }, 0, 0,
          isl.proto.traits().sequenced);
 }
@@ -464,8 +621,8 @@ void Graph::to_post(const core::SegCtxPtr& ctx) {
       break;
   }
   const std::uint32_t memc = state_cycles(isl.post, idx, ctx->conn_idx);
-  if (!submit(isl.post.fpc(idx), compute, memc,
-              [this, ctx] { handlers_.post(ctx); }, 0, 0,
+  if (!submit(StageId::Post, ctx->trace_id, isl.post.fpc(idx), compute,
+              memc, [this, ctx] { handlers_.post(ctx); }, 0, 0,
               isl.post.traits().sequenced)) {
     skip_nbi(ctx);  // shed after an egress slot was assigned
   }
@@ -473,7 +630,8 @@ void Graph::to_post(const core::SegCtxPtr& ctx) {
 
 void Graph::to_dma(const core::SegCtxPtr& ctx) {
   const std::size_t idx = dma_stage_.pick();
-  if (!submit(dma_stage_.fpc(idx), cfg_->costs.dma_issue, 0,
+  if (!submit(StageId::Dma, ctx->trace_id, dma_stage_.fpc(idx),
+              cfg_->costs.dma_issue, 0,
               [this, ctx] {
                 mark(StageId::Dma, *ctx);
                 handlers_.dma(ctx);
@@ -485,7 +643,8 @@ void Graph::to_dma(const core::SegCtxPtr& ctx) {
 
 void Graph::to_ctx_notify(const core::SegCtxPtr& ctx) {
   const std::size_t idx = ctx_stage_.pick();
-  submit(ctx_stage_.fpc(idx), cfg_->costs.ctx_op, 0,
+  submit(StageId::CtxNotify, ctx->trace_id, ctx_stage_.fpc(idx),
+         cfg_->costs.ctx_op, 0,
          [this, ctx] {
            mark(StageId::CtxNotify, *ctx);
            handlers_.ctx_notify(ctx);
@@ -495,13 +654,22 @@ void Graph::to_ctx_notify(const core::SegCtxPtr& ctx) {
 
 void Graph::to_nbi(std::uint8_t group, std::uint64_t egress_seq,
                    core::SegCtxPtr ctx) {
+  // NBI-ROB residency span: push -> in-order egress (flush lambda).
+  if (ctx->trace_id != 0) {
+    if (trace::Ring* r = ev_.trace_ring()) {
+      const TraceIds& ids = trace_ids();
+      r->record(ev_.now(), trace::Phase::kAsyncBegin, ids.nbi_name,
+                ids.nbi_track, ctx->trace_id, egress_seq);
+    }
+  }
   islands_[group]->nbi_rob->push(egress_seq, std::move(ctx));
 }
 
 void Graph::charge_dma_copy(std::uint32_t cycles) {
   // Software copy on a DMA-module core (x86/BlueField ports).
   const std::size_t idx = dma_stage_.pick();
-  submit(dma_stage_.fpc(idx), cycles, 0, [] {}, 0, 0, false);
+  submit(StageId::Dma, 0, dma_stage_.fpc(idx), cycles, 0, [] {}, 0, 0,
+         false);
 }
 
 // -------------------------------------------------------- introspection

@@ -119,8 +119,11 @@ class Graph {
   void mark(StageId s, core::SegCtx& ctx);
   // Records the admission->completion latency once per context.
   void record_pipe_total(core::SegCtx& ctx);
-  // Attributes a shed segment to exactly one taxonomy reason.
-  void count_drop(DropReason r);
+  // Attributes a shed segment to exactly one taxonomy reason. When
+  // tracing is live and the victim has a causal id, this also fires the
+  // drop post-mortem: the last-K flight-recorder events touching the
+  // victim are captured into trace::Tracer::postmortems().
+  void count_drop(DropReason r, std::uint64_t trace_cid = 0);
 
   // ---- Introspection ----
   std::size_t group_count() const { return islands_.size(); }
@@ -175,8 +178,9 @@ class Graph {
   };
 
   // Admits `fn` through the RTC gate (runs immediately when pipelined).
-  // Droppable work is shed when the gate backlog is full.
-  bool admit(GateTask fn, bool droppable);
+  // Droppable work is shed when the gate backlog is full; `trace_cid`
+  // attributes such a shed to the victim segment's trace.
+  bool admit(GateTask fn, bool droppable, std::uint64_t trace_cid = 0);
   // Completion token tied to the gate (nullptr when pipelined).
   std::shared_ptr<void> gate_token();
   static void gate_done(const std::shared_ptr<GateState>& g);
@@ -184,8 +188,11 @@ class Graph {
   // Uniform dispatch: enqueue stage work, charging profiling overhead,
   // attributing ring-full drops, and skipping the ordering number of
   // sequenced work so reorder points don't stall. Returns false when the
-  // ring rejected the work.
-  bool submit(nfp::Fpc& fpc, std::uint32_t compute, std::uint32_t mem,
+  // ring rejected the work. `sid`/`trace_cid` identify the stage span
+  // recorded against the segment's flight-recorder trace (submit ->
+  // handler completion); cid 0 = untraced work.
+  bool submit(StageId sid, std::uint64_t trace_cid, nfp::Fpc& fpc,
+              std::uint32_t compute, std::uint32_t mem,
               nfp::Work::DoneFn fn, std::uint64_t skip_seq,
               std::uint8_t group, bool sequenced);
   void dispatch_proto(const core::SegCtxPtr& ctx);
@@ -225,8 +232,29 @@ class Graph {
     telemetry::Counter* tx = nullptr;
     telemetry::Counter* hc = nullptr;
     telemetry::Histogram* rob_depth = nullptr;
+    // Gauge twin: surfaces the ROB high-water mark as rob_depth_peak.
+    telemetry::Gauge* rob_depth_now = nullptr;
   };
   std::vector<GroupTelem> group_telem_;
+
+  // Interned trace names (trace/trace.hpp), resolved lazily on the
+  // first traced event and cached for the graph's lifetime.
+  struct TraceIds {
+    bool ready = false;
+    std::array<std::uint16_t, kStageCount> stage_name{};
+    std::array<std::uint16_t, kStageCount> stage_track{};  // "stage/<s>"
+    std::array<std::uint16_t, 3> pipe_name{};  // by SegCtx::Kind
+    std::uint16_t pipe_track = 0;              // "pipe/segments"
+    std::uint16_t rob_name = 0;                // proto-ROB residency
+    std::uint16_t rob_track = 0;               // "rob/proto"
+    std::uint16_t nbi_name = 0;                // NBI-ROB residency
+    std::uint16_t nbi_track = 0;               // "rob/nbi"
+    std::uint16_t skip_name = 0;
+    std::array<std::uint16_t, kDropReasons> drop_name{};
+    std::uint16_t drop_track = 0;              // "drop/pipeline"
+  };
+  const TraceIds& trace_ids();
+  TraceIds trace_ids_;
 };
 
 }  // namespace flextoe::pipeline

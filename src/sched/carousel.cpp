@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace flextoe::sched {
 
 Carousel::Carousel(sim::Domain& ev, CarouselParams params)
@@ -69,6 +71,19 @@ void Carousel::enqueue_ready(FlowId flow) {
   auto& st = flows_[flow];
   st.queued = true;
   ready_.push_back(flow);
+  // Queued-residency span: opens here (or at wheel insertion), closes
+  // when service_one pops the flow.
+  if (trace::Ring* r = ev_.trace_ring()) {
+    if (trace_base_ == 0) {
+      trace_base_ = trace::Tracer::instance().next_actor_base();
+      trace_track_ = trace::Tracer::instance().intern("sched/carousel");
+      trace_name_queued_ = trace::Tracer::instance().intern("queued");
+      trace_name_trigger_ = trace::Tracer::instance().intern("trigger");
+      trace_name_tick_ = trace::Tracer::instance().intern("wheel_tick");
+    }
+    r->record(ev_.now(), trace::Phase::kAsyncBegin, trace_name_queued_,
+              trace_track_, trace_base_ | flow, ready_.size());
+  }
   pump();
 }
 
@@ -99,6 +114,17 @@ void Carousel::enqueue_wheel(FlowId flow, sim::TimePs deadline) {
   wheel_[slot].push_back(flow);
   ++wheel_count_;
   if (telem_.on()) t_wheel_flows_->record(wheel_count_);
+  if (trace::Ring* r = ev_.trace_ring()) {
+    if (trace_base_ == 0) {
+      trace_base_ = trace::Tracer::instance().next_actor_base();
+      trace_track_ = trace::Tracer::instance().intern("sched/carousel");
+      trace_name_queued_ = trace::Tracer::instance().intern("queued");
+      trace_name_trigger_ = trace::Tracer::instance().intern("trigger");
+      trace_name_tick_ = trace::Tracer::instance().intern("wheel_tick");
+    }
+    r->record(ev_.now(), trace::Phase::kAsyncBegin, trace_name_queued_,
+              trace_track_, trace_base_ | flow, wheel_count_);
+  }
 
   if (!wheel_tick_scheduled_) {
     wheel_tick_scheduled_ = true;
@@ -119,6 +145,12 @@ void Carousel::wheel_tick() {
     --wheel_count_;
   }
   slot.clear();
+  if (trace::Ring* r = ev_.trace_ring()) {
+    if (trace_name_tick_ != 0) {
+      r->record(ev_.now(), trace::Phase::kInstant, trace_name_tick_,
+                trace_track_, 0, wheel_count_);
+    }
+  }
   pump();
   if (wheel_count_ > 0 && !wheel_tick_scheduled_) {
     wheel_tick_scheduled_ = true;
@@ -151,11 +183,25 @@ void Carousel::service_one() {
     ready_.pop_front();
     auto& st = flows_[flow];
     st.queued = false;
+    // Close the queued-residency span (also for lazily-removed dead
+    // flows, so every begin pairs).
+    if (trace::Ring* r = ev_.trace_ring()) {
+      if (trace_base_ != 0) {
+        r->record(ev_.now(), trace::Phase::kAsyncEnd, trace_name_queued_,
+                  trace_track_, trace_base_ | flow, ready_.size());
+      }
+    }
     if (st.dead || st.avail == 0) continue;
 
     ++trigger_count_;
     if (telem_.on()) t_triggers_->inc();
     const std::uint32_t sent = trigger_ ? trigger_(flow) : 0;
+    if (trace::Ring* r = ev_.trace_ring()) {
+      if (trace_base_ != 0) {
+        r->record(ev_.now(), trace::Phase::kInstant, trace_name_trigger_,
+                  trace_track_, trace_base_ | flow, sent);
+      }
+    }
     if (sent == 0) {
       // Blocked (window closed / pipeline full): park until the data-path
       // kicks us (window opened, data appended, reset).

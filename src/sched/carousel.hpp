@@ -120,6 +120,15 @@ class Carousel {
   telemetry::Histogram* t_ready_depth_ = nullptr;
   telemetry::Histogram* t_wheel_flows_ = nullptr;
   telemetry::Gauge* t_flows_ = nullptr;
+
+  // Trace ids (trace/trace.hpp), resolved on first traced event. A
+  // flow's queued-residency span pairs by trace_base_ | flow — valid
+  // because `queued` guarantees at most one residency at a time.
+  std::uint64_t trace_base_ = 0;
+  std::uint16_t trace_track_ = 0;       // "sched/carousel"
+  std::uint16_t trace_name_queued_ = 0;
+  std::uint16_t trace_name_trigger_ = 0;
+  std::uint16_t trace_name_tick_ = 0;
 };
 
 }  // namespace flextoe::sched

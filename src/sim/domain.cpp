@@ -42,6 +42,29 @@ class EpochBarrier {
   std::uint64_t gen_ = 0;
 };
 
+// Interned trace names for the domain layer, resolved once per process
+// (record sites cache ids; the Tracer keeps its string table across
+// reset()). With tracing compiled out these intern to 0 and the guarded
+// call sites are dead code anyway.
+struct DomainTraceIds {
+  std::uint16_t post_name;
+  std::uint16_t post_track;
+  std::uint16_t epoch_name;
+  std::uint16_t epoch_track;
+  std::uint16_t drain_name;
+};
+
+const DomainTraceIds& domain_trace_ids() {
+  static const DomainTraceIds ids = {
+      trace::Tracer::instance().intern("post"),
+      trace::Tracer::instance().intern("xdomain/post"),
+      trace::Tracer::instance().intern("epoch"),
+      trace::Tracer::instance().intern("epoch/window"),
+      trace::Tracer::instance().intern("drain"),
+  };
+  return ids;
+}
+
 }  // namespace
 
 unsigned default_sim_threads() { return g_default_threads; }
@@ -64,7 +87,30 @@ void Domain::post(Domain& to, TimePs t, EventQueue::Callback cb) {
          "cross-domain post inside the lookahead window");
   assert(id_ < to.inboxes_.size() && to.inboxes_[id_] != nullptr &&
          "posting to a domain of a different scheduler");
+  // Cross-domain hand-off flow arrow: tail here, head on the receiver
+  // when the posted callback actually runs. The wrap is out-of-band —
+  // it never changes when/where `cb` executes — and only happens while
+  // tracing is runtime-enabled.
+  if (trace::Ring* r = trace_ring()) {
+    const DomainTraceIds& ids = domain_trace_ids();
+    const std::uint64_t fid = r->make_cid();
+    r->record(now(), trace::Phase::kFlowBegin, ids.post_name,
+              ids.post_track, fid, to.id());
+    Domain* dest = &to;
+    cb = [dest, fid, inner = std::move(cb)]() mutable {
+      if (trace::Ring* rr = dest->trace_ring()) {
+        const DomainTraceIds& dids = domain_trace_ids();
+        rr->record(dest->now(), trace::Phase::kFlowEnd, dids.post_name,
+                   dids.post_track, fid, dest->id());
+      }
+      inner();
+    };
+  }
   to.inboxes_[id_]->push(t, std::move(cb));
+}
+
+void Domain::attach_trace_ring() {
+  trace_ring_ = trace::Tracer::instance().attach_ring(id_);
 }
 
 void Domain::drain_inboxes() {
@@ -121,13 +167,33 @@ TimePs DomainScheduler::horizon_for(TimePs next, TimePs limit) const {
 
 void DomainScheduler::run_window(unsigned worker, TimePs horizon) {
   for (std::size_t i = worker; i < domains_.size(); i += threads_used_) {
-    domains_[i]->run_before(horizon);
+    Domain& d = *domains_[i];
+    // Epoch window as a sync span on the domain's own track: windows
+    // never overlap within a domain, and both timestamps come from the
+    // domain-local clock, so per-ring monotonicity holds.
+    if (trace::Ring* r = d.trace_ring()) {
+      const DomainTraceIds& ids = domain_trace_ids();
+      r->record(d.now(), trace::Phase::kBegin, ids.epoch_name,
+                ids.epoch_track, 0, horizon);
+      d.run_before(horizon);
+      r->record(d.now(), trace::Phase::kEnd, ids.epoch_name,
+                ids.epoch_track, 0, horizon);
+    } else {
+      d.run_before(horizon);
+    }
   }
 }
 
 void DomainScheduler::drain_phase(unsigned worker) {
   for (std::size_t i = worker; i < domains_.size(); i += threads_used_) {
-    domains_[i]->drain_inboxes();
+    Domain& d = *domains_[i];
+    d.drain_inboxes();
+    // Barrier marker: the epoch's mailbox-drain point on this domain.
+    if (trace::Ring* r = d.trace_ring()) {
+      const DomainTraceIds& ids = domain_trace_ids();
+      r->record(d.now(), trace::Phase::kInstant, ids.drain_name,
+                ids.epoch_track, 0, d.id());
+    }
   }
 }
 

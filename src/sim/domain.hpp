@@ -44,6 +44,7 @@
 #include "sim/mailbox.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "trace/trace.hpp"
 
 namespace flextoe::sim {
 
@@ -79,6 +80,18 @@ class Domain : public EventQueue {
   // safety condition.
   void post(Domain& to, TimePs t, EventQueue::Callback cb);
 
+  // This domain's flight recorder (trace/trace.hpp). Non-null only
+  // while tracing is compiled in AND runtime-enabled; every record site
+  // hangs off it:
+  //   if (trace::Ring* r = dom.trace_ring()) r->record(...);
+  // so when tracing is off a site costs one relaxed load + branch, and
+  // a `-DFLEXTOE_TRACE=OFF` build folds it away entirely.
+  trace::Ring* trace_ring() {
+    if (!trace::enabled()) return nullptr;
+    if (!trace_ring_) attach_trace_ring();
+    return trace_ring_.get();
+  }
+
  private:
   friend class DomainScheduler;
 
@@ -89,12 +102,15 @@ class Domain : public EventQueue {
   void drain_inboxes();
   void advance_clock(TimePs t) { advance_to(t); }
 
+  void attach_trace_ring();  // cold path: registers with trace::Tracer
+
   std::uint32_t id_;
   Rng rng_;
   // Set while attached to a running DomainScheduler.
   bool scheduled_ = false;
   TimePs min_post_delay_ = 0;  // scheduler lookahead (debug check)
   std::vector<std::unique_ptr<Mailbox>> inboxes_;  // by sender id
+  std::shared_ptr<trace::Ring> trace_ring_;
 };
 
 class DomainScheduler {

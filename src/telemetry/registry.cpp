@@ -483,6 +483,9 @@ Snapshot Registry::snapshot() const {
   }
   for (const auto& e : gauges_) {
     s.gauges.emplace_back(e.path, e.metric.value());
+    // High-water companion: the level at snapshot time under-reports
+    // bursty occupancy (queue depths, ROB residency); the peak doesn't.
+    s.gauges.emplace_back(e.path + "_peak", e.metric.peak());
   }
   for (const auto& e : histograms_) {
     HistogramData d;

@@ -52,15 +52,22 @@ class Counter {
 };
 
 // Instantaneous level (may go negative transiently, e.g. merge deltas).
+// Tracks its high-water mark: snapshots surface it as "<path>_peak", the
+// honest companion to a level sampled only at snapshot time.
 class Gauge {
  public:
-  void set(std::int64_t v) { v_ = v; }
-  void add(std::int64_t d) { v_ += d; }
+  void set(std::int64_t v) {
+    v_ = v;
+    if (v > peak_) peak_ = v;
+  }
+  void add(std::int64_t d) { set(v_ + d); }
   std::int64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  std::int64_t peak() const { return peak_; }
+  void reset() { v_ = peak_ = 0; }
 
  private:
   std::int64_t v_ = 0;
+  std::int64_t peak_ = 0;
 };
 
 // Fixed-bucket log2 histogram: bucket 0 counts zeros, bucket i >= 1

@@ -1,0 +1,229 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+namespace flextoe::trace {
+
+namespace {
+
+const char* phase_letter(Phase p) {
+  switch (p) {
+    case Phase::kBegin: return "B";
+    case Phase::kEnd: return "E";
+    case Phase::kAsyncBegin: return "b";
+    case Phase::kAsyncEnd: return "e";
+    case Phase::kInstant: return "i";
+    case Phase::kFlowBegin: return "s";
+    case Phase::kFlowEnd: return "f";
+  }
+  return "i";
+}
+
+// Minimal JSON string escape — trace names are our own identifiers, but
+// stay safe against quotes/backslashes/control bytes anyway.
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Simulated picoseconds -> trace-event microseconds, printed exactly
+// (six fractional digits), so export is deterministic bit-for-bit.
+void append_ts_us(std::string& out, sim::TimePs t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%06" PRIu64,
+                static_cast<std::uint64_t>(t) / 1000000u,
+                static_cast<std::uint64_t>(t) % 1000000u);
+  out += buf;
+}
+
+// Span/flow pairing category: the track prefix up to the first '/'
+// ("stage/pre_rx" -> "stage"). check_trace.py counts span subsystems by
+// this category.
+std::string category_of(const std::string& track) {
+  auto slash = track.find('/');
+  return slash == std::string::npos ? track : track.substr(0, slash);
+}
+
+}  // namespace
+
+std::vector<MergedEvent> merged_events() {
+  std::vector<MergedEvent> out;
+  for (const auto& ring : Tracer::instance().rings()) {
+    const std::size_t n = ring->size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back({ring->at(i), ring->domain_id(), ring->label()});
+    }
+  }
+  // Stable: equal timestamps keep ring-label order, then each ring's
+  // own record order (per-ring timestamps are already monotonic).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     if (a.e.t != b.e.t) return a.e.t < b.e.t;
+                     return a.label < b.label;
+                   });
+  return out;
+}
+
+std::string export_chrome_json() {
+  Tracer& tracer = Tracer::instance();
+  const std::vector<std::string> strings = tracer.strings();
+  auto str_of = [&](std::uint16_t id) -> const std::string& {
+    static const std::string empty;
+    return id < strings.size() ? strings[id] : empty;
+  };
+
+  const std::vector<MergedEvent> events = merged_events();
+
+  std::string out;
+  out.reserve(events.size() * 96 + 4096);
+  out += "{\n\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Process metadata: one Chrome "process" per ring.
+  for (const auto& ring : tracer.rings()) {
+    sep();
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+                  "\"name\":\"process_name\",\"args\":{\"name\":"
+                  "\"domain%u/%u\"}}",
+                  ring->label(), ring->domain_id(), ring->label());
+    out += buf;
+  }
+
+  // Thread metadata: one named track per (ring, track string), emitted
+  // on first use.
+  std::map<std::pair<std::uint32_t, std::uint16_t>, bool> seen_track;
+  for (const MergedEvent& me : events) {
+    auto key = std::make_pair(me.label, me.e.track);
+    if (seen_track.emplace(key, true).second) {
+      sep();
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                    "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                    me.label, me.e.track);
+      out += buf;
+      append_escaped(out, str_of(me.e.track));
+      out += "\"}}";
+    }
+  }
+
+  for (const MergedEvent& me : events) {
+    const Event& e = me.e;
+    const std::string& track = str_of(e.track);
+    sep();
+    out += "{\"ph\":\"";
+    out += phase_letter(e.phase);
+    out += "\",\"pid\":";
+    out += std::to_string(me.label);
+    out += ",\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"ts\":";
+    append_ts_us(out, e.t);
+    out += ",\"name\":\"";
+    append_escaped(out, str_of(e.name));
+    out += "\",\"cat\":\"";
+    append_escaped(out, category_of(track));
+    out += "\"";
+    switch (e.phase) {
+      case Phase::kAsyncBegin:
+      case Phase::kAsyncEnd:
+      case Phase::kFlowBegin:
+      case Phase::kFlowEnd: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, ",\"id\":\"0x%" PRIx64 "\"", e.cid);
+        out += buf;
+        if (e.phase == Phase::kFlowEnd) out += ",\"bp\":\"e\"";
+        break;
+      }
+      case Phase::kInstant:
+        out += ",\"s\":\"t\"";
+        break;
+      case Phase::kBegin:
+      case Phase::kEnd:
+        break;
+    }
+    out += ",\"args\":{\"arg\":";
+    out += std::to_string(e.arg);
+    if (e.cid != 0 && e.phase != Phase::kAsyncBegin &&
+        e.phase != Phase::kAsyncEnd && e.phase != Phase::kFlowBegin &&
+        e.phase != Phase::kFlowEnd) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, ",\"cid\":\"0x%" PRIx64 "\"", e.cid);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "\n],\n";
+
+  // Drop post-mortems: custom key, ignored by Perfetto, consumed by
+  // tools/check_trace.py and the post-mortem tests.
+  out += "\"postMortems\": [\n";
+  first = true;
+  for (const auto& pm : tracer.postmortems()) {
+    sep();
+    out += "{\"reason\":\"";
+    append_escaped(out, pm.reason);
+    char buf[128];  // sized for 16-hex victim + 20-digit t_ps
+    std::snprintf(buf, sizeof buf,
+                  "\",\"victim\":\"0x%" PRIx64 "\",\"t_ps\":%" PRIu64
+                  ",\"domain\":%u,\"pid\":%u,\"events\":[",
+                  pm.victim, static_cast<std::uint64_t>(pm.t),
+                  pm.domain_id, pm.ring_label);
+    out += buf;
+    bool efirst = true;
+    for (const Event& e : pm.events) {
+      if (!efirst) out += ",";
+      efirst = false;
+      out += "{\"ph\":\"";
+      out += phase_letter(e.phase);
+      out += "\",\"ts\":";
+      append_ts_us(out, e.t);
+      out += ",\"name\":\"";
+      append_escaped(out, str_of(e.name));
+      out += "\",\"track\":\"";
+      append_escaped(out, str_of(e.track));
+      std::snprintf(buf, sizeof buf,
+                    "\",\"cid\":\"0x%" PRIx64 "\",\"arg\":%" PRIu64 "}",
+                    e.cid, e.arg);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string doc = export_chrome_json();
+  f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace flextoe::trace

@@ -1,0 +1,52 @@
+// Chrome trace-event export: merge every attached flight-recorder ring
+// by timestamp into a Perfetto-loadable JSON document.
+//
+// Mapping: each ring (≈ one sim::Domain) is a Chrome *process* (pid =
+// ring label, named "domain<id>/<label>"), each track string is a
+// *thread* within it, async spans pair by (category, causal id) where
+// the category is the track prefix up to the first '/', and
+// cross-domain Domain::post hand-offs become flow arrows. Drop
+// post-mortems ride along under a custom top-level "postMortems" key
+// (Perfetto ignores unknown keys). tools/check_trace.py validates the
+// schema.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace flextoe::trace {
+
+// One event tagged with its source ring, in global (t, ring, record
+// order) merged order.
+struct MergedEvent {
+  Event e;
+  std::uint32_t domain_id = 0;
+  std::uint32_t label = 0;
+};
+
+#ifndef FLEXTOE_TRACE_DISABLED
+
+// All retained events from all rings, merged by timestamp (stable:
+// ties keep ring-label then record order). Call only when writers are
+// quiesced (after the run / scheduler join).
+std::vector<MergedEvent> merged_events();
+
+// The full Chrome trace-event JSON document.
+std::string export_chrome_json();
+
+// Write export_chrome_json() to `path`. Returns false on I/O error.
+bool write_chrome_trace(const std::string& path);
+
+#else
+
+inline std::vector<MergedEvent> merged_events() { return {}; }
+inline std::string export_chrome_json() {
+  return "{\"traceEvents\":[]}\n";
+}
+inline bool write_chrome_trace(const std::string&) { return false; }
+
+#endif  // FLEXTOE_TRACE_DISABLED
+
+}  // namespace flextoe::trace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "trace/trace.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -400,6 +402,17 @@ TEST(Report, JsonShape) {
   const auto& notes = doc->object.at("notes");
   ASSERT_EQ(notes->array.size(), 1u);
   EXPECT_EQ(notes->array[0]->string, "a note with \\ and \"quotes\"");
+
+  // Reproducibility header: always present, with the build facts the
+  // golden checker excises before diffing.
+  const auto& config = doc->object.at("config");
+  ASSERT_EQ(config->kind, JsonValue::Kind::Object);
+  EXPECT_FALSE(config->object.at("git_sha")->string.empty());
+  EXPECT_FALSE(config->object.at("build_type")->string.empty());
+  EXPECT_EQ(config->object.at("telemetry_compiled")->boolean,
+            flextoe::telemetry::kCompiledIn);
+  EXPECT_EQ(config->object.at("trace_compiled")->boolean,
+            flextoe::trace::kCompiledIn);
 }
 
 TEST(Report, TelemetrySectionMergesAndRoundTrips) {

@@ -29,6 +29,21 @@ TEST(Gauge, SetAndAdd) {
   EXPECT_EQ(g.value(), -3);
 }
 
+TEST(Gauge, PeakTracksHighWaterMark) {
+  Gauge g;
+  EXPECT_EQ(g.peak(), 0);
+  g.set(7);
+  g.add(5);        // 12: new high-water mark
+  g.add(-10);      // 2: current drops, peak must not
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.peak(), 12);
+  g.set(3);
+  EXPECT_EQ(g.peak(), 12);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+}
+
 TEST(Histogram, Log2BucketBoundaries) {
   // Bucket 0 holds only zeros; bucket i holds [2^(i-1), 2^i).
   EXPECT_EQ(Histogram::bucket_of(0), 0u);
@@ -113,7 +128,9 @@ Snapshot sample_snapshot() {
   Snapshot s;
   s.enabled = true;
   s.counters = {{"a/one", 1}, {"b/two", 2}};
-  s.gauges = {{"g/level", -5}};
+  // Every gauge snapshot carries its high-water companion; the peak of
+  // a gauge only ever set negative is its initial 0.
+  s.gauges = {{"g/level", -5}, {"g/level_peak", 0}};
   Histogram h;
   h.record(0);
   h.record(3);

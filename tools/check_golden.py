@@ -19,6 +19,10 @@ Degradation: when the fresh run's telemetry is disabled (a
 enabled, the `telemetry` section is excluded and everything else must
 still match byte-equivalently — simulated results are telemetry-
 independent by design, and that property stays enforced.
+
+The `config` reproducibility header (git SHA, build type, compiled-in
+instrumentation) is always excised from both sides before comparing —
+it varies by construction, and goldens must not pin it.
 """
 
 import difflib
@@ -41,11 +45,11 @@ def run_bench(binary, out_path, extra):
     return True
 
 
-def without_telemetry(text):
-    """Excises the `"telemetry": {...}` value textually (brace-matched),
-    so the rest of the document is still compared byte-for-byte — no
-    JSON re-serialization that would mask ordering/formatting drift."""
-    i = text.find('"telemetry":')
+def without_section(text, key):
+    """Excises a `"<key>": {...}` value textually (brace-matched), so
+    the rest of the document is still compared byte-for-byte — no JSON
+    re-serialization that would mask ordering/formatting drift."""
+    i = text.find(f'"{key}":')
     if i < 0:
         return text
     j = text.index("{", i)
@@ -64,6 +68,16 @@ def without_telemetry(text):
         end += 1
     line_start = text.rfind("\n", 0, i) + 1
     return text[:line_start] + text[end:].lstrip("\n")
+
+
+def without_telemetry(text):
+    return without_section(text, "telemetry")
+
+
+def without_config(text):
+    """Drops the reproducibility header: its git SHA and build type vary
+    run-to-run and build-to-build by design."""
+    return without_section(text, "config")
 
 
 def main():
@@ -99,6 +113,8 @@ def main():
         return 1
 
     want = golden.read_text(encoding="utf-8")
+    fresh = without_config(fresh)
+    want = without_config(want)
     if fresh == want:
         print(f"check_golden: OK ({golden.name} byte-identical)")
         return 0

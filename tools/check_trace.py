@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Validator for the Chrome trace-event JSON the simulator's flight
+recorders export (--trace / Testbed::dump_trace, src/trace/export.cpp).
+
+Checks, in order:
+  * the file is well-formed JSON with a `traceEvents` list;
+  * every event carries the required keys for its phase, and the phase
+    is one the exporter emits (B E b e i s f M);
+  * timestamps are monotonically non-decreasing per (pid, tid) track
+    (metadata "M" events are exempt) — per-domain rings are merged by
+    a stable timestamp sort, so any inversion is an exporter bug;
+  * async spans (ph b/e) pair by (cat, id) and flow events (s/f) pair
+    by id. Orphan halves are WARNINGS by default: a flight recorder is
+    a bounded ring, so the oldest begin of a long run is legitimately
+    overwritten while its end survives (and runtime enable/disable
+    mid-run truncates spans too). --strict promotes orphans to errors
+    for tests that control the run length;
+  * the optional `postMortems` array (drop forensics) has the expected
+    shape.
+
+Usage:
+    check_trace.py TRACE.json [--strict] [--min-span-cats N]
+                   [--expect-flows] [--run CMD ARGS...]
+    check_trace.py --nm LIBRARY
+
+--min-span-cats N  require span (b/B) events from >= N distinct
+                   categories — the "spans from >= 5 subsystems" smoke
+                   assertion.
+--expect-flows     require at least one matched flow begin/end pair
+                   (cross-domain Domain::post hand-off).
+--run CMD ...      run CMD first (e.g. the bench that writes TRACE.json);
+                   its failure fails the check.
+--nm LIBRARY       instead of validating a trace: nm the library and
+                   fail if any strong definition in flextoe::trace::
+                   survives — the -DFLEXTOE_TRACE=OFF build must fold
+                   the subsystem away (inline stubs may appear as weak
+                   'W' symbols; those are fine).
+
+Exit status: 0 = valid, 1 = validation errors, 2 = usage/IO errors.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+ALLOWED_PHASES = {"B", "E", "b", "e", "i", "s", "f", "M"}
+# Keys every non-metadata event must carry.
+BASE_KEYS = ("name", "ph", "pid", "tid", "ts")
+
+
+def err(errors, msg, limit=25):
+    if len(errors) < limit:
+        errors.append(msg)
+    elif len(errors) == limit:
+        errors.append("... (further errors suppressed)")
+
+
+def check_events(events, strict, min_span_cats, expect_flows):
+    errors = []
+    warnings = []
+    last_ts = {}          # (pid, tid) -> float ts
+    open_async = {}       # (cat, id) -> count of unmatched 'b'
+    open_flows = {}       # id -> count of unmatched 's'
+    matched_flows = 0
+    span_cats = set()
+
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            err(errors, f"event {n}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ALLOWED_PHASES:
+            err(errors, f"event {n}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata: names processes/threads, no timestamp
+        missing = [k for k in BASE_KEYS if k not in ev]
+        if missing:
+            err(errors, f"event {n} (ph={ph}): missing keys {missing}")
+            continue
+        try:
+            ts = float(ev["ts"])
+        except (TypeError, ValueError):
+            err(errors, f"event {n}: non-numeric ts {ev['ts']!r}")
+            continue
+
+        track = (ev["pid"], ev["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            err(errors,
+                f"event {n}: ts {ts} < {last_ts[track]} on track {track}"
+                " (per-track timestamps must be monotonic)")
+        last_ts[track] = ts
+
+        if ph in ("b", "e", "s", "f") and "id" not in ev:
+            err(errors, f"event {n} (ph={ph}): missing 'id'")
+            continue
+        if ph in ("b", "B"):
+            span_cats.add(ev.get("cat", ""))
+        if ph == "b":
+            key = (ev.get("cat", ""), ev["id"])
+            open_async[key] = open_async.get(key, 0) + 1
+        elif ph == "e":
+            key = (ev.get("cat", ""), ev["id"])
+            if open_async.get(key, 0) > 0:
+                open_async[key] -= 1
+            else:
+                warnings.append(
+                    f"event {n}: async end without begin {key}"
+                    " (begin likely overwritten in the ring)")
+        elif ph == "s":
+            open_flows[ev["id"]] = open_flows.get(ev["id"], 0) + 1
+        elif ph == "f":
+            if open_flows.get(ev["id"], 0) > 0:
+                open_flows[ev["id"]] -= 1
+                matched_flows += 1
+            else:
+                warnings.append(
+                    f"event {n}: flow end without begin id={ev['id']}")
+
+    for key, c in open_async.items():
+        if c > 0:
+            warnings.append(f"{c} unclosed async span(s) {key}")
+    for fid, c in open_flows.items():
+        if c > 0:
+            warnings.append(f"{c} unfinished flow(s) id={fid}")
+
+    if min_span_cats is not None and len(span_cats) < min_span_cats:
+        err(errors,
+            f"only {len(span_cats)} span categories {sorted(span_cats)};"
+            f" need >= {min_span_cats}")
+    if expect_flows and matched_flows == 0:
+        err(errors, "no matched flow begin/end pair (expected cross-domain"
+                    " post hand-offs)")
+    if strict:
+        errors.extend(warnings)
+        warnings = []
+    return errors, warnings, span_cats, matched_flows
+
+
+def check_postmortems(pms):
+    errors = []
+    if not isinstance(pms, list):
+        return [f"postMortems: expected list, got {type(pms).__name__}"]
+    for n, pm in enumerate(pms):
+        if not isinstance(pm, dict):
+            err(errors, f"postMortems[{n}]: not an object")
+            continue
+        for k in ("reason", "victim", "t_ps", "domain", "events"):
+            if k not in pm:
+                err(errors, f"postMortems[{n}]: missing key {k!r}")
+        evs = pm.get("events", [])
+        if not isinstance(evs, list):
+            err(errors, f"postMortems[{n}]: events is not a list")
+            continue
+        for m, e in enumerate(evs):
+            if not isinstance(e, dict) or "ph" not in e or "ts" not in e:
+                err(errors, f"postMortems[{n}].events[{m}]: malformed")
+    return errors
+
+
+def validate(path, strict, min_span_cats, expect_flows):
+    try:
+        doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"check_trace: {path}: {e}\n")
+        return 2
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        sys.stderr.write(f"check_trace: {path}: no traceEvents list\n")
+        return 1
+    errors, warnings, span_cats, flows = check_events(
+        events, strict, min_span_cats, expect_flows)
+    errors += check_postmortems(doc.get("postMortems", []))
+    for w in warnings[:10]:
+        sys.stderr.write(f"check_trace: warning: {w}\n")
+    if len(warnings) > 10:
+        sys.stderr.write(
+            f"check_trace: ... {len(warnings) - 10} more warnings\n")
+    if errors:
+        for e in errors:
+            sys.stderr.write(f"check_trace: ERROR: {e}\n")
+        return 1
+    print(f"check_trace: OK ({len(events)} events, "
+          f"{len(span_cats)} span categories, {flows} flow pairs, "
+          f"{len(doc.get('postMortems', []))} post-mortems)")
+    return 0
+
+
+def check_nm(library):
+    try:
+        out = subprocess.run(["nm", "-C", library], capture_output=True,
+                             text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError) as e:
+        sys.stderr.write(f"check_trace: nm {library} failed: {e}\n")
+        return 2
+    bad = []
+    for line in out.splitlines():
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            continue
+        _, kind, name = parts
+        # Strong definitions only: T/t (text), D/d (data), B/b (bss).
+        # Weak (W/V) symbols are inline stubs the OFF build keeps.
+        if kind in "TtDdBb" and "flextoe::trace::" in name:
+            bad.append(line)
+    if bad:
+        sys.stderr.write(
+            "check_trace: FLEXTOE_TRACE=OFF build still defines trace "
+            "symbols:\n")
+        for line in bad[:20]:
+            sys.stderr.write(f"  {line}\n")
+        return 1
+    print(f"check_trace: OK (no strong flextoe::trace:: symbols in "
+          f"{pathlib.Path(library).name})")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("trace", nargs="?", help="trace JSON to validate")
+    ap.add_argument("--strict", action="store_true",
+                    help="orphan span/flow halves are errors, not warnings")
+    ap.add_argument("--min-span-cats", type=int, default=None)
+    ap.add_argument("--expect-flows", action="store_true")
+    ap.add_argument("--nm", metavar="LIBRARY",
+                    help="assert no strong flextoe::trace:: symbols")
+    ap.add_argument("--run", nargs=argparse.REMAINDER, default=None,
+                    help="command to run before validating the trace")
+    args = ap.parse_args()
+
+    if args.nm:
+        return check_nm(args.nm)
+    if args.trace is None:
+        ap.print_usage(sys.stderr)
+        return 2
+    if args.run:
+        proc = subprocess.run(args.run)
+        if proc.returncode != 0:
+            sys.stderr.write(
+                f"check_trace: command failed (exit {proc.returncode}): "
+                f"{' '.join(args.run)}\n")
+            return 2
+    return validate(args.trace, args.strict, args.min_span_cats,
+                    args.expect_flows)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
