@@ -95,6 +95,12 @@ std::string derived_json(const Snapshot& snap) {
     out += first ? "\n    " : ",\n    ";
     first = false;
     flextoe::telemetry::json_escape(p, &out);
+    if (h.count == 0) {
+      // No samples: mean/quantiles are undefined, and emitting zeros
+      // for them reads as "measured 0". Keep just the count.
+      out += ": {\"count\": 0}";
+      continue;
+    }
     char buf[200];
     std::snprintf(buf, sizeof buf,
                   ": {\"count\": %llu, \"mean\": %.3f, \"p50\": %llu, "

@@ -29,6 +29,14 @@ struct StageCosts {
   std::uint32_t ctx_op = 55;     // doorbell poll / notify
 };
 
+// Flow-scheduler engine selection (both implement sched::TimerService
+// with identical trigger semantics; see src/sched/timer_service.hpp).
+enum class TimerImpl {
+  kAuto,      // carousel below timer_wheel_threshold conns, wheel above
+  kCarousel,  // single-level wheel + unordered_map (low-count sweet spot)
+  kWheel,     // hierarchical timing wheel, flat flow storage (1M+ conns)
+};
+
 struct DatapathConfig {
   // --- Parallelism (Table 3 ablation knobs) ---
   // false: run the whole data-path to completion on a single FPC.
@@ -68,6 +76,12 @@ struct DatapathConfig {
   std::uint32_t mss = 1448;
   std::uint32_t max_conns = 64 * 1024;
   std::size_t fpc_queue_depth = 512;
+
+  // --- Flow scheduler (SCH engine) ---
+  TimerImpl timer = TimerImpl::kAuto;
+  // kAuto crossover: max_conns at or above this selects the wheel. The
+  // default keeps every preset (max_conns 64K) on the carousel.
+  std::uint32_t timer_wheel_threshold = 100'000;
 
   // --- Extensions (Table 2) ---
   bool profiling = false;           // 48 tracepoints enabled

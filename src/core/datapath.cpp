@@ -8,6 +8,9 @@
 #include <cassert>
 #include <utility>
 
+#include "sched/carousel.hpp"
+#include "sched/timing_wheel.hpp"
+
 namespace flextoe::core {
 
 using tcp::ConnId;
@@ -36,11 +39,21 @@ pipeline::Graph::Handlers Datapath::make_handlers() {
   h.dma = [this](const SegCtxPtr& ctx) { stage_dma(ctx); };
   h.ctx_notify = [this](const SegCtxPtr& ctx) { stage_ctx_notify(ctx); };
   h.conn_valid = [this](const SegCtxPtr& ctx) {
-    return ctx->conn_idx < flows_.size() && flows_[ctx->conn_idx].valid;
+    return table_.valid(ctx->conn_idx);
   };
   h.nbi_tx = [this](const net::PacketPtr& pkt) { nbi_transmit(pkt); };
   h.on_drop = [this](DropReason r) { count_drop_legacy(r); };
   return h;
+}
+
+std::unique_ptr<sched::TimerService> Datapath::make_scheduler(
+    sim::Domain& ev, const DatapathConfig& cfg) {
+  const bool wheel =
+      cfg.timer == TimerImpl::kWheel ||
+      (cfg.timer == TimerImpl::kAuto &&
+       cfg.max_conns >= cfg.timer_wheel_threshold);
+  if (wheel) return std::make_unique<sched::TimingWheel>(ev);
+  return std::make_unique<sched::Carousel>(ev);
 }
 
 Datapath::Datapath(sim::Domain& ev, DatapathConfig cfg, HostIface host)
@@ -48,11 +61,12 @@ Datapath::Datapath(sim::Domain& ev, DatapathConfig cfg, HostIface host)
       cfg_(cfg),
       host_(std::move(host)),
       dma_(ev, cfg.dma),
-      carousel_(ev) {
+      sched_(make_scheduler(ev, cfg)),
+      table_(std::max(1u, cfg.flow_groups), cfg.max_conns) {
   graph_ = std::make_unique<pipeline::Graph>(ev_, cfg_, dma_,
                                              make_handlers());
 
-  carousel_.set_trigger([this](std::uint32_t conn) {
+  sched_->set_trigger([this](std::uint32_t conn) {
     return tx_trigger(conn);
   });
 
@@ -84,7 +98,8 @@ Datapath::Datapath(sim::Domain& ev, DatapathConfig cfg, HostIface host)
   graph_->bind_telemetry(telem_);
   t_host_notify_ = telem_.counter("hostq/notify");
   dma_.bind_telemetry(telem_, "dma");
-  carousel_.bind_telemetry(telem_, "sched");
+  sched_->bind_telemetry(telem_, "sched");
+  table_.bind_telemetry(telem_, "flowtab");
   pkt_pool_.bind_telemetry(telem_, "pool/pkt");
 }
 
@@ -109,23 +124,9 @@ double Datapath::fpc_utilization() const {
 // --------------------------------------------------------- flow install
 
 ConnId Datapath::install_flow(const FlowInstall& ins) {
-  const ConnId conn =
-      ins.conn_id != tcp::kInvalidConn ? ins.conn_id : next_conn_++;
-  if (ins.conn_id != tcp::kInvalidConn && next_conn_ <= ins.conn_id) {
-    next_conn_ = ins.conn_id + 1;
-  }
-  if (flows_.size() <= conn) {
-    flows_.resize(conn + 1);
-    rx_bufs_.resize(conn + 1, nullptr);
-    tx_bufs_.resize(conn + 1, nullptr);
-    snd_max_.resize(conn + 1, 0);
-    high_rtx_.resize(conn + 1, 0);
-    pending_planned_.resize(conn + 1, 0);
-    cc_accum_.resize(conn + 1);
-  }
-  FlowState& fs = flows_[conn];
-  fs.valid = true;
-  fs.tuple = ins.tuple;
+  const ConnId conn = table_.insert(ins.tuple, ins.conn_id);
+  ConnRecord& rec = *table_.get(conn);
+  FlowState& fs = rec.fs;
   fs.pre.peer_mac = ins.peer_mac;
   fs.pre.peer_ip = ins.tuple.remote_ip;
   fs.pre.local_port = ins.tuple.local_port;
@@ -145,52 +146,51 @@ ConnId Datapath::install_flow(const FlowInstall& ins) {
       static_cast<std::uint32_t>(ins.rx_buf ? ins.rx_buf->size() : 0);
   fs.post.tx_size =
       static_cast<std::uint32_t>(ins.tx_buf ? ins.tx_buf->size() : 0);
-  rx_bufs_[conn] = ins.rx_buf;
-  tx_bufs_[conn] = ins.tx_buf;
-  snd_max_[conn] = fs.proto.seq;
-  high_rtx_[conn] = fs.proto.seq;
-  conn_db_[ins.tuple] = conn;
+  rec.rx_buf = ins.rx_buf;
+  rec.tx_buf = ins.tx_buf;
+  rec.snd_max = fs.proto.seq;
+  rec.high_rtx = fs.proto.seq;
   if (local_mac_.to_u64() == 0) local_mac_ = ins.local_mac;
-  carousel_.set_rate(conn, 0);  // uncongested until the CC loop speaks
+  sched_->set_rate(conn, 0);  // uncongested until the CC loop speaks
   return conn;
 }
 
 void Datapath::remove_flow(ConnId conn) {
-  if (conn >= flows_.size() || !flows_[conn].valid) return;
-  conn_db_.erase(flows_[conn].tuple);
-  flows_[conn].valid = false;
-  carousel_.remove_flow(conn);
+  if (!table_.erase(conn)) return;
+  sched_->remove_flow(conn);
 }
 
-bool Datapath::flow_valid(ConnId conn) const {
-  return conn < flows_.size() && flows_[conn].valid;
-}
+bool Datapath::flow_valid(ConnId conn) const { return table_.valid(conn); }
 
 const ProtoState* Datapath::proto_state(ConnId conn) const {
-  if (conn >= flows_.size() || !flows_[conn].valid) return nullptr;
-  return &flows_[conn].proto;
+  const ConnRecord* rec = table_.get(conn);
+  return rec != nullptr ? &rec->fs.proto : nullptr;
 }
 
 Datapath::CcSnapshot Datapath::read_cc_stats(ConnId conn, bool clear) {
   CcSnapshot s;
-  if (conn >= flows_.size() || !flows_[conn].valid) return s;
-  CcAccum& a = cc_accum_[conn];
-  s.acked_bytes = a.acked;
-  s.ecn_bytes = a.ecn;
-  s.fast_retx = a.fretx;
-  s.rtt_us = flows_[conn].post.rtt_est;
-  s.tx_sent = flows_[conn].proto.tx_sent;
-  s.snd_una = flows_[conn].proto.seq - flows_[conn].proto.tx_sent;
-  if (clear) a = CcAccum{};
+  ConnRecord* rec = table_.get(conn);
+  if (rec == nullptr) return s;
+  s.acked_bytes = rec->cc.acked;
+  s.ecn_bytes = rec->cc.ecn;
+  s.fast_retx = rec->cc.fretx;
+  s.rtt_us = rec->fs.post.rtt_est;
+  s.tx_sent = rec->fs.proto.tx_sent;
+  s.snd_una = rec->fs.proto.seq - rec->fs.proto.tx_sent;
+  if (clear) rec->cc = CcAccum{};
   return s;
 }
 
 void Datapath::set_rate(ConnId conn, std::uint64_t bytes_per_sec) {
-  if (conn < flows_.size() && flows_[conn].valid) {
-    flows_[conn].post.rate = static_cast<std::uint32_t>(
+  if (ConnRecord* rec = table_.get(conn)) {
+    rec->fs.post.rate = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(bytes_per_sec, 0xFFFFFFFF));
   }
-  carousel_.set_rate(conn, bytes_per_sec);
+  sched_->set_rate(conn, bytes_per_sec);
+}
+
+std::size_t Datapath::conn_bytes_reserved() const {
+  return table_.bytes_reserved() + sched_->footprint_bytes();
 }
 
 host::CtxQueue& Datapath::hc_queue(std::uint16_t ctx_id) {
@@ -278,16 +278,20 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
   }
 
   // --- Id: active-connection DB lookup (IMEM lookup engine + cache) ---
+  // Probes the owning island's shard with the sequencer's precomputed
+  // CRC (ctx->lookup_key): no re-hash, no directory access.
   tcp::FlowTuple t{pkt.ip.dst, pkt.ip.src, pkt.tcp.dport, pkt.tcp.sport};
-  auto it = conn_db_.find(t);
-  if (it == conn_db_.end() || !flows_[it->second].valid) {
+  tcp::ConnId conn = tcp::kInvalidConn;
+  if (table_.lookup(
+          tcp::FlowKey{t, static_cast<std::uint32_t>(ctx->lookup_key)},
+          &conn) == nullptr) {
     // Not an established data-path flow (e.g. final handshake ACK).
     ++to_control_count_;
     host_.to_control(ctx->pkt);
     graph_->skip_proto(ctx);
     return;
   }
-  ctx->conn_idx = it->second;
+  ctx->conn_idx = conn;
   ctx->conn_known = true;
 
   // --- Sum: header summary for later stages ---
@@ -310,12 +314,12 @@ void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
 // ----------------------------------------------------------- TX trigger
 
 std::uint32_t Datapath::tx_trigger(std::uint32_t conn) {
-  if (conn >= flows_.size() || !flows_[conn].valid) return 0;
-  FlowState& fs = flows_[conn];
+  ConnRecord* rec = table_.get(conn);
+  if (rec == nullptr) return 0;
+  FlowState& fs = rec->fs;
   // Admission estimate (authoritative check happens in the protocol
   // stage; the scheduler tracks appended-but-untriggered bytes itself).
-  const std::uint32_t outstanding =
-      fs.proto.tx_sent + pending_planned_[conn];
+  const std::uint32_t outstanding = fs.proto.tx_sent + rec->pending_planned;
   if (fs.proto.remote_win <= outstanding) return 0;  // window closed
   const std::uint32_t room = fs.proto.remote_win - outstanding;
   const std::uint32_t planned = std::min(cfg_.mss, room);
@@ -329,7 +333,7 @@ std::uint32_t Datapath::tx_trigger(std::uint32_t conn) {
   graph_->stamp_birth(*ctx);
 
   if (!graph_->ingress_tx(ctx)) return 0;  // inter-stage back-pressure
-  pending_planned_[conn] += planned;
+  rec->pending_planned += planned;
   return planned;
 }
 
@@ -370,10 +374,9 @@ void Datapath::doorbell(std::uint16_t ctx_id) {
         default:
           continue;
       }
-      if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
-        continue;
-      }
-      ctx->flow_group = flows_[ctx->conn_idx].pre.flow_group;
+      const ConnRecord* rec = table_.get(ctx->conn_idx);
+      if (rec == nullptr) continue;
+      ctx->flow_group = rec->fs.pre.flow_group;
       graph_->stamp_birth(*ctx);
       graph_->ingress_hc(ctx);
     }
@@ -383,34 +386,34 @@ void Datapath::doorbell(std::uint16_t ctx_id) {
 // Re-synchronizes the flow scheduler with the protocol stage's
 // authoritative view: untriggered bytes = appended-but-unsent minus
 // segments already in flight through the pipeline.
-void Datapath::sched_resync(ConnId conn, const ProtoState& p) {
-  const std::uint64_t pend = pending_planned_[conn];
-  const std::uint64_t untrig = p.tx_avail > pend ? p.tx_avail - pend : 0;
-  carousel_.update_avail(conn, untrig);
+void Datapath::sched_resync(ConnId conn, const ConnRecord& rec) {
+  const std::uint64_t pend = rec.pending_planned;
+  const std::uint64_t avail = rec.fs.proto.tx_avail;
+  const std::uint64_t untrig = avail > pend ? avail - pend : 0;
+  sched_->update_avail(conn, untrig);
 }
 
 // --------------------------------------------------------- protocol stage
 
 void Datapath::stage_proto(const SegCtxPtr& ctx) {
-  if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
-    return;
-  }
-  FlowState& fs = flows_[ctx->conn_idx];
+  ConnRecord* rec = table_.get(ctx->conn_idx);
+  if (rec == nullptr) return;
   switch (ctx->kind) {
     case SegCtx::Kind::Rx:
-      proto_rx(fs, ctx);
+      proto_rx(*rec, ctx);
       break;
     case SegCtx::Kind::Tx:
-      proto_tx(fs, ctx);
+      proto_tx(*rec, ctx);
       break;
     case SegCtx::Kind::Hc:
-      proto_hc(fs, ctx);
+      proto_hc(*rec, ctx);
       break;
   }
 }
 
-void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
+void Datapath::proto_rx(ConnRecord& rec, const SegCtxPtr& ctx) {
   graph_->mark(pipeline::StageId::ProtoRx, *ctx);
+  FlowState& fs = rec.fs;
   ProtoState& p = fs.proto;
   const HeaderSummary& s = ctx->sum;
   ProtoSnapshot& snap = ctx->snap;
@@ -421,7 +424,7 @@ void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
   // ---- ACK processing (Win) ----
   if (s.flags & flag::kAck) {
     const SeqNum snd_una = p.seq - p.tx_sent;
-    if (seq_gt(s.ack, snd_una) && seq_le(s.ack, snd_max_[conn])) {
+    if (seq_gt(s.ack, snd_una) && seq_le(s.ack, rec.snd_max)) {
       const std::uint32_t acked = seq_diff(s.ack, snd_una);
       const std::uint32_t from_sent =
           std::min<std::uint32_t>(acked, p.tx_sent);
@@ -449,9 +452,9 @@ void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
     } else if (s.ack == snd_una && p.tx_sent > 0 && s.payload_len == 0 &&
                !(s.flags & flag::kFin)) {
       // Duplicate ACK tracking; fast retransmit via go-back-N reset.
-      if (++p.dupack_cnt == 3 && seq_ge(snd_una, high_rtx_[conn])) {
+      if (++p.dupack_cnt == 3 && seq_ge(snd_una, rec.high_rtx)) {
         p.dupack_cnt = 0;
-        high_rtx_[conn] = snd_max_[conn];
+        rec.high_rtx = rec.snd_max;
         snap.fast_retransmit = true;
         ++fast_retransmits_;
         trace_.hit(tp_fretx_);
@@ -516,20 +519,20 @@ void Datapath::proto_rx(FlowState& fs, const SegCtxPtr& ctx) {
   if (s.flags & flag::kAck) {
     const std::uint32_t room =
         p.remote_win > p.tx_sent ? p.remote_win - p.tx_sent : 0;
-    if (p.tx_avail > 0 && room > 0) sched_resync(conn, p);
+    if (p.tx_avail > 0 && room > 0) sched_resync(conn, rec);
   }
 
   // Forward snapshot to post-processing.
   graph_->to_post(ctx);
 }
 
-void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
+void Datapath::proto_tx(ConnRecord& rec, const SegCtxPtr& ctx) {
   graph_->mark(pipeline::StageId::ProtoTx, *ctx);
-  ProtoState& p = fs.proto;
+  ProtoState& p = rec.fs.proto;
   ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
   const std::uint32_t planned = ctx->hc_len;
-  pending_planned_[conn] -= std::min(pending_planned_[conn], planned);
+  rec.pending_planned -= std::min(rec.pending_planned, planned);
 
   // Authoritative admission: window and available data.
   const std::uint32_t room =
@@ -539,7 +542,7 @@ void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
   if (len == 0 && !(p.fin_pending && !p.fin_sent && p.tx_avail == 0)) {
     // Abort: window closed or no data. The flow parks in the scheduler;
     // an ACK (window open) or doorbell (new data) re-syncs and unparks.
-    sched_resync(conn, p);
+    sched_resync(conn, rec);
     return;
   }
 
@@ -565,24 +568,24 @@ void Datapath::proto_tx(FlowState& fs, const SegCtxPtr& ctx) {
   }
   if (!snap.tx_valid && !snap.tx_fin) return;
 
-  snd_max_[conn] = seq_ge(p.seq, snd_max_[conn]) ? p.seq : snd_max_[conn];
-  if (planned != len) sched_resync(conn, p);
+  rec.snd_max = seq_ge(p.seq, rec.snd_max) ? p.seq : rec.snd_max;
+  if (planned != len) sched_resync(conn, rec);
   snap.egress_seq = graph_->next_egress(ctx->flow_group);
   trace_.hit(tp_tx_);
 
   graph_->to_post(ctx);
 }
 
-void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
+void Datapath::proto_hc(ConnRecord& rec, const SegCtxPtr& ctx) {
   graph_->mark(pipeline::StageId::ProtoHc, *ctx);
-  ProtoState& p = fs.proto;
+  ProtoState& p = rec.fs.proto;
   ProtoSnapshot& snap = ctx->snap;
   const ConnId conn = ctx->conn_idx;
 
   switch (ctx->hc_op) {
     case HcOp::TxDoorbell:
       p.tx_avail += ctx->hc_len;
-      sched_resync(conn, p);
+      sched_resync(conn, rec);
       break;
     case HcOp::RxFreed: {
       const bool was_closed = p.rx_avail < cfg_.mss;
@@ -604,7 +607,7 @@ void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
     case HcOp::Retransmit: {
       // Control-plane timeout: go-back-N reset (paper §3.1.1).
       const SeqNum snd_una = p.seq - p.tx_sent;
-      if (p.tx_sent > 0 || (p.fin_sent && seq_lt(snd_una, snd_max_[conn]))) {
+      if (p.tx_sent > 0 || (p.fin_sent && seq_lt(snd_una, rec.snd_max))) {
         p.seq = snd_una;
         p.tx_pos -= p.tx_sent;
         p.tx_avail += p.tx_sent;
@@ -613,8 +616,8 @@ void Datapath::proto_hc(FlowState& fs, const SegCtxPtr& ctx) {
           p.fin_sent = false;  // FIN will be re-emitted after data
         }
         p.dupack_cnt = 0;
-        high_rtx_[conn] = snd_max_[conn];
-        sched_resync(conn, p);
+        rec.high_rtx = rec.snd_max;
+        sched_resync(conn, rec);
       }
       break;
     }
@@ -634,7 +637,7 @@ void Datapath::spawn_fin_segment(ConnId conn) {
   ctx->kind = SegCtx::Kind::Tx;
   ctx->conn_idx = conn;
   ctx->conn_known = true;
-  ctx->flow_group = flows_[conn].pre.flow_group;
+  ctx->flow_group = table_.get(conn)->fs.pre.flow_group;
   ctx->hc_len = 0;  // pure FIN
   graph_->stamp_birth(*ctx);
   graph_->spawn_tx(ctx);
@@ -643,18 +646,19 @@ void Datapath::spawn_fin_segment(ConnId conn) {
 // ------------------------------------------------------------ post stage
 
 void Datapath::stage_post(const SegCtxPtr& ctx) {
-  if (ctx->conn_idx >= flows_.size() || !flows_[ctx->conn_idx].valid) {
+  ConnRecord* rec = table_.get(ctx->conn_idx);
+  if (rec == nullptr) {
     // Flow removed mid-flight: release any NBI egress slot the protocol
     // stage assigned so the egress reorder point cannot stall.
     graph_->skip_nbi(ctx);
     return;
   }
   graph_->mark(pipeline::StageId::Post, *ctx);
-  FlowState& fs = flows_[ctx->conn_idx];
+  FlowState& fs = rec->fs;
   ProtoSnapshot& snap = ctx->snap;
 
   // ---- Stats: CC counters (commutative, out-of-order safe) ----
-  CcAccum& acc = cc_accum_[ctx->conn_idx];
+  CcAccum& acc = rec->cc;
   acc.acked += snap.tx_freed;
   acc.ecn += snap.ecn_bytes;
   if (snap.fast_retransmit) {
@@ -689,7 +693,7 @@ void Datapath::stage_post(const SegCtxPtr& ctx) {
 }
 
 void Datapath::emit_ack_packet(const SegCtxPtr& ctx) {
-  FlowState& fs = flows_[ctx->conn_idx];
+  FlowState& fs = table_.get(ctx->conn_idx)->fs;
   const ProtoSnapshot& snap = ctx->snap;
   auto ack = pkt_pool_.acquire();
   ack->eth.src = local_mac_;
@@ -740,6 +744,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
     // host and the peer must not learn of data before it has landed
     // (paper §3.1.3, DMA stage).
     const std::uint32_t len = snap.accept_payload ? snap.rx_write_len : 0;
+    ConnRecord* rec = table_.get(ctx->conn_idx);
     auto finish = [this, ctx] {
       graph_->record_pipe_total(*ctx);  // payload has landed in the host
       if (ctx->ack_pkt) {
@@ -761,7 +766,7 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
       }
     };
     if (len > 0) {
-      host::PayloadBuf* buf = rx_bufs_[ctx->conn_idx];
+      host::PayloadBuf* buf = rec != nullptr ? rec->rx_buf : nullptr;
       const std::uint64_t pos = snap.rx_write_pos;
       const std::uint32_t trim = snap.payload_trim;
       auto pkt = ctx->pkt;
@@ -790,7 +795,8 @@ void Datapath::stage_dma(const SegCtxPtr& ctx) {
   // hand to the NBI (in egress order).
   if (ctx->kind == SegCtx::Kind::Tx && ctx->pkt) {
     const std::uint32_t len = snap.tx_len;
-    host::PayloadBuf* buf = tx_bufs_[ctx->conn_idx];
+    ConnRecord* rec = table_.get(ctx->conn_idx);
+    host::PayloadBuf* buf = rec != nullptr ? rec->tx_buf : nullptr;
     auto pkt = ctx->pkt;
     const std::uint64_t pos = snap.tx_read_pos;
     const std::uint32_t copy_cost =

@@ -6,8 +6,9 @@
 //   context-queue -> host }
 //
 // Host control (HC) descriptors enter via MMIO doorbells and flow through
-// the same pipeline (Fig 4); transmissions are triggered by the Carousel
-// flow scheduler (Fig 5); receives follow Fig 6. Segments are one-shot:
+// the same pipeline (Fig 4); transmissions are triggered by the flow
+// scheduler (Fig 5) — Carousel or the hierarchical timing wheel, per
+// DatapathConfig::timer; receives follow Fig 6. Segments are one-shot:
 // never buffered on the NIC — payload moves directly between the wire and
 // host per-socket payload buffers via DMA.
 //
@@ -25,11 +26,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/flow_state.hpp"
+#include "core/flow_table.hpp"
 #include "core/seg_ctx.hpp"
 #include "host/ctx_queue.hpp"
 #include "host/payload_buf.hpp"
@@ -39,7 +40,7 @@
 #include "nfp/dma.hpp"
 #include "pipeline/graph.hpp"
 #include "pipeline/pool.hpp"
-#include "sched/carousel.hpp"
+#include "sched/timer_service.hpp"
 #include "sim/domain.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/registry.hpp"
@@ -145,7 +146,15 @@ class Datapath : public net::PacketSink {
   std::uint64_t fast_retransmits() const { return fast_retransmits_; }
   std::uint64_t ooo_segments() const { return ooo_segments_; }
   const ProtoState* proto_state(tcp::ConnId conn) const;
-  sched::Carousel& scheduler() { return carousel_; }
+  // The flow-scheduler engine behind this data-path (carousel or
+  // hierarchical wheel, per DatapathConfig::timer).
+  sched::TimerService& scheduler() { return *sched_; }
+  // The sharded flow-state table (footprint audit, scale tests).
+  FlowTable& flow_table() { return table_; }
+  const FlowTable& flow_table() const { return table_; }
+  // Structural per-connection memory across the data-path: flow table +
+  // scheduler state, divided by live connections (bytes-per-conn audit).
+  std::size_t conn_bytes_reserved() const;
   // The stage graph this data-path drives (construction/wiring tests,
   // extensions).
   pipeline::Graph& graph() { return *graph_; }
@@ -164,16 +173,16 @@ class Datapath : public net::PacketSink {
   void stage_pre_rx(const SegCtxPtr& ctx);
   void stage_pre_tx(const SegCtxPtr& ctx);
   void stage_proto(const SegCtxPtr& ctx);  // kind dispatch + validity
-  void proto_rx(FlowState& fs, const SegCtxPtr& ctx);
-  void proto_tx(FlowState& fs, const SegCtxPtr& ctx);
-  void proto_hc(FlowState& fs, const SegCtxPtr& ctx);
+  void proto_rx(ConnRecord& rec, const SegCtxPtr& ctx);
+  void proto_tx(ConnRecord& rec, const SegCtxPtr& ctx);
+  void proto_hc(ConnRecord& rec, const SegCtxPtr& ctx);
   void stage_post(const SegCtxPtr& ctx);
   void stage_dma(const SegCtxPtr& ctx);
   void stage_ctx_notify(const SegCtxPtr& ctx);
 
   // Helpers.
-  std::uint32_t tx_trigger(std::uint32_t conn);  // Carousel callback
-  void sched_resync(tcp::ConnId conn, const ProtoState& p);
+  std::uint32_t tx_trigger(std::uint32_t conn);  // scheduler TX callback
+  void sched_resync(tcp::ConnId conn, const ConnRecord& rec);
   void spawn_fin_segment(tcp::ConnId conn);
   void nbi_transmit(const net::PacketPtr& pkt);
   void host_notify(const host::CtxDesc& desc);
@@ -183,6 +192,8 @@ class Datapath : public net::PacketSink {
   // Legacy drop accounting fed by the graph's taxonomy.
   void count_drop_legacy(DropReason r);
   pipeline::Graph::Handlers make_handlers();
+  static std::unique_ptr<sched::TimerService> make_scheduler(
+      sim::Domain& ev, const DatapathConfig& cfg);
 
   sim::Domain& ev_;
   telemetry::Registry telem_;
@@ -191,8 +202,10 @@ class Datapath : public net::PacketSink {
   net::PacketSink* mac_sink_ = nullptr;
 
   nfp::DmaEngine dma_;
-  sched::Carousel carousel_;
-  // The stage graph (built from cfg_; destroyed before dma_/carousel_).
+  // Flow-scheduler engine (SCH): Carousel or hierarchical TimingWheel,
+  // selected by cfg_.timer (see make_scheduler).
+  std::unique_ptr<sched::TimerService> sched_;
+  // The stage graph (built from cfg_; destroyed before dma_/sched_).
   std::unique_ptr<pipeline::Graph> graph_;
   // Pooled segment-context allocation (one recycled block per segment).
   pipeline::SharedPool<SegCtx> ctx_pool_;
@@ -200,27 +213,13 @@ class Datapath : public net::PacketSink {
   // telem_ so ~PacketPool unbinds before the registry dies).
   net::PacketPool pkt_pool_;
 
-  // Flow state tables (EMEM) + active-connection DB (IMEM lookup engine).
-  std::vector<FlowState> flows_;
-  std::vector<host::PayloadBuf*> rx_bufs_;
-  std::vector<host::PayloadBuf*> tx_bufs_;
-  std::vector<tcp::SeqNum> snd_max_;   // GBN recovery bookkeeping
-  std::vector<tcp::SeqNum> high_rtx_;  // fast-rtx dedup
-  std::vector<std::uint32_t> pending_planned_;  // triggered, pre-protocol
-  std::unordered_map<tcp::FlowTuple, tcp::ConnId, tcp::FlowTupleHash>
-      conn_db_;
-  std::uint32_t next_conn_ = 0;
+  // Sharded flow-state table (EMEM state + IMEM lookup engine): one
+  // open-addressing shard per flow-group island, ConnId directory for
+  // the control-plane path (see core/flow_table.hpp).
+  FlowTable table_;
 
   // Host-control queues, one per application context.
   std::vector<std::unique_ptr<host::CtxQueue>> hc_queues_;
-
-  // CC statistic accumulators (cleared by control-plane reads).
-  struct CcAccum {
-    std::uint64_t acked = 0;
-    std::uint64_t ecn = 0;
-    std::uint32_t fretx = 0;
-  };
-  std::vector<CcAccum> cc_accum_;
 
   // Destruction sentinel: host-notification events may outlive this
   // object inside a draining EventQueue.

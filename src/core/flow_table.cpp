@@ -1,0 +1,259 @@
+// FlowTable implementation (see flow_table.hpp): linear-probe
+// open-addressing per-island shards with backward-shift deletion and a
+// ConnId directory; self-auditing memory footprint.
+#include "core/flow_table.hpp"
+
+#include <cassert>
+
+namespace flextoe::core {
+
+namespace {
+
+std::uint32_t next_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlowTable::FlowTable(unsigned shards, std::uint32_t expected_conns) {
+  if (shards == 0) shards = 1;
+  shards_.resize(shards);
+  // Size each shard for its share of the expected population at <= 7/8
+  // load; clamp the presize so small configs stay small.
+  const std::uint32_t per_shard =
+      (expected_conns + static_cast<std::uint32_t>(shards) - 1) /
+      static_cast<std::uint32_t>(shards);
+  const std::uint32_t want = per_shard + per_shard / 7 + 1;  // / (7/8)
+  const std::uint32_t cap = next_pow2(want < 64 ? 64 : want);
+  for (Shard& sh : shards_) {
+    sh.index.assign(cap, Slot{});
+    sh.mask = cap - 1;
+  }
+}
+
+std::uint32_t FlowTable::probe(const Shard& sh, const tcp::FlowKey& key,
+                               bool* found) const {
+  std::uint32_t pos = key.hash & sh.mask;
+  std::uint32_t len = 1;
+  for (;;) {
+    const Slot& s = sh.index[pos];
+    if (s.conn == tcp::kInvalidConn) {
+      *found = false;
+      last_probe_len_ = len;
+      return pos;
+    }
+    if (s.hash == key.hash && sh.arena[s.arena_slot].fs.tuple == key.tuple) {
+      *found = true;
+      last_probe_len_ = len;
+      return pos;
+    }
+    pos = (pos + 1) & sh.mask;
+    ++len;
+    assert(len <= sh.index.size() && "flow-table probe wrapped: full index");
+  }
+}
+
+ConnRecord* FlowTable::lookup(const tcp::FlowKey& key,
+                              tcp::ConnId* conn_out) {
+  Shard& sh = shards_[key.shard(shard_count())];
+  sh.affinity.check();
+  bool found = false;
+  const std::uint32_t pos = probe(sh, key, &found);
+  // Gauges are levels: refresh on the per-segment path too, so they
+  // survive a mid-run Registry::clear() (scenario warm-up reset) even
+  // when no insert/erase happens afterwards.
+  update_telemetry();
+  if (!found) return nullptr;
+  const Slot& s = sh.index[pos];
+  if (conn_out != nullptr) *conn_out = s.conn;
+  return &sh.arena[s.arena_slot];
+}
+
+ConnRecord* FlowTable::get(tcp::ConnId conn) {
+  if (conn >= directory_.size()) return nullptr;
+  const Ref& r = directory_[conn];
+  if (r.shard == kNoShard) return nullptr;
+  Shard& sh = shards_[r.shard];
+  sh.affinity.check();
+  return &sh.arena[r.slot];
+}
+
+const ConnRecord* FlowTable::get(tcp::ConnId conn) const {
+  if (conn >= directory_.size()) return nullptr;
+  const Ref& r = directory_[conn];
+  if (r.shard == kNoShard) return nullptr;
+  const Shard& sh = shards_[r.shard];
+  sh.affinity.check();
+  return &sh.arena[r.slot];
+}
+
+bool FlowTable::valid(tcp::ConnId conn) const {
+  return conn < directory_.size() && directory_[conn].shard != kNoShard;
+}
+
+void FlowTable::grow(Shard& sh) {
+  const std::uint32_t cap =
+      next_pow2(static_cast<std::uint32_t>(sh.index.size()) * 2);
+  std::vector<Slot> old = std::move(sh.index);
+  sh.index.assign(cap, Slot{});
+  sh.mask = cap - 1;
+  ++rehashes_;
+  if (telem_.on()) t_rehashes_->inc();
+  // Reinsert by stored hash — no tuple re-hashing, and arena records do
+  // not move, so outstanding ConnRecord* stay valid across the rehash.
+  for (const Slot& s : old) {
+    if (s.conn == tcp::kInvalidConn) continue;
+    std::uint32_t pos = s.hash & sh.mask;
+    while (sh.index[pos].conn != tcp::kInvalidConn) pos = (pos + 1) & sh.mask;
+    sh.index[pos] = s;
+  }
+}
+
+void FlowTable::index_insert(Shard& sh, const tcp::FlowKey& key,
+                             std::uint32_t arena_slot, tcp::ConnId conn) {
+  // Keep load factor <= 7/8 so linear-probe chains stay short.
+  if ((sh.used + 1) * 8 > sh.index.size() * 7) grow(sh);
+  bool found = false;
+  const std::uint32_t pos = probe(sh, key, &found);
+  Slot& s = sh.index[pos];
+  if (found) {
+    // Duplicate tuple: repoint the entry at the new connection. The old
+    // record stays reachable through the directory only (and its erase
+    // will not disturb this entry — erase checks ownership).
+    s.arena_slot = arena_slot;
+    s.conn = conn;
+    return;
+  }
+  s.hash = key.hash;
+  s.arena_slot = arena_slot;
+  s.conn = conn;
+  ++sh.used;
+}
+
+void FlowTable::index_erase_at(Shard& sh, std::uint32_t pos) {
+  // Backward-shift deletion: pull every displaced follower one step
+  // back toward its ideal bucket; the probe chain closes with no
+  // tombstone left behind.
+  std::uint32_t hole = pos;
+  std::uint32_t cur = pos;
+  for (;;) {
+    cur = (cur + 1) & sh.mask;
+    const Slot& s = sh.index[cur];
+    if (s.conn == tcp::kInvalidConn) break;
+    const std::uint32_t ideal = s.hash & sh.mask;
+    // `cur` may move into the hole only if the hole lies on its probe
+    // path: distance(ideal -> hole) < distance(ideal -> cur), both
+    // measured forward with wraparound.
+    if (((hole - ideal) & sh.mask) < ((cur - ideal) & sh.mask)) {
+      sh.index[hole] = s;
+      hole = cur;
+    }
+  }
+  sh.index[hole] = Slot{};
+  --sh.used;
+}
+
+tcp::ConnId FlowTable::insert(const tcp::FlowTuple& tuple,
+                              tcp::ConnId desired) {
+  const tcp::ConnId conn =
+      desired != tcp::kInvalidConn ? desired : next_conn_++;
+  if (desired != tcp::kInvalidConn && next_conn_ <= desired) {
+    next_conn_ = desired + 1;
+  }
+  // Re-install over a live id: retire the old incarnation first so its
+  // tuple cannot shadow the new one.
+  if (valid(conn)) erase(conn);
+
+  const tcp::FlowKey key = tcp::FlowKey::of(tuple);
+  Shard& sh = shards_[key.shard(shard_count())];
+  sh.affinity.check();
+
+  std::uint32_t slot;
+  if (!sh.free_slots.empty()) {
+    slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
+    sh.arena[slot] = ConnRecord{};
+  } else {
+    slot = static_cast<std::uint32_t>(sh.arena.size());
+    sh.arena.emplace_back();
+  }
+  ConnRecord& rec = sh.arena[slot];
+  rec.fs.valid = true;
+  rec.fs.tuple = tuple;
+
+  index_insert(sh, key, slot, conn);
+
+  if (directory_.size() <= conn) directory_.resize(conn + 1);
+  directory_[conn] =
+      Ref{key.shard(shard_count()), slot};
+  ++live_;
+  update_telemetry();
+  return conn;
+}
+
+bool FlowTable::erase(tcp::ConnId conn) {
+  if (conn >= directory_.size()) return false;
+  Ref& r = directory_[conn];
+  if (r.shard == kNoShard) return false;
+  Shard& sh = shards_[r.shard];
+  sh.affinity.check();
+
+  ConnRecord& rec = sh.arena[r.slot];
+  const tcp::FlowKey key = tcp::FlowKey::of(rec.fs.tuple);
+  bool found = false;
+  const std::uint32_t pos = probe(sh, key, &found);
+  // Un-index only an entry this connection owns (a duplicate-tuple
+  // insert may have repointed the entry at a newer connection).
+  if (found && sh.index[pos].conn == conn) index_erase_at(sh, pos);
+
+  rec.fs.valid = false;
+  sh.free_slots.push_back(r.slot);
+  r = Ref{};
+  --live_;
+  update_telemetry();
+  return true;
+}
+
+std::size_t FlowTable::bytes_reserved() const {
+  std::size_t bytes = sizeof(FlowTable);
+  for (const Shard& sh : shards_) {
+    bytes += sizeof(Shard);
+    bytes += sh.index.capacity() * sizeof(Slot);
+    bytes += sh.arena.size() * sizeof(ConnRecord);
+    bytes += sh.free_slots.capacity() * sizeof(std::uint32_t);
+  }
+  bytes += directory_.capacity() * sizeof(Ref);
+  return bytes;
+}
+
+double FlowTable::bytes_per_conn() const {
+  return live_ == 0
+             ? 0.0
+             : static_cast<double>(bytes_reserved()) /
+                   static_cast<double>(live_);
+}
+
+void FlowTable::bind_telemetry(telemetry::Registry& reg,
+                               const std::string& prefix) {
+  if (!telem_.bind(reg)) return;
+  t_conns_ = reg.gauge(prefix + "/conns");
+  t_bytes_total_ = reg.gauge(prefix + "/bytes_total");
+  t_bytes_per_conn_ = reg.gauge(prefix + "/bytes_per_conn");
+  t_rehashes_ = reg.counter(prefix + "/rehashes");
+  update_telemetry();
+}
+
+void FlowTable::rebind_owner(unsigned shard) {
+  if (shard < shards_.size()) shards_[shard].affinity.rebind();
+}
+
+void FlowTable::update_telemetry() {
+  if (!telem_.on()) return;
+  t_conns_->set(static_cast<std::int64_t>(live_));
+  t_bytes_total_->set(static_cast<std::int64_t>(bytes_reserved()));
+  t_bytes_per_conn_->set(static_cast<std::int64_t>(bytes_per_conn()));
+}
+
+}  // namespace flextoe::core

@@ -1,0 +1,187 @@
+// Sharded NIC flow-state table: one open-addressing shard per
+// flow-group island, no cross-island hot state (the DAOS per-target
+// idiom applied to the paper's flow-group partitioning, §3.1).
+//
+// Layout per shard:
+//   index  — open-addressing (linear probe) hash index over live
+//            connections, power-of-two sized, erased by backward-shift
+//            (Knuth 6.4 / robin-hood style): no tombstones, so probe
+//            lengths never degrade as churn accumulates.
+//   arena  — stable ConnRecord storage (deque: grows without moving
+//            existing records, so ConnRecord* survives rehash and
+//            unrelated insert/erase — only erase(conn) invalidates that
+//            conn's record).
+// A global directory maps ConnId -> {shard, arena slot} for the
+// control-plane / stage-body access path; the RX hot path never touches
+// it (lookup() probes the owning island's shard directly with the
+// sequencer's precomputed CRC, tcp::FlowKey).
+//
+// Concurrency: shards follow the domain-affinity contract
+// (`src/sim/affinity.hpp`) — each shard binds to the thread of the
+// island that first touches it and asserts on cross-thread access in
+// !NDEBUG builds. There are no locks anywhere; cross-island hand-off
+// must go through the epoch mailbox machinery and rebind_owner().
+//
+// Footprint: the table audits its own memory (index + arena + directory
+// + free lists) and reports bytes_per_conn through bind_telemetry —
+// the paper's "millions of connections fit in EMEM" claim as a
+// measured, regression-gated quantity (fig13_conn_scalability).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/flow_state.hpp"
+#include "sim/affinity.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/stack_iface.hpp"
+#include "telemetry/registry.hpp"
+
+namespace flextoe::host {
+class PayloadBuf;
+}
+
+namespace flextoe::core {
+
+// Congestion-control statistic accumulator (cleared by control-plane
+// reads, paper §3.1.3).
+struct CcAccum {
+  std::uint64_t acked = 0;
+  std::uint64_t ecn = 0;
+  std::uint32_t fretx = 0;
+};
+
+// Everything the data path keeps per established connection: the
+// Table 5 state partitions plus the simulation-side sidecars that used
+// to live in parallel vectors in core::Datapath. One record, one cache
+// neighbourhood, one line in the bytes-per-conn audit.
+struct ConnRecord {
+  FlowState fs;
+  host::PayloadBuf* rx_buf = nullptr;
+  host::PayloadBuf* tx_buf = nullptr;
+  tcp::SeqNum snd_max = 0;                // GBN recovery bookkeeping
+  tcp::SeqNum high_rtx = 0;               // fast-rtx dedup
+  std::uint32_t pending_planned = 0;      // triggered, pre-protocol
+  CcAccum cc;
+};
+
+class FlowTable {
+ public:
+  // `shards` = flow-group island count (>= 1). `expected_conns` sizes
+  // the per-shard indexes up front (DatapathConfig::max_conns) so the
+  // steady state never rehashes; growth beyond the hint still works.
+  FlowTable(unsigned shards, std::uint32_t expected_conns);
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  // ---- Hot path (island-local) ----
+  // Probes the key's shard; returns the live record whose tuple matches,
+  // or nullptr. No directory access, no allocation.
+  ConnRecord* lookup(const tcp::FlowKey& key, tcp::ConnId* conn_out);
+
+  // ---- Directory path (control plane, stage bodies) ----
+  ConnRecord* get(tcp::ConnId conn);
+  const ConnRecord* get(tcp::ConnId conn) const;
+  bool valid(tcp::ConnId conn) const;
+
+  // Installs `tuple` under `desired` (kInvalidConn = pick the next free
+  // id). If the tuple is already indexed, the index entry is repointed
+  // to the new connection (the old record stays reachable by id only).
+  // Returns the connection id; the record is default-initialized.
+  tcp::ConnId insert(const tcp::FlowTuple& tuple,
+                     tcp::ConnId desired = tcp::kInvalidConn);
+
+  // Removes `conn`: un-indexes its tuple (backward-shift, tombstone-
+  // free) and recycles the arena slot. Returns false if not live.
+  bool erase(tcp::ConnId conn);
+
+  std::size_t size() const { return live_; }
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  std::uint64_t rehashes() const { return rehashes_; }
+
+  // Probe length of the last successful lookup/insert (test hook for
+  // the backward-shift invariant: probe chains stay intact after
+  // arbitrary churn).
+  std::uint32_t last_probe_len() const { return last_probe_len_; }
+
+  // ---- Footprint audit ----
+  // All memory reserved by the table (indexes at capacity, arena
+  // records, directory, free lists, the shard structs themselves).
+  std::size_t bytes_reserved() const;
+  // bytes_reserved() / live connections (0 when empty).
+  double bytes_per_conn() const;
+
+  // Registers gauges under `prefix`: <prefix>/conns,
+  // <prefix>/bytes_total, <prefix>/bytes_per_conn (updated on every
+  // insert/erase), plus a <prefix>/rehashes counter.
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
+  // Quiesced ownership hand-off of one shard to another thread (epoch
+  // mailbox migration; see sim/affinity.hpp).
+  void rebind_owner(unsigned shard);
+
+  // Iterates live connections in id order: f(ConnId, const ConnRecord&).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t id = 0; id < directory_.size(); ++id) {
+      const Ref& r = directory_[id];
+      if (r.shard == kNoShard) continue;
+      f(static_cast<tcp::ConnId>(id), shards_[r.shard].arena[r.slot]);
+    }
+  }
+
+ private:
+  // Index entry: precomputed CRC + arena slot + owning conn. 12 bytes;
+  // conn == kInvalidConn marks an empty bucket.
+  struct Slot {
+    std::uint32_t hash = 0;
+    std::uint32_t arena_slot = 0;
+    tcp::ConnId conn = tcp::kInvalidConn;
+  };
+
+  struct Shard {
+    std::vector<Slot> index;  // power-of-two
+    std::uint32_t mask = 0;
+    std::size_t used = 0;  // live entries (no tombstones exist)
+    std::deque<ConnRecord> arena;
+    std::vector<std::uint32_t> free_slots;
+    mutable sim::ThreadAffinity affinity;
+  };
+
+  static constexpr std::uint32_t kNoShard = 0xFFFFFFFF;
+  struct Ref {
+    std::uint32_t shard = kNoShard;
+    std::uint32_t slot = 0;
+  };
+
+  // Finds the bucket holding `key` (tuple-compared) or the first empty
+  // bucket on its probe path. Returns the bucket position.
+  std::uint32_t probe(const Shard& sh, const tcp::FlowKey& key,
+                      bool* found) const;
+  void grow(Shard& sh);
+  void index_insert(Shard& sh, const tcp::FlowKey& key,
+                    std::uint32_t arena_slot, tcp::ConnId conn);
+  void index_erase_at(Shard& sh, std::uint32_t pos);
+  void update_telemetry();
+
+  std::vector<Shard> shards_;
+  std::vector<Ref> directory_;  // by ConnId
+  tcp::ConnId next_conn_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t rehashes_ = 0;
+  mutable std::uint32_t last_probe_len_ = 0;
+
+  telemetry::Binding telem_;
+  telemetry::Gauge* t_conns_ = nullptr;
+  telemetry::Gauge* t_bytes_total_ = nullptr;
+  telemetry::Gauge* t_bytes_per_conn_ = nullptr;
+  telemetry::Counter* t_rehashes_ = nullptr;
+};
+
+}  // namespace flextoe::core

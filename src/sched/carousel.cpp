@@ -25,6 +25,18 @@ void Carousel::bind_telemetry(telemetry::Registry& reg,
   t_flows_ = reg.gauge(prefix + "/flows");
 }
 
+std::size_t Carousel::footprint_bytes() const {
+  // unordered_map nodes (pair + chain pointer) + bucket array, plus the
+  // ready deque and wheel slot vectors.
+  std::size_t bytes = sizeof(Carousel);
+  bytes += flows_.size() *
+           (sizeof(std::pair<const FlowId, FlowState>) + 2 * sizeof(void*));
+  bytes += flows_.bucket_count() * sizeof(void*);
+  bytes += ready_.size() * sizeof(FlowId);
+  for (const auto& slot : wheel_) bytes += slot.capacity() * sizeof(FlowId);
+  return bytes;
+}
+
 void Carousel::set_rate(FlowId flow, std::uint64_t bytes_per_sec) {
   auto& st = flows_[flow];
   st.dead = false;

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "sched/timer_service.hpp"
 #include "sim/domain.hpp"
 #include "sim/time.hpp"
 #include "telemetry/registry.hpp"
@@ -46,40 +47,44 @@ struct CarouselParams {
   std::uint64_t uncongested_rate = 100'000'000'000ull / 8;
 };
 
-class Carousel {
+class Carousel : public TimerService {
  public:
-  using FlowId = std::uint32_t;
-  // Asks the data-path to transmit one segment for `flow`; returns the
-  // number of payload bytes queued for transmission (0 = blocked).
-  using TxTrigger = std::function<std::uint32_t(FlowId)>;
+  using FlowId = TimerService::FlowId;
+  using TxTrigger = TimerService::TxTrigger;
 
   Carousel(sim::Domain& ev, CarouselParams params = {});
-  ~Carousel() { *alive_ = false; }
+  ~Carousel() override { *alive_ = false; }
   Carousel(const Carousel&) = delete;
   Carousel& operator=(const Carousel&) = delete;
 
-  void set_trigger(TxTrigger t) { trigger_ = std::move(t); }
+  void set_trigger(TxTrigger t) override { trigger_ = std::move(t); }
 
   // Programs the pacing interval for a flow. `bytes_per_sec` is converted
   // once here (control-plane division); 0 or >= uncongested_rate selects
   // the round-robin bypass.
-  void set_rate(FlowId flow, std::uint64_t bytes_per_sec);
+  void set_rate(FlowId flow, std::uint64_t bytes_per_sec) override;
 
   // Data-path FS updates: flow has (at least) `avail` bytes ready to send.
-  void update_avail(FlowId flow, std::uint64_t avail);
-  void add_avail(FlowId flow, std::uint64_t delta);
+  void update_avail(FlowId flow, std::uint64_t avail) override;
+  void add_avail(FlowId flow, std::uint64_t delta) override;
 
   // Re-arms a flow that previously reported blocked (e.g. window opened).
-  void kick(FlowId flow);
+  void kick(FlowId flow) override;
 
-  void remove_flow(FlowId flow);
+  void remove_flow(FlowId flow) override;
 
-  std::uint64_t triggers() const { return trigger_count_; }
-  std::size_t flows_tracked() const { return flows_.size(); }
+  std::uint64_t triggers() const override { return trigger_count_; }
+  std::size_t flows_tracked() const override { return flows_.size(); }
+
+  // Per-flow map entries plus queue/wheel storage (bytes-per-conn audit).
+  std::size_t footprint_bytes() const override;
+
+  const char* impl_name() const override { return "carousel"; }
 
   // Registers trigger/byte counters, ready-queue and wheel occupancy
   // histograms, and a tracked-flow gauge under `prefix` (e.g. "sched").
-  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+  void bind_telemetry(telemetry::Registry& reg,
+                      const std::string& prefix) override;
 
  private:
   struct FlowState {

@@ -1,0 +1,70 @@
+// Common interface over the flow-scheduler implementations (the SCH
+// module, paper §3.4): the data path speaks TimerService; which engine
+// sits behind it is a DatapathConfig choice.
+//
+//   sched::Carousel    — deque + single-level time wheel keyed by flow
+//                        id in an unordered_map. Ideal at low
+//                        connection counts (tiny footprint, trivial
+//                        constants); per-flow map lookups and the
+//                        fixed wheel horizon degrade as populations
+//                        reach hundreds of thousands.
+//   sched::TimingWheel — hierarchical (cascading) timing wheel with
+//                        flat per-flow storage and intrusive slot
+//                        lists: O(1) arm, O(1) cancel, horizon grows
+//                        geometrically per level. The million-
+//                        connection engine.
+//
+// Both implementations preserve identical trigger semantics (one
+// trigger per service interval, ready-queue round-robin, park/kick,
+// pacing deadlines quantized to the slot granularity), differential-
+// tested by tests/sched/timing_wheel_test.cc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace flextoe::sched {
+
+class TimerService {
+ public:
+  using FlowId = std::uint32_t;
+  // Asks the data-path to transmit one segment for `flow`; returns the
+  // number of payload bytes queued for transmission (0 = blocked).
+  using TxTrigger = std::function<std::uint32_t(FlowId)>;
+
+  virtual ~TimerService() = default;
+
+  virtual void set_trigger(TxTrigger t) = 0;
+
+  // Programs the pacing interval for a flow (control-plane division:
+  // 0 or >= the uncongested threshold selects the round-robin bypass).
+  virtual void set_rate(FlowId flow, std::uint64_t bytes_per_sec) = 0;
+
+  // Data-path FS updates: flow has (at least) `avail` bytes to send.
+  virtual void update_avail(FlowId flow, std::uint64_t avail) = 0;
+  virtual void add_avail(FlowId flow, std::uint64_t delta) = 0;
+
+  // Re-arms a flow that previously reported blocked (window opened).
+  virtual void kick(FlowId flow) = 0;
+
+  virtual void remove_flow(FlowId flow) = 0;
+
+  virtual std::uint64_t triggers() const = 0;
+  virtual std::size_t flows_tracked() const = 0;
+
+  // Memory the scheduler holds for its per-flow state (bytes), for the
+  // bytes-per-conn audit alongside core::FlowTable::bytes_reserved().
+  virtual std::size_t footprint_bytes() const = 0;
+
+  // Implementation tag ("carousel" / "wheel") for reports and tests.
+  virtual const char* impl_name() const = 0;
+
+  virtual void bind_telemetry(telemetry::Registry& reg,
+                              const std::string& prefix) = 0;
+};
+
+}  // namespace flextoe::sched

@@ -1,0 +1,155 @@
+// Hierarchical timing-wheel flow scheduler: the million-connection
+// implementation of sched::TimerService (paper §3.4's SCH module, at
+// the ROADMAP's north-star scale).
+//
+// Where sched::Carousel keeps per-flow state in an unordered_map and a
+// single-level wheel whose horizon clamps far deadlines, this engine
+// keeps flows in a flat vector indexed by FlowId (dense connection
+// ids: no hashing, no node allocation) and arms pacing deadlines into
+// cascading wheel levels — level k spans slots_per_level^k level-0
+// slots, so the horizon grows geometrically while arm and cancel stay
+// O(1):
+//
+//   arm     — index math + intrusive doubly-linked slot push (the
+//             per-flow next/prev fields ARE the queue: no allocation)
+//   cancel  — unlink from the resident slot in O(1) (the Carousel can
+//             only mark dead and wait for the slot to expire)
+//   tick    — one event per slot granularity while the wheel is
+//             non-empty; a level-k cascade runs every S^k ticks and
+//             re-files its slot by remaining delta
+//
+// Trigger semantics (one trigger per service interval, ready-queue
+// round-robin, park until kick, deadline quantization to the slot
+// granularity, lazy dead-skip in the ready queue) replicate Carousel
+// exactly; tests/sched/timing_wheel_test.cc differential-tests the two
+// engines' (time, flow) trigger sequences. The one deliberate
+// divergence: cancelling a wheel-resident flow frees it immediately,
+// so a later revival re-arms cleanly instead of inheriting the dead
+// incarnation's residual slot residency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/timer_service.hpp"
+#include "sim/domain.hpp"
+#include "sim/time.hpp"
+#include "telemetry/registry.hpp"
+
+namespace flextoe::sched {
+
+struct TimingWheelParams {
+  sim::TimePs slot_granularity = sim::us(1);
+  std::uint32_t slots_per_level = 256;  // power of two
+  std::uint32_t levels = 4;  // horizon = g * S^levels (~4.6 ks at defaults)
+  // Service interval of the SCH module (one TX trigger per interval).
+  sim::TimePs service_interval = sim::ns(45);
+  // Rates at or above this (bytes/s) bypass the rate limiter.
+  std::uint64_t uncongested_rate = 100'000'000'000ull / 8;
+};
+
+class TimingWheel : public TimerService {
+ public:
+  using FlowId = TimerService::FlowId;
+  using TxTrigger = TimerService::TxTrigger;
+
+  TimingWheel(sim::Domain& ev, TimingWheelParams params = {});
+  ~TimingWheel() override { *alive_ = false; }
+  TimingWheel(const TimingWheel&) = delete;
+  TimingWheel& operator=(const TimingWheel&) = delete;
+
+  void set_trigger(TxTrigger t) override { trigger_ = std::move(t); }
+  void set_rate(FlowId flow, std::uint64_t bytes_per_sec) override;
+  void update_avail(FlowId flow, std::uint64_t avail) override;
+  void add_avail(FlowId flow, std::uint64_t delta) override;
+  void kick(FlowId flow) override;
+  void remove_flow(FlowId flow) override;
+
+  std::uint64_t triggers() const override { return trigger_count_; }
+  std::size_t flows_tracked() const override { return tracked_; }
+  std::size_t footprint_bytes() const override;
+  const char* impl_name() const override { return "wheel"; }
+  void bind_telemetry(telemetry::Registry& reg,
+                      const std::string& prefix) override;
+
+  // Introspection (tests).
+  std::size_t wheel_resident() const { return wheel_count_; }
+  std::uint64_t cascades() const { return cascade_count_; }
+  const TimingWheelParams& params() const { return params_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFF;
+
+  struct Flow {
+    std::uint64_t avail = 0;
+    sim::TimePs ps_per_byte = 0;  // 0 = uncongested (round-robin)
+    std::uint64_t target = 0;     // absolute due tick; wheel-resident only
+    std::uint32_t next = kNil;    // intrusive slot-list links
+    std::uint32_t prev = kNil;
+    std::uint32_t slot = kNil;    // level * slots_per_level + slot index
+    bool touched = false;         // ever referenced (flows_tracked)
+    bool in_wheel = false;
+    bool queued = false;  // in ready queue or wheel
+    bool parked = false;  // blocked (window closed); needs a kick
+    bool dead = false;
+  };
+
+  struct SlotList {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  Flow& touch(FlowId flow);
+  void enqueue_ready(FlowId flow);
+  void enqueue_wheel(FlowId flow, sim::TimePs deadline);
+  // Files `flow` `off` level-0 granules ahead of the current tick.
+  void file(FlowId flow, std::uint64_t off);
+  void unlink(FlowId flow);
+  void expire_or_cascade(std::uint32_t level, std::uint32_t slot);
+  void wheel_tick();
+  void pump();
+  void service_one();
+  void trace_queued(FlowId flow, std::uint64_t arg);
+
+  sim::Domain& ev_;
+  TimingWheelParams params_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  TxTrigger trigger_;
+
+  std::vector<Flow> flows_;     // indexed by FlowId
+  std::size_t tracked_ = 0;     // flows ever touched
+  std::deque<FlowId> ready_;
+  std::vector<SlotList> slots_;      // levels * slots_per_level
+  std::vector<std::uint64_t> stride_;  // stride_[k] = S^k (level-0 granules)
+  std::uint64_t ticks_ = 0;          // level-0 ticks executed since anchor
+  sim::TimePs wheel_time_ = 0;       // time of the last tick (anchor grid)
+  std::size_t wheel_count_ = 0;      // wheel-resident flows
+  std::uint64_t cascade_count_ = 0;
+  bool wheel_tick_scheduled_ = false;
+  bool service_scheduled_ = false;
+  sim::TimePs next_service_ = 0;
+  std::uint64_t trigger_count_ = 0;
+
+  telemetry::Binding telem_;
+  telemetry::Counter* t_triggers_ = nullptr;
+  telemetry::Counter* t_tx_bytes_ = nullptr;
+  telemetry::Counter* t_parked_ = nullptr;
+  telemetry::Counter* t_cascades_ = nullptr;
+  telemetry::Histogram* t_ready_depth_ = nullptr;
+  telemetry::Histogram* t_wheel_flows_ = nullptr;
+  telemetry::Gauge* t_flows_ = nullptr;
+
+  // Trace ids (trace/trace.hpp), resolved on first traced event; the
+  // queued-residency span pairs by trace_base_ | flow (at most one
+  // residency per flow at a time, as in Carousel).
+  std::uint64_t trace_base_ = 0;
+  std::uint16_t trace_track_ = 0;  // "sched/wheel"
+  std::uint16_t trace_name_queued_ = 0;
+  std::uint16_t trace_name_trigger_ = 0;
+  std::uint16_t trace_name_tick_ = 0;
+};
+
+}  // namespace flextoe::sched

@@ -57,4 +57,22 @@ struct FlowTupleHash {
   std::size_t operator()(const FlowTuple& t) const { return t.hash(); }
 };
 
+// A 4-tuple with its CRC-32 precomputed. The sequencer hashes every
+// segment exactly once (hardware CRC on the NFP); downstream consumers —
+// flow-group steering, the sharded flow table's open-addressing probe —
+// reuse the digest instead of rehashing per probe.
+struct FlowKey {
+  FlowTuple tuple;
+  std::uint32_t hash = 0;
+
+  static FlowKey of(const FlowTuple& t) { return FlowKey{t, t.hash()}; }
+
+  // Island / table-shard index in [0, num_shards) — the same mapping as
+  // FlowTuple::flow_group, so one shard serves exactly one flow-group
+  // island and the table has no cross-island hot state.
+  std::uint32_t shard(std::uint32_t num_shards) const {
+    return num_shards == 0 ? 0 : hash % num_shards;
+  }
+};
+
 }  // namespace flextoe::tcp

@@ -1,0 +1,432 @@
+// Hierarchical timing-wheel battery (ISSUE: million-connection
+// scale-out). Two layers:
+//
+//  1. Differential: the wheel and the Carousel implement the same
+//     sched::TimerService contract; under any op script whose pacing
+//     deadlines stay inside the wheel's level-0 horizon (256 granules =
+//     256 us at defaults — no cascades), the two engines must produce
+//     byte-identical (time, flow, sent) trigger sequences. Seeded random
+//     arm/cancel/rearm scripts, same-tick ties, park/kick races and
+//     cancel-while-queued all run through both engines and diff.
+//
+//     Scripts never re-arm a cancelled flow: that is the one documented
+//     divergence (the wheel's O(1) cancel frees slot residency eagerly,
+//     the Carousel leaves a dead entry to expire lazily), covered by
+//     wheel-only tests below instead.
+//
+//  2. Wheel-only: cascade boundaries at every level (small-geometry
+//     wheel so level strides are cheap to cross), far-deadline clamp,
+//     eager-cancel residency release and post-cancel revival, and the
+//     flat-storage footprint audit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/datapath.hpp"
+#include "sched/carousel.hpp"
+#include "sched/timing_wheel.hpp"
+#include "sim/domain.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::sched {
+namespace {
+
+using FlowId = TimerService::FlowId;
+
+// One recorded TX trigger: when, which flow, what the data-path
+// reported sent. Differential tests compare full vectors of these.
+struct Trig {
+  sim::TimePs t;
+  FlowId flow;
+  std::uint32_t sent;
+
+  bool operator==(const Trig&) const = default;
+};
+
+struct Op {
+  enum Kind { kRate, kUpdate, kAdd, kKick, kRemove } kind;
+  sim::TimePs at;
+  FlowId flow;
+  std::uint64_t arg;
+};
+
+// Deterministic data-path stand-in: the reported `sent` depends only on
+// (flow, per-flow call number), so two engines producing the same call
+// sequence see the same responses — and a divergence shows up as a
+// sequence mismatch, never as harness noise. Roughly one call in 16
+// reports blocked (sent == 0), exercising the park/kick machinery.
+std::uint32_t scripted_sent(FlowId flow, std::uint32_t call) {
+  const std::uint32_t h = (flow * 2654435761u) ^ (call * 40503u + 1);
+  if (h % 16 == 0) return 0;
+  return 200 + h % 1249;  // 200..1448 bytes
+}
+
+std::vector<Trig> run_script(TimerService& svc, sim::Domain& ev,
+                             const std::vector<Op>& ops, sim::TimePs end) {
+  std::vector<Trig> out;
+  std::vector<std::uint32_t> calls;
+  svc.set_trigger([&](FlowId flow) {
+    if (calls.size() <= flow) calls.resize(flow + 1, 0);
+    const std::uint32_t sent = scripted_sent(flow, calls[flow]++);
+    out.push_back({ev.now(), flow, sent});
+    return sent;
+  });
+  for (const Op& op : ops) {
+    ev.schedule_at(op.at, [&svc, op] {
+      switch (op.kind) {
+        case Op::kRate: svc.set_rate(op.flow, op.arg); break;
+        case Op::kUpdate: svc.update_avail(op.flow, op.arg); break;
+        case Op::kAdd: svc.add_avail(op.flow, op.arg); break;
+        case Op::kKick: svc.kick(op.flow); break;
+        case Op::kRemove: svc.remove_flow(op.flow); break;
+      }
+    });
+  }
+  ev.run_until(end);
+  return out;
+}
+
+// Runs `ops` through a default-parameter Carousel and TimingWheel (their
+// granularity, service interval and uncongested threshold already agree)
+// and requires identical trigger sequences.
+void expect_equivalent(const std::vector<Op>& ops, sim::TimePs end) {
+  sim::Domain ev_car, ev_whl;
+  Carousel car(ev_car);
+  TimingWheel whl(ev_whl);
+  const std::vector<Trig> a = run_script(car, ev_car, ops, end);
+  const std::vector<Trig> b = run_script(whl, ev_whl, ops, end);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t, b[i].t) << "trigger " << i;
+    EXPECT_EQ(a[i].flow, b[i].flow) << "trigger " << i;
+    EXPECT_EQ(a[i].sent, b[i].sent) << "trigger " << i;
+  }
+}
+
+// Seeded random op script. Pacing rates stay >= 10 MB/s so every
+// re-arm deadline (ps_per_byte * sent <= 1e5 * 1448 ps ~ 145 us) sits
+// inside the wheel's 256-granule level-0 horizon: the equivalence
+// window. Cancelled flows are retired — never referenced again.
+std::vector<Op> random_script(std::uint64_t seed, std::size_t num_flows,
+                              std::size_t num_ops, sim::TimePs span) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> ops;
+  std::vector<FlowId> live;
+  for (FlowId f = 0; f < num_flows; ++f) {
+    live.push_back(f);
+    // 1 in 4 uncongested (round-robin bypass), the rest paced in
+    // [10 MB/s, 1 GB/s].
+    const std::uint64_t rate =
+        rng() % 4 == 0 ? 0 : 10'000'000 + rng() % 990'000'000;
+    ops.push_back({Op::kRate, 0, f, rate});
+  }
+  sim::TimePs t = 0;
+  for (std::size_t i = 0; i < num_ops && !live.empty(); ++i) {
+    t += rng() % (span / num_ops);
+    const FlowId f = live[rng() % live.size()];
+    switch (rng() % 8) {
+      case 0:  // retire (cancel): no later op may touch this flow
+        ops.push_back({Op::kRemove, t, f, 0});
+        live.erase(std::find(live.begin(), live.end(), f));
+        break;
+      case 1:
+      case 2:
+        ops.push_back({Op::kAdd, t, f, 1 + rng() % 5000});
+        break;
+      case 3:
+        ops.push_back({Op::kKick, t, f, 0});
+        break;
+      default:
+        ops.push_back({Op::kUpdate, t, f, 1 + rng() % 20000});
+        break;
+    }
+  }
+  return ops;
+}
+
+// ------------------------------------------------ differential battery
+
+TEST(TimingWheelDifferential, SeededRandomArmCancelRearm) {
+  for (std::uint64_t seed : {1ull, 42ull, 20260809ull}) {
+    SCOPED_TRACE(seed);
+    expect_equivalent(random_script(seed, 32, 400, sim::ms(20)),
+                      sim::ms(40));
+  }
+}
+
+TEST(TimingWheelDifferential, ManyFlowsShortScript) {
+  expect_equivalent(random_script(7, 256, 1500, sim::ms(10)), sim::ms(25));
+}
+
+TEST(TimingWheelDifferential, SameTickTies) {
+  // Two flows paced identically, armed back-to-back at the same instant:
+  // their deadlines quantize to the same slot and must pop in the same
+  // (insertion) order from both engines, tick after tick.
+  std::vector<Op> ops;
+  ops.push_back({Op::kRate, 0, 1, 100'000'000});
+  ops.push_back({Op::kRate, 0, 2, 100'000'000});
+  ops.push_back({Op::kUpdate, sim::us(3), 1, 8000});
+  ops.push_back({Op::kUpdate, sim::us(3), 2, 8000});
+  expect_equivalent(ops, sim::ms(5));
+}
+
+TEST(TimingWheelDifferential, CancelWhileQueuedIsLazySkipped) {
+  // The flow is cancelled right after arming, while it sits in the
+  // ready queue: both engines skip it lazily at the next service.
+  std::vector<Op> ops;
+  ops.push_back({Op::kRate, 0, 3, 50'000'000});
+  ops.push_back({Op::kUpdate, sim::us(1), 3, 6000});
+  ops.push_back({Op::kRemove, sim::us(1), 3, 0});
+  // A live companion keeps the service loop observable.
+  ops.push_back({Op::kRate, 0, 4, 50'000'000});
+  ops.push_back({Op::kUpdate, sim::us(2), 4, 6000});
+  expect_equivalent(ops, sim::ms(2));
+}
+
+TEST(TimingWheelDifferential, ParkAndKickRevival) {
+  // scripted_sent reports blocked (~1/16 of calls) at deterministic
+  // points; periodic kicks then revive every parked flow. Park points
+  // and revival order must line up exactly across both engines.
+  std::vector<Op> ops;
+  for (FlowId f = 0; f < 8; ++f) {
+    ops.push_back({Op::kRate, 0, f, 20'000'000 + f * 10'000'000});
+    ops.push_back({Op::kUpdate, sim::us(1 + f), f, 50'000});
+  }
+  for (int k = 1; k <= 20; ++k) {
+    for (FlowId f = 0; f < 8; ++f) {
+      ops.push_back({Op::kKick, sim::us(100) * k, f, 0});
+    }
+  }
+  expect_equivalent(ops, sim::ms(10));
+}
+
+// --------------------------------------------------- wheel-only tests
+
+TEST(TimingWheel, RateLimitedPacing) {
+  // Mirror of Carousel.RateLimitedPacing: 100 MB/s and 1000-byte sends
+  // pace triggers ~10 us apart on the 1 us slot grid.
+  sim::Domain ev;
+  TimingWheel whl(ev);
+  std::vector<sim::TimePs> at;
+  whl.set_trigger([&](FlowId) {
+    at.push_back(ev.now());
+    return 1000u;
+  });
+  whl.set_rate(7, 100'000'000);
+  whl.update_avail(7, 5000);
+  ev.run_until(sim::ms(1));
+  ASSERT_EQ(at.size(), 5u);
+  for (std::size_t i = 1; i < at.size(); ++i) {
+    EXPECT_GE(at[i] - at[i - 1], sim::us(9));
+    EXPECT_LE(at[i] - at[i - 1], sim::us(12));
+  }
+}
+
+// Small-geometry wheel for cascade tests: 8 slots/level, 3 levels.
+// Level strides are 1, 8, 64 granules; horizon 512 granules (512 us).
+TimingWheelParams small_geometry() {
+  TimingWheelParams p;
+  p.slots_per_level = 8;
+  p.levels = 3;
+  return p;
+}
+
+// Paces one flow so each re-arm deadline is `off_us` granules out, runs
+// three triggers, and returns the observed inter-trigger spacings.
+std::vector<sim::TimePs> pacing_gaps(TimingWheel& whl, sim::Domain& ev,
+                                     std::uint64_t off_us) {
+  std::vector<sim::TimePs> at;
+  whl.set_trigger([&](FlowId) {
+    at.push_back(ev.now());
+    return 1000u;
+  });
+  // set_rate divides: ps_per_byte = 1e12 / bps; with 1000-byte sends the
+  // deadline offset is ps_per_byte * 1000 ps = off_us us.
+  whl.set_rate(1, 1'000'000'000ull / off_us);
+  whl.update_avail(1, 3000);
+  ev.run_until(sim::us(1) * (4 * off_us + 100));
+  EXPECT_EQ(at.size(), 3u);
+  std::vector<sim::TimePs> gaps;
+  for (std::size_t i = 1; i < at.size(); ++i) gaps.push_back(at[i] - at[i - 1]);
+  return gaps;
+}
+
+TEST(TimingWheelCascade, Level0NoCascade) {
+  sim::Domain ev;
+  TimingWheel whl(ev, small_geometry());
+  for (sim::TimePs gap : pacing_gaps(whl, ev, 5)) {
+    EXPECT_GE(gap, sim::us(4));
+    EXPECT_LE(gap, sim::us(7));
+  }
+  EXPECT_EQ(whl.cascades(), 0u);
+}
+
+TEST(TimingWheelCascade, Level1CascadesOnce) {
+  sim::Domain ev;
+  TimingWheel whl(ev, small_geometry());
+  // 20 granules: files at level 1 (stride 8), cascades back into level 0.
+  for (sim::TimePs gap : pacing_gaps(whl, ev, 20)) {
+    EXPECT_GE(gap, sim::us(19));
+    EXPECT_LE(gap, sim::us(22));
+  }
+  EXPECT_GT(whl.cascades(), 0u);
+}
+
+TEST(TimingWheelCascade, Level2CascadesTwice) {
+  sim::Domain ev;
+  TimingWheel whl(ev, small_geometry());
+  // 100 granules: level 2 (stride 64) -> level 1 -> level 0. The due
+  // tick is stored once at arm time, so two cascades add no drift.
+  for (sim::TimePs gap : pacing_gaps(whl, ev, 100)) {
+    EXPECT_GE(gap, sim::us(99));
+    EXPECT_LE(gap, sim::us(102));
+  }
+  EXPECT_GE(whl.cascades(), 2u);
+}
+
+TEST(TimingWheelCascade, ExactStrideBoundaryOffsets) {
+  // Offsets exactly at S and S^2 land on the first slot of the next
+  // level; the fire tick must still be exact.
+  for (std::uint64_t off : {8ull, 64ull}) {
+    SCOPED_TRACE(off);
+    sim::Domain ev;
+    TimingWheel whl(ev, small_geometry());
+    for (sim::TimePs gap : pacing_gaps(whl, ev, off)) {
+      EXPECT_GE(gap, sim::us(1) * (off - 1));
+      EXPECT_LE(gap, sim::us(1) * (off + 2));
+    }
+  }
+}
+
+TEST(TimingWheelCascade, BeyondHorizonFiresAtTrueDeadline) {
+  sim::Domain ev;
+  TimingWheel whl(ev, small_geometry());
+  // 600 granules exceeds the 512-granule horizon: the flow parks in the
+  // top level and re-files by its stored due tick at each cascade, so
+  // it fires at the true deadline — not clamped early like Carousel's
+  // single-level wheel would.
+  for (sim::TimePs gap : pacing_gaps(whl, ev, 600)) {
+    EXPECT_GE(gap, sim::us(599));
+    EXPECT_LE(gap, sim::us(602));
+  }
+  EXPECT_GT(whl.cascades(), 0u);
+}
+
+TEST(TimingWheel, EagerCancelReleasesWheelResidency) {
+  sim::Domain ev;
+  TimingWheel whl(ev);
+  int calls = 0;
+  whl.set_trigger([&](FlowId) {
+    ++calls;
+    return 1000u;
+  });
+  whl.set_rate(9, 1'000'000);  // 1 MB/s -> 1 ms between sends
+  whl.update_avail(9, 5000);
+  ev.run_until(sim::us(100));  // first trigger done, re-armed 1 ms out
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(whl.wheel_resident(), 1u);
+  // O(1) cancel: residency drops immediately (the Carousel would keep a
+  // dead entry in the slot until it expires).
+  whl.remove_flow(9);
+  EXPECT_EQ(whl.wheel_resident(), 0u);
+  ev.run_until(sim::ms(5));
+  EXPECT_EQ(calls, 1);  // never fires again
+}
+
+TEST(TimingWheel, RevivalAfterEagerCancelReArmsCleanly) {
+  sim::Domain ev;
+  TimingWheel whl(ev);
+  int calls = 0;
+  whl.set_trigger([&](FlowId) {
+    ++calls;
+    return 1000u;
+  });
+  whl.set_rate(9, 1'000'000);
+  whl.update_avail(9, 5000);
+  ev.run_until(sim::us(100));
+  whl.remove_flow(9);  // cancelled while wheel-resident
+  ev.run_until(sim::us(200));
+  // Revive the id (new connection incarnation): no residual slot
+  // residency blocks the re-arm — it fires immediately.
+  whl.set_rate(9, 1'000'000);
+  whl.update_avail(9, 2000);
+  ev.run_until(sim::us(300));
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(TimingWheel, CancelAfterFireIsIdempotent) {
+  sim::Domain ev;
+  TimingWheel whl(ev);
+  int calls = 0;
+  whl.set_trigger([&](FlowId) {
+    ++calls;
+    return 5000u;  // drains avail in one shot: flow leaves the wheel
+  });
+  whl.set_rate(2, 100'000'000);
+  whl.update_avail(2, 4000);
+  ev.run_until(sim::ms(1));
+  EXPECT_EQ(calls, 1);
+  whl.remove_flow(2);  // after the flow already fired and drained
+  whl.remove_flow(2);  // double-cancel
+  ev.run_until(sim::ms(2));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(whl.wheel_resident(), 0u);
+}
+
+TEST(TimingWheel, FootprintIsFlatPerFlow) {
+  sim::Domain ev;
+  TimingWheel whl(ev);
+  const std::size_t empty = whl.footprint_bytes();
+  const std::size_t n = 10'000;
+  for (FlowId f = 0; f < n; ++f) whl.set_rate(f, 0);
+  EXPECT_EQ(whl.flows_tracked(), n);
+  const std::size_t full = whl.footprint_bytes();
+  // Flat vector storage: the marginal cost per tracked flow is one Flow
+  // entry (intrusive links included), not a hash node + chain pointers.
+  EXPECT_GE(full, empty + n * sizeof(std::uint64_t));
+  EXPECT_LE((full - empty) / n, 128u);
+}
+
+// ------------------------------------------- engine selection (kAuto)
+
+core::Datapath::HostIface null_host() {
+  core::Datapath::HostIface host;
+  host.notify = [](const host::CtxDesc&) {};
+  host.to_control = [](const net::PacketPtr&) {};
+  host.peer_fin = [](tcp::ConnId) {};
+  return host;
+}
+
+TEST(TimerImplSelection, DefaultConfigKeepsCarousel) {
+  sim::Domain ev;
+  core::Datapath dp(ev, core::agilio_cx40_config(), null_host());
+  EXPECT_STREQ(dp.scheduler().impl_name(), "carousel");
+}
+
+TEST(TimerImplSelection, AutoPicksWheelAtScale) {
+  sim::Domain ev;
+  core::DatapathConfig cfg;
+  cfg.max_conns = 1'000'000;
+  core::Datapath dp(ev, cfg, null_host());
+  EXPECT_STREQ(dp.scheduler().impl_name(), "wheel");
+}
+
+TEST(TimerImplSelection, ExplicitOverridesBeatAuto) {
+  sim::Domain ev;
+  core::DatapathConfig cfg;
+  cfg.max_conns = 1'000'000;
+  cfg.timer = core::TimerImpl::kCarousel;
+  core::Datapath a(ev, cfg, null_host());
+  EXPECT_STREQ(a.scheduler().impl_name(), "carousel");
+  cfg.max_conns = 1024;
+  cfg.timer = core::TimerImpl::kWheel;
+  core::Datapath b(ev, cfg, null_host());
+  EXPECT_STREQ(b.scheduler().impl_name(), "wheel");
+}
+
+}  // namespace
+}  // namespace flextoe::sched

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Scale-out smoke check for the conn_scale bench scenario.
+
+Two gates, both cheap enough for every CI run:
+
+1. **Determinism across worker threads.** Runs the bench in quick mode
+   at each requested --threads value and asserts the per-row
+   `fingerprint` (a 48-bit FNV-1a digest of every island's segment /
+   ack / drop / table / scheduler counters) is identical across runs.
+   Any cross-thread nondeterminism in the sharded flow tables or the
+   timing wheel shows up here as a fingerprint mismatch.
+
+2. **bytes_per_conn regression gate.** Compares the fresh
+   `bytes_per_conn` of every row against the checked-in baseline
+   (bench/results/BENCH_fig13_conn_scalability.json) for the labels
+   both sides share, and fails if the footprint grew by more than
+   --tolerance (default 10%). bytes_per_conn is structural — flow
+   table + scheduler bytes over live connections — so it transfers
+   across machines and build types, unlike wall-clock metrics.
+
+Usage:
+    check_scale.py BASELINE BINARY [--threads-list 1,2]
+                   [--tolerance 0.10] [extra bench args...]
+
+Exit status: 0 = deterministic and within tolerance, 1 = failure.
+A fresh bytes_per_conn more than `tolerance` *below* the baseline is
+reported as a note (refresh the baseline to bank the win), not a
+failure.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(binary, out_path, threads, extra):
+    cmd = [binary, "--quick", "--seed", "0", "--filter", "conn_scale",
+           "--threads", str(threads), "--json", out_path] + extra
+    proc = subprocess.run(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(f"check_scale: {' '.join(cmd)} failed "
+                         f"(exit {proc.returncode})\n{proc.stderr}")
+        return None
+    return json.loads(pathlib.Path(out_path).read_text(encoding="utf-8"))
+
+
+def rows_by_label(doc):
+    out = {}
+    for series in doc.get("series", []):
+        if series.get("name") != "flextoe_sut":
+            continue
+        for row in series.get("rows", []):
+            out[row["label"]] = row["values"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=False)
+    ap.add_argument("baseline")
+    ap.add_argument("binary")
+    ap.add_argument("--threads-list", default="1,2")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args, extra = ap.parse_known_args()
+
+    threads = [int(t) for t in args.threads_list.split(",") if t]
+    runs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for t in threads:
+            doc = run_bench(args.binary, str(pathlib.Path(tmp) / f"t{t}.json"),
+                            t, extra)
+            if doc is None:
+                return 1
+            runs[t] = rows_by_label(doc)
+
+    failed = False
+
+    # Gate 1: fingerprints must agree across thread counts, row by row.
+    ref_t = threads[0]
+    for t in threads[1:]:
+        for label, vals in runs[ref_t].items():
+            got = runs[t].get(label, {}).get("fingerprint")
+            want = vals["fingerprint"]
+            if got != want:
+                sys.stderr.write(
+                    f"check_scale: NONDETERMINISTIC — row {label}: "
+                    f"fingerprint {want:.0f} at --threads {ref_t} vs "
+                    f"{got} at --threads {t}\n")
+                failed = True
+    if not failed:
+        print(f"check_scale: fingerprints identical across "
+              f"--threads {{{args.threads_list}}} "
+              f"({len(runs[ref_t])} rows)")
+
+    # Gate 2: bytes_per_conn vs the checked-in baseline.
+    baseline = rows_by_label(
+        json.loads(pathlib.Path(args.baseline).read_text(encoding="utf-8")))
+    shared = sorted(set(baseline) & set(runs[ref_t]), key=int)
+    if not shared:
+        sys.stderr.write("check_scale: no shared row labels between "
+                         "baseline and fresh run\n")
+        return 1
+    for label in shared:
+        want = baseline[label]["bytes_per_conn"]
+        got = runs[ref_t][label]["bytes_per_conn"]
+        ratio = got / want if want else float("inf")
+        if ratio > 1.0 + args.tolerance:
+            sys.stderr.write(
+                f"check_scale: REGRESSION — bytes_per_conn at {label} "
+                f"conns: {got:.1f} vs baseline {want:.1f} "
+                f"(+{(ratio - 1) * 100:.1f}% > "
+                f"{args.tolerance * 100:.0f}%)\n"
+                f"  If intentional, refresh the baseline (see "
+                f"bench/results/README.md).\n")
+            failed = True
+        elif ratio < 1.0 - args.tolerance:
+            print(f"check_scale: note — bytes_per_conn at {label} conns "
+                  f"improved to {got:.1f} from {want:.1f}; refresh the "
+                  f"baseline to bank the win")
+        else:
+            print(f"check_scale: OK — bytes_per_conn at {label} conns: "
+                  f"{got:.1f} (baseline {want:.1f})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
