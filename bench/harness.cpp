@@ -8,6 +8,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/batch.hpp"
 #include "sim/domain.hpp"
 #include "sim/stats.hpp"
 #include "trace/export.hpp"
@@ -21,8 +22,8 @@ namespace flextoe::benchx {
 std::string usage(const std::string& prog) {
   return "usage: " + prog +
          " [--list] [--filter <substr>] [--quick] [--repeats N]"
-         " [--seed S] [--threads N] [--json <path>] [--no-telemetry]"
-         " [--trace <path>]\n"
+         " [--seed S] [--threads N] [--batch N] [--json <path>]"
+         " [--no-telemetry] [--trace <path>]\n"
          "  --list          print scenario ids and exit\n"
          "  --filter S      run only scenarios whose id contains S\n"
          "  --quick         shrink sweeps and simulated spans (smoke mode)\n"
@@ -33,6 +34,8 @@ std::string usage(const std::string& prog) {
          "                  (default 0: the reproducible baseline run)\n"
          "  --threads N     worker threads for parallel simulation\n"
          "                  (default 1; results identical at any N)\n"
+         "  --batch N       dispatch burst size for the stage graph\n"
+         "                  (default 32; results identical at any N)\n"
          "  --json PATH     also write the report as JSON to PATH\n"
          "  --no-telemetry  disable data-path introspection counters\n"
          "                  (the report's telemetry section comes out "
@@ -104,6 +107,19 @@ bool parse_args(int argc, const char* const* argv, Options* opts,
         return false;
       }
       opts->threads = static_cast<int>(n);
+    } else if (a == "--batch") {
+      const char* v = value("--batch");
+      if (!v) return false;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1 ||
+          n > static_cast<long>(core::kMaxBurst)) {
+        *err = "--batch expects an integer in [1, " +
+               std::to_string(core::kMaxBurst) + "], got '" +
+               std::string(v) + "'";
+        return false;
+      }
+      opts->batch = static_cast<int>(n);
     } else if (a == "--help" || a == "-h") {
       *err = "";
       return false;
@@ -327,6 +343,12 @@ std::string Report::to_json() const {
   out += telemetry::kCompiledIn ? "true" : "false";
   out += ", \"trace_compiled\": ";
   out += trace::kCompiledIn ? "true" : "false";
+  // Effective dispatch burst size (--batch). Lives in the excised
+  // config block: batching never changes results, so it must never
+  // break golden comparisons either.
+  out += ", \"batch\": " +
+         std::to_string(core::resolve_batch(
+             opts_.batch > 0 ? static_cast<unsigned>(opts_.batch) : 0));
   out += "}";
   out += ",\n  \"series\": [";
   for (std::size_t si = 0; si < series_.size(); ++si) {
@@ -372,6 +394,11 @@ bool Report::write_json(const std::string& path) const {
 
 // ---------------------------------------------------------------------
 // Registry and driver.
+
+unsigned ScenarioCtx::batch() const {
+  return core::resolve_batch(
+      opts_.batch > 0 ? static_cast<unsigned>(opts_.batch) : 0);
+}
 
 Registry& Registry::instance() {
   static Registry r;
@@ -439,6 +466,9 @@ int bench_main(int argc, const char* const* argv) {
   }
   // Worker budget for DomainScheduler / run_scenario_batch users.
   sim::set_default_sim_threads(static_cast<unsigned>(opts.threads));
+  // Dispatch burst size for every datapath the scenarios build.
+  core::set_default_batch_size(
+      opts.batch > 0 ? static_cast<unsigned>(opts.batch) : 0);
 
   Report report(name, opts);
   const int n = run_scenarios(opts, report);

@@ -50,6 +50,10 @@ struct Options {
   // sequential, the deterministic baseline; results are identical at
   // any setting (see sim/domain.hpp).
   int threads = 1;
+  // --batch: burst size for batched stage dispatch (core/batch.hpp).
+  // 0 = the built-in default (32). A host-side dispatch knob: simulated
+  // results are identical at any setting.
+  int batch = 0;
 };
 
 // Parses argv. Returns false and sets *err on bad usage.
@@ -184,6 +188,10 @@ class ScenarioCtx {
   // Worker-thread budget (--threads) for scenarios that run parallel
   // simulations or batches.
   int threads() const { return opts_.threads; }
+
+  // Effective dispatch burst size (--batch, resolved through
+  // core/batch.hpp's process default).
+  unsigned batch() const;
 
   // Mean over `--repeats` runs of a scalar measurement; `rep` feeds
   // per-repetition seeds.

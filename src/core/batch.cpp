@@ -1,0 +1,29 @@
+#include "core/batch.hpp"
+
+#include <atomic>
+
+namespace flextoe::core {
+
+namespace {
+// Atomic so TSan runs that touch the default from test setup while
+// worker domains construct datapaths stay clean.
+std::atomic<unsigned> g_default_batch{kDefaultBatchSize};
+}  // namespace
+
+unsigned default_batch_size() {
+  return g_default_batch.load(std::memory_order_relaxed);
+}
+
+void set_default_batch_size(unsigned n) {
+  g_default_batch.store(n == 0 ? kDefaultBatchSize : n,
+                        std::memory_order_relaxed);
+}
+
+unsigned resolve_batch(unsigned cfg_batch) {
+  unsigned n = cfg_batch != 0 ? cfg_batch : default_batch_size();
+  if (n < 1) n = 1;
+  if (n > kMaxBurst) n = kMaxBurst;
+  return n;
+}
+
+}  // namespace flextoe::core

@@ -1,0 +1,33 @@
+// Burst-size policy for batched stage dispatch.
+//
+// One process-wide default (settable by the bench harness via --batch)
+// plus a per-config override (`DatapathConfig::batch_size`). Burst size
+// is a host-side dispatch detail: it bounds how many ready items an FPC
+// work ring harvests per drain pass and how many segment contexts the
+// datapath hands the graph per burst call. It never changes simulated
+// timing or event order — golden outputs are byte-identical at any
+// batch size.
+#pragma once
+
+namespace flextoe::core {
+
+// Default burst size (DPDK-style rx/tx bursts and the source paper's
+// work-ring drain loop both sit in the 16-64 range).
+inline constexpr unsigned kDefaultBatchSize = 32;
+
+// Upper bound on one burst: lets burst paths use fixed stack arrays
+// instead of heap scratch.
+inline constexpr unsigned kMaxBurst = 64;
+
+// Process-wide default used when a config leaves batch_size at 0.
+unsigned default_batch_size();
+
+// Sets the process default (bench harness --batch). 0 restores
+// kDefaultBatchSize.
+void set_default_batch_size(unsigned n);
+
+// Effective burst size for a config value: the config override when
+// non-zero, else the process default, clamped to [1, kMaxBurst].
+unsigned resolve_batch(unsigned cfg_batch);
+
+}  // namespace flextoe::core

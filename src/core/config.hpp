@@ -76,6 +76,12 @@ struct DatapathConfig {
   std::uint32_t mss = 1448;
   std::uint32_t max_conns = 64 * 1024;
   std::size_t fpc_queue_depth = 512;
+  // Burst size for batched dispatch (FPC work-ring drain harvest and
+  // datapath delivery bursts). 0 = use the process default (see
+  // core/batch.hpp; the bench harness --batch flag sets it). Purely a
+  // host-side dispatch detail — never changes simulated timing or
+  // event order.
+  unsigned batch_size = 0;
 
   // --- Flow scheduler (SCH engine) ---
   TimerImpl timer = TimerImpl::kAuto;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -90,6 +91,11 @@ class Datapath : public net::PacketSink {
 
   // ---- Wire side ----
   void deliver(const net::PacketPtr& pkt) override;  // MAC RX
+  // NIC-style burst RX: admits a span of packets in batch_size chunks
+  // with the clock read, XDP cost sum, and ingress dispatch amortized
+  // per chunk. Per-segment semantics (filtering, sequencing, replica
+  // steering, drops) are identical to delivering each packet alone.
+  void deliver_burst(std::span<const net::PacketPtr> pkts);
   void set_mac_sink(net::PacketSink* sink) { mac_sink_ = sink; }
 
   // ---- Control-plane interface ----
@@ -226,6 +232,10 @@ class Datapath : public net::PacketSink {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   net::MacAddr local_mac_{};
   net::Ipv4Addr local_ip_ = 0;
+
+  // Effective burst size (resolve_batch(cfg_.batch_size), fixed at
+  // construction): chunk bound for deliver_burst and the doorbell drain.
+  std::size_t batch_ = 1;
 
   std::vector<xdp::XdpProgramPtr> xdp_programs_;
   sim::TraceRegistry trace_;

@@ -2,12 +2,22 @@
 // pipeline. Modules communicate explicitly by forwarding meta-data in
 // this context (paper §3: "state that may be accessed by further pipeline
 // stages is forwarded as meta-data").
+//
+// Layout is split hot/cold for burst dispatch: the fields every stage
+// hop touches (ordering number, lookup key, telemetry stamps, steering
+// bytes) live in the packed SegHot base at offset 0, so a burst of
+// contexts can be walked — and the next one prefetched — at one cache
+// line per segment. The cold remainder (packet refs, header summary,
+// protocol snapshot, trace state) is only touched by the stages that
+// need it.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 
 #include "net/packet.hpp"
+#include "sim/prefetch.hpp"
 #include "sim/time.hpp"
 #include "tcp/flow.hpp"
 #include "tcp/seq.hpp"
@@ -65,29 +75,18 @@ enum class HcOp : std::uint8_t {
   Retransmit,   // control plane: reset to last ACKed (go-back-N)
 };
 
-struct SegCtx {
+// Hot SoA-style block: the per-segment fields the sequencer, replica
+// steering, and telemetry stamps touch on *every* stage hop, packed so
+// a whole burst's worth streams through one or two cache lines per
+// context. Must stay <= 64 bytes (asserted below) — widen a field here
+// only with the burst paths in mind.
+struct SegHot {
   enum class Kind : std::uint8_t { Rx, Tx, Hc };
-  Kind kind = Kind::Rx;
 
   std::uint64_t pipe_seq = 0;   // sequencer-assigned ordering number
-  std::uint8_t flow_group = 0;
-  std::uint32_t conn_idx = 0;
-  bool conn_known = false;
   // Flow-tuple hash for the pre-stage lookup front cache (computed by
   // the sequencer alongside the flow-group CRC).
   std::uint64_t lookup_key = 0;
-
-  net::PacketPtr pkt;           // RX: received; TX: under construction
-  HeaderSummary sum;            // RX meta-data
-  ProtoSnapshot snap;           // protocol -> post meta-data
-
-  // HC descriptor contents.
-  HcOp hc_op = HcOp::TxDoorbell;
-  std::uint32_t hc_len = 0;
-
-  // Prepared ACK (RX post-processing output, sent after payload DMA).
-  net::PacketPtr ack_pkt;
-  bool notify_host = false;     // allocate a context-queue notification
 
   // Telemetry timestamps (zero simulated cost): pipeline admission and
   // the last stage-entry mark, for end-to-end and per-stage latency
@@ -97,6 +96,31 @@ struct SegCtx {
   static constexpr sim::TimePs kNoTimestamp = ~sim::TimePs{0};
   sim::TimePs t_born_ps = kNoTimestamp;
   sim::TimePs t_stage_ps = kNoTimestamp;
+
+  std::uint32_t conn_idx = 0;
+  std::uint32_t hc_len = 0;     // HC descriptor length operand
+
+  Kind kind = Kind::Rx;
+  std::uint8_t flow_group = 0;
+  bool conn_known = false;
+  HcOp hc_op = HcOp::TxDoorbell;
+};
+
+static_assert(sizeof(SegHot) <= 64,
+              "SegHot must fit one cache line for burst dispatch");
+static_assert(std::is_standard_layout_v<SegHot>,
+              "SegHot layout must be predictable (prefetch target)");
+
+struct SegCtx : SegHot {
+  // ---- Cold remainder: touched only by the stages that need it ----
+
+  net::PacketPtr pkt;           // RX: received; TX: under construction
+  HeaderSummary sum;            // RX meta-data
+  ProtoSnapshot snap;           // protocol -> post meta-data
+
+  // Prepared ACK (RX post-processing output, sent after payload DMA).
+  net::PacketPtr ack_pkt;
+  bool notify_host = false;     // allocate a context-queue notification
 
   // Causal id for segment-lifecycle tracing (trace/trace.hpp): minted
   // at pipeline admission, copied to spawned contexts (ACKs) and the
@@ -114,5 +138,11 @@ struct SegCtx {
 };
 
 using SegCtxPtr = std::shared_ptr<SegCtx>;
+
+// Pulls a context's hot block toward the cache while the previous one
+// is being processed (the SegHot base sits at offset 0).
+inline void seg_prefetch(const SegCtx* ctx) {
+  sim::prefetch(static_cast<const SegHot*>(ctx));
+}
 
 }  // namespace flextoe::core

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/prefetch.hpp"
 #include "trace/trace.hpp"
 
 namespace flextoe::nfp {
@@ -18,6 +19,18 @@ void Fpc::bind_telemetry(telemetry::Registry& reg,
   t_depth_now_ = reg.gauge(prefix + "/queue_depth");
 }
 
+void Fpc::trace_enqueue(std::uint64_t cid) {
+  if (trace::Ring* r = ev_.trace_ring()) {
+    if (trace_track_ == 0) {
+      trace_track_ = trace::Tracer::instance().intern("fpc/" + name_);
+      trace_name_ = trace::Tracer::instance().intern("work");
+    }
+    // Ring-residency span: open at enqueue, closed when dispatched.
+    r->record(ev_.now(), trace::Phase::kAsyncBegin, trace_name_,
+              trace_track_, cid, queue_.size());
+  }
+}
+
 bool Fpc::submit(Work w) {
   if (queue_.size() >= params_.queue_capacity) {
     ++items_dropped_;
@@ -30,54 +43,85 @@ bool Fpc::submit(Work w) {
     t_depth_->record(queue_.size());
     t_depth_now_->set(static_cast<std::int64_t>(queue_.size()));
   }
-  if (cid != 0) {
-    if (trace::Ring* r = ev_.trace_ring()) {
-      if (trace_track_ == 0) {
-        trace_track_ = trace::Tracer::instance().intern("fpc/" + name_);
-        trace_name_ = trace::Tracer::instance().intern("work");
-      }
-      // Ring-residency span: open at enqueue, closed when dispatched.
-      r->record(ev_.now(), trace::Phase::kAsyncBegin, trace_name_,
-                trace_track_, cid, queue_.size());
-    }
-  }
-  try_dispatch();
+  if (cid != 0) trace_enqueue(cid);
+  drain();
   return true;
 }
 
-void Fpc::try_dispatch() {
-  while (inflight_ < params_.threads && !queue_.empty()) {
-    Work w = std::move(queue_.front());
-    queue_.pop_front();
-    ++inflight_;
-    if (telem_.on()) {
+std::size_t Fpc::submit_burst(Work* ws, std::size_t n) {
+  const bool telem_on = telem_.on();
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) sim::prefetch(&ws[i + 1]);
+    Work& w = ws[i];
+    if (queue_.size() >= params_.queue_capacity) {
+      ++items_dropped_;
+      if (telem_on) t_dropped_->inc();
+      continue;
+    }
+    const std::uint64_t cid = w.trace_cid;
+    queue_.push_back(std::move(w));
+    if (telem_on) {
+      t_depth_->record(queue_.size());
       t_depth_now_->set(static_cast<std::int64_t>(queue_.size()));
     }
-    if (w.trace_cid != 0) {
-      if (trace::Ring* r = ev_.trace_ring()) {
-        r->record(ev_.now(), trace::Phase::kAsyncEnd, trace_name_,
-                  trace_track_, w.trace_cid, queue_.size());
+    if (cid != 0) trace_enqueue(cid);
+    ++accepted;
+    // Drain between items, exactly like n x submit() would: the depth
+    // histogram and dispatch order must not depend on burst boundaries.
+    drain();
+  }
+  return accepted;
+}
+
+void Fpc::drain() {
+  if (inflight_ >= params_.threads || queue_.empty()) return;
+  // No events run during this call, so the clock is constant: read it
+  // once for the whole harvest instead of once per item.
+  const sim::TimePs now = ev_.now();
+  trace::Ring* ring = ev_.trace_ring();
+  std::size_t popped = 0;
+  while (inflight_ < params_.threads && !queue_.empty()) {
+    unsigned harvest = 0;
+    while (harvest < params_.burst && inflight_ < params_.threads &&
+           !queue_.empty()) {
+      Work w = std::move(queue_.front());
+      queue_.pop_front();
+      if (!queue_.empty()) sim::prefetch(&queue_.front());
+      ++inflight_;
+      ++harvest;
+      if (w.trace_cid != 0 && ring != nullptr) {
+        ring->record(now, trace::Phase::kAsyncEnd, trace_name_, trace_track_,
+                     w.trace_cid, queue_.size());
       }
+
+      const sim::TimePs compute = params_.clock.cycles(w.compute_cycles);
+      const sim::TimePs mem = params_.clock.cycles(w.mem_cycles);
+
+      // Compute serializes on the core; memory waits overlap across
+      // threads.
+      const sim::TimePs start = std::max(now, core_free_);
+      core_free_ = start + compute;
+      busy_time_ += compute;
+      const sim::TimePs completion = core_free_ + mem;
+
+      ev_.schedule_at(completion, [this, alive = alive_,
+                                   done = std::move(w.done)]() mutable {
+        if (!*alive) return;  // core destroyed with this completion pending
+        --inflight_;
+        ++items_done_;
+        if (telem_.on()) t_done_->inc();
+        if (done) done();
+        drain();
+      });
     }
-
-    const sim::TimePs compute = params_.clock.cycles(w.compute_cycles);
-    const sim::TimePs mem = params_.clock.cycles(w.mem_cycles);
-
-    // Compute serializes on the core; memory waits overlap across threads.
-    const sim::TimePs start = std::max(ev_.now(), core_free_);
-    core_free_ = start + compute;
-    busy_time_ += compute;
-    const sim::TimePs completion = core_free_ + mem;
-
-    ev_.schedule_at(completion, [this, alive = alive_,
-                                 done = std::move(w.done)]() mutable {
-      if (!*alive) return;  // core destroyed with this completion pending
-      --inflight_;
-      ++items_done_;
-      if (telem_.on()) t_done_->inc();
-      if (done) done();
-      try_dispatch();
-    });
+    popped += harvest;
+  }
+  // One gauge set per drain pass: the submit-side set that preceded any
+  // pop is always the larger value, so value and high-water mark match
+  // the old per-pop updates exactly.
+  if (popped != 0 && telem_.on()) {
+    t_depth_now_->set(static_cast<std::int64_t>(queue_.size()));
   }
 }
 

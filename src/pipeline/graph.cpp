@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/batch.hpp"
 #include "trace/trace.hpp"
 
 namespace flextoe::pipeline {
@@ -53,6 +54,7 @@ Graph::Graph(sim::Domain& ev, const core::DatapathConfig& cfg,
   fp.clock = cfg.clock;
   fp.threads = std::max(1u, cfg.threads_per_fpc);
   fp.queue_capacity = cfg.fpc_queue_depth;
+  fp.burst = core::resolve_batch(cfg.batch_size);
 
   // Run-to-completion configuration: every stage shares one FPC, so all
   // work — including PCIe waits — serializes on a single core (Table 3
@@ -237,6 +239,12 @@ const Graph::TraceIds& Graph::trace_ids() {
 }
 
 void Graph::stamp_birth(core::SegCtx& ctx) {
+  // Single clock read shared by the trace-admission record and the
+  // telemetry stamps (this used to query the domain twice).
+  stamp_birth_at(ctx, ev_.now());
+}
+
+void Graph::stamp_birth_at(core::SegCtx& ctx, sim::TimePs now) {
   // Trace admission: mint (or adopt from the arriving packet — egress
   // stamps it NIC-side, so a traced segment keeps one causal id across
   // the simulated fabric) the causal id and open the end-to-end "pipe"
@@ -250,24 +258,45 @@ void Graph::stamp_birth(core::SegCtx& ctx) {
     }
     if (!ctx.trace_open) {
       ctx.trace_open = true;
-      r->record(ev_.now(), trace::Phase::kAsyncBegin,
+      r->record(now, trace::Phase::kAsyncBegin,
                 ids.pipe_name[static_cast<std::size_t>(ctx.kind)],
                 ids.pipe_track, ctx.trace_id, ctx.flow_group);
     }
   }
   if (reg_ == nullptr || !reg_->enabled()) return;
-  ctx.t_born_ps = ctx.t_stage_ps = ev_.now();
+  ctx.t_born_ps = ctx.t_stage_ps = now;
 }
 
 void Graph::mark(StageId s, core::SegCtx& ctx) {
   if (reg_ == nullptr || !reg_->enabled()) return;
+  mark(s, ctx, ev_.now());
+}
+
+void Graph::mark(StageId s, core::SegCtx& ctx, sim::TimePs now) {
+  if (reg_ == nullptr || !reg_->enabled()) return;
   StageTelem& st = stage_telem_[static_cast<std::size_t>(s)];
   st.visits->inc();
-  const sim::TimePs now = ev_.now();
   if (ctx.t_stage_ps != core::SegCtx::kNoTimestamp) {
     st.lat_ns->record((now - ctx.t_stage_ps) / sim::kPsPerNs);
   }
   ctx.t_stage_ps = now;
+}
+
+void Graph::mark_burst(StageId s, const core::SegCtxPtr* ctxs, std::size_t n,
+                       sim::TimePs now) {
+  if (n == 0 || reg_ == nullptr || !reg_->enabled()) return;
+  StageTelem& st = stage_telem_[static_cast<std::size_t>(s)];
+  // One counter add for the span; per-segment latency samples are kept
+  // (histogram contents are order-insensitive, so this is
+  // snapshot-identical to n x mark() at the same instant).
+  st.visits->inc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::SegCtx& ctx = *ctxs[i];
+    if (ctx.t_stage_ps != core::SegCtx::kNoTimestamp) {
+      st.lat_ns->record((now - ctx.t_stage_ps) / sim::kPsPerNs);
+    }
+    ctx.t_stage_ps = now;
+  }
 }
 
 void Graph::record_pipe_total(core::SegCtx& ctx) {
@@ -442,6 +471,62 @@ void Graph::ingress_rx(const core::SegCtxPtr& ctx,
       islands_[ctx->flow_group]->pre.traits().droppable, ctx->trace_id);
 }
 
+void Graph::ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n,
+                             std::uint32_t extra_cycles) {
+  if (n == 0) return;
+  if (gate_) {
+    // RTC mode serializes whole segments through the gate; burst
+    // dispatch buys nothing there. Fall back to the per-item path so
+    // gate admission/shed decisions are made one segment at a time,
+    // exactly as before.
+    for (std::size_t i = 0; i < n; ++i) ingress_rx(ctxs[i], extra_cycles);
+    return;
+  }
+  // Pipelined mode: admit() is a straight call and gate_token() is
+  // null, so the per-item body inlines here. One clock read and one
+  // replica arbitration per contiguous same-flow-group run; submits
+  // stay in span order (burst boundaries must never reorder the global
+  // event schedule).
+  const sim::TimePs now = ev_.now();
+  const std::uint32_t compute =
+      cfg_->costs.seq + cfg_->costs.pre_rx + extra_cycles;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint8_t g = ctxs[i]->flow_group;
+    std::size_t j = i + 1;
+    while (j < n && ctxs[j]->flow_group == g) ++j;
+    const std::size_t run = j - i;
+    Island& isl = *islands_[g];
+    const std::size_t nrep = isl.pre.replicas();
+    const std::size_t base = isl.pre.pick_burst(run);
+    for (std::size_t k = 0; k < run; ++k) {
+      ctxs[i + k]->pipe_seq = isl.sequencer.assign();
+    }
+    mark_burst(StageId::Seq, ctxs + i, run, now);
+    for (std::size_t k = 0; k < run; ++k) {
+      const core::SegCtxPtr& ctx = ctxs[i + k];
+      if (i + k + 1 < n) core::seg_prefetch(ctxs[i + k + 1].get());
+      const std::size_t idx = (base + k) % nrep;
+      // Flow lookup: IMEM lookup engine, front-cached per pre-processor.
+      std::uint32_t lookup_mem = cfg_->flat_mem_cycles;
+      if (cfg_->nfp_memory &&
+          isl.pre.state_access() == StateAccess::LookupCache) {
+        lookup_mem = isl.pre.lookup()[idx]->access(ctx->lookup_key)
+                         ? cfg_->mem.local
+                         : cfg_->mem.imem;
+      }
+      submit(StageId::PreRx, ctx->trace_id, isl.pre.fpc(idx), compute,
+             lookup_mem,
+             [this, ctx] {
+               mark(StageId::PreRx, *ctx);
+               handlers_.pre_rx(ctx);
+             },
+             ctx->pipe_seq, ctx->flow_group, isl.pre.traits().sequenced);
+    }
+    i = j;
+  }
+}
+
 bool Graph::ingress_tx(const core::SegCtxPtr& ctx) {
   Island& isl = *islands_[ctx->flow_group];
   // The replica grant is consumed even under back-pressure (hardware
@@ -466,6 +551,20 @@ bool Graph::ingress_tx(const core::SegCtxPtr& ctx) {
   return true;
 }
 
+void Graph::hc_after_fetch(const core::SegCtxPtr& ctx) {
+  Island& isl = *islands_[ctx->flow_group];
+  ctx->pipe_seq = isl.sequencer.assign();
+  mark(StageId::Seq, *ctx);
+  const std::size_t idx = isl.pre.pick();
+  submit(StageId::PreHc, ctx->trace_id, isl.pre.fpc(idx),
+         cfg_->costs.pre_hc, 0,
+         [this, ctx] {
+           mark(StageId::PreHc, *ctx);
+           to_proto(ctx);
+         },
+         ctx->pipe_seq, ctx->flow_group, isl.pre.traits().sequenced);
+}
+
 void Graph::ingress_hc(const core::SegCtxPtr& ctx) {
   admit(
       [this, ctx] {
@@ -475,27 +574,36 @@ void Graph::ingress_hc(const core::SegCtxPtr& ctx) {
         submit(StageId::CtxNotify, ctx->trace_id, ctx_stage_.fpc(cidx),
                cfg_->costs.ctx_op, 0,
                [this, ctx] {
-                 dma_->issue(
-                     32,
-                     [this, ctx] {
-                       Island& isl = *islands_[ctx->flow_group];
-                       ctx->pipe_seq = isl.sequencer.assign();
-                       mark(StageId::Seq, *ctx);
-                       const std::size_t idx = isl.pre.pick();
-                       submit(StageId::PreHc, ctx->trace_id,
-                              isl.pre.fpc(idx), cfg_->costs.pre_hc, 0,
-                              [this, ctx] {
-                                mark(StageId::PreHc, *ctx);
-                                to_proto(ctx);
-                              },
-                              ctx->pipe_seq, ctx->flow_group,
-                              isl.pre.traits().sequenced);
-                     },
-                     ctx->trace_id);
+                 dma_->issue(32, [this, ctx] { hc_after_fetch(ctx); },
+                             ctx->trace_id);
                },
                0, 0, false);
       },
       /*droppable=*/false);
+}
+
+void Graph::ingress_hc_burst(const core::SegCtxPtr* ctxs, std::size_t n) {
+  if (n == 0) return;
+  if (gate_) {
+    // RTC mode: one descriptor at a time through the gate, as before.
+    for (std::size_t i = 0; i < n; ++i) ingress_hc(ctxs[i]);
+    return;
+  }
+  // One context-stage arbitration for the span; submits in span order.
+  const std::size_t nrep = ctx_stage_.replicas();
+  const std::size_t base = ctx_stage_.pick_burst(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const core::SegCtxPtr& ctx = ctxs[k];
+    if (k + 1 < n) core::seg_prefetch(ctxs[k + 1].get());
+    const std::size_t cidx = (base + k) % nrep;
+    submit(StageId::CtxNotify, ctx->trace_id, ctx_stage_.fpc(cidx),
+           cfg_->costs.ctx_op, 0,
+           [this, ctx] {
+             dma_->issue(32, [this, ctx] { hc_after_fetch(ctx); },
+                         ctx->trace_id);
+           },
+           0, 0, false);
+  }
 }
 
 void Graph::spawn_tx(const core::SegCtxPtr& ctx) {

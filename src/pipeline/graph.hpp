@@ -74,16 +74,31 @@ class Graph {
   // ---- Ingress (pipeline admission) ----
   // Telemetry admission stamp (end-to-end latency base).
   void stamp_birth(core::SegCtx& ctx);
+  // Burst form with a caller-captured clock value: valid only while no
+  // events can run between the capture and the stamp (one burst, one
+  // event turn).
+  void stamp_birth_at(core::SegCtx& ctx, sim::TimePs now);
   // MAC RX: gate-admitted (droppable under RTC overload), sequenced,
   // then dispatched to the flow group's pre stage. `extra_cycles` bills
   // ingress extensions (XDP programs) onto the hosting FPC.
   void ingress_rx(const core::SegCtxPtr& ctx, std::uint32_t extra_cycles);
+  // Burst MAC RX admission: semantically n x ingress_rx in span order
+  // (same sequencer numbers, replica stripe, submit order, drop
+  // attribution — burst boundaries are a dispatch detail), with the
+  // clock read, replica arbitration, and telemetry stamping amortized
+  // per contiguous same-flow-group run and the next context's hot line
+  // prefetched. Under the RTC gate it degenerates to the per-item path.
+  void ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n,
+                        std::uint32_t extra_cycles);
   // Scheduler-triggered TX: consumes a pre-replica grant; returns false
   // when that replica's work ring exerts back-pressure.
   bool ingress_tx(const core::SegCtxPtr& ctx);
   // Host-control descriptor: context-queue FPC poll + descriptor DMA
   // fetch, then sequenced into the flow group's pre stage.
   void ingress_hc(const core::SegCtxPtr& ctx);
+  // Burst HC admission: n x ingress_hc in span order with one
+  // context-stage arbitration for the whole span.
+  void ingress_hc_burst(const core::SegCtxPtr* ctxs, std::size_t n);
   // In-pipeline spawn (e.g. FIN flush from the protocol stage): enters
   // at the sequencer, bypassing gate and back-pressure checks.
   void spawn_tx(const core::SegCtxPtr& ctx);
@@ -117,6 +132,13 @@ class Graph {
   void bind_telemetry(telemetry::Registry& reg);
   // Counts a stage visit and records the inter-stage latency.
   void mark(StageId s, core::SegCtx& ctx);
+  // Same, with a caller-captured clock value (one read per burst).
+  void mark(StageId s, core::SegCtx& ctx, sim::TimePs now);
+  // Burst mark: one visit-counter add for the span, per-segment latency
+  // preserved via the contexts' own timestamp fields. Snapshot-identical
+  // to n x mark() at the same instant.
+  void mark_burst(StageId s, const core::SegCtxPtr* ctxs, std::size_t n,
+                  sim::TimePs now);
   // Records the admission->completion latency once per context.
   void record_pipe_total(core::SegCtx& ctx);
   // Attributes a shed segment to exactly one taxonomy reason. When
@@ -196,6 +218,9 @@ class Graph {
               nfp::Work::DoneFn fn, std::uint64_t skip_seq,
               std::uint8_t group, bool sequenced);
   void dispatch_proto(const core::SegCtxPtr& ctx);
+  // Post-descriptor-fetch half of HC ingress (sequencer -> pre stage),
+  // shared by the single and burst forms.
+  void hc_after_fetch(const core::SegCtxPtr& ctx);
   // Connection-state cycles for a visit to `st`'s replica under the
   // stage's declared StateAccess (read-modify-write pays the hierarchy
   // twice; flat-memory platforms pay a constant).

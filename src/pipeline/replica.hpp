@@ -24,6 +24,18 @@ class ReplicaPicker {
     return static_cast<std::size_t>(rr_++ % n_replicas);
   }
 
+  // Burst pick: consume `n_items` grants in one arbitration step and
+  // return the base replica; item i of the burst goes to
+  // `(base + i) % n_replicas`. Exactly equivalent to `n_items` calls to
+  // next() — the stripe is just the closed form of the modular walk —
+  // so burst and per-item dispatch land every segment on the same
+  // replica.
+  std::size_t next_burst(std::size_t n_items, std::size_t n_replicas) {
+    const std::size_t base = static_cast<std::size_t>(rr_ % n_replicas);
+    rr_ += n_items;
+    return base;
+  }
+
   // Total picks made (distribution testing / introspection).
   std::uint64_t issued() const { return rr_; }
 

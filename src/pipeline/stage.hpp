@@ -142,6 +142,14 @@ class Stage {
                ? static_cast<std::size_t>(key % fpcs_.size())
                : picker_.next(fpcs_.size());
   }
+
+  // Burst pick for RoundRobin stages: one arbitration for `n_items`
+  // grants; item i goes to `(base + i) % replicas()`. ConnShard stages
+  // have no burst form — their mapping is per-key, not per-arrival.
+  std::size_t pick_burst(std::size_t n_items) {
+    return picker_.next_burst(n_items, fpcs_.size());
+  }
+
   ReplicaPicker& picker() { return picker_; }
 
   // ---- Per-replica connection-state models ----

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Simulator-throughput regression gate for the micro_pipeline bench.
+
+Runs `micro_pipeline --filter datapath_rx` fresh and compares its
+`segments_per_sec` against the checked-in Release baseline
+(bench/results/BENCH_micro_pipeline.json). The metric is host
+wall-clock simulator throughput — the denominator every scenario in the
+catalog pays — so a drop means the hot path (SegCtx pooling, burst
+dispatch, stage submit) got slower.
+
+The gate fails when the fresh rate is below `--min-ratio` (default
+0.9) of the baseline. Wall-clock rates are machine-dependent, so the
+default ratio is deliberately loose: it catches structural regressions
+(a lost batching path, a reintroduced per-segment allocation), not
+noise. CI runs it on the same runner class that recorded the baseline.
+
+A fresh rate *above* the baseline prints as a note — refresh the
+baseline to bank the win:
+
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-rel --target micro_pipeline -j
+    build-rel/bench/micro_pipeline --repeats 3 \
+        --json bench/results/BENCH_micro_pipeline.json
+
+Usage:
+    check_perf.py BASELINE BINARY [--min-ratio 0.9]
+                  [extra bench args...]
+
+Exit status: 0 = at or above the gate, 1 = regression/error.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(binary, out_path, extra):
+    cmd = [binary, "--filter", "datapath_rx", "--seed", "0",
+           "--json", out_path] + extra
+    proc = subprocess.run(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(f"check_perf: {' '.join(cmd)} failed "
+                         f"(exit {proc.returncode})\n{proc.stderr}")
+        return None
+    return json.loads(pathlib.Path(out_path).read_text(encoding="utf-8"))
+
+
+def datapath_rx_rate(doc):
+    for series in doc.get("series", []):
+        if series.get("name") != "micro_pipeline":
+            continue
+        for row in series.get("rows", []):
+            if row["label"] == "datapath_rx":
+                return row["values"].get("segments_per_sec")
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=False)
+    ap.add_argument("baseline")
+    ap.add_argument("binary")
+    ap.add_argument("--min-ratio", type=float, default=0.9)
+    args, extra = ap.parse_known_args()
+
+    want = datapath_rx_rate(
+        json.loads(pathlib.Path(args.baseline).read_text(encoding="utf-8")))
+    if not want:
+        sys.stderr.write(f"check_perf: no datapath_rx segments_per_sec in "
+                         f"baseline {args.baseline}\n")
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        doc = run_bench(args.binary, str(pathlib.Path(tmp) / "fresh.json"),
+                        extra)
+    if doc is None:
+        return 1
+    got = datapath_rx_rate(doc)
+    if not got:
+        sys.stderr.write("check_perf: fresh run emitted no datapath_rx "
+                         "segments_per_sec\n")
+        return 1
+
+    ratio = got / want
+    if ratio < args.min_ratio:
+        sys.stderr.write(
+            f"check_perf: REGRESSION — datapath_rx {got:,.0f} segments/s "
+            f"vs baseline {want:,.0f} ({ratio:.2f}x < "
+            f"{args.min_ratio:.2f}x gate)\n"
+            f"  If intentional, refresh the baseline (see the module "
+            f"docstring or bench/results/README.md).\n")
+        return 1
+    if ratio > 1.0:
+        print(f"check_perf: note — datapath_rx improved to {got:,.0f} "
+              f"segments/s from {want:,.0f} ({ratio:.2f}x); refresh the "
+              f"baseline to bank the win")
+    else:
+        print(f"check_perf: OK — datapath_rx {got:,.0f} segments/s "
+              f"(baseline {want:,.0f}, {ratio:.2f}x >= "
+              f"{args.min_ratio:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
