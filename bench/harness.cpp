@@ -22,8 +22,8 @@ namespace flextoe::benchx {
 std::string usage(const std::string& prog) {
   return "usage: " + prog +
          " [--list] [--filter <substr>] [--quick] [--repeats N]"
-         " [--seed S] [--threads N] [--batch N] [--json <path>]"
-         " [--no-telemetry] [--trace <path>]\n"
+         " [--seed S] [--threads N] [--batch N] [--tap NAME]"
+         " [--json <path>] [--no-telemetry] [--trace <path>]\n"
          "  --list          print scenario ids and exit\n"
          "  --filter S      run only scenarios whose id contains S\n"
          "  --quick         shrink sweeps and simulated spans (smoke mode)\n"
@@ -36,6 +36,8 @@ std::string usage(const std::string& prog) {
          "                  (default 1; results identical at any N)\n"
          "  --batch N       dispatch burst size for the stage graph\n"
          "                  (default 32; results identical at any N)\n"
+         "  --tap NAME      attach a monitor tap to scenario SUTs\n"
+         "                  (NAME: sketch — count-min flow monitor)\n"
          "  --json PATH     also write the report as JSON to PATH\n"
          "  --no-telemetry  disable data-path introspection counters\n"
          "                  (the report's telemetry section comes out "
@@ -120,6 +122,15 @@ bool parse_args(int argc, const char* const* argv, Options* opts,
         return false;
       }
       opts->batch = static_cast<int>(n);
+    } else if (a == "--tap") {
+      const char* v = value("--tap");
+      if (!v) return false;
+      if (std::string(v) != "sketch") {
+        *err = "--tap expects a known tap name (sketch), got '" +
+               std::string(v) + "'";
+        return false;
+      }
+      opts->tap = v;
     } else if (a == "--help" || a == "-h") {
       *err = "";
       return false;

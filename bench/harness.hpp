@@ -54,6 +54,10 @@ struct Options {
   // 0 = the built-in default (32). A host-side dispatch knob: simulated
   // results are identical at any setting.
   int batch = 0;
+  // --tap: attach a named monitor tap to every scenario SUT's stage
+  // graph ("sketch" = the count-min flow monitor on the Steer edge).
+  // Empty = no tap (the default; taps are runtime-off like tracing).
+  std::string tap;
 };
 
 // Parses argv. Returns false and sets *err on bad usage.

@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "core/datapath.hpp"
 #include "harness.hpp"
+#include "monitor/sketch.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "nfp/fpc.hpp"
@@ -175,7 +176,9 @@ struct DatapathRxStats {
   double recycle_ratio = 0;
 };
 
-DatapathRxStats run_datapath_rx(std::uint32_t total, unsigned batch) {
+DatapathRxStats run_datapath_rx(std::uint32_t total, unsigned batch,
+                                pipeline::TapObserver* tap = nullptr,
+                                std::uint32_t tap_mask = 0) {
   const std::uint32_t mss = 1448;
   sim::Domain ev;
   core::Datapath::HostIface host;
@@ -185,6 +188,7 @@ DatapathRxStats run_datapath_rx(std::uint32_t total, unsigned batch) {
   core::DatapathConfig cfg = core::agilio_cx40_config();
   cfg.batch_size = batch;
   core::Datapath dp(ev, cfg, host);
+  if (tap != nullptr) dp.graph().attach_tap(tap, tap_mask);
   const auto local_mac = net::MacAddr::from_u64(0x02AA);
   const auto peer_mac = net::MacAddr::from_u64(0x02BB);
   const auto local_ip = net::make_ip(10, 0, 0, 1);
@@ -281,6 +285,46 @@ BENCH_SCENARIO(datapath_rx, "Datapath RX traversal (segments/s)") {
   report.note(
       "datapath_rx pkt_fresh_per_seg ~0 = the packet path is "
       "allocation-free steady-state (net::PacketPool).");
+}
+
+// Tap cost on the same traversal: datapath_rx with no tap (the gated
+// baseline path — one pointer compare per edge), with the sketch
+// monitor on its default Steer-only mask, and with the sketch observer
+// forced onto every edge. Simulated results are identical in all three
+// configurations (taps are out-of-band); the series prices the
+// host-side observer overhead only.
+BENCH_SCENARIO(tap_overhead, "Tap observer overhead (segments/s)") {
+  auto& report = ctx.report();
+  const std::uint32_t total = ctx.pick<std::uint32_t>(100'000, 10'000);
+  const unsigned batch = ctx.batch();
+
+  auto& series = report.series("tap_overhead");
+  double base_rate = 0;
+  struct Config {
+    const char* name;
+    bool attach;
+    std::uint32_t mask;
+  };
+  const Config configs[] = {
+      {"detached", false, 0},
+      {"sketch_steer", true, monitor::SketchFlowMonitor::kEdgeMask},
+      {"sketch_all_edges", true, pipeline::kTapAll},
+  };
+  for (const auto& c : configs) {
+    const double rate = ctx.measure([&](int) {
+      monitor::SketchFlowMonitor mon;
+      return run_datapath_rx(total, batch, c.attach ? &mon : nullptr,
+                             c.mask)
+          .segs_per_sec;
+    });
+    if (!c.attach) base_rate = rate;
+    auto& row = series.row(c.name);
+    row.set("segments_per_sec", rate);
+    row.set("x_vs_detached", base_rate > 0 ? rate / base_rate : 0);
+  }
+  report.note(
+      "tap_overhead: simulated outputs are identical with or without a "
+      "tap; detached cost is one pointer compare per edge.");
 }
 
 // Burst-size sweep over the same traversal: the datapath_rx workload at

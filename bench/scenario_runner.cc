@@ -31,6 +31,7 @@ void run_one(const std::string& name, ScenarioCtx& ctx) {
   workload::RunOptions ro;
   ro.quick = ctx.quick();
   ro.seed_offset = ctx.seed(0);
+  ro.tap = ctx.opts().tap;
   const std::vector<workload::ScenarioResult> runs =
       workload::run_scenario_batch(*spec, ro, ctx.opts().repeats,
                                    ctx.threads());

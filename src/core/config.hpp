@@ -48,6 +48,11 @@ struct DatapathConfig {
   unsigned proto_fpcs_per_group = 2;  // connections sharded within group
   unsigned dma_fpcs = 4;
   unsigned ctx_fpcs = 4;
+  // Replicas per attached XDP stage node (paper §3.3 splicing): each
+  // program in the chain becomes its own pipeline::Stage with this many
+  // FPCs. Ignored until a program is attached — the default no-XDP
+  // graph allocates nothing.
+  unsigned xdp_replicas = 2;
   // false: reorder points pass through (no-reorder ablation) — parallel
   // stages may then reorder segments within a flow group.
   bool reorder = true;

@@ -43,6 +43,10 @@ pipeline::Graph::Handlers Datapath::make_handlers() {
     return table_.valid(ctx->conn_idx);
   };
   h.nbi_tx = [this](const net::PacketPtr& pkt) { nbi_transmit(pkt); };
+  h.redirect = [this](const SegCtxPtr& ctx) {
+    ++to_control_count_;
+    host_.to_control(ctx->pkt);
+  };
   h.on_drop = [this](DropReason r) { count_drop_legacy(r); };
   return h;
 }
@@ -206,10 +210,37 @@ host::CtxQueue& Datapath::hc_queue(std::uint16_t ctx_id) {
 }
 
 void Datapath::add_xdp_program(xdp::XdpProgramPtr prog) {
+  // Each program becomes a first-class stage node chained ahead of
+  // pre-processing (paper §3.3): its own replica FPCs, burst striping,
+  // and per-stage cost/drop accounting. The adapter keeps pipeline/
+  // ignorant of src/xdp: it maps XdpAction onto the graph's verdict
+  // enum, with the MAC arrival timestamp read once per segment at
+  // delivery (ctx->rx_time_ps) — not once per program.
+  pipeline::XdpStageDesc d;
+  d.name = prog->name();
+  d.cycles = prog->cycles_per_packet();
+  d.run = [p = prog](const SegCtxPtr& ctx) {
+    xdp::XdpMd md{*ctx->pkt, ctx->rx_time_ps};
+    switch (p->run(md)) {
+      case xdp::XdpAction::Drop:
+        return pipeline::XdpVerdict::Drop;
+      case xdp::XdpAction::Tx:
+        return pipeline::XdpVerdict::Tx;
+      case xdp::XdpAction::Redirect:
+        return pipeline::XdpVerdict::Redirect;
+      case xdp::XdpAction::Pass:
+        break;
+    }
+    return pipeline::XdpVerdict::Pass;
+  };
+  graph_->attach_xdp_stage(std::move(d));
   xdp_programs_.push_back(std::move(prog));
 }
 
-void Datapath::clear_xdp_programs() { xdp_programs_.clear(); }
+void Datapath::clear_xdp_programs() {
+  graph_->clear_xdp_stages();
+  xdp_programs_.clear();
+}
 
 void Datapath::set_profiling(bool on) {
   cfg_.profiling = on;  // the graph reads the live config
@@ -218,9 +249,41 @@ void Datapath::set_profiling(bool on) {
 
 // --------------------------------------------------------------- MAC RX
 
+// MAC RX filter accounting: these packets were never the offload's
+// (non-TCP traffic goes to the kernel stack; foreign-IP frames belong
+// to another host), so they are counted apart from the drop taxonomy —
+// which must keep summing to drops() — but never vanish silently.
+// Telemetry keys register lazily on the first hit so default scenario
+// snapshots (which never exercise the filter) stay byte-identical.
+void Datapath::count_kernel_path() {
+  ++kernel_path_;
+  if (telem_.enabled()) {
+    if (t_kernel_path_ == nullptr) {
+      t_kernel_path_ = telem_.counter("mac/kernel_path");
+    }
+    t_kernel_path_->inc();
+  }
+}
+
+void Datapath::count_not_local() {
+  ++not_local_;
+  if (telem_.enabled()) {
+    if (t_not_local_ == nullptr) {
+      t_not_local_ = telem_.counter("mac/not_local");
+    }
+    t_not_local_->inc();
+  }
+}
+
 void Datapath::deliver(const net::PacketPtr& pkt) {
-  if (pkt->ip.proto != net::kProtoTcp) return;  // non-TCP -> kernel path
-  if (local_ip_ != 0 && pkt->ip.dst != local_ip_) return;  // not for us
+  if (pkt->ip.proto != net::kProtoTcp) {  // non-TCP -> kernel path
+    count_kernel_path();
+    return;
+  }
+  if (local_ip_ != 0 && pkt->ip.dst != local_ip_) {  // not for us
+    count_not_local();
+    return;
+  }
   ++rx_segments_;
   trace_.hit(tp_rx_);
 
@@ -235,27 +298,20 @@ void Datapath::deliver(const net::PacketPtr& pkt) {
   ctx->flow_group = static_cast<std::uint8_t>(t.flow_group(
       static_cast<std::uint32_t>(graph_->group_count())));
   ctx->lookup_key = t.hash();
-  graph_->stamp_birth(*ctx);
-
-  // XDP programs execute in the pre-processing stage; their per-packet
-  // instruction cost is charged to the hosting FPC (Table 2).
-  std::uint32_t xdp_cost = 0;
-  for (const auto& prog : xdp_programs_) {
-    xdp_cost += prog->cycles_per_packet();
-  }
-  graph_->ingress_rx(ctx, xdp_cost);
+  // One clock read per segment, shared by the telemetry birth stamp and
+  // every XDP program in the chain (xdp::XdpMd::rx_timestamp_ps).
+  const sim::TimePs now = ev_.now();
+  ctx->rx_time_ps = now;
+  graph_->stamp_birth_at(*ctx, now);
+  graph_->ingress_rx(ctx);
 }
 
 void Datapath::deliver_burst(std::span<const net::PacketPtr> pkts) {
-  // Same admission steps as deliver(), amortized per chunk: one XDP
-  // cost sum, one clock read, one graph ingress call. No events run
-  // inside a chunk, so the shared timestamp and the span-ordered
-  // dispatch are exactly what per-packet delivery would produce.
+  // Same admission steps as deliver(), amortized per chunk: one clock
+  // read, one graph ingress call. No events run inside a chunk, so the
+  // shared timestamp and the span-ordered dispatch are exactly what
+  // per-packet delivery would produce.
   const auto ngroups = static_cast<std::uint32_t>(graph_->group_count());
-  std::uint32_t xdp_cost = 0;
-  for (const auto& prog : xdp_programs_) {
-    xdp_cost += prog->cycles_per_packet();
-  }
   std::array<SegCtxPtr, kMaxBurst> burst;
   std::size_t i = 0;
   while (i < pkts.size()) {
@@ -264,8 +320,14 @@ void Datapath::deliver_burst(std::span<const net::PacketPtr> pkts) {
     std::size_t n = 0;
     for (std::size_t k = 0; k < lim; ++k) {
       const net::PacketPtr& pkt = pkts[i + k];
-      if (pkt->ip.proto != net::kProtoTcp) continue;  // kernel path
-      if (local_ip_ != 0 && pkt->ip.dst != local_ip_) continue;
+      if (pkt->ip.proto != net::kProtoTcp) {  // kernel path
+        count_kernel_path();
+        continue;
+      }
+      if (local_ip_ != 0 && pkt->ip.dst != local_ip_) {
+        count_not_local();
+        continue;
+      }
       ++rx_segments_;
       trace_.hit(tp_rx_);
       auto ctx = ctx_pool_.acquire();
@@ -275,39 +337,22 @@ void Datapath::deliver_burst(std::span<const net::PacketPtr> pkts) {
                        pkt->tcp.sport};
       ctx->flow_group = static_cast<std::uint8_t>(t.flow_group(ngroups));
       ctx->lookup_key = t.hash();
+      ctx->rx_time_ps = now;
       graph_->stamp_birth_at(*ctx, now);
       burst[n++] = std::move(ctx);
     }
-    graph_->ingress_rx_burst(burst.data(), n, xdp_cost);
+    graph_->ingress_rx_burst(burst.data(), n);
     for (std::size_t k = 0; k < n; ++k) burst[k].reset();
     i += lim;
   }
 }
 
 void Datapath::stage_pre_rx(const SegCtxPtr& ctx) {
+  // XDP programs no longer run inline here: the graph dispatches them as
+  // first-class stage nodes between the sequencer and this stage
+  // (Graph::attach_xdp_stage), so a segment only reaches pre-processing
+  // with a Pass verdict from the whole chain.
   net::Packet& pkt = *ctx->pkt;
-
-  // --- XDP ingress hooks (paper §3.3) ---
-  for (const auto& prog : xdp_programs_) {
-    xdp::XdpMd md{pkt, ev_.now()};
-    switch (prog->run(md)) {
-      case xdp::XdpAction::Pass:
-        continue;
-      case xdp::XdpAction::Drop:
-        graph_->count_drop(DropReason::XdpDrop, ctx->trace_id);
-        graph_->skip_proto(ctx);
-        return;
-      case xdp::XdpAction::Tx:
-        nbi_transmit(ctx->pkt);
-        graph_->skip_proto(ctx);
-        return;
-      case xdp::XdpAction::Redirect:
-        ++to_control_count_;
-        host_.to_control(ctx->pkt);
-        graph_->skip_proto(ctx);
-        return;
-    }
-  }
 
   // --- Val: filter non-data-path segments to the control plane ---
   if (!pkt.tcp.is_datapath_segment()) {

@@ -149,6 +149,12 @@ class Datapath : public net::PacketSink {
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t drops() const { return drops_; }
   std::uint64_t to_control_count() const { return to_control_count_; }
+  // MAC RX filter accounting (not drops: these packets were never ours).
+  // kernel_path: non-TCP traffic the offload punts to the kernel stack;
+  // not_local: IP-filtered packets for another host. Identical between
+  // the per-item and burst delivery paths.
+  std::uint64_t kernel_path_count() const { return kernel_path_; }
+  std::uint64_t not_local_count() const { return not_local_; }
   std::uint64_t fast_retransmits() const { return fast_retransmits_; }
   std::uint64_t ooo_segments() const { return ooo_segments_; }
   const ProtoState* proto_state(tcp::ConnId conn) const;
@@ -197,6 +203,9 @@ class Datapath : public net::PacketSink {
                                  const ProtoSnapshot& snap);
   // Legacy drop accounting fed by the graph's taxonomy.
   void count_drop_legacy(DropReason r);
+  // MAC RX filter accounting, shared by the per-item and burst paths.
+  void count_kernel_path();
+  void count_not_local();
   pipeline::Graph::Handlers make_handlers();
   static std::unique_ptr<sched::TimerService> make_scheduler(
       sim::Domain& ev, const DatapathConfig& cfg);
@@ -243,12 +252,19 @@ class Datapath : public net::PacketSink {
                 tp_fretx_ = 0, tp_ack_ = 0;
 
   telemetry::Counter* t_host_notify_ = nullptr;
+  // MAC filter counters, registered lazily on first hit so default
+  // scenario snapshots (which never exercise the filter) stay
+  // byte-identical.
+  telemetry::Counter* t_kernel_path_ = nullptr;
+  telemetry::Counter* t_not_local_ = nullptr;
 
   std::uint64_t rx_segments_ = 0;
   std::uint64_t tx_segments_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t to_control_count_ = 0;
+  std::uint64_t kernel_path_ = 0;
+  std::uint64_t not_local_ = 0;
   std::uint64_t fast_retransmits_ = 0;
   std::uint64_t ooo_segments_ = 0;
 };

@@ -118,6 +118,11 @@ struct SegCtx : SegHot {
   HeaderSummary sum;            // RX meta-data
   ProtoSnapshot snap;           // protocol -> post meta-data
 
+  // MAC arrival time, read once at delivery and shared by every XDP
+  // program in the chain (xdp::XdpMd::rx_timestamp_ps) — the whole
+  // chain sees one timestamp regardless of where its stages run.
+  sim::TimePs rx_time_ps = 0;
+
   // Prepared ACK (RX post-processing output, sent after payload DMA).
   net::PacketPtr ack_pkt;
   bool notify_host = false;     // allocate a context-queue notification

@@ -1,0 +1,165 @@
+#include "monitor/sketch.hpp"
+
+#include <algorithm>
+
+namespace flextoe::monitor {
+
+namespace {
+
+// splitmix64: cheap, well-mixed 64-bit finalizer — one per sketch row,
+// seeded differently, gives the pairwise-independent row hashes the
+// count-min error bound wants.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t depth, std::size_t width,
+                               std::uint64_t seed)
+    : depth_(std::max<std::size_t>(1, depth)),
+      width_(round_up_pow2(std::max<std::size_t>(2, width))),
+      mask_(width_ - 1) {
+  row_seed_.reserve(depth_);
+  for (std::size_t r = 0; r < depth_; ++r) {
+    row_seed_.push_back(splitmix64(seed + r * 0xa24baed4963ee407ull + 1));
+  }
+  cells_.assign(depth_ * width_, 0);
+}
+
+std::size_t CountMinSketch::row_index(std::size_t row,
+                                      std::uint64_t key) const {
+  return static_cast<std::size_t>(splitmix64(key ^ row_seed_[row]) & mask_);
+}
+
+std::uint64_t CountMinSketch::update(std::uint64_t key,
+                                     std::uint64_t delta) {
+  std::uint64_t mn = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < depth_; ++r) {
+    mn = std::min(mn, cells_[r * width_ + row_index(r, key)]);
+  }
+  // Conservative update: raise every cell of the key's row set to at
+  // least min + delta; cells already above (collisions with heavier
+  // flows) stay put, so cross-flow over-counting does not compound.
+  const std::uint64_t target = mn + delta;
+  for (std::size_t r = 0; r < depth_; ++r) {
+    std::uint64_t& c = cells_[r * width_ + row_index(r, key)];
+    if (c < target) c = target;
+  }
+  return target;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t mn = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < depth_; ++r) {
+    mn = std::min(mn, cells_[r * width_ + row_index(r, key)]);
+  }
+  return mn;
+}
+
+void CountMinSketch::clear() {
+  std::fill(cells_.begin(), cells_.end(), 0);
+}
+
+// ---------------------------------------------------------------------
+
+SketchFlowMonitor::SketchFlowMonitor(const SketchParams& p)
+    : params_(p),
+      bytes_(p.depth, p.width, p.seed),
+      segs_(p.depth, p.width, splitmix64(p.seed)) {
+  heavy_.reserve(params_.top_k);
+}
+
+void SketchFlowMonitor::on_tap(const pipeline::TapEvent& ev) {
+  // Built for the Steer edge (RX segments entering the protocol stage);
+  // the edge/kind filter makes a wider attach mask harmless.
+  if (ev.edge != pipeline::TapEdge::Steer) return;
+  if (ev.hot.kind != core::SegHot::Kind::Rx || ev.pkt == nullptr) return;
+  record(ev.hot.lookup_key, ev.pkt->payload_len());
+}
+
+void SketchFlowMonitor::record(std::uint64_t key, std::uint64_t bytes) {
+  ++events_;
+  total_bytes_ += bytes;
+  const std::uint64_t est_bytes = bytes_.update(key, bytes);
+  const std::uint64_t est_segs = segs_.update(key, 1);
+  if (t_events_ != nullptr) {
+    t_events_->inc();
+    t_bytes_->inc(bytes);
+  }
+
+  // Heavy-hitter candidate table: bounded at top_k entries, min-evicted
+  // by estimated bytes.
+  for (auto& h : heavy_) {
+    if (h.key == key) {
+      h.bytes = est_bytes;
+      h.segments = est_segs;
+      if (t_heavy_flows_ != nullptr) update_gauges();
+      return;
+    }
+  }
+  if (heavy_.size() < params_.top_k) {
+    heavy_.push_back(HeavyHitter{key, est_bytes, est_segs});
+  } else {
+    auto mn = std::min_element(heavy_.begin(), heavy_.end(),
+                               [](const HeavyHitter& a, const HeavyHitter& b) {
+                                 return a.bytes < b.bytes;
+                               });
+    if (mn->bytes < est_bytes) *mn = HeavyHitter{key, est_bytes, est_segs};
+  }
+  if (t_heavy_flows_ != nullptr) update_gauges();
+}
+
+std::vector<SketchFlowMonitor::HeavyHitter> SketchFlowMonitor::top(
+    std::size_t k) const {
+  std::vector<HeavyHitter> out = heavy_;
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.key < b.key;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::size_t SketchFlowMonitor::memory_bytes() const {
+  return bytes_.memory_bytes() + segs_.memory_bytes() +
+         heavy_.capacity() * sizeof(HeavyHitter);
+}
+
+void SketchFlowMonitor::bind_telemetry(telemetry::Registry& reg,
+                                       const std::string& prefix) {
+  t_events_ = reg.counter(prefix + "/events");
+  t_bytes_ = reg.counter(prefix + "/bytes");
+  t_heavy_flows_ = reg.gauge(prefix + "/heavy_flows");
+  t_top_bytes_ = reg.gauge(prefix + "/top_bytes");
+  update_gauges();
+}
+
+void SketchFlowMonitor::update_gauges() {
+  if (t_heavy_flows_ == nullptr) return;
+  t_heavy_flows_->set(static_cast<std::int64_t>(heavy_.size()));
+  std::uint64_t top_bytes = 0;
+  for (const auto& h : heavy_) top_bytes = std::max(top_bytes, h.bytes);
+  t_top_bytes_->set(static_cast<std::int64_t>(top_bytes));
+}
+
+void SketchFlowMonitor::clear() {
+  bytes_.clear();
+  segs_.clear();
+  heavy_.clear();
+  events_ = 0;
+  total_bytes_ = 0;
+  if (t_heavy_flows_ != nullptr) update_gauges();
+}
+
+}  // namespace flextoe::monitor

@@ -1,0 +1,126 @@
+// Sketch flow monitor: the first production tap (paper §3.3 fits
+// monitoring extensions at the splice points; the PAPERS.md sketch line
+// gives the data structure). A count-min sketch with conservative
+// update tracks per-flow byte/segment totals in memory bounded by the
+// configured depth x width — independent of flow count — and a bounded
+// candidate table surfaces the heavy hitters. Attached to the stage
+// graph's Steer edge as a pipeline::TapObserver, it observes every
+// segment admitted to the protocol stage without touching stage bodies
+// or charging simulated cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/tap.hpp"
+#include "telemetry/registry.hpp"
+
+namespace flextoe::monitor {
+
+// Count-min sketch over 64-bit flow keys, counting bytes (or any
+// monotonic quantity). Conservative update: only the rows holding the
+// current minimum are incremented, which tightens the one-sided error
+// (estimates never under-count, and over-count less than the classic
+// update rule).
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t depth, std::size_t width, std::uint64_t seed);
+
+  // Adds `delta` to `key`'s row cells (conservative) and returns the
+  // new estimate.
+  std::uint64_t update(std::uint64_t key, std::uint64_t delta);
+  // Point query: min over the key's row cells. Never under-estimates
+  // the true total.
+  std::uint64_t estimate(std::uint64_t key) const;
+
+  void clear();
+  std::size_t depth() const { return depth_; }
+  std::size_t width() const { return width_; }
+  // Counter-table footprint: the monitor's bounded-memory claim.
+  std::size_t memory_bytes() const {
+    return cells_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t row_index(std::size_t row, std::uint64_t key) const;
+
+  std::size_t depth_;
+  std::size_t width_;  // rounded up to a power of two (mask indexing)
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> row_seed_;
+  std::vector<std::uint64_t> cells_;  // depth_ x width_, row-major
+};
+
+struct SketchParams {
+  std::size_t depth = 4;
+  std::size_t width = 2048;
+  std::size_t top_k = 16;  // heavy-hitter candidate table bound
+  std::uint64_t seed = 0x5ce7c4f1u;
+};
+
+// The tap observer: byte and segment sketches plus a bounded top-K
+// candidate table (min-eviction by estimated bytes). Total memory is
+// the two sketches + top_k entries, regardless of how many flows cross
+// the tapped edge.
+class SketchFlowMonitor : public pipeline::TapObserver {
+ public:
+  // The edge this monitor is built for: attach with
+  // graph.attach_tap(&mon, SketchFlowMonitor::kEdgeMask).
+  static constexpr std::uint32_t kEdgeMask =
+      pipeline::tap_bit(pipeline::TapEdge::Steer);
+
+  explicit SketchFlowMonitor(const SketchParams& p = SketchParams{});
+
+  // TapObserver: counts RX segments entering the protocol stage, keyed
+  // by the sequencer's flow-tuple hash.
+  void on_tap(const pipeline::TapEvent& ev) override;
+
+  // Direct recording (tests, oracle comparisons).
+  void record(std::uint64_t key, std::uint64_t bytes);
+
+  struct HeavyHitter {
+    std::uint64_t key = 0;
+    std::uint64_t bytes = 0;  // sketch estimate (never under-counts)
+    std::uint64_t segments = 0;
+  };
+  // Top heavy hitters by estimated bytes (descending; key ascending on
+  // ties), at most min(k, top_k) entries.
+  std::vector<HeavyHitter> top(std::size_t k) const;
+
+  std::uint64_t estimate_bytes(std::uint64_t key) const {
+    return bytes_.estimate(key);
+  }
+  std::uint64_t estimate_segments(std::uint64_t key) const {
+    return segs_.estimate(key);
+  }
+  std::uint64_t events() const { return events_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::size_t memory_bytes() const;
+
+  // Surfaces the monitor through the telemetry registry under `prefix`
+  // (tap/sketch/{events,bytes,heavy_flows,top_bytes}). Registration
+  // happens here — attach-time, never in the default graph — so
+  // default-config snapshots stay byte-identical.
+  void bind_telemetry(telemetry::Registry& reg,
+                      const std::string& prefix = "tap/sketch");
+
+  void clear();
+
+ private:
+  void update_gauges();
+
+  SketchParams params_;
+  CountMinSketch bytes_;
+  CountMinSketch segs_;
+  std::vector<HeavyHitter> heavy_;  // bounded by params_.top_k
+  std::uint64_t events_ = 0;
+  std::uint64_t total_bytes_ = 0;
+
+  telemetry::Counter* t_events_ = nullptr;
+  telemetry::Counter* t_bytes_ = nullptr;
+  telemetry::Gauge* t_heavy_flows_ = nullptr;
+  telemetry::Gauge* t_top_bytes_ = nullptr;
+};
+
+}  // namespace flextoe::monitor

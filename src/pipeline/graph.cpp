@@ -10,8 +10,9 @@ namespace flextoe::pipeline {
 
 const char* stage_name(StageId s) {
   static const char* kNames[kStageCount] = {
-      "seq",      "pre_rx",   "pre_tx", "pre_hc", "proto_rx",
-      "proto_tx", "proto_hc", "post",   "dma",    "ctx_notify"};
+      "seq",      "xdp",      "pre_rx",   "pre_tx", "pre_hc",
+      "proto_rx", "proto_tx", "proto_hc", "post",   "dma",
+      "ctx_notify"};
   return kNames[static_cast<std::size_t>(s)];
 }
 
@@ -50,30 +51,30 @@ Graph::Graph(sim::Domain& ev, const core::DatapathConfig& cfg,
       ctx_stage_("ctx", StageRole::CtxQueue, PickPolicy::RoundRobin,
                  StateAccess::None, StageTraits{}) {
   const unsigned ngroups = std::max(1u, cfg.flow_groups);
-  nfp::FpcParams fp;
-  fp.clock = cfg.clock;
-  fp.threads = std::max(1u, cfg.threads_per_fpc);
-  fp.queue_capacity = cfg.fpc_queue_depth;
-  fp.burst = core::resolve_batch(cfg.batch_size);
+  fp_.clock = cfg.clock;
+  fp_.threads = std::max(1u, cfg.threads_per_fpc);
+  fp_.queue_capacity = cfg.fpc_queue_depth;
+  fp_.burst = core::resolve_batch(cfg.batch_size);
 
   // Run-to-completion configuration: every stage shares one FPC, so all
   // work — including PCIe waits — serializes on a single core (Table 3
   // baseline), and the admission gate below serializes whole segments.
-  std::shared_ptr<nfp::Fpc> rtc_fpc;
+  // fp_/rtc_fpc_ are kept as members so late splices (attach_xdp_stage)
+  // build replicas under the same parameters.
   if (!cfg.pipelined) {
-    rtc_fpc = std::make_shared<nfp::Fpc>(ev_, fp, "rtc");
+    rtc_fpc_ = std::make_shared<nfp::Fpc>(ev_, fp_, "rtc");
     gate_ = std::make_shared<GateState>(ev_, cfg.fpc_queue_depth);
   }
 
   auto populate = [&](Stage& st, unsigned n, const char* tag,
                       std::size_t g) {
     for (unsigned i = 0; i < n; ++i) {
-      if (rtc_fpc) {
-        st.add_replica(rtc_fpc);
+      if (rtc_fpc_) {
+        st.add_replica(rtc_fpc_);
         continue;
       }
       st.add_replica(std::make_shared<nfp::Fpc>(
-          ev_, fp, tag + std::to_string(g) + "." + std::to_string(i)));
+          ev_, fp_, tag + std::to_string(g) + "." + std::to_string(i)));
     }
   };
 
@@ -119,15 +120,15 @@ Graph::Graph(sim::Domain& ev, const core::DatapathConfig& cfg,
   // Service island: DMA managers + context-queue FPCs.
   for (unsigned i = 0; i < std::max(1u, cfg.dma_fpcs); ++i) {
     dma_stage_.add_replica(
-        rtc_fpc ? rtc_fpc
-                : std::make_shared<nfp::Fpc>(ev_, fp,
-                                             "dma." + std::to_string(i)));
+        rtc_fpc_ ? rtc_fpc_
+                 : std::make_shared<nfp::Fpc>(ev_, fp_,
+                                              "dma." + std::to_string(i)));
   }
   for (unsigned i = 0; i < std::max(1u, cfg.ctx_fpcs); ++i) {
     ctx_stage_.add_replica(
-        rtc_fpc ? rtc_fpc
-                : std::make_shared<nfp::Fpc>(ev_, fp,
-                                             "ctx." + std::to_string(i)));
+        rtc_fpc_ ? rtc_fpc_
+                 : std::make_shared<nfp::Fpc>(ev_, fp_,
+                                              "ctx." + std::to_string(i)));
   }
 
   wire_ports();
@@ -165,6 +166,13 @@ void Graph::wire_ports() {
 void Graph::bind_telemetry(telemetry::Registry& reg) {
   reg_ = &reg;
   for (std::size_t s = 0; s < kStageCount; ++s) {
+    // The XDP slot registers lazily on attach_xdp_stage(): snapshots of
+    // the default no-XDP graph must not grow stage/xdp/* keys (golden
+    // byte-identity), and Registry::snapshot() emits every registered
+    // metric even at zero.
+    if (static_cast<StageId>(s) == StageId::Xdp && xdp_chain_.empty()) {
+      continue;
+    }
     const std::string base =
         std::string("stage/") + stage_name(static_cast<StageId>(s));
     stage_telem_[s].visits = reg.counter(base + "/visits");
@@ -205,6 +213,11 @@ void Graph::bind_telemetry(telemetry::Registry& reg) {
   }
   for (auto& f : ctx_stage_.all_fpcs()) {
     f->bind_telemetry(reg, "fpc/" + f->name());
+  }
+  for (auto& nd : xdp_chain_) {
+    for (auto& f : nd.stage->all_fpcs()) {
+      f->bind_telemetry(reg, "fpc/" + f->name());
+    }
   }
 }
 
@@ -275,6 +288,7 @@ void Graph::mark(StageId s, core::SegCtx& ctx) {
 void Graph::mark(StageId s, core::SegCtx& ctx, sim::TimePs now) {
   if (reg_ == nullptr || !reg_->enabled()) return;
   StageTelem& st = stage_telem_[static_cast<std::size_t>(s)];
+  if (st.visits == nullptr) return;  // lazily-registered slot (Xdp)
   st.visits->inc();
   if (ctx.t_stage_ps != core::SegCtx::kNoTimestamp) {
     st.lat_ns->record((now - ctx.t_stage_ps) / sim::kPsPerNs);
@@ -286,6 +300,7 @@ void Graph::mark_burst(StageId s, const core::SegCtxPtr* ctxs, std::size_t n,
                        sim::TimePs now) {
   if (n == 0 || reg_ == nullptr || !reg_->enabled()) return;
   StageTelem& st = stage_telem_[static_cast<std::size_t>(s)];
+  if (st.visits == nullptr) return;  // lazily-registered slot (Xdp)
   // One counter add for the span; per-segment latency samples are kept
   // (histogram contents are order-insensitive, so this is
   // snapshot-identical to n x mark() at the same instant).
@@ -442,44 +457,31 @@ std::uint32_t Graph::state_cycles(Stage& st, std::size_t replica,
                                                            : once;
 }
 
-void Graph::ingress_rx(const core::SegCtxPtr& ctx,
-                       std::uint32_t extra_cycles) {
+void Graph::ingress_rx(const core::SegCtxPtr& ctx) {
   admit(
-      [this, ctx, extra_cycles] {
+      [this, ctx] {
         ctx->rtc_token = gate_token();
         Island& isl = *islands_[ctx->flow_group];
         ctx->pipe_seq = isl.sequencer.assign();
         mark(StageId::Seq, *ctx);
-        const std::size_t idx = isl.pre.pick();
-        // Flow lookup: IMEM lookup engine, front-cached per pre-processor.
-        std::uint32_t lookup_mem = cfg_->flat_mem_cycles;
-        if (cfg_->nfp_memory &&
-            isl.pre.state_access() == StateAccess::LookupCache) {
-          lookup_mem = isl.pre.lookup()[idx]->access(ctx->lookup_key)
-                           ? cfg_->mem.local
-                           : cfg_->mem.imem;
+        tap_emit(TapEdge::Admit, *ctx);
+        if (!xdp_chain_.empty()) {
+          xdp_dispatch(ctx, 0, xdp_chain_[0].stage->pick());
+          return;
         }
-        submit(StageId::PreRx, ctx->trace_id, isl.pre.fpc(idx),
-               cfg_->costs.seq + cfg_->costs.pre_rx + extra_cycles,
-               lookup_mem,
-               [this, ctx] {
-                 mark(StageId::PreRx, *ctx);
-                 handlers_.pre_rx(ctx);
-               },
-               ctx->pipe_seq, ctx->flow_group, isl.pre.traits().sequenced);
+        xdp_to_pre(ctx);
       },
       islands_[ctx->flow_group]->pre.traits().droppable, ctx->trace_id);
 }
 
-void Graph::ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n,
-                             std::uint32_t extra_cycles) {
+void Graph::ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n) {
   if (n == 0) return;
   if (gate_) {
     // RTC mode serializes whole segments through the gate; burst
     // dispatch buys nothing there. Fall back to the per-item path so
     // gate admission/shed decisions are made one segment at a time,
     // exactly as before.
-    for (std::size_t i = 0; i < n; ++i) ingress_rx(ctxs[i], extra_cycles);
+    for (std::size_t i = 0; i < n; ++i) ingress_rx(ctxs[i]);
     return;
   }
   // Pipelined mode: admit() is a straight call and gate_token() is
@@ -488,8 +490,33 @@ void Graph::ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n,
   // stay in span order (burst boundaries must never reorder the global
   // event schedule).
   const sim::TimePs now = ev_.now();
-  const std::uint32_t compute =
-      cfg_->costs.seq + cfg_->costs.pre_rx + extra_cycles;
+  if (!xdp_chain_.empty()) {
+    // XDP chain attached: sequence + stripe the burst over the chain
+    // head's replicas; verdict routing continues per item.
+    Stage& head = *xdp_chain_[0].stage;
+    const std::size_t nrep = head.replicas();
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint8_t g = ctxs[i]->flow_group;
+      std::size_t j = i + 1;
+      while (j < n && ctxs[j]->flow_group == g) ++j;
+      const std::size_t run = j - i;
+      Island& isl = *islands_[g];
+      const std::size_t base = head.pick_burst(run);
+      for (std::size_t k = 0; k < run; ++k) {
+        ctxs[i + k]->pipe_seq = isl.sequencer.assign();
+      }
+      mark_burst(StageId::Seq, ctxs + i, run, now);
+      for (std::size_t k = 0; k < run; ++k) {
+        if (i + k + 1 < n) core::seg_prefetch(ctxs[i + k + 1].get());
+        tap_emit(TapEdge::Admit, *ctxs[i + k]);
+        xdp_dispatch(ctxs[i + k], 0, (base + k) % nrep);
+      }
+      i = j;
+    }
+    return;
+  }
+  const std::uint32_t compute = cfg_->costs.seq + cfg_->costs.pre_rx;
   std::size_t i = 0;
   while (i < n) {
     const std::uint8_t g = ctxs[i]->flow_group;
@@ -506,6 +533,7 @@ void Graph::ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n,
     for (std::size_t k = 0; k < run; ++k) {
       const core::SegCtxPtr& ctx = ctxs[i + k];
       if (i + k + 1 < n) core::seg_prefetch(ctxs[i + k + 1].get());
+      tap_emit(TapEdge::Admit, *ctx);
       const std::size_t idx = (base + k) % nrep;
       // Flow lookup: IMEM lookup engine, front-cached per pre-processor.
       std::uint32_t lookup_mem = cfg_->flat_mem_cycles;
@@ -527,6 +555,132 @@ void Graph::ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n,
   }
 }
 
+// ------------------------------------------------------- XDP stage chain
+
+Stage& Graph::attach_xdp_stage(XdpStageDesc desc) {
+  const std::size_t i = xdp_chain_.size();
+  XdpNode nd;
+  nd.cycles = desc.cycles;
+  nd.run = std::move(desc.run);
+  nd.stage = std::make_unique<Stage>(
+      "xdp" + std::to_string(i) + "." + desc.name, StageRole::Pre,
+      PickPolicy::RoundRobin, StateAccess::None,
+      StageTraits{/*sequenced=*/true, /*droppable=*/true});
+  const unsigned nrep = std::max(1u, cfg_->xdp_replicas);
+  for (unsigned r = 0; r < nrep; ++r) {
+    nd.stage->add_replica(
+        rtc_fpc_ ? rtc_fpc_
+                 : std::make_shared<nfp::Fpc>(
+                       ev_, fp_,
+                       nd.stage->name() + "." + std::to_string(r)));
+  }
+  // Declarative edge list: each node's "pass" port names its successor
+  // (the next chain node, or pre-processing at the tail).
+  if (i > 0) {
+    xdp_chain_[i - 1].stage->out("pass").bind(
+        nd.stage->name(),
+        [this, i](const core::SegCtxPtr& c) {
+          xdp_dispatch(c, i, xdp_chain_[i].stage->pick());
+        });
+  }
+  nd.stage->out("pass").bind(
+      "pre", [this](const core::SegCtxPtr& c) { xdp_to_pre(c); });
+  if (reg_ != nullptr) {
+    // Late registration (the graph's telemetry was bound before the
+    // splice): materialize the stage/xdp/* slots and bind the new FPCs.
+    StageTelem& st = stage_telem_[static_cast<std::size_t>(StageId::Xdp)];
+    if (st.visits == nullptr) {
+      st.visits = reg_->counter("stage/xdp/visits");
+      st.lat_ns = reg_->histogram("stage/xdp/lat_ns");
+    }
+    for (auto& f : nd.stage->all_fpcs()) {
+      f->bind_telemetry(*reg_, "fpc/" + f->name());
+    }
+  }
+  xdp_chain_.push_back(std::move(nd));
+  return *xdp_chain_.back().stage;
+}
+
+void Graph::clear_xdp_stages() { xdp_chain_.clear(); }
+
+void Graph::xdp_dispatch(const core::SegCtxPtr& ctx, std::size_t node,
+                         std::size_t idx) {
+  XdpNode& nd = xdp_chain_[node];
+  // The chain head is the first work after admission, so it carries the
+  // sequencer cost exactly like pre-RX does on the no-XDP path; each
+  // node bills only its own cycles — a terminal verdict upstream means
+  // later programs never run and are never charged (the cost-accounting
+  // fix over the old wholesale sum).
+  const std::uint32_t compute =
+      (node == 0 ? cfg_->costs.seq : 0) + nd.cycles;
+  submit(StageId::Xdp, ctx->trace_id, nd.stage->fpc(idx), compute, 0,
+         [this, ctx, node] { xdp_run(ctx, node); }, ctx->pipe_seq,
+         ctx->flow_group, nd.stage->traits().sequenced);
+}
+
+void Graph::xdp_run(const core::SegCtxPtr& ctx, std::size_t node) {
+  mark(StageId::Xdp, *ctx);
+  if (node >= xdp_chain_.size()) {
+    // Chain cleared while this segment was in flight: fall through to
+    // pre-processing as if the program chain were empty.
+    xdp_to_pre(ctx);
+    return;
+  }
+  XdpNode& nd = xdp_chain_[node];
+  switch (nd.run(ctx)) {
+    case XdpVerdict::Pass:
+      if (node + 1 < xdp_chain_.size()) {
+        xdp_dispatch(ctx, node + 1, xdp_chain_[node + 1].stage->pick());
+      } else {
+        xdp_to_pre(ctx);
+      }
+      return;
+    case XdpVerdict::Drop:
+      count_drop(DropReason::XdpDrop, ctx->trace_id);
+      skip_proto(ctx);
+      return;
+    case XdpVerdict::Tx:
+      if (ctx->pkt) handlers_.nbi_tx(ctx->pkt);
+      skip_proto(ctx);
+      return;
+    case XdpVerdict::Redirect:
+      if (handlers_.redirect) handlers_.redirect(ctx);
+      skip_proto(ctx);
+      return;
+  }
+}
+
+void Graph::xdp_to_pre(const core::SegCtxPtr& ctx) {
+  Island& isl = *islands_[ctx->flow_group];
+  const std::size_t idx = isl.pre.pick();
+  // Flow lookup: IMEM lookup engine, front-cached per pre-processor.
+  std::uint32_t lookup_mem = cfg_->flat_mem_cycles;
+  if (cfg_->nfp_memory &&
+      isl.pre.state_access() == StateAccess::LookupCache) {
+    lookup_mem = isl.pre.lookup()[idx]->access(ctx->lookup_key)
+                     ? cfg_->mem.local
+                     : cfg_->mem.imem;
+  }
+  // No chain: the sequencer cost rides on pre-RX (the classic path).
+  // With a chain, the head already paid it.
+  const std::uint32_t compute =
+      (xdp_chain_.empty() ? cfg_->costs.seq : 0) + cfg_->costs.pre_rx;
+  submit(StageId::PreRx, ctx->trace_id, isl.pre.fpc(idx), compute,
+         lookup_mem,
+         [this, ctx] {
+           mark(StageId::PreRx, *ctx);
+           handlers_.pre_rx(ctx);
+         },
+         ctx->pipe_seq, ctx->flow_group, isl.pre.traits().sequenced);
+}
+
+// -------------------------------------------------------------- tap ports
+
+void Graph::tap_emit_slow(TapEdge e, const core::SegCtx& ctx) {
+  if ((tap_mask_ & tap_bit(e)) == 0) return;
+  tap_->on_tap(TapEvent{e, ev_.now(), ctx, ctx.pkt.get()});
+}
+
 bool Graph::ingress_tx(const core::SegCtxPtr& ctx) {
   Island& isl = *islands_[ctx->flow_group];
   // The replica grant is consumed even under back-pressure (hardware
@@ -539,6 +693,7 @@ bool Graph::ingress_tx(const core::SegCtxPtr& ctx) {
         Island& isl2 = *islands_[ctx->flow_group];
         ctx->pipe_seq = isl2.sequencer.assign();
         mark(StageId::Seq, *ctx);
+        tap_emit(TapEdge::Admit, *ctx);
         submit(StageId::PreTx, ctx->trace_id, isl2.pre.fpc(idx),
                cfg_->costs.seq + cfg_->costs.pre_tx, 0,
                [this, ctx] {
@@ -555,6 +710,7 @@ void Graph::hc_after_fetch(const core::SegCtxPtr& ctx) {
   Island& isl = *islands_[ctx->flow_group];
   ctx->pipe_seq = isl.sequencer.assign();
   mark(StageId::Seq, *ctx);
+  tap_emit(TapEdge::Admit, *ctx);
   const std::size_t idx = isl.pre.pick();
   submit(StageId::PreHc, ctx->trace_id, isl.pre.fpc(idx),
          cfg_->costs.pre_hc, 0,
@@ -610,6 +766,7 @@ void Graph::spawn_tx(const core::SegCtxPtr& ctx) {
   Island& isl = *islands_[ctx->flow_group];
   ctx->pipe_seq = isl.sequencer.assign();
   mark(StageId::Seq, *ctx);
+  tap_emit(TapEdge::Admit, *ctx);
   const std::size_t idx = isl.pre.pick();
   submit(StageId::PreTx, ctx->trace_id, isl.pre.fpc(idx),
          cfg_->costs.pre_tx, 0,
@@ -621,6 +778,7 @@ void Graph::spawn_tx(const core::SegCtxPtr& ctx) {
 }
 
 void Graph::to_proto(const core::SegCtxPtr& ctx) {
+  tap_emit(TapEdge::Steer, *ctx);
   // Proto-ROB residency span: push -> in-order release (dispatch_proto).
   if (ctx->trace_id != 0) {
     if (trace::Ring* r = ev_.trace_ring()) {
@@ -714,6 +872,7 @@ void Graph::dispatch_proto(const core::SegCtxPtr& ctx) {
 }
 
 void Graph::to_post(const core::SegCtxPtr& ctx) {
+  tap_emit(TapEdge::Post, *ctx);
   Island& isl = *islands_[ctx->flow_group];
   const std::size_t idx = isl.post.pick();
   std::uint32_t compute = 0;
@@ -737,6 +896,7 @@ void Graph::to_post(const core::SegCtxPtr& ctx) {
 }
 
 void Graph::to_dma(const core::SegCtxPtr& ctx) {
+  tap_emit(TapEdge::Dma, *ctx);
   const std::size_t idx = dma_stage_.pick();
   if (!submit(StageId::Dma, ctx->trace_id, dma_stage_.fpc(idx),
               cfg_->costs.dma_issue, 0,
@@ -750,6 +910,7 @@ void Graph::to_dma(const core::SegCtxPtr& ctx) {
 }
 
 void Graph::to_ctx_notify(const core::SegCtxPtr& ctx) {
+  tap_emit(TapEdge::Notify, *ctx);
   const std::size_t idx = ctx_stage_.pick();
   submit(StageId::CtxNotify, ctx->trace_id, ctx_stage_.fpc(idx),
          cfg_->costs.ctx_op, 0,
@@ -762,6 +923,7 @@ void Graph::to_ctx_notify(const core::SegCtxPtr& ctx) {
 
 void Graph::to_nbi(std::uint8_t group, std::uint64_t egress_seq,
                    core::SegCtxPtr ctx) {
+  tap_emit(TapEdge::Egress, *ctx);
   // NBI-ROB residency span: push -> in-order egress (flush lambda).
   if (ctx->trace_id != 0) {
     if (trace::Ring* r = ev_.trace_ring()) {
@@ -789,6 +951,9 @@ unsigned Graph::total_fpcs() const {
     n += static_cast<unsigned>(isl->pre.replicas() + isl->proto.replicas() +
                                isl->post.replicas());
   }
+  for (const auto& nd : xdp_chain_) {
+    n += static_cast<unsigned>(nd.stage->replicas());
+  }
   return n;
 }
 
@@ -801,6 +966,9 @@ sim::TimePs Graph::total_busy() const {
   }
   for (const auto& f : dma_stage_.all_fpcs()) busy += f->busy_time();
   for (const auto& f : ctx_stage_.all_fpcs()) busy += f->busy_time();
+  for (const auto& nd : xdp_chain_) {
+    for (const auto& f : nd.stage->all_fpcs()) busy += f->busy_time();
+  }
   return busy;
 }
 

@@ -37,11 +37,32 @@
 #include "nfp/memory.hpp"
 #include "pipeline/reorder.hpp"
 #include "pipeline/stage.hpp"
+#include "pipeline/tap.hpp"
 #include "sim/domain.hpp"
 #include "sim/small_fn.hpp"
 #include "telemetry/registry.hpp"
 
 namespace flextoe::pipeline {
+
+// Verdict an attached XDP stage body returns for a segment. Mirrors the
+// xdp::XdpAction taxonomy without a layering inversion: pipeline/ stays
+// ignorant of src/xdp — the owner (core::Datapath) adapts its programs
+// into XdpStageDesc bodies returning this enum.
+enum class XdpVerdict : std::uint8_t {
+  Pass,      // continue down the chain / into pre-processing
+  Drop,      // shed (attributed to DropReason::XdpDrop)
+  Tx,        // reflect out the MAC (handlers.nbi_tx)
+  Redirect,  // divert to the control path (handlers.redirect)
+};
+
+// One XDP program splice (paper §3.3) as a stage description: the graph
+// builds a first-class Stage node per attached program, with its own
+// replica FPCs, and chains them ahead of pre-processing.
+struct XdpStageDesc {
+  std::string name;          // stage is named "xdp<i>.<name>"
+  std::uint32_t cycles = 0;  // compute cost per segment on the hosting FPC
+  std::function<XdpVerdict(const core::SegCtxPtr&)> run;
+};
 
 class Graph {
  public:
@@ -61,6 +82,8 @@ class Graph {
     std::function<bool(const core::SegCtxPtr&)> conn_valid;
     // In-order egress sink (NBI -> MAC).
     std::function<void(const net::PacketPtr&)> nbi_tx;
+    // XDP Redirect verdict: divert the segment to the control path.
+    SegHandler redirect;
     // Legacy drop accounting (aggregate counter + tracepoint).
     std::function<void(DropReason)> on_drop;
   };
@@ -79,17 +102,16 @@ class Graph {
   // event turn).
   void stamp_birth_at(core::SegCtx& ctx, sim::TimePs now);
   // MAC RX: gate-admitted (droppable under RTC overload), sequenced,
-  // then dispatched to the flow group's pre stage. `extra_cycles` bills
-  // ingress extensions (XDP programs) onto the hosting FPC.
-  void ingress_rx(const core::SegCtxPtr& ctx, std::uint32_t extra_cycles);
+  // then dispatched into the XDP chain when one is attached, else
+  // straight to the flow group's pre stage.
+  void ingress_rx(const core::SegCtxPtr& ctx);
   // Burst MAC RX admission: semantically n x ingress_rx in span order
   // (same sequencer numbers, replica stripe, submit order, drop
   // attribution — burst boundaries are a dispatch detail), with the
   // clock read, replica arbitration, and telemetry stamping amortized
   // per contiguous same-flow-group run and the next context's hot line
   // prefetched. Under the RTC gate it degenerates to the per-item path.
-  void ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n,
-                        std::uint32_t extra_cycles);
+  void ingress_rx_burst(const core::SegCtxPtr* ctxs, std::size_t n);
   // Scheduler-triggered TX: consumes a pre-replica grant; returns false
   // when that replica's work ring exerts back-pressure.
   bool ingress_tx(const core::SegCtxPtr& ctx);
@@ -127,6 +149,32 @@ class Graph {
   std::uint64_t next_egress(std::uint8_t group) {
     return islands_[group]->egress_next++;
   }
+
+  // ---- Extensions: XDP stage chain (paper §3.3) ----
+  // Appends one XDP program as a first-class Stage node ahead of
+  // pre-processing. The node gets cfg.xdp_replicas FPCs (the shared RTC
+  // core when !pipelined), RoundRobin selection, burst-pick support, and
+  // per-stage cost/drop accounting; its cycles are charged only when the
+  // segment actually reaches it (earlier terminal verdicts end billing).
+  Stage& attach_xdp_stage(XdpStageDesc desc);
+  void clear_xdp_stages();
+  std::size_t xdp_stage_count() const { return xdp_chain_.size(); }
+  Stage& xdp_stage(std::size_t i) { return *xdp_chain_[i].stage; }
+
+  // ---- Extensions: tap ports ----
+  // Registers a monitor fan-out on the typed stage-graph edges selected
+  // by `mask` (tap_bit() combinations). Out-of-band like tracing: no
+  // simulated cost, no routing changes; one pointer compare per edge
+  // crossing while detached.
+  void attach_tap(TapObserver* tap, std::uint32_t mask = kTapAll) {
+    tap_ = tap;
+    tap_mask_ = mask;
+  }
+  void detach_taps() {
+    tap_ = nullptr;
+    tap_mask_ = 0;
+  }
+  bool tap_attached() const { return tap_ != nullptr; }
 
   // ---- Telemetry / accounting ----
   void bind_telemetry(telemetry::Registry& reg);
@@ -231,6 +279,30 @@ class Graph {
   }
   void wire_ports();
 
+  // ---- XDP chain internals ----
+  struct XdpNode {
+    std::unique_ptr<Stage> stage;
+    std::uint32_t cycles = 0;
+    std::function<XdpVerdict(const core::SegCtxPtr&)> run;
+  };
+  // Submits `ctx` to replica `idx` of chain node `node`. The chain head
+  // also carries the sequencer cost (it is the first work after
+  // admission, like pre-RX is on the no-XDP path).
+  void xdp_dispatch(const core::SegCtxPtr& ctx, std::size_t node,
+                    std::size_t idx);
+  // Stage body wrapper: runs the program, routes by verdict.
+  void xdp_run(const core::SegCtxPtr& ctx, std::size_t node);
+  // Chain exit on Pass: dispatch into the flow group's pre stage.
+  void xdp_to_pre(const core::SegCtxPtr& ctx);
+
+  // ---- Tap internals ----
+  // Hot-path guard inlined to one pointer compare when detached.
+  void tap_emit(TapEdge e, const core::SegCtx& ctx) {
+    if (tap_ == nullptr) return;
+    tap_emit_slow(e, ctx);
+  }
+  void tap_emit_slow(TapEdge e, const core::SegCtx& ctx);
+
   sim::Domain& ev_;
   const core::DatapathConfig* cfg_;  // owner's live config (profiling)
   nfp::DmaEngine* dma_;
@@ -241,6 +313,19 @@ class Graph {
   Stage ctx_stage_;
   nfp::NicMemory nic_mem_;
   std::shared_ptr<GateState> gate_;  // null when pipelined
+
+  // FPC build parameters, kept for late stage attachment (XDP splices
+  // allocate replicas after construction); rtc_fpc_ is the single shared
+  // core in run-to-completion mode (null when pipelined).
+  nfp::FpcParams fp_;
+  std::shared_ptr<nfp::Fpc> rtc_fpc_;
+
+  // Attached XDP program chain (empty by default; paper §3.3).
+  std::vector<XdpNode> xdp_chain_;
+
+  // Registered tap observer + enabled-edge mask (null/0 by default).
+  TapObserver* tap_ = nullptr;
+  std::uint32_t tap_mask_ = 0;
 
   // Telemetry handles (stable pointers, bound once; every hit is a
   // pointer bump behind one enabled branch).

@@ -31,6 +31,7 @@ namespace flextoe::pipeline {
 // `stage/<name>/{visits,lat_ns}` is keyed by these.
 enum class StageId : std::size_t {
   Seq,
+  Xdp,  // attached XDP program chain (paper §3.3); absent by default
   PreRx,
   PreTx,
   PreHc,

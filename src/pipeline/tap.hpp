@@ -1,0 +1,65 @@
+// Tap ports: a monitor fan-out attachable at the stage-graph edges
+// without touching stage bodies. A registered TapObserver sees a
+// TapEvent — edge id, simulated timestamp, the segment's hot block, and
+// the packet when one is attached — every time a segment crosses an
+// enabled edge. Taps are out-of-band like tracing: they charge no
+// simulated cycles, never change routing, and cost one pointer compare
+// per edge crossing while detached.
+#pragma once
+
+#include <cstdint>
+
+#include "core/seg_ctx.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace flextoe::pipeline {
+
+// The spliceable edges of the stage graph (the typed Port boundaries).
+enum class TapEdge : std::uint8_t {
+  Admit,   // sequencer admission (RX/TX/HC ingress)
+  Steer,   // pre -> protocol reorder point
+  Post,    // protocol -> post
+  Dma,     // post -> DMA engine
+  Notify,  // post/DMA -> context-queue notification
+  Egress,  // DMA -> NBI reorder point (MAC TX)
+};
+inline constexpr std::size_t kTapEdgeCount = 6;
+
+constexpr std::uint32_t tap_bit(TapEdge e) {
+  return 1u << static_cast<std::uint8_t>(e);
+}
+inline constexpr std::uint32_t kTapAll = (1u << kTapEdgeCount) - 1;
+
+inline const char* tap_edge_name(TapEdge e) {
+  switch (e) {
+    case TapEdge::Admit:
+      return "admit";
+    case TapEdge::Steer:
+      return "steer";
+    case TapEdge::Post:
+      return "post";
+    case TapEdge::Dma:
+      return "dma";
+    case TapEdge::Notify:
+      return "notify";
+    case TapEdge::Egress:
+      return "egress";
+  }
+  return "?";
+}
+
+struct TapEvent {
+  TapEdge edge;
+  sim::TimePs now;            // simulated time of the crossing
+  const core::SegHot& hot;    // the segment's hot block (steering/keys)
+  const net::Packet* pkt;     // attached packet, nullptr when none
+};
+
+class TapObserver {
+ public:
+  virtual ~TapObserver() = default;
+  virtual void on_tap(const TapEvent& ev) = 0;
+};
+
+}  // namespace flextoe::pipeline

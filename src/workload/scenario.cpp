@@ -17,6 +17,7 @@
 
 #include "app/kv.hpp"
 #include "app/rpc_app.hpp"
+#include "monitor/sketch.hpp"
 #include "sim/domain.hpp"
 
 namespace flextoe::workload {
@@ -76,6 +77,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   app::Testbed::Node* sut =
       spec.stack_hosts_clients ? gen_nodes.front() : server_node;
   if (sut->toe) sut->toe->control_plane().set_cc_enabled(spec.cc_enabled);
+
+  // Named monitor tap on the SUT's stage graph (RunOptions::tap).
+  // Attached before warmup; its telemetry registers now, so the
+  // post-warmup clear() zeroes values but keeps the keys — the snapshot
+  // covers the measurement window like every other metric.
+  std::optional<monitor::SketchFlowMonitor> sketch_tap;
+  if (opts.tap == "sketch") {
+    if (core::Datapath* dp = sut->datapath()) {
+      sketch_tap.emplace();
+      sketch_tap->bind_telemetry(dp->telem());
+      dp->graph().attach_tap(&*sketch_tap,
+                             monitor::SketchFlowMonitor::kEdgeMask);
+    }
+  }
 
   if (spec.loss_rate > 0) tb.the_switch().set_drop_prob(spec.loss_rate);
   if (spec.incast_degree > 0) {
@@ -196,6 +211,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   if (!per_conn.empty()) r.jfi = sim::jains_fairness_index(per_conn);
   if (core::Datapath* dp = sut->datapath()) {
     r.telemetry = dp->telem().snapshot();
+    // The graph holds a raw observer pointer; the monitor is a local.
+    if (sketch_tap) dp->graph().detach_taps();
   }
   return r;
 }

@@ -96,6 +96,11 @@ struct RunOptions {
   // paper-figure spans here).
   sim::TimePs warm_override = 0;
   sim::TimePs span_override = 0;
+  // Named monitor tap attached to the SUT datapath's stage graph for
+  // the run ("sketch" = monitor::SketchFlowMonitor on the Steer edge;
+  // empty = none). Out-of-band: results are identical either way; the
+  // tap's own metrics land in the scenario telemetry snapshot.
+  std::string tap;
 };
 
 // Builds the testbed described by `spec`, runs warmup + measurement,

@@ -1,0 +1,173 @@
+// Count-min sketch flow monitor: the one-sided error guarantee
+// (estimates never under-count), the bounded-memory claim, telemetry
+// binding, and heavy-hitter recovery — the sketch's top-10 must match an
+// exact per-flow oracle on a seeded websearch-CDF flow population.
+#include "monitor/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "telemetry/registry.hpp"
+#include "workload/size_model.hpp"
+
+namespace flextoe::monitor {
+namespace {
+
+TEST(CountMinSketch, NeverUnderEstimates) {
+  CountMinSketch cms(4, 512, 42);
+  sim::Rng rng(7);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t key = rng.next_u64() % 3000;  // force collisions
+    const std::uint64_t delta = 1 + rng.next_u64() % 1000;
+    truth[key] += delta;
+    cms.update(key, delta);
+  }
+  for (const auto& [key, total] : truth) {
+    EXPECT_GE(cms.estimate(key), total);
+  }
+}
+
+TEST(CountMinSketch, ExactWithoutCollisions) {
+  // Few keys, wide sketch: conservative update returns exact counts.
+  CountMinSketch cms(4, 4096, 1);
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    for (int i = 0; i < 10; ++i) cms.update(k, k * 100);
+  }
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    EXPECT_EQ(cms.estimate(k), k * 100 * 10);
+  }
+  EXPECT_EQ(cms.estimate(999), 0u);  // never-seen key
+}
+
+TEST(CountMinSketch, MemoryIsBoundedAndWidthPowerOfTwo) {
+  CountMinSketch cms(3, 1000, 9);  // width rounds up to 1024
+  EXPECT_EQ(cms.width(), 1024u);
+  EXPECT_EQ(cms.depth(), 3u);
+  EXPECT_EQ(cms.memory_bytes(), 3u * 1024u * sizeof(std::uint64_t));
+}
+
+TEST(CountMinSketch, ClearZeroesEstimates) {
+  CountMinSketch cms(4, 256, 3);
+  cms.update(17, 1000);
+  ASSERT_GE(cms.estimate(17), 1000u);
+  cms.clear();
+  EXPECT_EQ(cms.estimate(17), 0u);
+}
+
+TEST(SketchFlowMonitor, TotalsAndTopOrdering) {
+  SketchFlowMonitor mon;
+  mon.record(1, 100);
+  mon.record(2, 300);
+  mon.record(2, 300);
+  mon.record(3, 50);
+
+  EXPECT_EQ(mon.events(), 4u);
+  EXPECT_EQ(mon.total_bytes(), 750u);
+  EXPECT_EQ(mon.estimate_bytes(2), 600u);
+  EXPECT_EQ(mon.estimate_segments(2), 2u);
+
+  const auto top = mon.top(10);
+  ASSERT_EQ(top.size(), 3u);  // descending bytes
+  EXPECT_EQ(top[0].key, 2u);
+  EXPECT_EQ(top[1].key, 1u);
+  EXPECT_EQ(top[2].key, 3u);
+  EXPECT_EQ(mon.top(1).size(), 1u);
+}
+
+TEST(SketchFlowMonitor, CandidateTableIsBounded) {
+  SketchParams p;
+  p.top_k = 4;
+  SketchFlowMonitor mon(p);
+  // 100 flows, ascending weight: only the heaviest survive eviction.
+  for (std::uint64_t k = 1; k <= 100; ++k) mon.record(k, k * 1000);
+  const auto top = mon.top(100);
+  ASSERT_EQ(top.size(), 4u);  // bounded by top_k
+  EXPECT_EQ(top[0].key, 100u);
+  EXPECT_EQ(top[3].key, 97u);
+}
+
+TEST(SketchFlowMonitor, TelemetryBindsUnderPrefix) {
+  telemetry::Registry reg;
+  SketchFlowMonitor mon;
+  mon.bind_telemetry(reg);
+  mon.record(5, 500);
+  mon.record(5, 500);
+
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.counter("tap/sketch/events"), nullptr);
+  EXPECT_EQ(*snap.counter("tap/sketch/events"), 2u);
+  ASSERT_NE(snap.counter("tap/sketch/bytes"), nullptr);
+  EXPECT_EQ(*snap.counter("tap/sketch/bytes"), 1000u);
+  ASSERT_NE(snap.gauge("tap/sketch/heavy_flows"), nullptr);
+  EXPECT_EQ(*snap.gauge("tap/sketch/heavy_flows"), 1);
+  ASSERT_NE(snap.gauge("tap/sketch/top_bytes"), nullptr);
+  EXPECT_EQ(*snap.gauge("tap/sketch/top_bytes"), 1000);
+}
+
+// Acceptance: on a seeded websearch-CDF flow population the sketch's
+// top-10 heavy hitters are exactly the oracle's top-10, with memory far
+// below the exact per-flow table.
+TEST(SketchFlowMonitor, RecoversWebsearchHeavyHitters) {
+  sim::Rng rng(0x5eed);
+  auto sizes = workload::empirical_size(workload::websearch_flow_cdf(),
+                                        /*cap_bytes=*/0);
+
+  // 2000 flows draw a flow size from the websearch CDF; each flow is
+  // fed to the monitor as MSS-sized segments, interleaved round-robin
+  // the way a real mix would arrive.
+  constexpr std::uint64_t kFlows = 2000;
+  constexpr std::uint32_t kMss = 1448;
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> remaining;
+  for (std::uint64_t f = 1; f <= kFlows; ++f) {
+    const std::uint64_t key = 0x9e3779b97f4a7c15ull * f;  // spread keys
+    const std::uint32_t bytes = sizes->sample(rng);
+    oracle[key] = bytes;
+    remaining.emplace_back(key, bytes);
+  }
+
+  SketchFlowMonitor mon;  // default 4x2048 sketch, top_k 16
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [key, left] : remaining) {
+      if (left == 0) continue;
+      const std::uint64_t seg = std::min<std::uint64_t>(left, kMss);
+      mon.record(key, seg);
+      left -= seg;
+      progressed = true;
+    }
+  }
+
+  // Oracle top-10 by true bytes.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> exact(oracle.begin(),
+                                                             oracle.end());
+  std::sort(exact.begin(), exact.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::set<std::uint64_t> want;
+  for (std::size_t i = 0; i < 10; ++i) want.insert(exact[i].first);
+
+  std::set<std::uint64_t> got;
+  for (const auto& hh : mon.top(10)) got.insert(hh.key);
+  EXPECT_EQ(got, want);
+
+  // Estimates never under-count the oracle.
+  for (const std::uint64_t key : want) {
+    EXPECT_GE(mon.estimate_bytes(key), oracle[key]);
+  }
+
+  // Bounded memory: two 4x2048 sketches of u64 cells, independent of
+  // the 2000-flow population (an exact table needs >= 16 B per flow).
+  EXPECT_LE(mon.memory_bytes(), 2u * 4u * 2048u * sizeof(std::uint64_t) +
+                                    16u * 64u /* candidate table slack */);
+}
+
+}  // namespace
+}  // namespace flextoe::monitor

@@ -1,0 +1,175 @@
+// Tap ports: monitor fan-out at the stage-graph edges. An attached
+// observer sees every enabled edge crossing; attachment never perturbs
+// simulated outcomes (taps are out-of-band); edge masks filter; detach
+// fully silences. Includes the sketch monitor riding the Steer edge.
+#include "pipeline/tap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/datapath.hpp"
+#include "host/payload_buf.hpp"
+#include "monitor/sketch.hpp"
+#include "net/packet.hpp"
+#include "pipeline/graph.hpp"
+#include "sim/domain.hpp"
+
+namespace flextoe::pipeline {
+namespace {
+
+class RecordingTap : public TapObserver {
+ public:
+  void on_tap(const TapEvent& ev) override {
+    ++counts_[static_cast<std::size_t>(ev.edge)];
+    ++total_;
+    last_now_ = ev.now;
+  }
+  std::uint64_t count(TapEdge e) const {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+  std::uint64_t total() const { return total_; }
+  sim::TimePs last_now() const { return last_now_; }
+
+ private:
+  std::array<std::uint64_t, kTapEdgeCount> counts_{};
+  std::uint64_t total_ = 0;
+  sim::TimePs last_now_ = 0;
+};
+
+struct Rig {
+  sim::Domain ev;
+  host::PayloadBuf rx{1 << 16}, tx{1 << 16};
+  std::optional<core::Datapath> dp;
+  int notifies = 0;
+
+  Rig() {
+    core::Datapath::HostIface host;
+    host.notify = [this](const host::CtxDesc&) { ++notifies; };
+    host.to_control = [](const net::PacketPtr&) {};
+    host.peer_fin = [](tcp::ConnId) {};
+    dp.emplace(ev, core::agilio_cx40_config(), host);
+    dp->set_local(net::MacAddr::from_u64(0x02AA), net::make_ip(10, 0, 0, 1));
+
+    core::FlowInstall ins;
+    ins.tuple = {net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2), 80,
+                 9999};
+    ins.local_mac = net::MacAddr::from_u64(0x02AA);
+    ins.peer_mac = net::MacAddr::from_u64(0x02BB);
+    ins.iss = 1000;
+    ins.irs = 2000;
+    ins.rx_buf = &rx;
+    ins.tx_buf = &tx;
+    dp->install_flow(ins);
+  }
+
+  void deliver_segments(std::uint32_t n, std::uint32_t len = 256) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      dp->deliver(net::make_tcp_packet(
+          net::MacAddr::from_u64(0x02BB), net::MacAddr::from_u64(0x02AA),
+          net::make_ip(10, 0, 0, 2), net::make_ip(10, 0, 0, 1), 9999, 80,
+          2001 + i * len, 1001, net::tcpflag::kAck | net::tcpflag::kPsh,
+          std::vector<std::uint8_t>(len, 0x42)));
+    }
+  }
+};
+
+// Attaching a tap changes nothing the simulation can observe: same
+// segment/ACK/drop counts and a byte-equal telemetry snapshot.
+TEST(Tap, AttachDoesNotPerturbOutcomes) {
+  Rig plain;
+  Rig tapped;
+  RecordingTap tap;
+  tapped.dp->graph().attach_tap(&tap, kTapAll);
+
+  plain.deliver_segments(8);
+  tapped.deliver_segments(8);
+  plain.ev.run_all();
+  tapped.ev.run_all();
+
+  EXPECT_GT(tap.total(), 0u);  // the tap did observe traffic
+  EXPECT_EQ(plain.dp->rx_segments(), tapped.dp->rx_segments());
+  EXPECT_EQ(plain.dp->acks_sent(), tapped.dp->acks_sent());
+  EXPECT_EQ(plain.dp->drops(), tapped.dp->drops());
+  EXPECT_EQ(plain.notifies, tapped.notifies);
+  EXPECT_EQ(plain.dp->telem().snapshot().to_json(),
+            tapped.dp->telem().snapshot().to_json());
+}
+
+// With the full mask, a data segment's life crosses every edge at least
+// once: admission, steer, post, DMA, notification, and the ACK's egress.
+TEST(Tap, FullMaskSeesEveryEdge) {
+  Rig r;
+  RecordingTap tap;
+  r.dp->graph().attach_tap(&tap, kTapAll);
+  ASSERT_TRUE(r.dp->graph().tap_attached());
+
+  r.deliver_segments(4);
+  r.ev.run_all();
+
+  EXPECT_GE(tap.count(TapEdge::Admit), 4u);
+  EXPECT_GE(tap.count(TapEdge::Steer), 4u);
+  EXPECT_GE(tap.count(TapEdge::Post), 4u);
+  EXPECT_GE(tap.count(TapEdge::Dma), 4u);
+  EXPECT_GE(tap.count(TapEdge::Notify), 1u);
+  EXPECT_GE(tap.count(TapEdge::Egress), 4u);  // the ACKs
+}
+
+// The mask filters edges: a Steer-only tap sees Steer crossings and
+// nothing else.
+TEST(Tap, EdgeMaskFilters) {
+  Rig r;
+  RecordingTap tap;
+  r.dp->graph().attach_tap(&tap, tap_bit(TapEdge::Steer));
+
+  r.deliver_segments(4);
+  r.ev.run_all();
+
+  EXPECT_EQ(tap.count(TapEdge::Steer), 4u);
+  EXPECT_EQ(tap.total(), tap.count(TapEdge::Steer));
+  EXPECT_EQ(tap.count(TapEdge::Admit), 0u);
+  EXPECT_EQ(tap.count(TapEdge::Egress), 0u);
+}
+
+// Detaching fully silences the fan-out.
+TEST(Tap, DetachStopsEvents) {
+  Rig r;
+  RecordingTap tap;
+  r.dp->graph().attach_tap(&tap, kTapAll);
+  r.deliver_segments(4);
+  r.ev.run_all();
+  const std::uint64_t seen = tap.total();
+  ASSERT_GT(seen, 0u);
+
+  r.dp->graph().detach_taps();
+  EXPECT_FALSE(r.dp->graph().tap_attached());
+  r.deliver_segments(4);
+  r.ev.run_all();
+  EXPECT_EQ(tap.total(), seen);
+}
+
+// The sketch monitor on its Steer-edge mask counts exactly the delivered
+// RX data segments (ACK contexts bypass the steer edge), keyed by the
+// sequencer's flow-tuple hash.
+TEST(Tap, SketchMonitorCountsSteeredSegments) {
+  Rig r;
+  monitor::SketchFlowMonitor mon;
+  r.dp->graph().attach_tap(&mon, monitor::SketchFlowMonitor::kEdgeMask);
+
+  const std::uint32_t kSegs = 12, kLen = 256;
+  r.deliver_segments(kSegs, kLen);
+  r.ev.run_all();
+
+  EXPECT_EQ(mon.events(), kSegs);
+  EXPECT_EQ(mon.total_bytes(), static_cast<std::uint64_t>(kSegs) * kLen);
+  const auto top = mon.top(4);
+  ASSERT_EQ(top.size(), 1u);  // one flow installed
+  EXPECT_EQ(top[0].segments, kSegs);
+  EXPECT_EQ(top[0].bytes, static_cast<std::uint64_t>(kSegs) * kLen);
+}
+
+}  // namespace
+}  // namespace flextoe::pipeline

@@ -144,7 +144,7 @@ TEST_F(PostMortemTest, FpcQueueFullDropProducesPostMortem) {
     b.graph().stamp_birth(*ctx);
     ASSERT_NE(ctx->trace_id, 0u) << "stamp_birth must mint a causal id";
     last_victim = ctx->trace_id;
-    b.graph().ingress_rx(ctx, 0);
+    b.graph().ingress_rx(ctx);
   }
 
   // Queue depth 2 must overflow within 32 segments (8 hardware threads

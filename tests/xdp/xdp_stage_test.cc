@@ -1,0 +1,396 @@
+// XDP programs as first-class pipeline stages: verdict ordering (the
+// first terminal verdict wins and later programs never execute), cost
+// accounting charged per program actually executed (regression for the
+// whole-chain up-front billing bug), the one-clock-read-per-segment
+// timestamp shared across the chain, and per-item vs burst delivery
+// producing identical egress, drop accounting, and telemetry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/datapath.hpp"
+#include "host/payload_buf.hpp"
+#include "net/packet.hpp"
+#include "pipeline/graph.hpp"
+#include "sim/domain.hpp"
+#include "xdp/xdp.hpp"
+
+namespace flextoe::xdp {
+namespace {
+
+// Test program: fixed action + cycle cost, records every invocation's
+// shared rx timestamp.
+class Recorder : public XdpProgram {
+ public:
+  Recorder(XdpAction action, std::uint32_t cycles)
+      : action_(action), cycles_(cycles) {}
+
+  XdpAction run(XdpMd& md) override {
+    ++runs_;
+    stamps_.push_back(md.rx_timestamp_ps);
+    return action_;
+  }
+  std::string name() const override { return "recorder"; }
+  std::uint32_t cycles_per_packet() const override { return cycles_; }
+
+  std::uint64_t runs() const { return runs_; }
+  const std::vector<std::uint64_t>& stamps() const { return stamps_; }
+
+ private:
+  XdpAction action_;
+  std::uint32_t cycles_;
+  std::uint64_t runs_ = 0;
+  std::vector<std::uint64_t> stamps_;
+};
+
+struct CountingSink : net::PacketSink {
+  std::uint64_t delivered = 0;
+  void deliver(const net::PacketPtr&) override { ++delivered; }
+};
+
+struct Rig {
+  sim::Domain ev;
+  host::PayloadBuf rx{1 << 16}, tx{1 << 16};
+  std::optional<core::Datapath> dp;
+  CountingSink sink;
+  int notifies = 0;
+  int to_controls = 0;
+
+  explicit Rig(core::DatapathConfig cfg) {
+    core::Datapath::HostIface host;
+    host.notify = [this](const host::CtxDesc&) { ++notifies; };
+    host.to_control = [this](const net::PacketPtr&) { ++to_controls; };
+    host.peer_fin = [](tcp::ConnId) {};
+    dp.emplace(ev, cfg, host);
+    dp->set_local(net::MacAddr::from_u64(0x02AA), net::make_ip(10, 0, 0, 1));
+    dp->set_mac_sink(&sink);
+
+    core::FlowInstall ins;
+    ins.tuple = {net::make_ip(10, 0, 0, 1), net::make_ip(10, 0, 0, 2), 80,
+                 9999};
+    ins.local_mac = net::MacAddr::from_u64(0x02AA);
+    ins.peer_mac = net::MacAddr::from_u64(0x02BB);
+    ins.iss = 1000;
+    ins.irs = 2000;
+    ins.rx_buf = &rx;
+    ins.tx_buf = &tx;
+    dp->install_flow(ins);
+  }
+
+  net::PacketPtr data_segment(std::uint32_t seq_off, std::uint32_t len) {
+    return net::make_tcp_packet(
+        net::MacAddr::from_u64(0x02BB), net::MacAddr::from_u64(0x02AA),
+        net::make_ip(10, 0, 0, 2), net::make_ip(10, 0, 0, 1), 9999, 80,
+        2001 + seq_off, 1001, net::tcpflag::kAck | net::tcpflag::kPsh,
+        std::vector<std::uint8_t>(len, 0x42));
+  }
+};
+
+core::DatapathConfig one_replica_config() {
+  core::DatapathConfig cfg = core::agilio_cx40_config();
+  cfg.xdp_replicas = 1;  // single FPC per XDP node: exact busy accounting
+  return cfg;
+}
+
+// ------------------------------------------------------ verdict ordering
+
+// The first terminal verdict ends the chain: programs after a Drop never
+// execute and the segment is accounted as an XDP drop (never reaching
+// the protocol stage, so no ACKs).
+TEST(XdpVerdictOrdering, DropEndsChainAndLaterProgramsNeverRun) {
+  Rig r(one_replica_config());
+  auto pass = std::make_shared<Recorder>(XdpAction::Pass, 10);
+  auto drop = std::make_shared<Recorder>(XdpAction::Drop, 10);
+  auto after = std::make_shared<Recorder>(XdpAction::Pass, 10);
+  r.dp->add_xdp_program(pass);
+  r.dp->add_xdp_program(drop);
+  r.dp->add_xdp_program(after);
+  ASSERT_EQ(r.dp->graph().xdp_stage_count(), 3u);
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    r.dp->deliver(r.data_segment(i * 64, 64));
+  }
+  r.ev.run_all();
+
+  EXPECT_EQ(pass->runs(), 3u);
+  EXPECT_EQ(drop->runs(), 3u);
+  EXPECT_EQ(after->runs(), 0u);  // terminal verdict won
+  EXPECT_EQ(r.dp->rx_segments(), 3u);
+  EXPECT_EQ(r.dp->drops(), 3u);     // accounted, not vanished
+  EXPECT_EQ(r.dp->acks_sent(), 0u);  // never reached the protocol stage
+  EXPECT_EQ(r.sink.delivered, 0u);
+}
+
+// XDP_TX re-emits on the MAC and ends the chain.
+TEST(XdpVerdictOrdering, TxEmitsAndEndsChain) {
+  Rig r(one_replica_config());
+  auto tx = std::make_shared<Recorder>(XdpAction::Tx, 10);
+  auto after = std::make_shared<Recorder>(XdpAction::Pass, 10);
+  r.dp->add_xdp_program(tx);
+  r.dp->add_xdp_program(after);
+
+  r.dp->deliver(r.data_segment(0, 64));
+  r.ev.run_all();
+
+  EXPECT_EQ(tx->runs(), 1u);
+  EXPECT_EQ(after->runs(), 0u);
+  EXPECT_EQ(r.sink.delivered, 1u);  // the XDP_TX emission
+  EXPECT_EQ(r.dp->acks_sent(), 0u);
+}
+
+// XDP_REDIRECT hands the packet to the control plane and ends the chain.
+TEST(XdpVerdictOrdering, RedirectGoesToControlAndEndsChain) {
+  Rig r(one_replica_config());
+  auto redirect = std::make_shared<Recorder>(XdpAction::Redirect, 10);
+  auto after = std::make_shared<Recorder>(XdpAction::Pass, 10);
+  r.dp->add_xdp_program(redirect);
+  r.dp->add_xdp_program(after);
+
+  r.dp->deliver(r.data_segment(0, 64));
+  r.ev.run_all();
+
+  EXPECT_EQ(redirect->runs(), 1u);
+  EXPECT_EQ(after->runs(), 0u);
+  EXPECT_EQ(r.to_controls, 1);
+  EXPECT_EQ(r.dp->acks_sent(), 0u);
+}
+
+// An all-Pass chain is transparent: the segment traverses the full
+// pipeline and is ACKed exactly as without the chain.
+TEST(XdpVerdictOrdering, AllPassChainIsTransparent) {
+  Rig r(one_replica_config());
+  auto a = std::make_shared<Recorder>(XdpAction::Pass, 10);
+  auto b = std::make_shared<Recorder>(XdpAction::Pass, 10);
+  r.dp->add_xdp_program(a);
+  r.dp->add_xdp_program(b);
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    r.dp->deliver(r.data_segment(i * 64, 64));
+  }
+  r.ev.run_all();
+
+  EXPECT_EQ(a->runs(), 4u);
+  EXPECT_EQ(b->runs(), 4u);
+  EXPECT_EQ(r.dp->rx_segments(), 4u);
+  EXPECT_EQ(r.dp->acks_sent(), 4u);
+  EXPECT_EQ(r.dp->drops(), 0u);
+}
+
+// --------------------------------------------------------- cost billing
+
+// Regression for the whole-chain up-front billing bug: with a Drop-first
+// chain, programs after the drop must never be charged. The head node's
+// billed busy time is independent of what sits behind it, and the
+// never-reached node's FPC stays idle — under the old accounting, a
+// 100k-cycle second program inflated every dropped segment's cost.
+TEST(XdpBilling, DropFirstChainChargesOnlyExecutedPrograms) {
+  const std::uint32_t kSegs = 8;
+
+  Rig short_chain(one_replica_config());
+  short_chain.dp->add_xdp_program(
+      std::make_shared<Recorder>(XdpAction::Drop, 10));
+
+  Rig long_chain(one_replica_config());
+  long_chain.dp->add_xdp_program(
+      std::make_shared<Recorder>(XdpAction::Drop, 10));
+  long_chain.dp->add_xdp_program(
+      std::make_shared<Recorder>(XdpAction::Pass, 100'000));
+
+  for (std::uint32_t i = 0; i < kSegs; ++i) {
+    short_chain.dp->deliver(short_chain.data_segment(i * 64, 64));
+    long_chain.dp->deliver(long_chain.data_segment(i * 64, 64));
+  }
+  short_chain.ev.run_all();
+  long_chain.ev.run_all();
+
+  pipeline::Graph& gs = short_chain.dp->graph();
+  pipeline::Graph& gl = long_chain.dp->graph();
+  ASSERT_EQ(gs.xdp_stage_count(), 1u);
+  ASSERT_EQ(gl.xdp_stage_count(), 2u);
+
+  // Head node: same traffic, same billed time — the expensive program
+  // behind the drop contributes nothing.
+  EXPECT_EQ(gs.xdp_stage(0).fpc(0).items_done(), kSegs);
+  EXPECT_EQ(gl.xdp_stage(0).fpc(0).items_done(), kSegs);
+  EXPECT_GT(gl.xdp_stage(0).fpc(0).busy_time(), 0);
+  EXPECT_EQ(gl.xdp_stage(0).fpc(0).busy_time(),
+            gs.xdp_stage(0).fpc(0).busy_time());
+
+  // Never-reached node: zero items, zero billed time.
+  EXPECT_EQ(gl.xdp_stage(1).fpc(0).items_done(), 0u);
+  EXPECT_EQ(gl.xdp_stage(1).fpc(0).busy_time(), 0);
+
+  EXPECT_EQ(short_chain.dp->drops(), kSegs);
+  EXPECT_EQ(long_chain.dp->drops(), kSegs);
+}
+
+// A passed segment is charged per node as it traverses: each chain
+// node's FPC bills its own program's cycles (head additionally carries
+// the sequencer cost), visible as monotone per-node busy time.
+TEST(XdpBilling, PassChainBillsEachNode) {
+  Rig r(one_replica_config());
+  r.dp->add_xdp_program(std::make_shared<Recorder>(XdpAction::Pass, 50));
+  r.dp->add_xdp_program(std::make_shared<Recorder>(XdpAction::Pass, 500));
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    r.dp->deliver(r.data_segment(i * 64, 64));
+  }
+  r.ev.run_all();
+
+  pipeline::Graph& g = r.dp->graph();
+  EXPECT_EQ(g.xdp_stage(0).fpc(0).items_done(), 4u);
+  EXPECT_EQ(g.xdp_stage(1).fpc(0).items_done(), 4u);
+  EXPECT_GT(g.xdp_stage(0).fpc(0).busy_time(), 0);
+  // 500-cycle node bills more than the 50-cycle (+seq) head.
+  EXPECT_GT(g.xdp_stage(1).fpc(0).busy_time(),
+            g.xdp_stage(0).fpc(0).busy_time());
+  EXPECT_EQ(r.dp->acks_sent(), 4u);
+}
+
+// ----------------------------------------------------------- timestamps
+
+// One clock read per segment: every program in the chain observes the
+// same rx_timestamp_ps — the MAC arrival time — even though the chain
+// nodes execute at later simulated times.
+TEST(XdpTimestamp, SingleClockReadSharedAcrossChain) {
+  Rig r(one_replica_config());
+  auto a = std::make_shared<Recorder>(XdpAction::Pass, 200);
+  auto b = std::make_shared<Recorder>(XdpAction::Pass, 200);
+  auto c = std::make_shared<Recorder>(XdpAction::Pass, 200);
+  r.dp->add_xdp_program(a);
+  r.dp->add_xdp_program(b);
+  r.dp->add_xdp_program(c);
+
+  const sim::TimePs at = sim::us(5);
+  r.ev.schedule_at(at, [&r] { r.dp->deliver(r.data_segment(0, 64)); });
+  r.ev.run_all();
+
+  ASSERT_EQ(a->stamps().size(), 1u);
+  ASSERT_EQ(b->stamps().size(), 1u);
+  ASSERT_EQ(c->stamps().size(), 1u);
+  EXPECT_EQ(a->stamps()[0], static_cast<std::uint64_t>(at));
+  EXPECT_EQ(b->stamps()[0], a->stamps()[0]);
+  EXPECT_EQ(c->stamps()[0], a->stamps()[0]);
+}
+
+// Burst delivery shares one clock read per chunk: every segment of the
+// burst carries the same arrival timestamp through the whole chain.
+TEST(XdpTimestamp, BurstSharesOneClockRead) {
+  core::DatapathConfig cfg = one_replica_config();
+  cfg.batch_size = 16;
+  Rig r(cfg);
+  auto a = std::make_shared<Recorder>(XdpAction::Pass, 200);
+  auto b = std::make_shared<Recorder>(XdpAction::Pass, 200);
+  r.dp->add_xdp_program(a);
+  r.dp->add_xdp_program(b);
+
+  const sim::TimePs at = sim::us(7);
+  r.ev.schedule_at(at, [&r] {
+    std::vector<net::PacketPtr> pkts;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      pkts.push_back(r.data_segment(i * 64, 64));
+    }
+    r.dp->deliver_burst(std::span<const net::PacketPtr>(pkts));
+  });
+  r.ev.run_all();
+
+  ASSERT_EQ(a->stamps().size(), 4u);
+  ASSERT_EQ(b->stamps().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a->stamps()[i], static_cast<std::uint64_t>(at));
+    EXPECT_EQ(b->stamps()[i], static_cast<std::uint64_t>(at));
+  }
+}
+
+// ------------------------------------------- per-item vs burst parity
+
+net::PacketPtr foreign_ip_segment() {
+  return net::make_tcp_packet(
+      net::MacAddr::from_u64(0x02BB), net::MacAddr::from_u64(0x02AA),
+      net::make_ip(10, 0, 0, 2), net::make_ip(10, 9, 9, 9), 9999, 80, 5000,
+      1001, net::tcpflag::kAck, std::vector<std::uint8_t>(32, 0x01));
+}
+
+net::PacketPtr non_tcp_packet() {
+  auto p = net::make_tcp_packet(
+      net::MacAddr::from_u64(0x02BB), net::MacAddr::from_u64(0x02AA),
+      net::make_ip(10, 0, 0, 2), net::make_ip(10, 0, 0, 1), 53, 53, 0, 0, 0,
+      std::vector<std::uint8_t>(32, 0x02));
+  p->ip.proto = 17;  // UDP -> kernel path
+  return p;
+}
+
+std::vector<net::PacketPtr> mixed_traffic(Rig& r) {
+  std::vector<net::PacketPtr> pkts;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    pkts.push_back(r.data_segment(i * 64, 64));
+    if (i % 5 == 1) pkts.push_back(non_tcp_packet());
+    if (i % 5 == 3) pkts.push_back(foreign_ip_segment());
+  }
+  return pkts;
+}
+
+// Differential: the same mixed packet sequence (data-path segments,
+// non-TCP, foreign-IP) delivered per-item vs as NIC bursts of 64 must
+// produce identical egress, identical drop and filter accounting, and a
+// byte-equal telemetry snapshot.
+TEST(XdpBurstParity, PerItemAndBatch64AreIdentical) {
+  core::DatapathConfig cfg_item = one_replica_config();
+  cfg_item.batch_size = 1;
+  core::DatapathConfig cfg_burst = one_replica_config();
+  cfg_burst.batch_size = 64;
+
+  Rig item(cfg_item);
+  Rig burst(cfg_burst);
+  for (Rig* r : {&item, &burst}) {
+    r->dp->add_xdp_program(std::make_shared<Recorder>(XdpAction::Pass, 30));
+  }
+
+  const auto pkts_item = mixed_traffic(item);
+  const auto pkts_burst = mixed_traffic(burst);
+  ASSERT_EQ(pkts_item.size(), pkts_burst.size());
+
+  for (const auto& p : pkts_item) item.dp->deliver(p);
+  burst.dp->deliver_burst(std::span<const net::PacketPtr>(pkts_burst));
+  item.ev.run_all();
+  burst.ev.run_all();
+
+  EXPECT_EQ(item.dp->rx_segments(), burst.dp->rx_segments());
+  EXPECT_EQ(item.dp->acks_sent(), burst.dp->acks_sent());
+  EXPECT_EQ(item.dp->drops(), burst.dp->drops());
+  EXPECT_EQ(item.sink.delivered, burst.sink.delivered);
+  EXPECT_EQ(item.notifies, burst.notifies);
+  EXPECT_EQ(item.to_controls, burst.to_controls);
+
+  // MAC filter accounting parity (the silently-vanishing-packets fix).
+  EXPECT_EQ(item.dp->kernel_path_count(), 3u);
+  EXPECT_EQ(item.dp->not_local_count(), 3u);
+  EXPECT_EQ(burst.dp->kernel_path_count(), item.dp->kernel_path_count());
+  EXPECT_EQ(burst.dp->not_local_count(), item.dp->not_local_count());
+
+  // Byte-equal introspection: every counter, gauge and histogram.
+  EXPECT_EQ(item.dp->telem().snapshot().to_json(),
+            burst.dp->telem().snapshot().to_json());
+}
+
+// Filtered packets are counted, not silently dropped, on both delivery
+// paths — and they are *not* drops (they were never data-path traffic).
+TEST(XdpBurstParity, MacFilterCountsAreNotDrops) {
+  Rig r(one_replica_config());
+  r.dp->deliver(non_tcp_packet());
+  r.dp->deliver(foreign_ip_segment());
+  r.dp->deliver(r.data_segment(0, 64));
+  r.ev.run_all();
+
+  EXPECT_EQ(r.dp->kernel_path_count(), 1u);
+  EXPECT_EQ(r.dp->not_local_count(), 1u);
+  EXPECT_EQ(r.dp->rx_segments(), 1u);
+  EXPECT_EQ(r.dp->drops(), 0u);
+}
+
+}  // namespace
+}  // namespace flextoe::xdp

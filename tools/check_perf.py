@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Simulator-throughput regression gate for the micro_pipeline bench.
 
-Runs `micro_pipeline --filter datapath_rx` fresh and compares its
-`segments_per_sec` against the checked-in Release baseline
-(bench/results/BENCH_micro_pipeline.json). The metric is host
-wall-clock simulator throughput — the denominator every scenario in the
-catalog pays — so a drop means the hot path (SegCtx pooling, burst
-dispatch, stage submit) got slower.
+Runs `micro_pipeline --filter <row>` fresh and compares one metric
+against the checked-in Release baseline
+(bench/results/BENCH_micro_pipeline.json). The default gate is
+`micro_pipeline`/`datapath_rx`/`segments_per_sec` — host wall-clock
+simulator throughput, the denominator every scenario in the catalog
+pays — so a drop means the hot path (SegCtx pooling, burst dispatch,
+stage submit) got slower. The default run attaches no monitor taps; a
+detached tap port costs one pointer compare per edge crossing, so the
+no-tap baseline also gates the tap machinery staying off the hot path.
 
 The gate fails when the fresh rate is below `--min-ratio` (default
 0.9) of the baseline. Wall-clock rates are machine-dependent, so the
@@ -24,7 +27,8 @@ baseline to bank the win:
 
 Usage:
     check_perf.py BASELINE BINARY [--min-ratio 0.9]
-                  [extra bench args...]
+                  [--series micro_pipeline] [--row datapath_rx]
+                  [--metric segments_per_sec] [extra bench args...]
 
 Exit status: 0 = at or above the gate, 1 = regression/error.
 """
@@ -37,8 +41,8 @@ import sys
 import tempfile
 
 
-def run_bench(binary, out_path, extra):
-    cmd = [binary, "--filter", "datapath_rx", "--seed", "0",
+def run_bench(binary, out_path, row, extra):
+    cmd = [binary, "--filter", row, "--seed", "0",
            "--json", out_path] + extra
     proc = subprocess.run(
         cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
@@ -50,13 +54,13 @@ def run_bench(binary, out_path, extra):
     return json.loads(pathlib.Path(out_path).read_text(encoding="utf-8"))
 
 
-def datapath_rx_rate(doc):
+def gated_rate(doc, series_name, row_label, metric):
     for series in doc.get("series", []):
-        if series.get("name") != "micro_pipeline":
+        if series.get("name") != series_name:
             continue
         for row in series.get("rows", []):
-            if row["label"] == "datapath_rx":
-                return row["values"].get("segments_per_sec")
+            if row["label"] == row_label:
+                return row["values"].get(metric)
     return None
 
 
@@ -65,41 +69,45 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("binary")
     ap.add_argument("--min-ratio", type=float, default=0.9)
+    ap.add_argument("--series", default="micro_pipeline")
+    ap.add_argument("--row", default="datapath_rx")
+    ap.add_argument("--metric", default="segments_per_sec")
     args, extra = ap.parse_known_args()
+    what = f"{args.row} {args.metric}"
 
-    want = datapath_rx_rate(
-        json.loads(pathlib.Path(args.baseline).read_text(encoding="utf-8")))
+    want = gated_rate(
+        json.loads(pathlib.Path(args.baseline).read_text(encoding="utf-8")),
+        args.series, args.row, args.metric)
     if not want:
-        sys.stderr.write(f"check_perf: no datapath_rx segments_per_sec in "
+        sys.stderr.write(f"check_perf: no {what} in "
                          f"baseline {args.baseline}\n")
         return 1
 
     with tempfile.TemporaryDirectory() as tmp:
         doc = run_bench(args.binary, str(pathlib.Path(tmp) / "fresh.json"),
-                        extra)
+                        args.row, extra)
     if doc is None:
         return 1
-    got = datapath_rx_rate(doc)
+    got = gated_rate(doc, args.series, args.row, args.metric)
     if not got:
-        sys.stderr.write("check_perf: fresh run emitted no datapath_rx "
-                         "segments_per_sec\n")
+        sys.stderr.write(f"check_perf: fresh run emitted no {what}\n")
         return 1
 
     ratio = got / want
     if ratio < args.min_ratio:
         sys.stderr.write(
-            f"check_perf: REGRESSION — datapath_rx {got:,.0f} segments/s "
+            f"check_perf: REGRESSION — {what} {got:,.0f} "
             f"vs baseline {want:,.0f} ({ratio:.2f}x < "
             f"{args.min_ratio:.2f}x gate)\n"
             f"  If intentional, refresh the baseline (see the module "
             f"docstring or bench/results/README.md).\n")
         return 1
     if ratio > 1.0:
-        print(f"check_perf: note — datapath_rx improved to {got:,.0f} "
-              f"segments/s from {want:,.0f} ({ratio:.2f}x); refresh the "
+        print(f"check_perf: note — {what} improved to {got:,.0f} "
+              f"from {want:,.0f} ({ratio:.2f}x); refresh the "
               f"baseline to bank the win")
     else:
-        print(f"check_perf: OK — datapath_rx {got:,.0f} segments/s "
+        print(f"check_perf: OK — {what} {got:,.0f} "
               f"(baseline {want:,.0f}, {ratio:.2f}x >= "
               f"{args.min_ratio:.2f}x)")
     return 0
